@@ -1,0 +1,106 @@
+// Command benchharness regenerates every experiment table of the
+// reproduction (E1–E10 in DESIGN.md) and prints them in the format
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchharness [-quick] [-only E4] [-t 2] [-b 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "small sweeps (CI-sized)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4); empty = all")
+	t := flag.Int("t", 2, "fault budget t for single-point experiments")
+	b := flag.Int("b", 1, "Byzantine budget b for single-point experiments")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToUpper(*only), ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	grid := []struct{ T, B int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3}}
+	ops, reads := 10, 30
+	writeCounts := []int{10, 50, 100, 200}
+	if *quick {
+		grid = grid[:3]
+		ops, reads = 3, 10
+		writeCounts = []int{10, 50}
+	}
+
+	start := time.Now()
+	if sel("E1") {
+		res, table := harness.RunE1(grid)
+		fmt.Println(table)
+		if !res.AllViolated() {
+			fmt.Println("!! E1 reproduction criterion FAILED")
+			return 1
+		}
+		fmt.Println("E1 criterion: every fast candidate violated safety; the 2-round control survived. ✓")
+		fmt.Println()
+	}
+	if sel("E2") {
+		_, table := harness.RunE2(grid, ops)
+		fmt.Println(table)
+	}
+	if sel("E3") {
+		_, table := harness.RunE3(grid, ops)
+		fmt.Println(table)
+	}
+	if sel("E4") {
+		_, table := harness.RunE4(*t, *b, reads, 200*time.Microsecond)
+		fmt.Println(table)
+		_, wc := harness.RunE4WorstCase(3)
+		fmt.Println(wc)
+	}
+	if sel("E5") {
+		_, table := harness.RunE5(*t, *b, reads)
+		fmt.Println(table)
+	}
+	if sel("E6") {
+		_, table := harness.RunE6(*t, maxInt(*b, 1), ops)
+		fmt.Println(table)
+	}
+	if sel("E7") {
+		_, table := harness.RunE7(nil, ops)
+		fmt.Println(table)
+	}
+	if sel("E8") {
+		_, table := harness.RunE8(*t, *b, writeCounts)
+		fmt.Println(table)
+	}
+	if sel("E9") {
+		_, table := harness.RunE9(*t, *b, reads, 200*time.Microsecond)
+		fmt.Println(table)
+	}
+	if sel("E10") {
+		_, table := harness.RunE10(*t, *b)
+		fmt.Println(table)
+	}
+	fmt.Printf("total harness time: %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

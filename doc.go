@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "How Fast Can a
+// Very Robust Read Be?" (Guerraoui & Vukolić, PODC 2006): wait-free
+// robust register emulations over Byzantine-prone base objects.
+//
+// The library implements the paper's optimally resilient (S = 2t+b+1)
+// safe and regular SWMR storage with 2-round reads and writes
+// (internal/core), the base objects (internal/object), an executable
+// rendition of the Proposition 1 lower-bound proof
+// (internal/lowerbound), the baselines the paper positions itself
+// against (internal/baseline), the §6 server-centric model
+// (internal/servercentric), and three interchangeable transports
+// (internal/transport/...). See README.md for the map, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for the reproduction
+// results. bench_test.go in this directory regenerates every
+// experiment via `go test -bench`.
+package repro

@@ -1,0 +1,84 @@
+// Byzantine-tolerance demo: b base objects actively lie — forging
+// high-timestamped values, equivocating between rounds, or hiding
+// writes — and the 2-round readers still return only genuinely written
+// values. For contrast, the same adversary state-forging trick is
+// replayed against one-round readers at S = 2t+2b (the Proposition 1
+// demonstrator), where it provably breaks safety.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/byzantine"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/memnet"
+	"repro/internal/types"
+)
+
+func main() {
+	const t, b = 2, 2
+	cfg := quorum.Optimal(t, b, 1) // S = 7
+	fmt.Printf("register with %v; objects %d and %d are Byzantine\n\n", cfg, cfg.S-1, cfg.S-2)
+
+	net := memnet.New()
+	defer net.Close()
+	for i := 0; i < cfg.S; i++ {
+		id := types.ObjectID(i)
+		var h transport.Handler
+		switch i {
+		case cfg.S - 1:
+			// Fabricates a huge-timestamped value on every read.
+			h = byzantine.NewRegularHighForger(id, cfg.R, 1_000_000, types.Value("$tolen-funds"))
+		case cfg.S - 2:
+			// Presents a forged candidate in round 1, denies it in round 2.
+			h = byzantine.NewRegularEquivocator(id, cfg.R, 500_000, types.Value("gaslight"))
+		default:
+			h = object.NewRegular(id, cfg.R)
+		}
+		if err := net.Serve(transport.Object(id), h); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	wconn, _ := net.Register(transport.Writer())
+	rconn, _ := net.Register(transport.Reader(0))
+	writer, err := core.NewWriter(cfg, wconn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reader, err := core.NewRegularReader(cfg, rconn, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		val := types.Value(fmt.Sprintf("balance=%d00", i))
+		if err := writer.Write(ctx, val); err != nil {
+			log.Fatal(err)
+		}
+		got, err := reader.Read(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "correct"
+		if !got.Val.Equal(val) {
+			verdict = "WRONG — Byzantine value accepted!"
+		}
+		fmt.Printf("write %q → read ⟨%d,%q⟩ (%d rounds): %s\n",
+			val, got.TS, string(got.Val), reader.LastStats().Rounds, verdict)
+	}
+
+	fmt.Println("\nWhy can't a 1-round reader do this? Proposition 1, executed:")
+	for _, proto := range lowerbound.Candidates() {
+		res := lowerbound.Run(proto, t, b)
+		fmt.Println(" ", res)
+	}
+	fmt.Println(" ", lowerbound.RunControl(t, b))
+}

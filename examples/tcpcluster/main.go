@@ -1,0 +1,100 @@
+// TCP cluster: the same protocols over real sockets. Each base object
+// listens on its own loopback TCP port (one process here, but nothing
+// in the code knows that); the writer and several readers run
+// concurrently against the listeners. This is the deployment shape the
+// paper's data-centric model describes: active disks reachable by
+// point-to-point channels, no server-to-server communication.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/types"
+)
+
+func main() {
+	const t, b, readers = 1, 1, 3
+	cfg := quorum.Optimal(t, b, readers) // S = 4
+	net := tcpnet.New()
+	defer net.Close()
+
+	fmt.Printf("starting %d base objects on loopback TCP (%v)\n", cfg.S, cfg)
+	for i := 0; i < cfg.S; i++ {
+		id := types.ObjectID(i)
+		if err := net.Serve(transport.Object(id), object.NewSafe(id, cfg.R)); err != nil {
+			log.Fatal(err)
+		}
+		if addr, ok := net.Addr(transport.Object(id)); ok {
+			fmt.Printf("  object %d: %s\n", i, addr)
+		}
+	}
+
+	wconn, err := net.Register(transport.Writer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	writer, err := core.NewWriter(cfg, wconn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Writer publishes versions while readers poll concurrently.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 1; v <= 20; v++ {
+			if err := writer.Write(ctx, types.Value(fmt.Sprintf("release-%d", v))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		close(stop)
+	}()
+
+	for j := 0; j < readers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			rconn, err := net.Register(transport.Reader(types.ReaderID(j)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			reader, err := core.NewSafeReader(cfg, rconn, types.ReaderID(j))
+			if err != nil {
+				log.Fatal(err)
+			}
+			reads, last := 0, ""
+			for {
+				select {
+				case <-stop:
+					fmt.Printf("reader %d: %d reads over TCP, last saw %q\n", j, reads, last)
+					return
+				default:
+				}
+				got, err := reader.Read(ctx)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !got.Val.IsBottom() {
+					last = string(got.Val)
+				}
+				reads++
+			}
+		}(j)
+	}
+	wg.Wait()
+	fmt.Println("done: safe register semantics held over real sockets")
+}

@@ -1,0 +1,127 @@
+// Package baseline implements the comparison protocols the paper's
+// introduction positions its contribution against:
+//
+//   - ABD: the crash-only (b = 0) register of Attiya, Bar-Noy & Dolev
+//     [3] with S = 2t+1 — one-round writes; one-round regular reads or
+//     two-round atomic reads (read + write-back).
+//   - MultiRound: a safe storage at optimal resilience S = 2t+b+1 whose
+//     readers do not modify object state and therefore need up to b+1
+//     read rounds in the worst case — the regime of [1] that the paper's
+//     2-round reader beats.
+//   - Auth: the authenticated (self-verifying data) regular storage of
+//     Malkhi & Reiter [15]: ed25519-signed pairs, S = 2t+b+1, one-round
+//     writes and one-round reads. The paper's point of comparison for
+//     "if we permit data authentication" (§1).
+//   - FastSafe: an unauthenticated safe storage using S = 2t+2b+1
+//     objects — one more than the Proposition 1 threshold — with
+//     one-round writes and (contention-free) one-round reads, showing
+//     the resilience/latency trade-off exactly at the bound.
+//
+// All baselines run over the same transport substrate and expose the
+// same Write/Read shape as the core clients, so the harness can sweep
+// them uniformly.
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Object is the single-pair base object of the ABD, Auth and FastSafe
+// baselines: it stores the highest-timestamped pair it has seen (with
+// its signature, if any) and returns it to readers.
+type Object struct {
+	id types.ObjectID
+
+	mu  sync.Mutex
+	ts  types.TS
+	val types.Value
+	sig []byte
+}
+
+var _ transport.Handler = (*Object)(nil)
+
+// NewObject returns an empty baseline object.
+func NewObject(id types.ObjectID) *Object { return &Object{id: id} }
+
+// Handle processes writes (adopt-if-newer) and reads (return current).
+func (o *Object) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch m := req.(type) {
+	case wire.BaselineWriteReq:
+		if m.TS > o.ts {
+			o.ts = m.TS
+			o.val = m.Val.Clone()
+			o.sig = append([]byte(nil), m.Sig...)
+		}
+		return wire.BaselineWriteAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.BaselineReadReq:
+		return wire.BaselineReadAck{
+			ObjectID: o.id,
+			Attempt:  m.Attempt,
+			TS:       o.ts,
+			Val:      o.val.Clone(),
+			Sig:      append([]byte(nil), o.sig...),
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// TwoFieldObject is the pw/w base object of the MultiRound baseline: the
+// writer pre-writes into pw and commits into w (the two-round write of
+// [1]); readers query both fields without modifying anything.
+type TwoFieldObject struct {
+	id types.ObjectID
+
+	mu sync.Mutex
+	pw types.TSVal
+	w  types.TSVal
+}
+
+var _ transport.Handler = (*TwoFieldObject)(nil)
+
+// NewTwoFieldObject returns an object holding ⟨0,⊥⟩ in both fields.
+func NewTwoFieldObject(id types.ObjectID) *TwoFieldObject {
+	return &TwoFieldObject{id: id, pw: types.InitTSVal(), w: types.InitTSVal()}
+}
+
+// Handle processes PW (pre-write), W (commit) and non-mutating reads.
+func (o *TwoFieldObject) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch m := req.(type) {
+	case wire.PWReq:
+		if m.TS > o.pw.TS {
+			o.pw = m.PW.Clone()
+		}
+		return wire.PWAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.WReq:
+		if m.TS > o.w.TS {
+			o.w = m.PW.Clone()
+		}
+		return wire.WAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.BaselineReadReq:
+		return wire.PairsReadAck{
+			ObjectID: o.id,
+			Attempt:  m.Attempt,
+			PW:       o.pw.Clone(),
+			W:        o.w.Clone(),
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// broadcast sends req to objects 0..s-1 and returns how many messages
+// were sent.
+func broadcast(conn transport.Conn, s int, req wire.Msg) int {
+	for i := 0; i < s; i++ {
+		conn.Send(transport.Object(types.ObjectID(i)), req)
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// StaleObject acknowledges writes without storing them and reports the
+// initial state to readers: the omission attack that forces
+// non-mutating readers into extra rounds.
+type StaleObject struct {
+	id types.ObjectID
+}
+
+// NewStaleObject returns the attacker for object id.
+func NewStaleObject(id types.ObjectID) *StaleObject { return &StaleObject{id: id} }
+
+// Handle acks writes, hides state from reads.
+func (o *StaleObject) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	switch m := req.(type) {
+	case wire.BaselineWriteReq:
+		return wire.BaselineWriteAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.PWReq:
+		return wire.PWAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.WReq:
+		return wire.WAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.BaselineReadReq:
+		return wire.PairsReadAck{
+			ObjectID: o.id, Attempt: m.Attempt,
+			PW: types.InitTSVal(), W: types.InitTSVal(),
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// ForgerObject answers reads with a fabricated high-timestamped pair
+// (and a bogus signature), the attack that authenticated storage
+// rejects outright and unauthenticated protocols must out-count.
+type ForgerObject struct {
+	mu    sync.Mutex
+	id    types.ObjectID
+	boost types.TS
+	val   types.Value
+	seen  types.TS
+}
+
+// NewForgerObject returns the attacker for object id; forged pairs sit
+// boost above the highest timestamp it has witnessed.
+func NewForgerObject(id types.ObjectID, boost types.TS, val types.Value) *ForgerObject {
+	return &ForgerObject{id: id, boost: boost, val: val.Clone()}
+}
+
+// Handle tracks writes to forge plausibly and fabricates read replies.
+func (o *ForgerObject) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch m := req.(type) {
+	case wire.BaselineWriteReq:
+		if m.TS > o.seen {
+			o.seen = m.TS
+		}
+		return wire.BaselineWriteAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.PWReq:
+		if m.TS > o.seen {
+			o.seen = m.TS
+		}
+		return wire.PWAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.WReq:
+		if m.TS > o.seen {
+			o.seen = m.TS
+		}
+		return wire.WAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.BaselineReadReq:
+		forged := types.TSVal{TS: o.seen + o.boost, Val: o.val.Clone()}
+		return wire.BaselineReadAck{
+			ObjectID: o.id, Attempt: m.Attempt,
+			TS: forged.TS, Val: forged.Val, Sig: []byte("not-a-signature"),
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// PairsForgerObject is ForgerObject for two-field objects: it forges a
+// high pair in both fields of read replies, the adversary that costs
+// the multi-round reader its extra rounds.
+type PairsForgerObject struct {
+	mu    sync.Mutex
+	id    types.ObjectID
+	boost types.TS
+	val   types.Value
+	seen  types.TS
+}
+
+// NewPairsForgerObject returns the attacker for object id.
+func NewPairsForgerObject(id types.ObjectID, boost types.TS, val types.Value) *PairsForgerObject {
+	return &PairsForgerObject{id: id, boost: boost, val: val.Clone()}
+}
+
+// Handle tracks writes and forges read replies.
+func (o *PairsForgerObject) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch m := req.(type) {
+	case wire.PWReq:
+		if m.TS > o.seen {
+			o.seen = m.TS
+		}
+		return wire.PWAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.WReq:
+		if m.TS > o.seen {
+			o.seen = m.TS
+		}
+		return wire.WAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.BaselineReadReq:
+		forged := types.TSVal{TS: o.seen + o.boost, Val: o.val.Clone()}
+		return wire.PairsReadAck{
+			ObjectID: o.id, Attempt: m.Attempt,
+			PW: forged.Clone(), W: forged.Clone(),
+		}, true
+	default:
+		return nil, false
+	}
+}

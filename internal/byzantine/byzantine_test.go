@@ -1,0 +1,191 @@
+package byzantine
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+var anyNode = transport.Reader(0)
+
+func write(t *testing.T, h transport.Handler, ts types.TS, v string) {
+	t.Helper()
+	pair := types.TSVal{TS: ts, Val: types.Value(v)}
+	if _, ok := h.Handle(transport.Writer(), wire.PWReq{TS: ts, PW: pair, W: types.InitWTuple()}); !ok {
+		t.Fatalf("PW %d not acked", ts)
+	}
+	if _, ok := h.Handle(transport.Writer(), wire.WReq{TS: ts, PW: pair, W: types.WTuple{TSVal: pair, TSR: types.NewTSRMatrix()}}); !ok {
+		t.Fatalf("W %d not acked", ts)
+	}
+}
+
+func read(t *testing.T, h transport.Handler, tsr types.ReaderTS, round wire.Round) (wire.ReadAck, bool) {
+	t.Helper()
+	reply, ok := h.Handle(anyNode, wire.ReadReq{Round: round, Reader: 0, TSR: tsr})
+	if !ok {
+		return wire.ReadAck{}, false
+	}
+	return reply.(wire.ReadAck), true
+}
+
+func TestMuteNeverReplies(t *testing.T) {
+	var m Mute
+	if _, ok := m.Handle(anyNode, wire.ReadReq{Round: wire.Round1, Reader: 0, TSR: 1}); ok {
+		t.Error("mute replied")
+	}
+	if _, ok := m.Handle(anyNode, wire.PWReq{TS: 1}); ok {
+		t.Error("mute replied to writer")
+	}
+}
+
+func TestForgeTuple(t *testing.T) {
+	w := ForgeTuple(42, types.Value("evil"), 3, 1, 9, []types.ObjectID{0, 2})
+	if w.TSVal.TS != 42 || !w.TSVal.Val.Equal(types.Value("evil")) {
+		t.Errorf("pair = %v", w.TSVal)
+	}
+	if got := w.TSR.Get(0, 1); got != 9 {
+		t.Errorf("accusation [0][1] = %d, want 9", got)
+	}
+	if got := w.TSR.Get(2, 1); got != 9 {
+		t.Errorf("accusation [2][1] = %d, want 9", got)
+	}
+	if got := w.TSR.Get(1, 1); got != types.NilReaderTS {
+		t.Errorf("non-accused object has entry %d", got)
+	}
+	if got := w.TSR.Get(0, 0); got != 0 {
+		t.Errorf("other reader columns should be 0, got %d", got)
+	}
+}
+
+func TestSafeHighForgerBoostsTimestamps(t *testing.T) {
+	f := NewSafeHighForger(0, 1, 100, types.Value("evil"), nil)
+	write(t, f, 3, "real")
+	ack, ok := read(t, f, 1, wire.Round1)
+	if !ok {
+		t.Fatal("no reply")
+	}
+	if ack.W.TSVal.TS != 103 || !ack.W.TSVal.Val.Equal(types.Value("evil")) {
+		t.Errorf("forged tuple = %v, want ts 103 / evil", ack.W.TSVal)
+	}
+	if ack.PW.TS != 103 {
+		t.Errorf("forged pw = %v", ack.PW)
+	}
+	// Stale reader timestamps still rejected (inner automaton guard).
+	if _, ok := read(t, f, 1, wire.Round2); ok {
+		t.Error("replied to stale tsr")
+	}
+}
+
+func TestSafeEquivocatorLiesOnlyInRound1(t *testing.T) {
+	f := NewSafeEquivocator(0, 1, 100, types.Value("evil"))
+	write(t, f, 2, "real")
+	r1, ok := read(t, f, 1, wire.Round1)
+	if !ok || r1.W.TSVal.TS != 102 {
+		t.Fatalf("round-1 reply = %+v, want forged ts 102", r1)
+	}
+	r2, ok := read(t, f, 2, wire.Round2)
+	if !ok || r2.W.TSVal.TS != 2 || !r2.W.TSVal.Val.Equal(types.Value("real")) {
+		t.Fatalf("round-2 reply = %+v, want the honest state", r2)
+	}
+}
+
+func TestSafeStaleHidesWrites(t *testing.T) {
+	f := NewSafeStale(0, 1)
+	write(t, f, 5, "hidden")
+	ack, ok := read(t, f, 1, wire.Round1)
+	if !ok {
+		t.Fatal("no reply")
+	}
+	if ack.W.TSVal.TS != 0 || !ack.PW.Val.IsBottom() {
+		t.Errorf("stale reply = %+v, want initial state", ack)
+	}
+}
+
+func TestSafeAccuserPoisonsMatrix(t *testing.T) {
+	f := NewSafeAccuser(0, 1, []types.ObjectID{1, 2})
+	write(t, f, 1, "real")
+	ack, ok := read(t, f, 4, wire.Round1)
+	if !ok {
+		t.Fatal("no reply")
+	}
+	// The accusation claims victims reported tsr 5 > tsrFR=4.
+	if got := ack.W.TSR.Get(1, 0); got != 5 {
+		t.Errorf("accusation = %d, want tsr+1 = 5", got)
+	}
+	// The real value is preserved so the forgery is plausible.
+	if !ack.W.TSVal.Val.Equal(types.Value("real")) {
+		t.Errorf("accuser should keep the real value, got %v", ack.W.TSVal)
+	}
+}
+
+func TestScriptedFallsThrough(t *testing.T) {
+	inner := NewSafeStale(0, 1)
+	steps := 0
+	s := NewScripted(inner, func(step int, _ transport.NodeID, req wire.Msg, _ transport.Handler) (wire.Msg, bool, bool) {
+		steps++
+		if _, isRead := req.(wire.ReadReq); isRead && step == 0 {
+			return nil, false, true // swallow the first read
+		}
+		return nil, false, false // delegate
+	})
+	if _, ok := read(t, s, 1, wire.Round1); ok {
+		t.Error("scripted step 0 should swallow")
+	}
+	if _, ok := read(t, s, 2, wire.Round1); !ok {
+		t.Error("step 1 should delegate to the honest automaton")
+	}
+	if steps != 2 {
+		t.Errorf("script saw %d steps, want 2", steps)
+	}
+}
+
+func TestRegularHighForgerSplicesEntry(t *testing.T) {
+	f := NewRegularHighForger(0, 1, 100, types.Value("evil"))
+	pair := types.TSVal{TS: 1, Val: types.Value("real")}
+	f.Handle(transport.Writer(), wire.PWReq{TS: 1, PW: pair, W: types.InitWTuple()})
+	f.Handle(transport.Writer(), wire.WReq{TS: 1, PW: pair, W: types.WTuple{TSVal: pair, TSR: types.NewTSRMatrix()}})
+	reply, ok := f.Handle(anyNode, wire.ReadReq{Round: wire.Round1, Reader: 0, TSR: 1})
+	if !ok {
+		t.Fatal("no reply")
+	}
+	h := reply.(wire.ReadAckHist).History
+	if e, found := h[101]; !found || e.W == nil || !e.W.TSVal.Val.Equal(types.Value("evil")) {
+		t.Errorf("no forged entry at ts 101: %v", h.Timestamps())
+	}
+	if e, found := h[1]; !found || e.W == nil {
+		t.Error("real entry must also be present (plausible forgery)")
+	}
+}
+
+func TestRegularStaleShipsInitialHistory(t *testing.T) {
+	f := NewRegularStale(0, 1)
+	pair := types.TSVal{TS: 3, Val: types.Value("real")}
+	f.Handle(transport.Writer(), wire.WReq{TS: 3, PW: pair, W: types.WTuple{TSVal: pair, TSR: types.NewTSRMatrix()}})
+	reply, ok := f.Handle(anyNode, wire.ReadReq{Round: wire.Round1, Reader: 0, TSR: 1})
+	if !ok {
+		t.Fatal("no reply")
+	}
+	h := reply.(wire.ReadAckHist).History
+	if len(h) != 1 || h.MaxTS() != 0 {
+		t.Errorf("stale history = %v, want only ts 0", h.Timestamps())
+	}
+}
+
+func TestRegularOmitterTruncatesTail(t *testing.T) {
+	f := NewRegularOmitter(0, 1, 2)
+	for ts := types.TS(1); ts <= 4; ts++ {
+		pair := types.TSVal{TS: ts, Val: types.Value("v")}
+		f.Handle(transport.Writer(), wire.PWReq{TS: ts, PW: pair, W: types.InitWTuple()})
+		f.Handle(transport.Writer(), wire.WReq{TS: ts, PW: pair, W: types.WTuple{TSVal: pair, TSR: types.NewTSRMatrix()}})
+	}
+	reply, ok := f.Handle(anyNode, wire.ReadReq{Round: wire.Round1, Reader: 0, TSR: 1})
+	if !ok {
+		t.Fatal("no reply")
+	}
+	h := reply.(wire.ReadAckHist).History
+	if h.MaxTS() != 2 {
+		t.Errorf("omitter max ts = %d, want 2 (last 2 entries hidden)", h.MaxTS())
+	}
+}

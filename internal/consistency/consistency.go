@@ -1,0 +1,242 @@
+// Package consistency checks recorded operation histories against the
+// register semantics of §2.2 of the paper: safety and regularity for
+// single-writer multi-reader registers, plus per-reader monotonicity
+// (a property the §5.1 cache optimization adds on top of regularity).
+//
+// Operations are recorded with logical start/end stamps from a shared
+// Clock; op1 precedes op2 iff op1 ended before op2 started. Verdicts
+// list every violated condition with the offending operations, so test
+// failures read like counterexamples.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// Clock issues strictly increasing logical stamps; safe for concurrent
+// use. The zero value is ready.
+type Clock struct {
+	c atomic.Int64
+}
+
+// Now returns the next stamp.
+func (c *Clock) Now() int64 { return c.c.Add(1) }
+
+// Kind distinguishes writes from reads.
+type Kind int
+
+// Operation kinds.
+const (
+	KindWrite Kind = iota + 1
+	KindRead
+)
+
+// Op is one recorded operation. For writes, TS is the timestamp the
+// writer assigned and Val the written value. For reads, TS/Val are the
+// returned pair (⟨0,⊥⟩ for the initial value).
+type Op struct {
+	Kind   Kind
+	Reader types.ReaderID // reads only
+	Start  int64
+	End    int64
+	TS     types.TS
+	Val    types.Value
+}
+
+// precedes reports whether a ended before b started.
+func (a Op) precedes(b Op) bool { return a.End < b.Start }
+
+// concurrent reports interval overlap.
+func (a Op) concurrent(b Op) bool { return !a.precedes(b) && !b.precedes(a) }
+
+// History accumulates operations; safe for concurrent recording.
+type History struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// Record appends a completed operation.
+func (h *History) Record(op Op) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops = append(h.ops, op)
+}
+
+// Ops returns a copy of the recorded operations.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Op, len(h.ops))
+	copy(out, h.ops)
+	return out
+}
+
+// Violation describes one broken condition.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return fmt.Sprintf("%s: %s", v.Property, v.Detail) }
+
+// split separates writes (sorted by timestamp) from reads.
+func split(ops []Op) (writes, reads []Op) {
+	for _, op := range ops {
+		if op.Kind == KindWrite {
+			writes = append(writes, op)
+		} else {
+			reads = append(reads, op)
+		}
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].TS < writes[j].TS })
+	return writes, reads
+}
+
+// lastPrecedingWrite returns the highest-timestamped write that precedes
+// rd, or a zero Op (TS 0) when none does.
+func lastPrecedingWrite(writes []Op, rd Op) Op {
+	best := Op{Kind: KindWrite, TS: 0}
+	for _, wr := range writes {
+		if wr.precedes(rd) && wr.TS > best.TS {
+			best = wr
+		}
+	}
+	return best
+}
+
+// CheckSafety verifies the §2.2 safety condition: every READ that is
+// not concurrent with any WRITE returns the value written by the last
+// preceding WRITE, or ⊥ when there is none. Reads overlapping a write
+// are unconstrained.
+func CheckSafety(ops []Op) []Violation {
+	writes, reads := split(ops)
+	var out []Violation
+	for _, rd := range reads {
+		concurrent := false
+		for _, wr := range writes {
+			if rd.concurrent(wr) {
+				concurrent = true
+				break
+			}
+		}
+		if concurrent {
+			continue
+		}
+		want := lastPrecedingWrite(writes, rd)
+		if rd.TS != want.TS || !rd.Val.Equal(want.Val) {
+			out = append(out, Violation{
+				Property: "safety",
+				Detail: fmt.Sprintf("read by r%d at [%d,%d] returned ⟨%d,%q⟩, want ⟨%d,%q⟩ (last preceding write)",
+					rd.Reader, rd.Start, rd.End, rd.TS, string(rd.Val), want.TS, string(want.Val)),
+			})
+		}
+	}
+	return out
+}
+
+// CheckRegularity verifies the three §2.2 regularity conditions:
+//
+//  1. a returned non-⊥ value was actually written (same ts and value);
+//  2. a READ that succeeds WRITE k returns some value with l ≥ k;
+//  3. a READ returning value k was not ahead of WRITE k: the write was
+//     invoked before the read completed (precedes or concurrent).
+func CheckRegularity(ops []Op) []Violation {
+	writes, reads := split(ops)
+	byTS := make(map[types.TS]Op, len(writes))
+	for _, wr := range writes {
+		byTS[wr.TS] = wr
+	}
+	var out []Violation
+	for _, rd := range reads {
+		if rd.TS == 0 {
+			if !rd.Val.IsBottom() {
+				out = append(out, Violation{
+					Property: "regularity(1)",
+					Detail:   fmt.Sprintf("read by r%d returned ts 0 with non-⊥ value %q", rd.Reader, string(rd.Val)),
+				})
+			}
+		} else {
+			wr, written := byTS[rd.TS]
+			if !written || !wr.Val.Equal(rd.Val) {
+				out = append(out, Violation{
+					Property: "regularity(1)",
+					Detail: fmt.Sprintf("read by r%d returned ⟨%d,%q⟩ which was never written",
+						rd.Reader, rd.TS, string(rd.Val)),
+				})
+				continue
+			}
+			// Condition 3: wr precedes rd or is concurrent with rd.
+			if rd.precedes(wr) {
+				out = append(out, Violation{
+					Property: "regularity(3)",
+					Detail: fmt.Sprintf("read by r%d at [%d,%d] returned ⟨%d,_⟩ written only at [%d,%d]",
+						rd.Reader, rd.Start, rd.End, rd.TS, wr.Start, wr.End),
+				})
+			}
+		}
+		// Condition 2: no older value than the last preceding write.
+		want := lastPrecedingWrite(writes, rd)
+		if rd.TS < want.TS {
+			out = append(out, Violation{
+				Property: "regularity(2)",
+				Detail: fmt.Sprintf("read by r%d at [%d,%d] returned ts %d but write %d already completed at %d",
+					rd.Reader, rd.Start, rd.End, rd.TS, want.TS, want.End),
+			})
+		}
+	}
+	return out
+}
+
+// CheckReaderMonotonicity verifies that each reader's successive reads
+// never go back in timestamp — not required by regularity, but provided
+// by the §5.1 cached reader and checked as its added guarantee.
+func CheckReaderMonotonicity(ops []Op) []Violation {
+	_, reads := split(ops)
+	byReader := make(map[types.ReaderID][]Op)
+	for _, rd := range reads {
+		byReader[rd.Reader] = append(byReader[rd.Reader], rd)
+	}
+	var out []Violation
+	for j, rds := range byReader {
+		sort.Slice(rds, func(a, b int) bool { return rds[a].Start < rds[b].Start })
+		for i := 1; i < len(rds); i++ {
+			// Only sequential (non-overlapping) reads are constrained.
+			if rds[i-1].End < rds[i].Start && rds[i].TS < rds[i-1].TS {
+				out = append(out, Violation{
+					Property: "monotonic-reads",
+					Detail:   fmt.Sprintf("reader r%d read ts %d after ts %d", j, rds[i].TS, rds[i-1].TS),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckAtomicity verifies SWMR atomicity (linearizability): on top of
+// regularity, once some READ returns timestamp l, no READ that succeeds
+// it returns a smaller timestamp — the classic new/old inversion test
+// for a single writer.
+func CheckAtomicity(ops []Op) []Violation {
+	out := CheckRegularity(ops)
+	_, reads := split(ops)
+	sort.Slice(reads, func(a, b int) bool { return reads[a].Start < reads[b].Start })
+	for i := 0; i < len(reads); i++ {
+		for k := i + 1; k < len(reads); k++ {
+			if reads[i].precedes(reads[k]) && reads[k].TS < reads[i].TS {
+				out = append(out, Violation{
+					Property: "atomicity",
+					Detail: fmt.Sprintf("new/old inversion: read [%d,%d]→ts %d then read [%d,%d]→ts %d",
+						reads[i].Start, reads[i].End, reads[i].TS,
+						reads[k].Start, reads[k].End, reads[k].TS),
+				})
+			}
+		}
+	}
+	return out
+}

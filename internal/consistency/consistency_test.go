@@ -1,0 +1,162 @@
+package consistency
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func wr(ts types.TS, v string, start, end int64) Op {
+	return Op{Kind: KindWrite, TS: ts, Val: types.Value(v), Start: start, End: end}
+}
+
+func rd(j types.ReaderID, ts types.TS, v string, start, end int64) Op {
+	var val types.Value
+	if v != "" {
+		val = types.Value(v)
+	}
+	return Op{Kind: KindRead, Reader: j, TS: ts, Val: val, Start: start, End: end}
+}
+
+func TestClockMonotone(t *testing.T) {
+	var c Clock
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				v := c.Now()
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate stamp %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSafetyHappyPath(t *testing.T) {
+	ops := []Op{
+		wr(1, "a", 1, 2),
+		rd(0, 1, "a", 3, 4),
+		wr(2, "b", 5, 6),
+		rd(0, 2, "b", 7, 8),
+	}
+	if v := CheckSafety(ops); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestSafetyCatchesStaleRead(t *testing.T) {
+	ops := []Op{
+		wr(1, "a", 1, 2),
+		wr(2, "b", 3, 4),
+		rd(0, 1, "a", 5, 6), // stale: write 2 completed before
+	}
+	if v := CheckSafety(ops); len(v) != 1 {
+		t.Errorf("want 1 safety violation, got %v", v)
+	}
+}
+
+func TestSafetyAllowsAnythingUnderConcurrency(t *testing.T) {
+	ops := []Op{
+		wr(1, "a", 1, 10),
+		rd(0, 99, "garbage", 2, 3), // concurrent with the write
+	}
+	if v := CheckSafety(ops); len(v) != 0 {
+		t.Errorf("concurrent reads are unconstrained by safety: %v", v)
+	}
+	// Regularity is NOT so permissive: garbage was never written.
+	if v := CheckRegularity(ops); len(v) == 0 {
+		t.Error("regularity must reject never-written values")
+	}
+}
+
+func TestSafetyInitialValue(t *testing.T) {
+	ops := []Op{rd(0, 0, "", 1, 2)}
+	if v := CheckSafety(ops); len(v) != 0 {
+		t.Errorf("⊥ before any write is correct: %v", v)
+	}
+	ops = []Op{rd(0, 1, "x", 1, 2)}
+	if v := CheckSafety(ops); len(v) != 1 {
+		t.Errorf("non-⊥ before any write violates safety: %v", v)
+	}
+}
+
+func TestRegularityConditions(t *testing.T) {
+	// Condition 1: returned values must have been written.
+	ops := []Op{wr(1, "a", 1, 2), rd(0, 1, "WRONG", 3, 4)}
+	if v := CheckRegularity(ops); len(v) == 0 {
+		t.Error("condition 1: value mismatch undetected")
+	}
+	// Condition 2: a read after write k returns l ≥ k.
+	ops = []Op{wr(1, "a", 1, 2), wr(2, "b", 3, 4), rd(0, 1, "a", 5, 6)}
+	if v := CheckRegularity(ops); len(v) == 0 {
+		t.Error("condition 2: old value undetected")
+	}
+	// Condition 3: a read cannot return a write invoked after it ended.
+	ops = []Op{rd(0, 1, "a", 1, 2), wr(1, "a", 3, 4)}
+	if v := CheckRegularity(ops); len(v) == 0 {
+		t.Error("condition 3: future value undetected")
+	}
+	// Returning a concurrent (not yet complete) write is legal.
+	ops = []Op{wr(1, "a", 1, 10), rd(0, 1, "a", 2, 5)}
+	if v := CheckRegularity(ops); len(v) != 0 {
+		t.Errorf("concurrent write return is legal: %v", v)
+	}
+	// Returning ⊥ after a completed write violates condition 2.
+	ops = []Op{wr(1, "a", 1, 2), rd(0, 0, "", 3, 4)}
+	if v := CheckRegularity(ops); len(v) == 0 {
+		t.Error("⊥ after completed write undetected")
+	}
+}
+
+func TestReaderMonotonicity(t *testing.T) {
+	ops := []Op{
+		wr(1, "a", 1, 2), wr(2, "b", 3, 4),
+		rd(0, 2, "b", 5, 6),
+		rd(0, 1, "a", 7, 8), // went backwards
+		rd(1, 1, "a", 7, 8), // different reader: fine on its own
+	}
+	v := CheckReaderMonotonicity(ops)
+	if len(v) != 1 {
+		t.Errorf("want exactly 1 monotonicity violation, got %v", v)
+	}
+}
+
+func TestAtomicityNewOldInversion(t *testing.T) {
+	ops := []Op{
+		wr(1, "a", 1, 2), wr(2, "b", 3, 20),
+		rd(0, 2, "b", 4, 5), // saw the new value early (legal: concurrent)
+		rd(1, 1, "a", 6, 7), // then another reader saw the old one: inversion
+	}
+	if v := CheckAtomicity(ops); len(v) == 0 {
+		t.Error("new/old inversion undetected")
+	}
+	if v := CheckRegularity(ops); len(v) != 0 {
+		t.Errorf("regularity permits the inversion: %v", v)
+	}
+}
+
+func TestHistoryConcurrentRecording(t *testing.T) {
+	var h History
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.Record(Op{Kind: KindRead, Start: int64(i), End: int64(i + 1)})
+		}(i)
+	}
+	wg.Wait()
+	if got := len(h.Ops()); got != 10 {
+		t.Errorf("recorded %d ops, want 10", got)
+	}
+}

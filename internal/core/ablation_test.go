@@ -1,0 +1,208 @@
+package core
+
+// Ablation for the DESIGN.md §4 decision: the round-1 condition of
+// Fig. 4 needs "a subset of ≥ S−t responders with no conflicting
+// pair". We implement it with an exact bounded vertex-cover search.
+// The tempting simpler designs are:
+//
+//  a. drop-accused: exclude every object some candidate accuses. A
+//     single Byzantine accuser that names all correct objects then
+//     starves the reader forever — the ablation shows the exact search
+//     terminates where drop-accused cannot.
+//  b. greedy max-degree vertex cover: sound but can over-remove on
+//     crown-like accusation patterns, spuriously delaying round 1
+//     until more responders arrive (and blocking outright when exactly
+//     S−t objects are alive).
+//
+// The benchmark shows the exact search is microseconds at realistic
+// scales (its budget is bounded by t), so there is no performance
+// argument for the unsound or lossy variants.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// dropAccused is ablation variant (a): responders minus every accused
+// object and every accuser-victim pair is not even examined — any
+// accusation disqualifies the accused.
+func dropAccused(g *conflictGraph, responders []types.ObjectID, want int) bool {
+	accusedOrAccuser := make(map[types.ObjectID]bool)
+	for a, nbrs := range g.edges {
+		if len(nbrs) > 0 {
+			accusedOrAccuser[a] = true
+		}
+	}
+	n := 0
+	for _, id := range responders {
+		if !accusedOrAccuser[id] && !g.selfAccusers[id] {
+			n++
+		}
+	}
+	return n >= want
+}
+
+// greedyCover is ablation variant (b): repeatedly remove the
+// highest-degree vertex until no edges remain; succeed if enough
+// responders survive.
+func greedyCover(g *conflictGraph, responders []types.ObjectID, want int) bool {
+	inSet := make(map[types.ObjectID]bool)
+	for _, id := range responders {
+		if !g.selfAccusers[id] {
+			inSet[id] = true
+		}
+	}
+	deg := func(v types.ObjectID) int {
+		d := 0
+		for u := range g.edges[v] {
+			if inSet[u] {
+				d++
+			}
+		}
+		return d
+	}
+	for {
+		var worst types.ObjectID
+		worstDeg := 0
+		for v := range inSet {
+			if d := deg(v); d > worstDeg {
+				worst, worstDeg = v, d
+			}
+		}
+		if worstDeg == 0 {
+			break
+		}
+		delete(inSet, worst)
+	}
+	return len(inSet) >= want
+}
+
+// TestAblationDropAccusedStarves: one Byzantine accuser (index 0)
+// accuses every correct responder. The exact search finds the S−t
+// conflict-free subset (remove the accuser); drop-accused disqualifies
+// every correct object and can never succeed — the reader would block
+// forever even though every correct object has answered.
+func TestAblationDropAccusedStarves(t *testing.T) {
+	const s, tt = 7, 2 // S = 2t+b+1 with b=2
+	want := s - tt     // 5
+	g := newConflictGraph()
+	for victim := 1; victim < s; victim++ {
+		g.addConflict(types.ObjectID(victim), 0)
+	}
+	responders := make([]types.ObjectID, s)
+	for i := range responders {
+		responders[i] = types.ObjectID(i)
+	}
+	if !g.hasConflictFreeSubset(responders, want) {
+		t.Fatal("exact search must succeed by excluding the single accuser")
+	}
+	if dropAccused(g, responders, want) {
+		t.Fatal("drop-accused should starve here; if it succeeds the ablation lost its point")
+	}
+}
+
+// TestAblationGreedyOverRemoves constructs an accusation pattern where
+// the max-degree greedy removes a vertex that every maximum
+// conflict-free subset needs. Crown pattern: hub h is accused by three
+// Byzantine accusers, each of which additionally accuses one distinct
+// leaf. The hub has the strictly highest degree (3), so greedy removes
+// it first — then still must break the three disjoint accuser-leaf
+// edges, removing four vertices total where the optimum (remove the
+// three accusers) needs three. With exactly S−t correct responders
+// required, greedy starves where the exact search succeeds.
+func TestAblationGreedyOverRemoves(t *testing.T) {
+	// Vertices: hub=0, accusers 1,2,3, leaves 4,5,6, isolated 7,8.
+	g := newConflictGraph()
+	g.addConflict(0, 1) // a1 accuses hub
+	g.addConflict(0, 2) // a2 accuses hub
+	g.addConflict(0, 3) // a3 accuses hub
+	g.addConflict(4, 1) // a1 accuses leaf 4
+	g.addConflict(5, 2) // a2 accuses leaf 5
+	g.addConflict(6, 3) // a3 accuses leaf 6
+	responders := ids(0, 1, 2, 3, 4, 5, 6, 7, 8)
+	want := 6 // optimum removes the three accusers, keeping 6
+	if !g.hasConflictFreeSubset(responders, want) {
+		t.Fatal("exact search must find the 6-subset {0,4,5,6,7,8}")
+	}
+	if greedyCover(g, responders, want) {
+		t.Fatal("greedy should over-remove here (hub first); if not, strengthen the pattern")
+	}
+}
+
+// TestAblationGreedySoundWhenItSucceeds: greedy never reports a subset
+// that does not exist (it under-approximates), so it is safe but
+// incomplete — the failure mode is liveness, not safety.
+func TestAblationGreedySoundWhenItSucceeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(7)
+		g := newConflictGraph()
+		for i := 0; i < rng.Intn(8); i++ {
+			g.addConflict(types.ObjectID(rng.Intn(n)), types.ObjectID(rng.Intn(n)))
+		}
+		responders := make([]types.ObjectID, n)
+		for i := range responders {
+			responders[i] = types.ObjectID(i)
+		}
+		want := 1 + rng.Intn(n)
+		if greedyCover(g, responders, want) && !g.hasConflictFreeSubset(responders, want) {
+			t.Fatalf("trial %d: greedy succeeded where no subset exists", trial)
+		}
+	}
+}
+
+// worstCaseGraph builds the densest conflict graph b Byzantine
+// accusers can create at optimal resilience: every accuser accuses
+// every other responder (the SafeAccuser strategy at full budget).
+func worstCaseGraph(tt, b int) (*conflictGraph, []types.ObjectID, int) {
+	s := 2*tt + b + 1
+	g := newConflictGraph()
+	responders := make([]types.ObjectID, s)
+	for i := range responders {
+		responders[i] = types.ObjectID(i)
+	}
+	for a := 0; a < b; a++ {
+		for victim := 0; victim < s; victim++ {
+			if victim != a {
+				g.addConflict(types.ObjectID(victim), types.ObjectID(a))
+			}
+		}
+	}
+	return g, responders, s - tt
+}
+
+func BenchmarkConflictSearchWorstCase(b *testing.B) {
+	for _, cfg := range []struct{ t, bz int }{{2, 2}, {4, 4}, {8, 8}, {16, 16}} {
+		b.Run(fmt.Sprintf("t=b=%d(S=%d)", cfg.t, 2*cfg.t+cfg.bz+1), func(b *testing.B) {
+			g, responders, want := worstCaseGraph(cfg.t, cfg.bz)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !g.hasConflictFreeSubset(responders, want) {
+					b.Fatal("must succeed: remove the b accusers")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConflictSearchRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := newConflictGraph()
+	const n = 16
+	for i := 0; i < 24; i++ {
+		g.addConflict(types.ObjectID(rng.Intn(n)), types.ObjectID(rng.Intn(n)))
+	}
+	responders := make([]types.ObjectID, n)
+	for i := range responders {
+		responders[i] = types.ObjectID(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.hasConflictFreeSubset(responders, n/2)
+	}
+}

@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/byzantine"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+func TestAtomicRequiresSingleReader(t *testing.T) {
+	cfg := quorum.Optimal(1, 1, 2)
+	net := simnet.New(nil)
+	defer net.Close()
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewAtomicSWSRReader(cfg, conn); err == nil {
+		t.Error("R=2 must be rejected")
+	}
+}
+
+func TestAtomicBasicReadWrite(t *testing.T) {
+	c := newRegularCluster(t, 2, 1, 1, nil, false)
+	conn, err := c.net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewAtomicSWSRReader(c.cfg, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.writer()
+	for i := 1; i <= 5; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx(t), val); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read(ctx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Val.Equal(val) {
+			t.Fatalf("read %d = %v", i, got)
+		}
+		if r.LastStats().Rounds != 2 {
+			t.Errorf("atomic read rounds = %d, want 2", r.LastStats().Rounds)
+		}
+	}
+}
+
+// TestPropertyAtomicSWSR sweeps seeded deterministic universes with
+// random faults and concurrent writes: the recorded history must pass
+// the full atomicity checker (regularity + no new/old inversions).
+func TestPropertyAtomicSWSR(t *testing.T) {
+	for seed := int64(200); seed < 250; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tt := 1 + rng.Intn(2)
+			b := 1 + rng.Intn(tt)
+			cfg := quorum.Optimal(tt, b, 1)
+			net := simnet.New(simnet.Seeded(seed))
+			t.Cleanup(func() { net.Close() })
+
+			nByz := rng.Intn(b + 1)
+			perm := rng.Perm(cfg.S)
+			byzSet := map[int]bool{}
+			for i := 0; i < nByz; i++ {
+				byzSet[perm[i]] = true
+			}
+			for i := 0; i < cfg.S; i++ {
+				id := types.ObjectID(i)
+				var h transport.Handler
+				if byzSet[i] {
+					h = byzantine.NewRegularHighForger(id, 1, types.TS(1+rng.Intn(500)), types.Value("forged"))
+				} else {
+					h = object.NewRegular(id, 1)
+				}
+				if err := net.Serve(transport.Object(id), h); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var clock consistency.Clock
+			var hist consistency.History
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+
+			wconn, _ := net.Register(transport.Writer())
+			writer, err := core.NewWriter(cfg, wconn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wTask := net.Go(func() error {
+				for i := 1; i <= 4; i++ {
+					val := types.Value(fmt.Sprintf("w%d", i))
+					s := clock.Now()
+					if err := writer.Write(ctx, val); err != nil {
+						return err
+					}
+					hist.Record(consistency.Op{Kind: consistency.KindWrite, TS: types.TS(i), Val: val, Start: s, End: clock.Now()})
+				}
+				return nil
+			})
+
+			rconn, _ := net.Register(transport.Reader(0))
+			reader, err := core.NewAtomicSWSRReader(cfg, rconn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rTask := net.Go(func() error {
+				for i := 0; i < 5; i++ {
+					s := clock.Now()
+					got, err := reader.Read(ctx)
+					if err != nil {
+						return err
+					}
+					hist.Record(consistency.Op{Kind: consistency.KindRead, TS: got.TS, Val: got.Val, Start: s, End: clock.Now()})
+				}
+				return nil
+			})
+
+			net.Run()
+			for _, task := range []*simnet.Task{wTask, rTask} {
+				if !task.Done() {
+					t.Fatalf("seed %d: stalled", seed)
+				}
+				if err := task.Err(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			if v := consistency.CheckAtomicity(hist.Ops()); len(v) != 0 {
+				t.Fatalf("seed %d (%v): %v", seed, cfg, v)
+			}
+		})
+	}
+}

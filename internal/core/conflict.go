@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// conflictGraph is the reader's view of Fig. 4 line 11 (and Fig. 6 line
+// 11): vertices are the objects that responded in the first read round,
+// and there is an edge {i,k} whenever conflict(i,k) or conflict(k,i)
+// holds — object k reported (in round 1) a candidate whose tsrarray
+// claims object i handed the writer a reader timestamp above tsrFR, the
+// reader's own first-round timestamp. Lemma 1 guarantees every edge
+// touches at least one malicious object, so the graph restricted to
+// correct responders is edgeless and a minimum vertex cover has at most
+// b vertices.
+//
+// The round-1 wait condition — "a subset of ≥ S−t responders with no
+// conflicting pair" — is exactly: the conflict graph has an independent
+// set of size ≥ S−t, i.e. a vertex cover of size ≤ |responders|−(S−t).
+// We decide that with an exact bounded branch-and-bound vertex-cover
+// search (FPT in the budget, which never exceeds t), so adversarial
+// accusation patterns can never make the reader spuriously block the
+// way a greedy heuristic could.
+type conflictGraph struct {
+	// selfAccusers are objects k with conflict(k,k): they presented a
+	// candidate accusing themselves. They can never sit in a
+	// conflict-free subset.
+	selfAccusers map[types.ObjectID]bool
+	// edges[i][k] records an undirected conflict between distinct i, k.
+	edges map[types.ObjectID]map[types.ObjectID]bool
+}
+
+func newConflictGraph() *conflictGraph {
+	return &conflictGraph{
+		selfAccusers: make(map[types.ObjectID]bool),
+		edges:        make(map[types.ObjectID]map[types.ObjectID]bool),
+	}
+}
+
+// addConflict records conflict(accused, reporter): reporter presented a
+// round-1 candidate whose matrix accuses accused.
+func (g *conflictGraph) addConflict(accused, reporter types.ObjectID) {
+	if accused == reporter {
+		g.selfAccusers[reporter] = true
+		return
+	}
+	g.addEdge(accused, reporter)
+}
+
+func (g *conflictGraph) addEdge(a, b types.ObjectID) {
+	if g.edges[a] == nil {
+		g.edges[a] = make(map[types.ObjectID]bool)
+	}
+	if g.edges[b] == nil {
+		g.edges[b] = make(map[types.ObjectID]bool)
+	}
+	g.edges[a][b] = true
+	g.edges[b][a] = true
+}
+
+// hasConflictFreeSubset reports whether responders contains a subset of
+// at least want objects that is pairwise conflict-free.
+func (g *conflictGraph) hasConflictFreeSubset(responders []types.ObjectID, want int) bool {
+	eligible := make([]types.ObjectID, 0, len(responders))
+	for _, id := range responders {
+		if !g.selfAccusers[id] {
+			eligible = append(eligible, id)
+		}
+	}
+	if len(eligible) < want {
+		return false
+	}
+	budget := len(eligible) - want
+	inSet := make(map[types.ObjectID]bool, len(eligible))
+	for _, id := range eligible {
+		inSet[id] = true
+	}
+	// Collect the edges induced by the eligible responders.
+	var edgeList [][2]types.ObjectID
+	for a, nbrs := range g.edges {
+		if !inSet[a] {
+			continue
+		}
+		for b := range nbrs {
+			if inSet[b] && a < b {
+				edgeList = append(edgeList, [2]types.ObjectID{a, b})
+			}
+		}
+	}
+	sort.Slice(edgeList, func(x, y int) bool {
+		if edgeList[x][0] != edgeList[y][0] {
+			return edgeList[x][0] < edgeList[y][0]
+		}
+		return edgeList[x][1] < edgeList[y][1]
+	})
+	removed := make(map[types.ObjectID]bool)
+	return coverWithin(edgeList, removed, budget)
+}
+
+// coverWithin decides whether the edges not yet covered by removed can
+// be covered by deleting at most budget more vertices: the classic
+// 2-way branching for k-vertex-cover.
+func coverWithin(edges [][2]types.ObjectID, removed map[types.ObjectID]bool, budget int) bool {
+	// Find the first uncovered edge.
+	var pick [2]types.ObjectID
+	found := false
+	for _, e := range edges {
+		if !removed[e[0]] && !removed[e[1]] {
+			pick = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		return true
+	}
+	if budget == 0 {
+		return false
+	}
+	for _, v := range pick {
+		removed[v] = true
+		if coverWithin(edges, removed, budget-1) {
+			delete(removed, v)
+			return true
+		}
+		delete(removed, v)
+	}
+	return false
+}
+
+// conflictFreeSubset returns a concrete pairwise conflict-free subset of
+// responders of size ≥ want, or nil if none exists. Used by tests and by
+// diagnostics; the protocol itself only needs existence.
+func (g *conflictGraph) conflictFreeSubset(responders []types.ObjectID, want int) []types.ObjectID {
+	eligible := make([]types.ObjectID, 0, len(responders))
+	for _, id := range responders {
+		if !g.selfAccusers[id] {
+			eligible = append(eligible, id)
+		}
+	}
+	sort.Slice(eligible, func(a, b int) bool { return eligible[a] < eligible[b] })
+	if len(eligible) < want {
+		return nil
+	}
+	var edgeList [][2]types.ObjectID
+	inSet := make(map[types.ObjectID]bool, len(eligible))
+	for _, id := range eligible {
+		inSet[id] = true
+	}
+	for a, nbrs := range g.edges {
+		if !inSet[a] {
+			continue
+		}
+		for b := range nbrs {
+			if inSet[b] && a < b {
+				edgeList = append(edgeList, [2]types.ObjectID{a, b})
+			}
+		}
+	}
+	removed := make(map[types.ObjectID]bool)
+	if !coverFind(edgeList, removed, len(eligible)-want) {
+		return nil
+	}
+	var out []types.ObjectID
+	for _, id := range eligible {
+		if !removed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// coverFind is coverWithin but leaves the successful cover in removed.
+func coverFind(edges [][2]types.ObjectID, removed map[types.ObjectID]bool, budget int) bool {
+	var pick [2]types.ObjectID
+	found := false
+	for _, e := range edges {
+		if !removed[e[0]] && !removed[e[1]] {
+			pick = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		return true
+	}
+	if budget == 0 {
+		return false
+	}
+	for _, v := range pick {
+		removed[v] = true
+		if coverFind(edges, removed, budget-1) {
+			return true
+		}
+		delete(removed, v)
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func ids(xs ...int) []types.ObjectID {
+	out := make([]types.ObjectID, len(xs))
+	for i, x := range xs {
+		out[i] = types.ObjectID(x)
+	}
+	return out
+}
+
+func TestConflictFreeSubsetNoEdges(t *testing.T) {
+	g := newConflictGraph()
+	if !g.hasConflictFreeSubset(ids(0, 1, 2, 3), 4) {
+		t.Error("edgeless graph: everything is conflict-free")
+	}
+	if g.hasConflictFreeSubset(ids(0, 1, 2), 4) {
+		t.Error("cannot find 4 among 3 responders")
+	}
+}
+
+func TestConflictFreeSubsetStar(t *testing.T) {
+	// One malicious accuser in conflict with everyone: removing it
+	// leaves an independent set.
+	g := newConflictGraph()
+	for i := 1; i <= 5; i++ {
+		g.addConflict(types.ObjectID(i), 0)
+	}
+	if !g.hasConflictFreeSubset(ids(0, 1, 2, 3, 4, 5), 5) {
+		t.Error("removing the star centre yields 5 conflict-free")
+	}
+	if g.hasConflictFreeSubset(ids(0, 1, 2, 3, 4, 5), 6) {
+		t.Error("all 6 cannot be conflict-free")
+	}
+	got := g.conflictFreeSubset(ids(0, 1, 2, 3, 4, 5), 5)
+	if len(got) != 5 {
+		t.Fatalf("subset = %v", got)
+	}
+	for _, id := range got {
+		if id == 0 {
+			t.Error("subset contains the star centre")
+		}
+	}
+}
+
+func TestSelfAccuserExcluded(t *testing.T) {
+	g := newConflictGraph()
+	g.addConflict(3, 3) // object 3 presented a candidate accusing itself
+	if g.hasConflictFreeSubset(ids(3), 1) {
+		t.Error("a self-accuser can never sit in a conflict-free set")
+	}
+	if !g.hasConflictFreeSubset(ids(3, 4), 1) {
+		t.Error("other objects remain eligible")
+	}
+}
+
+func TestConflictSubsetTriangle(t *testing.T) {
+	g := newConflictGraph()
+	g.addConflict(0, 1)
+	g.addConflict(1, 2)
+	g.addConflict(2, 0)
+	// A triangle has max independent set 1.
+	if g.hasConflictFreeSubset(ids(0, 1, 2), 2) {
+		t.Error("triangle admits no 2 independent vertices")
+	}
+	if !g.hasConflictFreeSubset(ids(0, 1, 2), 1) {
+		t.Error("single vertex is always independent")
+	}
+}
+
+func TestConflictRestrictedToResponders(t *testing.T) {
+	g := newConflictGraph()
+	g.addConflict(0, 1) // edge {0,1}
+	// Object 1 has not responded: the edge is irrelevant.
+	if !g.hasConflictFreeSubset(ids(0, 2, 3), 3) {
+		t.Error("edges to non-responders must not count")
+	}
+}
+
+// bruteForceMaxIndependent computes the exact maximum independent set
+// size by enumeration (n ≤ 16).
+func bruteForceMaxIndependent(n int, edges [][2]int, self map[int]bool) int {
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			if mask&(1<<v) != 0 && self[v] {
+				ok = false
+			}
+		}
+		for _, e := range edges {
+			if mask&(1<<e[0]) != 0 && mask&(1<<e[1]) != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		size := 0
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				size++
+			}
+		}
+		if size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+// TestQuickConflictSubsetMatchesBruteForce cross-checks the bounded
+// vertex-cover search against exhaustive enumeration on random graphs.
+func TestQuickConflictSubsetMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := newConflictGraph()
+		var edges [][2]int
+		self := map[int]bool{}
+		for i := 0; i < rng.Intn(10); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			g.addConflict(types.ObjectID(a), types.ObjectID(b))
+			if a == b {
+				self[a] = true
+			} else {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		responders := make([]types.ObjectID, n)
+		for i := range responders {
+			responders[i] = types.ObjectID(i)
+		}
+		maxInd := bruteForceMaxIndependent(n, edges, self)
+		for want := 1; want <= n; want++ {
+			if got := g.hasConflictFreeSubset(responders, want); got != (want <= maxInd) {
+				return false
+			}
+			if sub := g.conflictFreeSubset(responders, want); (sub != nil) != (want <= maxInd) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConflictSubsetIsIndependent verifies returned subsets are
+// genuinely conflict-free and self-accuser-free.
+func TestQuickConflictSubsetIsIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := newConflictGraph()
+		adj := map[[2]types.ObjectID]bool{}
+		self := map[types.ObjectID]bool{}
+		for i := 0; i < rng.Intn(12); i++ {
+			a, b := types.ObjectID(rng.Intn(n)), types.ObjectID(rng.Intn(n))
+			g.addConflict(a, b)
+			if a == b {
+				self[a] = true
+			} else {
+				adj[[2]types.ObjectID{a, b}] = true
+				adj[[2]types.ObjectID{b, a}] = true
+			}
+		}
+		responders := make([]types.ObjectID, n)
+		for i := range responders {
+			responders[i] = types.ObjectID(i)
+		}
+		want := 1 + rng.Intn(n)
+		sub := g.conflictFreeSubset(responders, want)
+		if sub == nil {
+			return true // existence is checked by the brute-force test
+		}
+		if len(sub) < want {
+			return false
+		}
+		for _, v := range sub {
+			if self[v] {
+				return false
+			}
+		}
+		for i := range sub {
+			for k := i + 1; k < len(sub); k++ {
+				if adj[[2]types.ObjectID{sub[i], sub[k]}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/byzantine"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// propWorld is one randomized deterministic universe: an optimally
+// resilient cluster with a random fault assignment, driven by a seeded
+// delivery policy on the deterministic simulator.
+type propWorld struct {
+	seed    int64
+	cfg     quorum.Config
+	net     *simnet.Net
+	regular bool
+	opt     bool
+	clock   consistency.Clock
+	hist    consistency.History
+}
+
+// byzFactory builds a random Byzantine strategy for one object slot.
+func byzFactory(rng *rand.Rand, regular bool, id types.ObjectID, readers int) transport.Handler {
+	forged := types.Value(fmt.Sprintf("forged-%d", id))
+	if regular {
+		switch rng.Intn(4) {
+		case 0:
+			return byzantine.Mute{}
+		case 1:
+			return byzantine.NewRegularHighForger(id, readers, types.TS(1+rng.Intn(1000)), forged)
+		case 2:
+			return byzantine.NewRegularEquivocator(id, readers, types.TS(1+rng.Intn(1000)), forged)
+		default:
+			return byzantine.NewRegularStale(id, readers)
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return byzantine.Mute{}
+	case 1:
+		return byzantine.NewSafeHighForger(id, readers, types.TS(1+rng.Intn(1000)), forged, nil)
+	case 2:
+		return byzantine.NewSafeEquivocator(id, readers, types.TS(1+rng.Intn(1000)), forged)
+	case 3:
+		return byzantine.NewSafeStale(id, readers)
+	default:
+		accuse := []types.ObjectID{types.ObjectID(rng.Intn(8))}
+		return byzantine.NewSafeAccuser(id, readers, accuse)
+	}
+}
+
+func newPropWorld(t *testing.T, seed int64, regular, opt bool) *propWorld {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tt := 1 + rng.Intn(2)
+	b := 1 + rng.Intn(tt)
+	readers := 1 + rng.Intn(2)
+	cfg := quorum.Optimal(tt, b, readers)
+
+	w := &propWorld{seed: seed, cfg: cfg, regular: regular, opt: opt,
+		net: simnet.New(simnet.Seeded(seed))}
+	t.Cleanup(func() { w.net.Close() })
+
+	// Random fault assignment within the budget: nByz Byzantine objects
+	// plus up to t−nByz crashes, at random positions.
+	nByz := rng.Intn(b + 1)
+	nCrash := rng.Intn(tt - nByz + 1)
+	perm := rng.Perm(cfg.S)
+	byzSet := map[int]bool{}
+	for i := 0; i < nByz; i++ {
+		byzSet[perm[i]] = true
+	}
+	crashSet := map[int]bool{}
+	for i := nByz; i < nByz+nCrash; i++ {
+		crashSet[perm[i]] = true
+	}
+	for i := 0; i < cfg.S; i++ {
+		id := types.ObjectID(i)
+		var h transport.Handler
+		switch {
+		case byzSet[i]:
+			h = byzFactory(rng, regular, id, cfg.R)
+		case regular:
+			h = object.NewRegular(id, cfg.R)
+		default:
+			h = object.NewSafe(id, cfg.R)
+		}
+		if err := w.net.Serve(transport.Object(id), h); err != nil {
+			t.Fatal(err)
+		}
+		if crashSet[i] {
+			w.net.Crash(transport.Object(id))
+		}
+	}
+	return w
+}
+
+// runOps launches a writer doing writes sequential writes and each
+// reader doing reads sequential reads, all concurrent with each other,
+// then drives the simulator to quiescence. Every operation is recorded
+// in the consistency history.
+func (w *propWorld) runOps(t *testing.T, writes, reads int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var tasks []*simnet.Task
+	wconn, err := w.net.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := core.NewWriter(w.cfg, wconn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks = append(tasks, w.net.Go(func() error {
+		for i := 1; i <= writes; i++ {
+			val := types.Value(fmt.Sprintf("w%d", i))
+			start := w.clock.Now()
+			if err := writer.Write(ctx, val); err != nil {
+				return fmt.Errorf("write %d: %w", i, err)
+			}
+			w.hist.Record(consistency.Op{
+				Kind: consistency.KindWrite, TS: types.TS(i), Val: val,
+				Start: start, End: w.clock.Now(),
+			})
+		}
+		return nil
+	}))
+
+	for j := 0; j < w.cfg.R; j++ {
+		j := types.ReaderID(j)
+		rconn, err := w.net.Register(transport.Reader(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		read := func(ctx context.Context) (types.TSVal, error) { return types.TSVal{}, nil }
+		if w.regular {
+			r, err := core.NewRegularReader(w.cfg, rconn, j, w.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			read = r.Read
+		} else {
+			r, err := core.NewSafeReader(w.cfg, rconn, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			read = r.Read
+		}
+		tasks = append(tasks, w.net.Go(func() error {
+			for i := 0; i < reads; i++ {
+				start := w.clock.Now()
+				got, err := read(ctx)
+				if err != nil {
+					return fmt.Errorf("reader %d op %d: %w", j, i, err)
+				}
+				w.hist.Record(consistency.Op{
+					Kind: consistency.KindRead, Reader: j, TS: got.TS, Val: got.Val,
+					Start: start, End: w.clock.Now(),
+				})
+			}
+			return nil
+		}))
+	}
+
+	w.net.Run()
+	for i, task := range tasks {
+		if !task.Done() {
+			t.Fatalf("seed %d: task %d stalled (wait-freedom violated); in transit: %d",
+				w.seed, i, len(w.net.InTransit()))
+		}
+		if err := task.Err(); err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+	}
+}
+
+// TestPropertySafeStorage sweeps seeds: random faults, random delivery
+// order, concurrent reads and writes — safety must hold in every run
+// and every operation must terminate.
+func TestPropertySafeStorage(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newPropWorld(t, seed, false, false)
+			w.runOps(t, 4, 3)
+			if v := consistency.CheckSafety(w.hist.Ops()); len(v) != 0 {
+				t.Fatalf("seed %d (%v): %v", seed, w.cfg, v)
+			}
+		})
+	}
+}
+
+// TestPropertyRegularStorage sweeps seeds for the regular protocol:
+// regularity (a strictly stronger property) must hold.
+func TestPropertyRegularStorage(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newPropWorld(t, seed, true, false)
+			w.runOps(t, 4, 3)
+			ops := w.hist.Ops()
+			if v := consistency.CheckRegularity(ops); len(v) != 0 {
+				t.Fatalf("seed %d (%v): %v", seed, w.cfg, v)
+			}
+			if v := consistency.CheckSafety(ops); len(v) != 0 {
+				t.Fatalf("seed %d (%v): safety: %v", seed, w.cfg, v)
+			}
+		})
+	}
+}
+
+// TestPropertyRegularOptimized additionally demands per-reader
+// monotonicity, the guarantee the §5.1 cache adds.
+func TestPropertyRegularOptimized(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newPropWorld(t, seed, true, true)
+			w.runOps(t, 4, 3)
+			ops := w.hist.Ops()
+			if v := consistency.CheckRegularity(ops); len(v) != 0 {
+				t.Fatalf("seed %d (%v): %v", seed, w.cfg, v)
+			}
+			if v := consistency.CheckReaderMonotonicity(ops); len(v) != 0 {
+				t.Fatalf("seed %d (%v): %v", seed, w.cfg, v)
+			}
+		})
+	}
+}
+
+// TestPropertyReadsAlwaysTwoRounds: across all seeds and fault mixes,
+// no READ or WRITE ever exceeds two round-trips (Proposition 2, under
+// randomized adversarial delivery).
+func TestPropertyReadsAlwaysTwoRounds(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tt := 1 + rng.Intn(2)
+			b := 1 + rng.Intn(tt)
+			cfg := quorum.Optimal(tt, b, 1)
+			net := simnet.New(simnet.Seeded(seed))
+			t.Cleanup(func() { net.Close() })
+			for i := 0; i < cfg.S; i++ {
+				id := types.ObjectID(i)
+				if err := net.Serve(transport.Object(id), object.NewSafe(id, cfg.R)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wconn, _ := net.Register(transport.Writer())
+			rconn, _ := net.Register(transport.Reader(0))
+			writer, err := core.NewWriter(cfg, wconn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reader, err := core.NewSafeReader(cfg, rconn, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			task := net.Go(func() error {
+				for i := 1; i <= 3; i++ {
+					if err := writer.Write(ctx, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+						return err
+					}
+					if writer.LastStats().Rounds != 2 {
+						return fmt.Errorf("write rounds = %d", writer.LastStats().Rounds)
+					}
+					if _, err := reader.Read(ctx); err != nil {
+						return err
+					}
+					if reader.LastStats().Rounds != 2 {
+						return fmt.Errorf("read rounds = %d", reader.LastStats().Rounds)
+					}
+				}
+				return nil
+			})
+			net.Run()
+			if !task.Done() {
+				t.Fatal("stalled")
+			}
+			if err := task.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

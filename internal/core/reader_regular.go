@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// RegularReader is the two-round reader of the regular storage (Fig. 6).
+// Base objects keep the full write history (Fig. 5) and ship it — or,
+// with the §5.1 optimization, only the suffix above the reader's cached
+// timestamp — in both read rounds. Candidates are validated per write
+// timestamp: safe(c) needs b+1 objects confirming the exact history
+// entry, invalid(c) discards a candidate once t+b+1 objects contradict
+// it.
+//
+// RegularReader is not safe for concurrent use.
+type RegularReader struct {
+	params Params
+	conn   transport.Conn
+	id     types.ReaderID
+
+	tsr       types.ReaderTS
+	optimized bool
+	cache     types.TSVal // last returned pair (⟨0,⊥⟩ initially)
+	stats     OpStats
+	trace     Tracer
+}
+
+// NewRegularReader returns the regular reader client with identity id.
+// With optimized set, READ1/READ2 messages carry the reader's cached
+// timestamp and objects reply with history suffixes (§5.1); when the
+// candidate set is empty after a full second round the cached value is
+// returned.
+func NewRegularReader(cfg quorum.Config, conn transport.Conn, id types.ReaderID, optimized bool) (*RegularReader, error) {
+	p, err := NewParams(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if int(id) < 0 || int(id) >= cfg.R {
+		return nil, fmt.Errorf("%w: reader id %d out of range [0,%d)", ErrBadConfig, id, cfg.R)
+	}
+	return &RegularReader{params: p, conn: conn, id: id, optimized: optimized, cache: types.InitTSVal(), trace: nopTracer{}}, nil
+}
+
+// LastStats returns the complexity record of the last completed READ.
+func (r *RegularReader) LastStats() OpStats { return r.stats }
+
+// Cache returns the reader's cached pair (§5.1).
+func (r *RegularReader) Cache() types.TSVal { return r.cache.Clone() }
+
+// Read performs one READ and returns the selected timestamp-value pair.
+func (r *RegularReader) Read(ctx context.Context) (types.TSVal, error) {
+	start := time.Now()
+	st := OpStats{Kind: OpRead}
+	state := newRegularReadState(r.params.Cfg, r.id)
+
+	cacheTS := types.TS(0)
+	if r.optimized {
+		cacheTS = r.cache.TS
+	}
+	state.cacheTS = cacheTS
+	r.trace.OpStart(OpRead)
+
+	// Round 1.
+	r.tsr++
+	r.trace.RoundStart(OpRead, 1)
+	state.tsrFR = r.tsr
+	req1 := wire.ReadReq{Round: wire.Round1, Reader: r.id, TSR: state.tsrFR, CacheTS: cacheTS}
+	for _, id := range r.params.objectIDs() {
+		r.conn.Send(transport.Object(id), req1)
+		st.Sent++
+	}
+	st.Rounds++
+
+	for !state.round1Done() {
+		msg, err := r.conn.Recv(ctx)
+		if err != nil {
+			return types.TSVal{}, fmt.Errorf("core: regular READ round 1 (reader %d): %w", r.id, err)
+		}
+		if state.absorb(msg) {
+			st.Acks++
+			r.traceAck(msg)
+		}
+	}
+
+	// Round 2.
+	r.tsr++
+	r.trace.RoundStart(OpRead, 2)
+	state.tsrSR = r.tsr
+	req2 := wire.ReadReq{Round: wire.Round2, Reader: r.id, TSR: state.tsrSR, CacheTS: cacheTS}
+	for _, id := range r.params.objectIDs() {
+		r.conn.Send(transport.Object(id), req2)
+		st.Sent++
+	}
+	st.Rounds++
+
+	for {
+		if ret, done := state.decide(r.optimized); done {
+			if ret.TS > r.cache.TS {
+				r.cache = ret.Clone()
+			} else if r.optimized {
+				// An empty candidate set under §5.1 returns the cache.
+				ret = r.cache.Clone()
+			}
+			st.Duration = time.Since(start)
+			r.stats = st
+			r.trace.Decided(OpRead, ret.TS)
+			return ret, nil
+		}
+		msg, err := r.conn.Recv(ctx)
+		if err != nil {
+			return types.TSVal{}, fmt.Errorf("core: regular READ round 2 (reader %d): %w", r.id, err)
+		}
+		if state.absorb(msg) {
+			st.Acks++
+			r.traceAck(msg)
+		}
+	}
+}
+
+// traceAck reports an absorbed acknowledgement to the tracer.
+func (r *RegularReader) traceAck(msg transport.Message) {
+	if ack, ok := msg.Payload.(wire.ReadAckHist); ok {
+		r.trace.AckAccepted(OpRead, int(ack.Round), ack.ObjectID)
+	}
+}
+
+// regularReadState carries the per-READ bookkeeping of Fig. 6.
+type regularReadState struct {
+	cfg     quorum.Config
+	j       types.ReaderID
+	cacheTS types.TS
+
+	tsrFR types.ReaderTS
+	tsrSR types.ReaderTS
+
+	// lastTSR implements the Fig. 6 line 18/23 guard: accept an object's
+	// ack only with a strictly higher echoed control timestamp.
+	lastTSR map[types.ObjectID]types.ReaderTS
+
+	// hist[rnd][i] is the history object i reported in round rnd.
+	hist map[wire.Round]map[types.ObjectID]types.History
+
+	// candidates interns the tuples collected from round-1 histories'
+	// non-nil w entries, keyed canonically.
+	candidates map[string]types.WTuple
+
+	respFirst objSet
+	resp2     objSet
+}
+
+func newRegularReadState(cfg quorum.Config, j types.ReaderID) *regularReadState {
+	return &regularReadState{
+		cfg:     cfg,
+		j:       j,
+		lastTSR: make(map[types.ObjectID]types.ReaderTS),
+		hist: map[wire.Round]map[types.ObjectID]types.History{
+			wire.Round1: make(map[types.ObjectID]types.History),
+			wire.Round2: make(map[types.ObjectID]types.History),
+		},
+		candidates: make(map[string]types.WTuple),
+		respFirst:  make(objSet),
+		resp2:      make(objSet),
+	}
+}
+
+// absorb processes one delivered message; true when it was a fresh,
+// well-formed acknowledgement of this READ.
+func (s *regularReadState) absorb(msg transport.Message) bool {
+	ack, ok := msg.Payload.(wire.ReadAckHist)
+	if !ok {
+		return false
+	}
+	if msg.From.Kind != transport.KindObject || types.ObjectID(msg.From.Index) != ack.ObjectID {
+		return false
+	}
+	if int(ack.ObjectID) < 0 || int(ack.ObjectID) >= s.cfg.S {
+		return false
+	}
+	switch {
+	case ack.Round == wire.Round1 && ack.TSR == s.tsrFR:
+	case ack.Round == wire.Round2 && s.tsrSR != 0 && ack.TSR == s.tsrSR:
+	default:
+		return false
+	}
+	if ack.TSR <= s.lastTSR[ack.ObjectID] {
+		return false
+	}
+	s.lastTSR[ack.ObjectID] = ack.TSR
+
+	h := ack.History.Clone()
+	s.hist[ack.Round][ack.ObjectID] = h
+	if ack.Round == wire.Round1 {
+		s.respFirst.add(ack.ObjectID)
+		for _, e := range h {
+			if e.W != nil {
+				s.candidates[e.W.Key()] = e.W.Clone()
+			}
+		}
+	} else {
+		s.resp2.add(ack.ObjectID)
+	}
+	return true
+}
+
+// entryMismatch reports whether history h contradicts candidate c at
+// c's timestamp: entry missing, w nil, pw ≠ c.tsval, or w ≠ c (Fig. 6
+// line 2).
+func entryMismatch(h types.History, c types.WTuple) bool {
+	e, ok := h[c.TSVal.TS]
+	if !ok || e.W == nil {
+		return true
+	}
+	return !e.PW.Equal(c.TSVal) || !e.W.Equal(c)
+}
+
+// entryMatch reports whether h confirms c at c's timestamp: pw equals
+// c.tsval or w equals c (Fig. 6 line 3).
+func entryMatch(h types.History, c types.WTuple) bool {
+	e, ok := h[c.TSVal.TS]
+	if !ok {
+		return false
+	}
+	if e.PW.Equal(c.TSVal) {
+		return true
+	}
+	return e.W != nil && e.W.Equal(c)
+}
+
+// invalid counts contradiction witnesses for c across both rounds.
+func (s *regularReadState) invalid(c types.WTuple) bool {
+	witnesses := make(objSet)
+	for _, byObj := range s.hist {
+		for id, h := range byObj {
+			if entryMismatch(h, c) {
+				witnesses.add(id)
+			}
+		}
+	}
+	return len(witnesses) >= s.cfg.InvalidThreshold()
+}
+
+// safe counts confirmation witnesses for c across both rounds.
+func (s *regularReadState) safe(c types.WTuple) bool {
+	witnesses := make(objSet)
+	for _, byObj := range s.hist {
+		for id, h := range byObj {
+			if entryMatch(h, c) {
+				witnesses.add(id)
+			}
+		}
+	}
+	return len(witnesses) >= s.cfg.SafeThreshold()
+}
+
+// activeCandidates returns the candidates not yet invalidated.
+func (s *regularReadState) activeCandidates() []string {
+	var out []string
+	for k, c := range s.candidates {
+		if !s.invalid(c) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// buildConflictGraph materializes the Fig. 6 line 1 relation:
+// conflict(i, k) iff object k reported, in round 1, a history entry
+// whose tuple c has c.tsrarray[i][j] > tsrFR, for a c still in C.
+func (s *regularReadState) buildConflictGraph(active []string) *conflictGraph {
+	activeSet := make(map[string]bool, len(active))
+	for _, k := range active {
+		activeSet[k] = true
+	}
+	g := newConflictGraph()
+	for reporter, h := range s.hist[wire.Round1] {
+		for _, e := range h {
+			if e.W == nil {
+				continue
+			}
+			if !activeSet[e.W.Key()] {
+				continue
+			}
+			for accusedID, vec := range e.W.TSR {
+				if vec.Get(s.j) > s.tsrFR {
+					g.addConflict(accusedID, reporter)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// round1Done evaluates the Fig. 6 line 11 condition.
+func (s *regularReadState) round1Done() bool {
+	if len(s.respFirst) < s.cfg.RoundQuorum() {
+		return false
+	}
+	responders := make([]types.ObjectID, 0, len(s.respFirst))
+	for id := range s.respFirst {
+		responders = append(responders, id)
+	}
+	g := s.buildConflictGraph(s.activeCandidates())
+	return g.hasConflictFreeSubset(responders, s.cfg.RoundQuorum())
+}
+
+// decide evaluates the Fig. 6 line 14 condition: some highest active
+// candidate is safe. Under §5.1, an empty candidate set after a full
+// round-2 quorum also terminates (the caller substitutes the cache).
+func (s *regularReadState) decide(optimized bool) (types.TSVal, bool) {
+	active := s.activeCandidates()
+	if len(active) == 0 {
+		if optimized && len(s.resp2) >= s.cfg.RoundQuorum() {
+			return types.InitTSVal(), true
+		}
+		return types.TSVal{}, false
+	}
+	maxTS := types.TS(-1)
+	for _, k := range active {
+		if ts := s.candidates[k].TSVal.TS; ts > maxTS {
+			maxTS = ts
+		}
+	}
+	for _, k := range active {
+		c := s.candidates[k]
+		if c.TSVal.TS != maxTS {
+			continue
+		}
+		if s.safe(c) {
+			return c.TSVal.Clone(), true
+		}
+	}
+	return types.TSVal{}, false
+}

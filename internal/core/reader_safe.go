@@ -1,0 +1,357 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// SafeReader is the two-round reader of the safe storage (Fig. 4).
+//
+// In both rounds the reader writes a fresh control timestamp tsr into
+// every object and reads back the objects' pw and w fields. The first
+// round completes once a pairwise conflict-free subset of at least S−t
+// responders exists; the second round completes once some candidate with
+// the highest timestamp is safe — vouched for by at least b+1 objects —
+// or the candidate set has emptied (possible only under concurrency), in
+// which case the initial value ⊥ is returned, which safety permits.
+//
+// SafeReader is not safe for concurrent use; each reader process invokes
+// one READ at a time (its identity is baked into the tsr[j] fields).
+type SafeReader struct {
+	params Params
+	conn   transport.Conn
+	id     types.ReaderID
+
+	tsr   types.ReaderTS // tsr′_j, persists across READs
+	stats OpStats
+	trace Tracer
+}
+
+// NewSafeReader returns the reader client with identity id.
+func NewSafeReader(cfg quorum.Config, conn transport.Conn, id types.ReaderID) (*SafeReader, error) {
+	p, err := NewParams(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if int(id) < 0 || int(id) >= cfg.R {
+		return nil, fmt.Errorf("%w: reader id %d out of range [0,%d)", ErrBadConfig, id, cfg.R)
+	}
+	return &SafeReader{params: p, conn: conn, id: id, trace: nopTracer{}}, nil
+}
+
+// LastStats returns the complexity record of the last completed READ.
+func (r *SafeReader) LastStats() OpStats { return r.stats }
+
+// Read performs one READ and returns the timestamp-value pair it
+// selected (⟨0,⊥⟩ when the candidate set emptied under concurrency).
+func (r *SafeReader) Read(ctx context.Context) (types.TSVal, error) {
+	start := time.Now()
+	st := OpStats{Kind: OpRead}
+	state := newSafeReadState(r.params.Cfg, r.id)
+	r.trace.OpStart(OpRead)
+
+	// Round 1: tsrFR := ++tsr′_j; send READ1⟨tsr′_j⟩ to all objects.
+	r.tsr++
+	r.trace.RoundStart(OpRead, 1)
+	state.tsrFR = r.tsr
+	req1 := wire.ReadReq{Round: wire.Round1, Reader: r.id, TSR: state.tsrFR}
+	for _, id := range r.params.objectIDs() {
+		r.conn.Send(transport.Object(id), req1)
+		st.Sent++
+	}
+	st.Rounds++
+
+	// Wait for READ1_ACKs until a conflict-free subset of ≥ S−t
+	// responders exists.
+	for !state.round1Done() {
+		msg, err := r.conn.Recv(ctx)
+		if err != nil {
+			return types.TSVal{}, fmt.Errorf("core: READ round 1 (reader %d): %w", r.id, err)
+		}
+		if state.absorb(msg) {
+			st.Acks++
+			r.traceAck(msg)
+		}
+	}
+
+	// Round 2: inc(tsr′_j); send READ2⟨tsr′_j⟩ to all objects.
+	r.tsr++
+	r.trace.RoundStart(OpRead, 2)
+	state.tsrSR = r.tsr
+	req2 := wire.ReadReq{Round: wire.Round2, Reader: r.id, TSR: state.tsrSR}
+	for _, id := range r.params.objectIDs() {
+		r.conn.Send(transport.Object(id), req2)
+		st.Sent++
+	}
+	st.Rounds++
+
+	// Wait until ∃c ∈ C: (safe(c) ∧ highCand(c)) ∨ C = ∅.
+	for {
+		if ret, done := state.decide(); done {
+			st.Duration = time.Since(start)
+			r.stats = st
+			r.trace.Decided(OpRead, ret.TS)
+			return ret, nil
+		}
+		msg, err := r.conn.Recv(ctx)
+		if err != nil {
+			return types.TSVal{}, fmt.Errorf("core: READ round 2 (reader %d): %w", r.id, err)
+		}
+		if state.absorb(msg) {
+			st.Acks++
+			r.traceAck(msg)
+		}
+	}
+}
+
+// traceAck reports an absorbed acknowledgement to the tracer.
+func (r *SafeReader) traceAck(msg transport.Message) {
+	if ack, ok := msg.Payload.(wire.ReadAck); ok {
+		r.trace.AckAccepted(OpRead, int(ack.Round), ack.ObjectID)
+	}
+}
+
+// tsvalKey canonically encodes a timestamp-value pair for map keys.
+func tsvalKey(tv types.TSVal) string {
+	var buf bytes.Buffer
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(tv.TS))
+	buf.Write(tmp[:])
+	if tv.Val.IsBottom() {
+		buf.WriteByte(0)
+	} else {
+		buf.WriteByte(1)
+		buf.Write(tv.Val)
+	}
+	return buf.String()
+}
+
+// objSet is a set of object indices.
+type objSet map[types.ObjectID]bool
+
+func (s objSet) add(id types.ObjectID) { s[id] = true }
+
+// safeReadState carries the per-READ bookkeeping of Fig. 4: the
+// candidate set C, the witness sets RW / RPW / FirstRW, the round-1
+// responder set, and the reader's two round timestamps.
+type safeReadState struct {
+	cfg quorum.Config
+	j   types.ReaderID
+
+	tsrFR types.ReaderTS
+	tsrSR types.ReaderTS // 0 until round 2 starts
+
+	// tuples and pairs intern the reported values by canonical key.
+	tuples map[string]types.WTuple
+	pairs  map[string]types.TSVal
+
+	candidates objSetByKey // C: tuples reported in w fields in round 1
+	firstRW    objSetByKey // FirstRW(c): who reported c in round 1
+	rw         objSetByKey // RW(c): who reported c in any round
+	rpw        objSetByKey // RPW(p): who reported pair p in any round
+
+	respFirst objSet                  // Resp1
+	seen      map[seenKey]bool        // processed (object, round) acks
+	reported  map[types.ObjectID]objS // per-object reported tuple keys (for RespondedWO)
+}
+
+// objSetByKey maps a canonical tuple/pair key to its witness set.
+type objSetByKey map[string]objSet
+
+func (m objSetByKey) at(key string) objSet {
+	s := m[key]
+	if s == nil {
+		s = make(objSet)
+		m[key] = s
+	}
+	return s
+}
+
+type objS map[string]bool
+
+type seenKey struct {
+	obj   types.ObjectID
+	round wire.Round
+}
+
+func newSafeReadState(cfg quorum.Config, j types.ReaderID) *safeReadState {
+	return &safeReadState{
+		cfg:        cfg,
+		j:          j,
+		tuples:     make(map[string]types.WTuple),
+		pairs:      make(map[string]types.TSVal),
+		candidates: make(objSetByKey),
+		firstRW:    make(objSetByKey),
+		rw:         make(objSetByKey),
+		rpw:        make(objSetByKey),
+		respFirst:  make(objSet),
+		seen:       make(map[seenKey]bool),
+		reported:   make(map[types.ObjectID]objS),
+	}
+}
+
+// absorb processes one delivered message; it returns true when the
+// message was a fresh, well-formed acknowledgement of this READ.
+func (s *safeReadState) absorb(msg transport.Message) bool {
+	ack, ok := msg.Payload.(wire.ReadAck)
+	if !ok {
+		return false
+	}
+	if msg.From.Kind != transport.KindObject || types.ObjectID(msg.From.Index) != ack.ObjectID {
+		return false
+	}
+	if int(ack.ObjectID) < 0 || int(ack.ObjectID) >= s.cfg.S {
+		return false
+	}
+	switch {
+	case ack.Round == wire.Round1 && ack.TSR == s.tsrFR:
+	case ack.Round == wire.Round2 && s.tsrSR != 0 && ack.TSR == s.tsrSR:
+	default:
+		return false // stale or mismatched control timestamp
+	}
+	k := seenKey{ack.ObjectID, ack.Round}
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+
+	w := ack.W.Clone()
+	pw := ack.PW.Clone()
+	wk, pk := w.Key(), tsvalKey(pw)
+	s.tuples[wk] = w
+	s.pairs[pk] = pw
+
+	s.rw.at(wk).add(ack.ObjectID)
+	s.rpw.at(pk).add(ack.ObjectID)
+	if s.reported[ack.ObjectID] == nil {
+		s.reported[ack.ObjectID] = make(objS)
+	}
+	s.reported[ack.ObjectID][wk] = true
+
+	if ack.Round == wire.Round1 {
+		s.firstRW.at(wk).add(ack.ObjectID)
+		s.candidates.at(wk).add(ack.ObjectID)
+		s.respFirst.add(ack.ObjectID)
+	}
+	return true
+}
+
+// respondedWO counts the objects that reported some tuple other than c
+// in their w field, in any round (Fig. 4 line 2).
+func (s *safeReadState) respondedWO(cKey string) int {
+	n := 0
+	for _, keys := range s.reported {
+		for k := range keys {
+			if k != cKey {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// activeCandidates returns the keys currently in C: reported in round 1
+// and not removed by the RespondedWO(c) ≥ t+b+1 rule.
+func (s *safeReadState) activeCandidates() []string {
+	var out []string
+	for k := range s.candidates {
+		if s.respondedWO(k) < s.cfg.InvalidThreshold() {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// buildConflictGraph materializes the conflict relation over the current
+// candidate set: conflict(i, k) iff ∃c ∈ C with k ∈ FirstRW(c) and
+// c.tsrarray[i][j] > tsrFR.
+func (s *safeReadState) buildConflictGraph(active []string) *conflictGraph {
+	g := newConflictGraph()
+	for _, ck := range active {
+		c := s.tuples[ck]
+		reporters := s.firstRW[ck]
+		if len(reporters) == 0 {
+			continue
+		}
+		for accusedID, vec := range c.TSR {
+			if vec.Get(s.j) > s.tsrFR {
+				for reporter := range reporters {
+					g.addConflict(accusedID, reporter)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// round1Done evaluates the Fig. 4 line 11 condition.
+func (s *safeReadState) round1Done() bool {
+	if len(s.respFirst) < s.cfg.RoundQuorum() {
+		return false
+	}
+	responders := make([]types.ObjectID, 0, len(s.respFirst))
+	for id := range s.respFirst {
+		responders = append(responders, id)
+	}
+	g := s.buildConflictGraph(s.activeCandidates())
+	return g.hasConflictFreeSubset(responders, s.cfg.RoundQuorum())
+}
+
+// safeWitnesses returns the objects vouching for candidate c (Fig. 4
+// line 3): those that reported c in w, c.tsval in pw, or any tuple or
+// pair with a strictly higher timestamp.
+func (s *safeReadState) safeWitnesses(cKey string) objSet {
+	c := s.tuples[cKey]
+	out := make(objSet)
+	for k, set := range s.rw {
+		if k == cKey || s.tuples[k].TSVal.TS > c.TSVal.TS {
+			for id := range set {
+				out.add(id)
+			}
+		}
+	}
+	cPairKey := tsvalKey(c.TSVal)
+	for k, set := range s.rpw {
+		if k == cPairKey || s.pairs[k].TS > c.TSVal.TS {
+			for id := range set {
+				out.add(id)
+			}
+		}
+	}
+	return out
+}
+
+// decide evaluates the Fig. 4 line 14 condition and, when it holds,
+// returns the value to return: the safe highest candidate's pair, or
+// ⟨0,⊥⟩ when C is empty.
+func (s *safeReadState) decide() (types.TSVal, bool) {
+	active := s.activeCandidates()
+	if len(active) == 0 {
+		return types.InitTSVal(), true
+	}
+	maxTS := types.TS(-1)
+	for _, k := range active {
+		if ts := s.tuples[k].TSVal.TS; ts > maxTS {
+			maxTS = ts
+		}
+	}
+	for _, k := range active {
+		c := s.tuples[k]
+		if c.TSVal.TS != maxTS {
+			continue
+		}
+		if len(s.safeWitnesses(k)) >= s.cfg.SafeThreshold() {
+			return c.TSVal.Clone(), true
+		}
+	}
+	return types.TSVal{}, false
+}

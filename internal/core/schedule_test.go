@@ -1,0 +1,207 @@
+package core_test
+
+// Adversarial-schedule tests: memnet link gates reconstruct the tricky
+// asynchrony interleavings the correctness proofs reason about — late
+// round-1 acknowledgements arriving during round 2, reads that must
+// wait for the write's stragglers, reader crashes between operations.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestLateRound1AcksCountedInRound2 holds back two objects' round-1
+// acks until the reader is deep into round 2; Fig. 4's "upon reception"
+// handlers must still absorb them (they are what completes the read
+// here, since the blocked objects also hold their round-2 acks).
+func TestLateRound1AcksCountedInRound2(t *testing.T) {
+	c := newSafeCluster(t, 2, 1, 1, nil) // S=6, quorum 4
+	w := c.writer()
+	r := c.safeReader(0)
+	if err := w.Write(ctx(t), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := transport.Reader(0)
+	// Objects 4 and 5 reply to nothing until released.
+	c.net.Block(transport.Object(4), reader)
+	c.net.Block(transport.Object(5), reader)
+
+	done := make(chan struct{})
+	var got types.TSVal
+	var err error
+	go func() {
+		defer close(done)
+		got, err = r.Read(ctx(t))
+	}()
+	// The read can complete on objects 0..3 alone (quorum 4); whether
+	// it needs the stragglers depends on scheduling — release them
+	// after a beat either way.
+	time.Sleep(20 * time.Millisecond)
+	c.net.Unblock(transport.Object(4), reader)
+	c.net.Unblock(transport.Object(5), reader)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("read stalled")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Val.Equal(types.Value("v1")) {
+		t.Fatalf("read = %v", got)
+	}
+	if r.LastStats().Rounds != 2 {
+		t.Errorf("rounds = %d", r.LastStats().Rounds)
+	}
+}
+
+// TestReadWaitsForWriteStragglers reconstructs the Lemma 3 scenario:
+// the write lands on exactly S−t objects; the read reaches a quorum
+// that includes only one of the write's holders, so the safe predicate
+// is initially unsatisfiable and the read must keep waiting — then
+// succeed, in the same two rounds, once held acks flow.
+func TestReadWaitsForWriteStragglers(t *testing.T) {
+	c := newSafeCluster(t, 2, 2, 1, nil) // S=7, quorum 5, b+1=3
+	w := c.writer()
+	r := c.safeReader(0)
+
+	// The write is hidden from objects 5 and 6 (in transit forever):
+	// holders are 0..4.
+	writer := transport.Writer()
+	c.net.Block(writer, transport.Object(5))
+	c.net.Block(writer, transport.Object(6))
+	if err := w.Write(ctx(t), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader initially hears from holders {0} and non-holders
+	// {5, 6} only — not enough of anything. Objects 1..4 are gated.
+	reader := transport.Reader(0)
+	for i := 1; i <= 4; i++ {
+		c.net.Block(transport.Object(types.ObjectID(i)), reader)
+	}
+	done := make(chan struct{})
+	var got types.TSVal
+	var err error
+	go func() {
+		defer close(done)
+		got, err = r.Read(ctx(t))
+	}()
+	select {
+	case <-done:
+		t.Fatalf("read decided on 3 responders < quorum: %v, %v", got, err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Release two more holders: quorum 5 reachable, safe(c) gets its
+	// b+1 = 3 witnesses.
+	c.net.Unblock(transport.Object(1), reader)
+	c.net.Unblock(transport.Object(2), reader)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("read stalled after release")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Val.Equal(types.Value("v1")) {
+		t.Fatalf("read = %v, want v1", got)
+	}
+}
+
+// TestSequentialReadsFreshTimestamps: every READ issues strictly
+// increasing control timestamps, so acks from an earlier READ can
+// never satisfy a later one — exercised by delaying all of read 1's
+// acks until read 2 runs.
+func TestSequentialReadsFreshTimestamps(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 1, nil) // S=4
+	w := c.writer()
+	if err := w.Write(ctx(t), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+	r := c.safeReader(0)
+	if _, err := r.Read(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ctx(t), types.Value("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Val.Equal(types.Value("v2")) {
+		t.Fatalf("second read = %v, want v2 (stale acks leaked across reads?)", got)
+	}
+}
+
+// TestReaderCrashMidReadThenFreshReader: a reader abandons a READ
+// mid-flight (its conn closes); a new reader instance with a fresh
+// identity still completes. The abandoned READ's control timestamps
+// remain in the objects, which must not wedge anything.
+func TestReaderCrashMidReadThenFreshReader(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 2, nil)
+	w := c.writer()
+	if err := w.Write(ctx(t), types.Value("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader 0 starts a read with every reply gated, then "crashes".
+	conn0, err := c.net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := core.NewSafeReader(c.cfg, conn0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.cfg.S; i++ {
+		c.net.Block(transport.Object(types.ObjectID(i)), transport.Reader(0))
+	}
+	crashed := make(chan struct{})
+	go func() {
+		defer close(crashed)
+		r0.Read(ctx(t)) // never completes; conn closed below
+	}()
+	time.Sleep(10 * time.Millisecond)
+	conn0.Close()
+	<-crashed
+
+	// Reader 1 is unaffected.
+	r1 := c.safeReader(1)
+	got, err := r1.Read(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Val.Equal(types.Value("v1")) {
+		t.Fatalf("reader 1 read = %v", got)
+	}
+}
+
+// TestManySequentialOperations soaks a larger configuration: 50
+// write/read pairs at t=3, b=3 with one of each Byzantine strategy
+// live at once.
+func TestManySequentialOperations(t *testing.T) {
+	c := newSafeCluster(t, 3, 3, 1, nil)
+	w := c.writer()
+	r := c.safeReader(0)
+	for i := 1; i <= 50; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx(t), val); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := r.Read(ctx(t))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !got.Val.Equal(val) || got.TS != types.TS(i) {
+			t.Fatalf("read %d = %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Tracer observes protocol progress inside a client: operation and
+// round boundaries, accepted acknowledgements, and the decision.
+// Implementations must be cheap; clients call them synchronously on
+// the operation's critical path. The zero default is a no-op.
+//
+// Tracers exist for observability in embedding systems and for tests
+// that assert protocol structure (rounds really start in order, acks
+// really arrive in the claimed round) without reaching into client
+// internals.
+type Tracer interface {
+	// OpStart fires when a WRITE or READ begins.
+	OpStart(kind OpKind)
+	// RoundStart fires when the client broadcasts round round (1 or 2).
+	RoundStart(kind OpKind, round int)
+	// AckAccepted fires for every acknowledgement the client absorbs.
+	AckAccepted(kind OpKind, round int, from types.ObjectID)
+	// Decided fires just before the operation returns, with the
+	// operation's timestamp (the written ts, or the returned pair's).
+	Decided(kind OpKind, ts types.TS)
+}
+
+// nopTracer is the default.
+type nopTracer struct{}
+
+func (nopTracer) OpStart(OpKind)                          {}
+func (nopTracer) RoundStart(OpKind, int)                  {}
+func (nopTracer) AckAccepted(OpKind, int, types.ObjectID) {}
+func (nopTracer) Decided(OpKind, types.TS)                {}
+
+// SetTracer installs a tracer on the writer (nil restores the no-op).
+func (w *Writer) SetTracer(t Tracer) {
+	if t == nil {
+		t = nopTracer{}
+	}
+	w.trace = t
+}
+
+// SetTracer installs a tracer on the safe reader.
+func (r *SafeReader) SetTracer(t Tracer) {
+	if t == nil {
+		t = nopTracer{}
+	}
+	r.trace = t
+}
+
+// SetTracer installs a tracer on the regular reader.
+func (r *RegularReader) SetTracer(t Tracer) {
+	if t == nil {
+		t = nopTracer{}
+	}
+	r.trace = t
+}
+
+// TraceRecorder is a Tracer that accumulates events as strings, for
+// tests and debugging dumps. Safe for concurrent use.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	events []string
+}
+
+var _ Tracer = (*TraceRecorder)(nil)
+
+func (tr *TraceRecorder) add(e string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.events = append(tr.events, e)
+}
+
+// OpStart records the event.
+func (tr *TraceRecorder) OpStart(kind OpKind) { tr.add(fmt.Sprintf("%s/start", kind)) }
+
+// RoundStart records the event.
+func (tr *TraceRecorder) RoundStart(kind OpKind, round int) {
+	tr.add(fmt.Sprintf("%s/round%d", kind, round))
+}
+
+// AckAccepted records the event.
+func (tr *TraceRecorder) AckAccepted(kind OpKind, round int, from types.ObjectID) {
+	tr.add(fmt.Sprintf("%s/ack%d/obj%d", kind, round, from))
+}
+
+// Decided records the event.
+func (tr *TraceRecorder) Decided(kind OpKind, ts types.TS) {
+	tr.add(fmt.Sprintf("%s/decided@%d", kind, ts))
+}
+
+// Events returns a copy of the recorded event strings.
+func (tr *TraceRecorder) Events() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]string, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// Reset clears the recording.
+func (tr *TraceRecorder) Reset() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.events = nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Writer is the single writer of the SWMR storage (Fig. 2). Every WRITE
+// takes exactly two rounds:
+//
+//   - PW: install the fresh pre-write pair ⟨ts, v⟩ (re-installing the
+//     previous complete tuple alongside) and read back each responding
+//     object's reader-timestamp vector;
+//   - W: install the complete tuple ⟨⟨ts, v⟩, currenttsrarray⟩ built
+//     from exactly S−t collected vectors.
+//
+// The same writer serves the safe and the regular storage: the object
+// side decides whether to keep only the latest state (Fig. 3) or the
+// history (Fig. 5).
+//
+// Writer is not safe for concurrent use; the model's single writer
+// invokes one operation at a time.
+type Writer struct {
+	params Params
+	conn   transport.Conn
+
+	ts   types.TS
+	last types.WTuple // the complete tuple of the previous write ("last copy of w′")
+
+	stats OpStats
+	trace Tracer
+}
+
+// NewWriter returns the writer client for the given configuration.
+func NewWriter(cfg quorum.Config, conn transport.Conn) (*Writer, error) {
+	p, err := NewParams(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{params: p, conn: conn, last: types.InitWTuple(), trace: nopTracer{}}, nil
+}
+
+// TS returns the timestamp of the last completed write.
+func (w *Writer) TS() types.TS { return w.ts }
+
+// LastStats returns the complexity record of the last completed WRITE.
+func (w *Writer) LastStats() OpStats { return w.stats }
+
+// Write stores v in the register. It blocks until both rounds complete
+// (wait-free given S−t correct objects) or ctx is cancelled.
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	if v.IsBottom() {
+		return fmt.Errorf("core: ⊥ is not a valid input value for WRITE")
+	}
+	start := time.Now()
+	st := OpStats{Kind: OpWrite}
+	cfg := w.params.Cfg
+	w.trace.OpStart(OpWrite)
+
+	// Round PW: inc(ts); pw := ⟨ts, v⟩; send PW⟨ts, pw, w⟩ to all.
+	w.ts++
+	w.trace.RoundStart(OpWrite, 1)
+	pw := types.TSVal{TS: w.ts, Val: v.Clone()}
+	req := wire.PWReq{TS: w.ts, PW: pw, W: w.last}
+	for _, id := range w.params.objectIDs() {
+		w.conn.Send(transport.Object(id), req)
+		st.Sent++
+	}
+	st.Rounds++
+
+	// Wait for PW_ACK⟨ts, tsr⟩ from exactly S−t distinct objects,
+	// folding each vector into currenttsrarray. Snapshotting at exactly
+	// S−t acks matters: the proofs of Lemmas 3 and 6 rely on the
+	// written matrix having exactly t+b+1 non-nil rows.
+	current := types.NewTSRMatrix()
+	for len(current) < cfg.RoundQuorum() {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("core: WRITE ts=%d PW round: %w", w.ts, err)
+		}
+		ack, ok := msg.Payload.(wire.PWAck)
+		if !ok || ack.TS != w.ts {
+			continue // stale or foreign traffic
+		}
+		if msg.From.Kind != transport.KindObject || types.ObjectID(msg.From.Index) != ack.ObjectID {
+			continue // claimed identity must match the authenticated link
+		}
+		if !w.params.validObject(ack.ObjectID) {
+			continue
+		}
+		if _, dup := current[ack.ObjectID]; dup {
+			continue
+		}
+		st.Acks++
+		w.trace.AckAccepted(OpWrite, 1, ack.ObjectID)
+		current[ack.ObjectID] = ack.TSR.Clone()
+	}
+
+	// Round W: w := ⟨pw, currenttsrarray⟩; send W⟨ts, pw, w⟩ to all.
+	w.trace.RoundStart(OpWrite, 2)
+	tuple := types.WTuple{TSVal: pw.Clone(), TSR: current}
+	wreq := wire.WReq{TS: w.ts, PW: pw, W: tuple}
+	for _, id := range w.params.objectIDs() {
+		w.conn.Send(transport.Object(id), wreq)
+		st.Sent++
+	}
+	st.Rounds++
+
+	acked := make(map[types.ObjectID]bool, cfg.RoundQuorum())
+	for len(acked) < cfg.RoundQuorum() {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("core: WRITE ts=%d W round: %w", w.ts, err)
+		}
+		ack, ok := msg.Payload.(wire.WAck)
+		if !ok || ack.TS != w.ts {
+			continue
+		}
+		if msg.From.Kind != transport.KindObject || types.ObjectID(msg.From.Index) != ack.ObjectID {
+			continue
+		}
+		if !w.params.validObject(ack.ObjectID) || acked[ack.ObjectID] {
+			continue
+		}
+		st.Acks++
+		w.trace.AckAccepted(OpWrite, 2, ack.ObjectID)
+		acked[ack.ObjectID] = true
+	}
+
+	w.trace.Decided(OpWrite, w.ts)
+	w.last = tuple.Clone()
+	st.Duration = time.Since(start)
+	w.stats = st
+	return nil
+}

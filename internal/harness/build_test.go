@@ -1,0 +1,105 @@
+package harness_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/types"
+)
+
+// TestBuildEveryProtocol smoke-builds each protocol, performs one
+// write/read pair, and tears down cleanly.
+func TestBuildEveryProtocol(t *testing.T) {
+	for _, p := range harness.AllProtocols() {
+		t.Run(string(p), func(t *testing.T) {
+			cl, err := harness.Build(harness.Spec{Protocol: p, T: 1, B: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := cl.Writer().Write(ctx, types.Value("x")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Reader(0).Read(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Val.Equal(types.Value("x")) {
+				t.Fatalf("read %v", got)
+			}
+		})
+	}
+}
+
+// TestBuildUnknownProtocol must error, not panic.
+func TestBuildUnknownProtocol(t *testing.T) {
+	if _, err := harness.Build(harness.Spec{Protocol: "nonsense", T: 1, B: 1}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestBuildDefaultsReaders: zero readers defaults to one.
+func TestBuildDefaultsReaders(t *testing.T) {
+	cl, err := harness.Build(harness.Spec{Protocol: harness.GV06Safe, T: 1, B: 1, Readers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Cfg.R != 1 {
+		t.Errorf("R = %d, want 1", cl.Cfg.R)
+	}
+}
+
+// TestByzAssignmentsApply: a cluster with b mutes still works; with
+// b+1 mutes (over budget — a misuse) the writer cannot assemble its
+// quorum, which the deadline converts into an error rather than a hang.
+func TestByzAssignmentsApply(t *testing.T) {
+	cl, err := harness.Build(harness.Spec{
+		Protocol: harness.GV06Safe, T: 2, B: 2,
+		Byz: map[int]harness.ByzKind{5: harness.ByzMute, 6: harness.ByzMute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Writer().Write(ctx, types.Value("ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	over, err := harness.Build(harness.Spec{
+		Protocol: harness.GV06Safe, T: 1, B: 1,
+		Byz: map[int]harness.ByzKind{1: harness.ByzMute, 2: harness.ByzMute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	short, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if err := over.Writer().Write(short, types.Value("x")); err == nil {
+		t.Error("write succeeded with S−t unreachable (2 mutes on S=4, t=1)")
+	}
+}
+
+// TestCounterAccumulates: the cluster tap observes traffic.
+func TestCounterAccumulates(t *testing.T) {
+	cl, err := harness.Build(harness.Spec{Protocol: harness.ABD, T: 1, B: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Writer().Write(ctx, types.Value("x")); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Counter.Messages() == 0 {
+		t.Error("tap saw no traffic")
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"repro/internal/lowerbound"
+	"repro/internal/stats"
+)
+
+// E1Result aggregates the Proposition 1 demonstrations.
+type E1Result struct {
+	Candidates []lowerbound.Result
+	Controls   []lowerbound.ControlResult
+}
+
+// AllViolated reports whether every fast candidate broke safety and
+// every control survived — the Proposition 1 reproduction criterion.
+func (r E1Result) AllViolated() bool {
+	for _, c := range r.Candidates {
+		if c.Err != nil || !c.Violated() {
+			return false
+		}
+	}
+	for _, c := range r.Controls {
+		if c.Err != nil || !c.Correct() {
+			return false
+		}
+	}
+	return len(r.Candidates) > 0 && len(r.Controls) > 0
+}
+
+// RunE1 replays the Fig. 1 runs for every candidate fast protocol and
+// the two-round control over a (t, b) grid.
+func RunE1(grid []struct{ T, B int }) (E1Result, *stats.Table) {
+	if len(grid) == 0 {
+		grid = []struct{ T, B int }{{1, 1}, {2, 1}, {2, 2}, {3, 3}}
+	}
+	var res E1Result
+	table := stats.NewTable(
+		"E1 — Proposition 1: no fast READ with S = 2t+2b (Fig. 1 runs)",
+		"protocol", "t", "b", "S", "run4 returned", "run5 returned", "verdict",
+	)
+	for _, g := range grid {
+		for _, proto := range lowerbound.Candidates() {
+			r := lowerbound.Run(proto, g.T, g.B)
+			res.Candidates = append(res.Candidates, r)
+			verdict := "SAFE?!"
+			switch {
+			case r.Err != nil:
+				verdict = "ERROR: " + r.Err.Error()
+			case r.Run4Violation && r.Run5Violation:
+				verdict = "safety VIOLATED (run4+run5)"
+			case r.Run4Violation:
+				verdict = "safety VIOLATED (run4: lost completed write)"
+			case r.Run5Violation:
+				verdict = "safety VIOLATED (run5: returned unwritten value)"
+			case r.Stalled4 || r.Stalled5:
+				verdict = "stalled (not a fast read)"
+			}
+			table.AddRow(r.Protocol, g.T, g.B, r.S, r.V4.String(), r.V5.String(), verdict)
+		}
+		c := lowerbound.RunControl(g.T, g.B)
+		res.Controls = append(res.Controls, c)
+		verdict := "correct in both runs (waited for round 2)"
+		if c.Err != nil {
+			verdict = "ERROR: " + c.Err.Error()
+		} else if !c.Correct() {
+			verdict = "VIOLATED?!"
+		}
+		table.AddRow("gv06/safe-2round (control)", g.T, g.B, c.S, c.V4.String(), c.V5.String(), verdict)
+	}
+	return res, table
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// RoundsResult records observed round complexity for one configuration.
+type RoundsResult struct {
+	Protocol       Protocol
+	T, B           int
+	Fault          string
+	WriteRoundsMax int
+	ReadRoundsMax  int
+	ReadRoundsMin  int
+	CorrectReads   int
+	TotalReads     int
+}
+
+// faultScenarios enumerates the fault patterns swept by E2/E3: none,
+// crash the full t budget, and each Byzantine strategy at the full b
+// budget plus t−b crashes.
+func faultScenarios(t, b, s int) []struct {
+	Name  string
+	Crash []int
+	Byz   map[int]ByzKind
+} {
+	crashT := make([]int, t)
+	for i := range crashT {
+		crashT[i] = i
+	}
+	out := []struct {
+		Name  string
+		Crash []int
+		Byz   map[int]ByzKind
+	}{
+		{Name: "none"},
+		{Name: fmt.Sprintf("crash-%d", t), Crash: crashT},
+	}
+	for _, kind := range AllByzKinds() {
+		byz := make(map[int]ByzKind, b)
+		for i := 0; i < b; i++ {
+			byz[s-1-i] = kind // take Byzantine slots from the top
+		}
+		var crash []int
+		for i := 0; i < t-b; i++ {
+			crash = append(crash, i)
+		}
+		out = append(out, struct {
+			Name  string
+			Crash []int
+			Byz   map[int]ByzKind
+		}{Name: fmt.Sprintf("byz-%s(b=%d)+crash-%d", kind, b, t-b), Crash: crash, Byz: byz})
+	}
+	return out
+}
+
+// runRounds drives ops writes+reads on a cluster and records round
+// complexity and read correctness (reads are never concurrent with
+// writes here, so every read must return the last written value).
+func runRounds(spec Spec, ops int) (RoundsResult, error) {
+	res := RoundsResult{Protocol: spec.Protocol, T: spec.T, B: spec.B, ReadRoundsMin: 1 << 30}
+	cl, err := Build(spec)
+	if err != nil {
+		return res, err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	w := cl.Writer()
+	r := cl.Reader(0)
+	for i := 1; i <= ops; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx, val); err != nil {
+			return res, fmt.Errorf("write %d: %w", i, err)
+		}
+		if rw := w.LastStats().Rounds; rw > res.WriteRoundsMax {
+			res.WriteRoundsMax = rw
+		}
+		got, err := r.Read(ctx)
+		if err != nil {
+			return res, fmt.Errorf("read %d: %w", i, err)
+		}
+		rr := r.LastStats().Rounds
+		if rr > res.ReadRoundsMax {
+			res.ReadRoundsMax = rr
+		}
+		if rr < res.ReadRoundsMin {
+			res.ReadRoundsMin = rr
+		}
+		res.TotalReads++
+		if got.Val.Equal(val) {
+			res.CorrectReads++
+		}
+	}
+	return res, nil
+}
+
+// RunE2 sweeps the safe protocol (Proposition 2): over a (t, b) grid and
+// all fault scenarios, every WRITE and every READ completes in exactly
+// two rounds and every non-concurrent read is correct.
+func RunE2(grid []struct{ T, B int }, opsPer int) ([]RoundsResult, *stats.Table) {
+	return runRoundsSweep(GV06Safe, "E2 — Proposition 2: safe storage, worst-case rounds (S = 2t+b+1)", grid, opsPer)
+}
+
+// RunE3 is E2 for the regular protocol (Theorems 3/4).
+func RunE3(grid []struct{ T, B int }, opsPer int) ([]RoundsResult, *stats.Table) {
+	return runRoundsSweep(GV06Regular, "E3 — Regular storage, worst-case rounds (S = 2t+b+1)", grid, opsPer)
+}
+
+func runRoundsSweep(p Protocol, title string, grid []struct{ T, B int }, opsPer int) ([]RoundsResult, *stats.Table) {
+	if len(grid) == 0 {
+		grid = []struct{ T, B int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3}}
+	}
+	if opsPer <= 0 {
+		opsPer = 5
+	}
+	var out []RoundsResult
+	table := stats.NewTable(title,
+		"t", "b", "S", "faults", "write rounds (max)", "read rounds (min..max)", "correct reads")
+	for _, g := range grid {
+		s := objectCount(p, g.T, g.B)
+		for _, fs := range faultScenarios(g.T, g.B, s) {
+			spec := Spec{Protocol: p, T: g.T, B: g.B, Readers: 1, Crash: fs.Crash, Byz: fs.Byz}
+			res, err := runRounds(spec, opsPer)
+			res.Fault = fs.Name
+			if err != nil {
+				table.AddRow(g.T, g.B, s, fs.Name, "ERR", err.Error(), "-")
+				out = append(out, res)
+				continue
+			}
+			out = append(out, res)
+			table.AddRow(g.T, g.B, s, fs.Name,
+				res.WriteRoundsMax,
+				fmt.Sprintf("%d..%d", res.ReadRoundsMin, res.ReadRoundsMax),
+				fmt.Sprintf("%d/%d", res.CorrectReads, res.TotalReads))
+		}
+	}
+	return out, table
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// E5Row records read behaviour at one write-contention level.
+type E5Row struct {
+	Protocol      Protocol
+	WriterBusy    bool
+	Reads         int
+	ReadRoundsMax int
+	Regular       bool // regularity verdict over the recorded history
+	Safe          bool
+}
+
+// RunE5 measures reads under concurrent writes: a writer loops
+// continuously while readers read. GV06 readers must stay at 2 rounds
+// and the recorded history must satisfy the protocol's semantics
+// (safety for gv06-safe, regularity for gv06-regular).
+func RunE5(t, b, reads int) ([]E5Row, *stats.Table) {
+	if reads <= 0 {
+		reads = 30
+	}
+	table := stats.NewTable(
+		fmt.Sprintf("E5 — reads under concurrent writes (t=%d b=%d)", t, b),
+		"protocol", "concurrent writer", "reads", "read rounds (max)", "safety", "regularity")
+	var rows []E5Row
+	for _, p := range []Protocol{GV06Safe, GV06Regular, GV06RegularOpt, FastSafe, ServerCentric} {
+		for _, busy := range []bool{false, true} {
+			row, err := runE5One(p, t, b, reads, busy)
+			if err != nil {
+				table.AddRow(string(p), busy, "-", "-", "ERR", err.Error())
+				continue
+			}
+			rows = append(rows, row)
+			table.AddRow(string(p), busy, row.Reads, row.ReadRoundsMax,
+				verdict(row.Safe), verdict(row.Regular))
+		}
+	}
+	return rows, table
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "VIOLATED"
+}
+
+func runE5One(p Protocol, t, b, reads int, busyWriter bool) (E5Row, error) {
+	row := E5Row{Protocol: p, WriterBusy: busyWriter}
+	spec := Spec{Protocol: p, T: t, B: b, Readers: 1}
+	cl, err := Build(spec)
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var clock consistency.Clock
+	var hist consistency.History
+	w := cl.Writer()
+
+	// Seed one value so reads have something to return.
+	start := clock.Now()
+	if err := w.Write(ctx, types.Value("w1")); err != nil {
+		return row, err
+	}
+	hist.Record(consistency.Op{Kind: consistency.KindWrite, Start: start, End: clock.Now(), TS: 1, Val: types.Value("w1")})
+
+	stop := make(chan struct{})
+	writerDone := make(chan error, 1)
+	if busyWriter {
+		go func() {
+			ts := types.TS(1)
+			for {
+				select {
+				case <-stop:
+					writerDone <- nil
+					return
+				default:
+				}
+				ts++
+				val := types.Value(fmt.Sprintf("w%d", ts))
+				s := clock.Now()
+				if err := w.Write(ctx, val); err != nil {
+					writerDone <- err
+					return
+				}
+				hist.Record(consistency.Op{Kind: consistency.KindWrite, Start: s, End: clock.Now(), TS: ts, Val: val})
+			}
+		}()
+	} else {
+		writerDone <- nil
+	}
+
+	r := cl.Reader(0)
+	for i := 0; i < reads; i++ {
+		s := clock.Now()
+		got, err := r.Read(ctx)
+		if err != nil {
+			close(stop)
+			<-writerDone
+			return row, err
+		}
+		hist.Record(consistency.Op{Kind: consistency.KindRead, Reader: 0, Start: s, End: clock.Now(), TS: got.TS, Val: got.Val})
+		row.Reads++
+		if rr := r.LastStats().Rounds; rr > row.ReadRoundsMax {
+			row.ReadRoundsMax = rr
+		}
+	}
+	if busyWriter {
+		close(stop)
+	}
+	if err := <-writerDone; err != nil {
+		return row, err
+	}
+	ops := hist.Ops()
+	row.Safe = len(consistency.CheckSafety(ops)) == 0
+	row.Regular = len(consistency.CheckRegularity(ops)) == 0
+	return row, nil
+}

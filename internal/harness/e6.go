@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// E6Row records one protocol's read correctness under one Byzantine
+// strategy at the full b budget.
+type E6Row struct {
+	Protocol Protocol
+	Strategy ByzKind
+	Correct  int
+	Total    int
+	Err      string
+}
+
+// RunE6 sweeps Byzantine strategies × protocols. The Byzantine-tolerant
+// protocols must return the last written value on every non-concurrent
+// read; ABD (built for b = 0) is included to show what the crash-only
+// baseline does when its fault assumption is violated — its reads
+// trust a single reply and a forger breaks them.
+func RunE6(t, b, readsPer int) ([]E6Row, *stats.Table) {
+	if readsPer <= 0 {
+		readsPer = 10
+	}
+	protos := []Protocol{GV06Safe, GV06Regular, GV06RegularOpt, MultiRound, Auth, FastSafe, ServerCentric, ABD}
+	table := stats.NewTable(
+		fmt.Sprintf("E6 — read correctness under Byzantine strategies (t=%d b=%d, %d reads each)", t, b, readsPer),
+		"protocol", "strategy", "correct reads", "verdict")
+	var rows []E6Row
+	for _, p := range protos {
+		for _, kind := range AllByzKinds() {
+			row := runE6One(p, kind, t, b, readsPer)
+			rows = append(rows, row)
+			v := "OK"
+			switch {
+			case row.Err != "":
+				v = "LIVENESS: " + row.Err
+			case row.Correct < row.Total:
+				v = "SAFETY VIOLATED"
+			}
+			if (p == ABD) && (row.Correct < row.Total || row.Err != "") {
+				v += " (expected: b=0 design)"
+			}
+			table.AddRow(string(p), string(kind), fmt.Sprintf("%d/%d", row.Correct, row.Total), v)
+		}
+	}
+	return rows, table
+}
+
+func runE6One(p Protocol, kind ByzKind, t, b, reads int) E6Row {
+	row := E6Row{Protocol: p, Strategy: kind, Total: reads}
+	s := objectCount(p, t, b)
+	byz := make(map[int]ByzKind, b)
+	for i := 0; i < b; i++ {
+		byz[s-1-i] = kind
+	}
+	spec := Spec{Protocol: p, T: t, B: b, Readers: 1, Byz: byz}
+	cl, err := Build(spec)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	defer cl.Close()
+	// A tight deadline converts adversarial blocking into a liveness
+	// verdict instead of a hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	w, r := cl.Writer(), cl.Reader(0)
+	for i := 1; i <= reads; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx, val); err != nil {
+			row.Err = fmt.Sprintf("write %d: %v", i, err)
+			return row
+		}
+		got, err := r.Read(ctx)
+		if err != nil {
+			row.Err = fmt.Sprintf("read %d: %v", i, err)
+			return row
+		}
+		if got.Val.Equal(val) {
+			row.Correct++
+		}
+	}
+	return row
+}

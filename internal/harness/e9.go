@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// E9Row compares the §6 server-centric push model against the
+// data-centric protocols.
+type E9Row struct {
+	Model          string
+	WriteRounds    int
+	ReadClientMsgs float64 // messages the reading client sends
+	ReadLatencyP50 float64 // ms under per-link delay
+	TotalMsgsPerOp float64 // network-wide messages per write+read pair
+}
+
+// RunE9 measures the server-centric model (§6): a read is a single
+// subscribe broadcast plus pushed replies, and the write is one round
+// (peer echo converges the tail off the critical path). The trade-off
+// the table shows: fewer client round-trips, more network-wide traffic
+// (the echoes).
+func RunE9(t, b, ops int, delay time.Duration) ([]E9Row, *stats.Table) {
+	if ops <= 0 {
+		ops = 20
+	}
+	if delay <= 0 {
+		delay = 200 * time.Microsecond
+	}
+	table := stats.NewTable(
+		fmt.Sprintf("E9 — §6 server-centric push model vs data-centric (t=%d b=%d)", t, b),
+		"model", "write rounds", "client msgs/read", "read p50 (ms)", "total msgs/(write+read)")
+	var rows []E9Row
+	for _, m := range []struct {
+		name string
+		p    Protocol
+	}{
+		{"server-centric (§6 push)", ServerCentric},
+		{"data-centric gv06-safe", GV06Safe},
+		{"data-centric gv06-regular", GV06Regular},
+	} {
+		row, err := runE9One(m.p, t, b, ops, delay)
+		row.Model = m.name
+		if err != nil {
+			table.AddRow(m.name, "-", "-", "-", "ERR: "+err.Error())
+			continue
+		}
+		rows = append(rows, row)
+		table.AddRow(m.name, row.WriteRounds, row.ReadClientMsgs, row.ReadLatencyP50, row.TotalMsgsPerOp)
+	}
+	return rows, table
+}
+
+func runE9One(p Protocol, t, b, ops int, delay time.Duration) (E9Row, error) {
+	var row E9Row
+	spec := Spec{Protocol: p, T: t, B: b, Readers: 1, Delay: delay}
+	cl, err := Build(spec)
+	if err != nil {
+		return row, err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	w, r := cl.Writer(), cl.Reader(0)
+	if err := w.Write(ctx, types.Value("warm")); err != nil {
+		return row, err
+	}
+	if _, err := r.Read(ctx); err != nil {
+		return row, err
+	}
+	time.Sleep(5 * time.Millisecond) // drain warm-up echoes
+
+	var lat []time.Duration
+	var clientMsgs, totalMsgs float64
+	startCount := cl.Counter.Messages()
+	for i := 0; i < ops; i++ {
+		if err := w.Write(ctx, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			return row, err
+		}
+		begin := time.Now()
+		if _, err := r.Read(ctx); err != nil {
+			return row, err
+		}
+		lat = append(lat, time.Since(begin))
+		clientMsgs += float64(r.LastStats().Sent)
+	}
+	time.Sleep(5 * time.Millisecond) // let trailing echoes land
+	totalMsgs = float64(cl.Counter.Messages() - startCount)
+
+	row.WriteRounds = w.LastStats().Rounds
+	row.ReadClientMsgs = clientMsgs / float64(ops)
+	row.ReadLatencyP50 = stats.Summarize(stats.Durations(lat)).P50
+	row.TotalMsgsPerOp = totalMsgs / float64(ops)
+	return row, nil
+}

@@ -1,0 +1,255 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+var smallGrid = []struct{ T, B int }{{1, 1}, {2, 1}, {2, 2}}
+
+func TestE1(t *testing.T) {
+	res, table := harness.RunE1(smallGrid)
+	if !res.AllViolated() {
+		t.Fatalf("E1 reproduction failed:\n%s", table)
+	}
+	if table.Rows() == 0 {
+		t.Fatal("empty E1 table")
+	}
+}
+
+func TestE2SafeAlwaysTwoRounds(t *testing.T) {
+	rows, table := harness.RunE2(smallGrid, 3)
+	if len(rows) == 0 {
+		t.Fatal("no E2 rows")
+	}
+	for _, r := range rows {
+		if r.TotalReads == 0 {
+			t.Fatalf("E2 scenario %s t=%d b=%d produced no reads:\n%s", r.Fault, r.T, r.B, table)
+		}
+		if r.WriteRoundsMax != 2 {
+			t.Errorf("E2 %s: write rounds = %d, want 2", r.Fault, r.WriteRoundsMax)
+		}
+		if r.ReadRoundsMax != 2 || r.ReadRoundsMin != 2 {
+			t.Errorf("E2 %s: read rounds = %d..%d, want 2..2", r.Fault, r.ReadRoundsMin, r.ReadRoundsMax)
+		}
+		if r.CorrectReads != r.TotalReads {
+			t.Errorf("E2 %s: %d/%d correct reads", r.Fault, r.CorrectReads, r.TotalReads)
+		}
+	}
+}
+
+func TestE3RegularAlwaysTwoRounds(t *testing.T) {
+	rows, table := harness.RunE3(smallGrid, 3)
+	if len(rows) == 0 {
+		t.Fatal("no E3 rows")
+	}
+	for _, r := range rows {
+		if r.TotalReads == 0 {
+			t.Fatalf("E3 scenario %s produced no reads:\n%s", r.Fault, table)
+		}
+		if r.ReadRoundsMax != 2 || r.WriteRoundsMax != 2 {
+			t.Errorf("E3 %s: rounds read=%d write=%d, want 2/2", r.Fault, r.ReadRoundsMax, r.WriteRoundsMax)
+		}
+		if r.CorrectReads != r.TotalReads {
+			t.Errorf("E3 %s: %d/%d correct reads", r.Fault, r.CorrectReads, r.TotalReads)
+		}
+	}
+}
+
+func TestE4Comparison(t *testing.T) {
+	rows, table := harness.RunE4(2, 1, 8, 0)
+	if len(rows) != len(harness.AllProtocols()) {
+		t.Fatalf("E4 rows = %d, want %d:\n%s", len(rows), len(harness.AllProtocols()), table)
+	}
+	byProto := map[harness.Protocol]harness.E4Row{}
+	for _, r := range rows {
+		byProto[r.Protocol] = r
+	}
+	if r := byProto[harness.GV06Safe]; r.ReadRounds != 2 || r.WriteRounds != 2 {
+		t.Errorf("gv06-safe rounds read=%d write=%d, want 2/2", r.ReadRounds, r.WriteRounds)
+	}
+	if r := byProto[harness.Auth]; r.ReadRounds != 1 || r.WriteRounds != 1 {
+		t.Errorf("auth rounds read=%d write=%d, want 1/1", r.ReadRounds, r.WriteRounds)
+	}
+	if r := byProto[harness.FastSafe]; r.ReadRounds != 1 {
+		t.Errorf("fastsafe read rounds = %d, want 1 (contention-free)", r.ReadRounds)
+	}
+	if r := byProto[harness.ABD]; r.ReadRounds != 1 || r.WriteRounds != 1 {
+		t.Errorf("abd rounds read=%d write=%d, want 1/1", r.ReadRounds, r.WriteRounds)
+	}
+	// Resilience cost shape: fastsafe needs more objects than gv06.
+	if byProto[harness.FastSafe].S <= byProto[harness.GV06Safe].S {
+		t.Errorf("fastsafe S=%d should exceed gv06 S=%d", byProto[harness.FastSafe].S, byProto[harness.GV06Safe].S)
+	}
+}
+
+func TestE4WorstCase(t *testing.T) {
+	rows, table := harness.RunE4WorstCase(3)
+	if len(rows) != 3 {
+		t.Fatalf("E4b rows = %d, want 3:\n%s", len(rows), table)
+	}
+	for _, r := range rows {
+		if r.GV06Rounds != 2 {
+			t.Errorf("b=%d: gv06 worst-case read rounds = %d, want 2", r.B, r.GV06Rounds)
+		}
+		if r.MultiRoundRounds < 2 || r.MultiRoundRounds > r.B+1 {
+			t.Errorf("b=%d: multiround rounds = %d, want in [2, b+1=%d]", r.B, r.MultiRoundRounds, r.B+1)
+		}
+	}
+	// The shape: multiround rounds grow with b.
+	if rows[2].MultiRoundRounds <= rows[0].MultiRoundRounds {
+		t.Errorf("multiround worst-case rounds should grow with b: %+v", rows)
+	}
+}
+
+func TestE5Contention(t *testing.T) {
+	rows, table := harness.RunE5(1, 1, 10)
+	if len(rows) == 0 {
+		t.Fatalf("no E5 rows:\n%s", table)
+	}
+	for _, r := range rows {
+		if !r.Safe {
+			t.Errorf("E5 %s (busy=%v): safety violated", r.Protocol, r.WriterBusy)
+		}
+		if r.Protocol != harness.GV06Safe && r.Protocol != harness.FastSafe && !r.Regular {
+			t.Errorf("E5 %s (busy=%v): regularity violated", r.Protocol, r.WriterBusy)
+		}
+		if (r.Protocol == harness.GV06Safe || r.Protocol == harness.GV06Regular) && r.ReadRoundsMax != 2 {
+			t.Errorf("E5 %s: read rounds under contention = %d, want 2", r.Protocol, r.ReadRoundsMax)
+		}
+	}
+}
+
+func TestE6Byzantine(t *testing.T) {
+	rows, table := harness.RunE6(2, 2, 4)
+	if len(rows) == 0 {
+		t.Fatal("no E6 rows")
+	}
+	for _, r := range rows {
+		if r.Protocol == harness.ABD {
+			continue // expected to fail: crash-only design
+		}
+		if r.Err != "" {
+			t.Errorf("E6 %s/%s: liveness: %s\n%s", r.Protocol, r.Strategy, r.Err, table)
+		}
+		if r.Correct != r.Total {
+			t.Errorf("E6 %s/%s: %d/%d correct", r.Protocol, r.Strategy, r.Correct, r.Total)
+		}
+	}
+	// ABD must in fact be broken by a forger: it reads a single highest
+	// reply. If it survived every strategy the experiment lost its
+	// contrast.
+	abdBroken := false
+	for _, r := range rows {
+		if r.Protocol == harness.ABD && (r.Correct < r.Total || r.Err != "") {
+			abdBroken = true
+		}
+	}
+	if !abdBroken {
+		t.Error("E6: ABD unexpectedly survived all Byzantine strategies")
+	}
+}
+
+func TestE7Messages(t *testing.T) {
+	rows, _ := harness.RunE7([]struct{ T, B int }{{1, 1}, {2, 2}}, 4)
+	if len(rows) == 0 {
+		t.Fatal("no E7 rows")
+	}
+	for _, r := range rows {
+		if r.Protocol == harness.ServerCentric {
+			continue // push traffic is not bounded per op
+		}
+		maxPerRound := 2 * float64(r.S)
+		var wantW, wantR float64
+		switch r.Protocol {
+		case harness.GV06Safe, harness.GV06Regular, harness.GV06RegularOpt, harness.MultiRound:
+			wantW, wantR = 2*maxPerRound, 2*maxPerRound
+		case harness.ABD, harness.Auth, harness.FastSafe:
+			wantW, wantR = maxPerRound, maxPerRound
+		case harness.ABDAtomic:
+			wantW, wantR = maxPerRound, 2*maxPerRound
+		}
+		if r.WriteMsgs > wantW+0.5 {
+			t.Errorf("E7 %s: %.1f msgs/write exceeds bound %.1f", r.Protocol, r.WriteMsgs, wantW)
+		}
+		if r.ReadMsgs > wantR+0.5 {
+			t.Errorf("E7 %s: %.1f msgs/read exceeds bound %.1f", r.Protocol, r.ReadMsgs, wantR)
+		}
+	}
+}
+
+func TestE8HistoryOptimization(t *testing.T) {
+	rows, table := harness.RunE8(1, 1, []int{20, 60})
+	if len(rows) != 6 {
+		t.Fatalf("E8 rows = %d, want 6:\n%s", len(rows), table)
+	}
+	get := func(variant string, writes int) harness.E8Row {
+		for _, r := range rows {
+			if r.Variant == variant && r.Writes == writes {
+				return r
+			}
+		}
+		t.Fatalf("missing E8 row %s/%d", variant, writes)
+		return harness.E8Row{}
+	}
+	// Full history grows with writes; the optimization ships a bounded
+	// suffix; GC bounds object memory.
+	full20, full60 := get("full-history", 20), get("full-history", 60)
+	if full60.ReadBytes <= full20.ReadBytes {
+		t.Errorf("full-history read bytes should grow: %v vs %v", full20.ReadBytes, full60.ReadBytes)
+	}
+	opt60 := get("cached-suffix (§5.1)", 60)
+	if opt60.ReadBytes >= full60.ReadBytes {
+		t.Errorf("§5.1 should ship less than full history: %v vs %v", opt60.ReadBytes, full60.ReadBytes)
+	}
+	gc60 := get("cached-suffix + GC", 60)
+	if gc60.HistoryLenAvg >= full60.HistoryLenAvg {
+		t.Errorf("GC should bound history length: %v vs %v", gc60.HistoryLenAvg, full60.HistoryLenAvg)
+	}
+}
+
+func TestE9ServerCentric(t *testing.T) {
+	rows, table := harness.RunE9(1, 1, 8, 0)
+	if len(rows) != 3 {
+		t.Fatalf("E9 rows = %d, want 3:\n%s", len(rows), table)
+	}
+	sc := rows[0]
+	if sc.WriteRounds != 1 {
+		t.Errorf("server-centric write rounds = %d, want 1", sc.WriteRounds)
+	}
+	if sc.ReadClientMsgs != float64(objCount(t, 1, 1)) {
+		t.Errorf("server-centric client msgs/read = %v, want S (single subscribe)", sc.ReadClientMsgs)
+	}
+}
+
+func objCount(t *testing.T, tt, b int) int {
+	t.Helper()
+	return 2*tt + b + 1
+}
+
+func TestE10Resilience(t *testing.T) {
+	rows, table := harness.RunE10(2, 1)
+	if len(rows) == 0 {
+		t.Fatal("no E10 rows")
+	}
+	for _, r := range rows {
+		switch {
+		case r.Delta >= 0:
+			if r.Outcome != "write+read OK" {
+				t.Errorf("E10 %s Δ=%+d: %s (want OK)\n%s", r.Protocol, r.Delta, r.Outcome, table)
+			}
+		case r.Protocol == harness.GV06Safe || r.Protocol == harness.GV06Regular:
+			// Below optimal resilience the library must refuse or break
+			// visibly — never silently succeed.
+			if r.Outcome == "write+read OK" {
+				t.Errorf("E10 %s Δ=-1 silently succeeded\n%s", r.Protocol, table)
+			}
+		case r.Protocol == harness.ABD:
+			if !strings.Contains(r.Outcome, "SAFETY") {
+				t.Errorf("E10 abd Δ=-1: %s (want stale-read safety violation)", r.Outcome)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package harness_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/harness"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// TestSoakWorkloads drives generated read/write mixes through each
+// GV06 protocol under Byzantine faults and checks the recorded history
+// against the consistency oracle. Operations are sequential here, so
+// the checkers bite on every single read.
+func TestSoakWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	mixes := map[string][]workload.Op{
+		"read-heavy":  workload.ReadHeavy(1, 120, 2),
+		"write-heavy": workload.WriteHeavy(2, 120, 2),
+		"balanced":    workload.Balanced(3, 120, 2),
+	}
+	protos := []harness.Protocol{harness.GV06Safe, harness.GV06Regular, harness.GV06RegularOpt}
+	for _, p := range protos {
+		for name, ops := range mixes {
+			t.Run(fmt.Sprintf("%s/%s", p, name), func(t *testing.T) {
+				runSoak(t, p, ops)
+			})
+		}
+	}
+}
+
+func runSoak(t *testing.T, p harness.Protocol, ops []workload.Op) {
+	t.Helper()
+	spec := harness.Spec{
+		Protocol: p, T: 2, B: 1, Readers: 2,
+		Byz: map[int]harness.ByzKind{5: harness.ByzHighForger},
+	}
+	cl, err := harness.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var clock consistency.Clock
+	var hist consistency.History
+	ts := types.TS(0)
+	for i, op := range ops {
+		switch op.Kind {
+		case workload.OpWrite:
+			ts++
+			start := clock.Now()
+			if err := cl.Writer().Write(ctx, op.Value); err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+			hist.Record(consistency.Op{Kind: consistency.KindWrite, TS: ts, Val: op.Value, Start: start, End: clock.Now()})
+		case workload.OpRead:
+			start := clock.Now()
+			got, err := cl.Reader(int(op.Reader)).Read(ctx)
+			if err != nil {
+				t.Fatalf("op %d read: %v", i, err)
+			}
+			hist.Record(consistency.Op{Kind: consistency.KindRead, Reader: op.Reader, TS: got.TS, Val: got.Val, Start: start, End: clock.Now()})
+		}
+	}
+	recorded := hist.Ops()
+	if v := consistency.CheckSafety(recorded); len(v) != 0 {
+		t.Fatalf("safety: %v", v[0])
+	}
+	if p != harness.GV06Safe {
+		if v := consistency.CheckRegularity(recorded); len(v) != 0 {
+			t.Fatalf("regularity: %v", v[0])
+		}
+	}
+	if p == harness.GV06RegularOpt {
+		if v := consistency.CheckReaderMonotonicity(recorded); len(v) != 0 {
+			t.Fatalf("monotonicity: %v", v[0])
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package lowerbound
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// pairSnap is the forgeable state of a pairObject.
+type pairSnap struct {
+	TS  types.TS
+	Val types.Value
+	TSR types.TSRVector
+}
+
+// pairObject is the natural base object of one-round protocols: it
+// stores the highest pair it has seen and, for the writing-reader
+// candidate, the per-reader control timestamps.
+type pairObject struct {
+	mu  sync.Mutex
+	id  types.ObjectID
+	ts  types.TS
+	val types.Value
+	tsr types.TSRVector
+}
+
+func newPairObject(id types.ObjectID, readers int) *pairObject {
+	return &pairObject{id: id, tsr: types.NewTSRVector(readers)}
+}
+
+// Handle adopts newer writes and answers reads with the current pair.
+func (o *pairObject) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch m := req.(type) {
+	case wire.BaselineWriteReq:
+		if m.TS > o.ts {
+			o.ts = m.TS
+			o.val = m.Val.Clone()
+		}
+		return wire.BaselineWriteAck{ObjectID: o.id, TS: m.TS}, true
+	case wire.BaselineReadReq:
+		return wire.BaselineReadAck{ObjectID: o.id, Attempt: m.Attempt, TS: o.ts, Val: o.val.Clone()}, true
+	case wire.ReadReq:
+		// The writing-reader candidate stores the reader timestamp —
+		// the state the Proposition 1 adversary forges.
+		if int(m.Reader) >= 0 && int(m.Reader) < len(o.tsr) && m.TSR > o.tsr[m.Reader] {
+			o.tsr[m.Reader] = m.TSR
+		}
+		return wire.ReadAck{
+			ObjectID: o.id, Round: m.Round, TSR: m.TSR,
+			PW: types.TSVal{TS: o.ts, Val: o.val.Clone()},
+			W:  types.WTuple{TSVal: types.TSVal{TS: o.ts, Val: o.val.Clone()}, TSR: types.NewTSRMatrix()},
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// Snapshot returns the full forgeable state.
+func (o *pairObject) Snapshot() any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return pairSnap{TS: o.ts, Val: o.val.Clone(), TSR: o.tsr.Clone()}
+}
+
+// Restore adopts a forged state.
+func (o *pairObject) Restore(s any) {
+	snap, ok := s.(pairSnap)
+	if !ok {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ts = snap.TS
+	o.val = snap.Val.Clone()
+	o.tsr = snap.TSR.Clone()
+}
+
+// oneRoundWriter writes in a single round awaiting S−t acks.
+type oneRoundWriter struct {
+	cfg  quorum.Config
+	conn transport.Conn
+	ts   types.TS
+}
+
+func (w *oneRoundWriter) Write(ctx context.Context, v types.Value) error {
+	w.ts++
+	for i := 0; i < w.cfg.S; i++ {
+		w.conn.Send(transport.Object(types.ObjectID(i)), wire.BaselineWriteReq{TS: w.ts, Val: v.Clone()})
+	}
+	acked := make(map[types.ObjectID]bool)
+	for len(acked) < w.cfg.RoundQuorum() {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("lowerbound: candidate write: %w", err)
+		}
+		if ack, ok := msg.Payload.(wire.BaselineWriteAck); ok && ack.TS == w.ts {
+			acked[ack.ObjectID] = true
+		}
+	}
+	return nil
+}
+
+// decisionRule maps the S−t collected acknowledgements to a value: the
+// entire degree of freedom a one-round reader has.
+type decisionRule func(cfg quorum.Config, acks map[types.ObjectID]types.TSVal) types.TSVal
+
+// fastReader is a one-round reader: query all, collect exactly S−t
+// acknowledgements, decide. It never waits for more — that is what
+// makes it fast, and what Proposition 1 exploits.
+type fastReader struct {
+	cfg     quorum.Config
+	conn    transport.Conn
+	rule    decisionRule
+	writing bool
+	attempt int
+	tsr     types.ReaderTS
+}
+
+func (r *fastReader) Read(ctx context.Context) (types.TSVal, error) {
+	r.attempt++
+	r.tsr++
+	for i := 0; i < r.cfg.S; i++ {
+		if r.writing {
+			r.conn.Send(transport.Object(types.ObjectID(i)), wire.ReadReq{Round: wire.Round1, Reader: 0, TSR: r.tsr})
+		} else {
+			r.conn.Send(transport.Object(types.ObjectID(i)), wire.BaselineReadReq{Attempt: r.attempt})
+		}
+	}
+	acks := make(map[types.ObjectID]types.TSVal)
+	for len(acks) < r.cfg.RoundQuorum() {
+		msg, err := r.conn.Recv(ctx)
+		if err != nil {
+			return types.TSVal{}, fmt.Errorf("lowerbound: candidate read: %w", err)
+		}
+		switch ack := msg.Payload.(type) {
+		case wire.BaselineReadAck:
+			if ack.Attempt == r.attempt {
+				acks[ack.ObjectID] = types.TSVal{TS: ack.TS, Val: ack.Val.Clone()}
+			}
+		case wire.ReadAck:
+			if ack.TSR == r.tsr {
+				acks[ack.ObjectID] = ack.PW.Clone()
+			}
+		}
+	}
+	return r.rule(r.cfg, acks), nil
+}
+
+// trustHighest returns the highest-timestamped pair seen — the naive
+// rule. It believes any single (possibly Byzantine) object, and run5
+// catches it returning a value that was never written.
+func trustHighest(_ quorum.Config, acks map[types.ObjectID]types.TSVal) types.TSVal {
+	best := types.InitTSVal()
+	for _, p := range acks {
+		if p.TS > best.TS {
+			best = p
+		}
+	}
+	return best
+}
+
+// requireSupport returns the highest pair reported identically by at
+// least b+1 objects, and ⊥ otherwise — the rule that is correct at
+// S = 2t+2b+1 (see baseline.FastSafeReader). At S = 2t+2b the write
+// quorum and the read quorum intersect in only b correct objects, and
+// run4 catches it returning ⊥ after a completed write.
+func requireSupport(cfg quorum.Config, acks map[types.ObjectID]types.TSVal) types.TSVal {
+	support := make(map[string]int)
+	pairs := make(map[string]types.TSVal)
+	for _, p := range acks {
+		k := fmt.Sprintf("%d|%s", p.TS, string(p.Val))
+		support[k]++
+		pairs[k] = p
+	}
+	best := types.InitTSVal()
+	for k, n := range support {
+		if n >= cfg.SafeThreshold() && pairs[k].TS > best.TS {
+			best = pairs[k]
+		}
+	}
+	return best
+}
+
+// Candidates returns the one-round-read protocols the demonstrator
+// refutes, covering the natural decision rules:
+//
+//   - trust-highest: return the highest timestamp seen;
+//   - require-support: return the highest b+1-supported pair, else ⊥;
+//   - writing-reader: like require-support but the read also stores a
+//     control timestamp at the objects — showing that merely writing
+//     in one round does not escape the bound (the adversary forges the
+//     post-read state σ1, exactly as the proof does).
+func Candidates() []Protocol {
+	mk := func(name string, writing bool, rule decisionRule) Protocol {
+		return Protocol{
+			Name:     name,
+			FastRead: true,
+			NewObject: func(id types.ObjectID, cfg quorum.Config) Forgeable {
+				return newPairObject(id, cfg.R)
+			},
+			NewWriter: func(cfg quorum.Config, conn transport.Conn) (WriterClient, error) {
+				return &oneRoundWriter{cfg: cfg, conn: conn}, nil
+			},
+			NewReader: func(cfg quorum.Config, conn transport.Conn) (ReaderClient, error) {
+				return &fastReader{cfg: cfg, conn: conn, rule: rule, writing: writing}, nil
+			},
+		}
+	}
+	return []Protocol{
+		mk("fast/trust-highest", false, trustHighest),
+		mk("fast/require-support", false, requireSupport),
+		mk("fast/writing-reader", true, requireSupport),
+	}
+}

@@ -1,0 +1,175 @@
+package lowerbound
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ControlResult reports the control experiment: the paper's two-round
+// safe reader subjected to the exact run4/run5 adversary (same forged
+// states, same S = 2t+2b, same delayed links). The reader is expected
+// to *stall* at the fast point — it refuses to decide on the S−t
+// acknowledgements that fooled every fast candidate — and to return the
+// correct value once the delayed block T2 is released, i.e. in its
+// second round.
+type ControlResult struct {
+	T, B, S             int
+	Written             types.Value
+	StalledAtFastPoint4 bool // did run4's read refuse to decide on B1,B2,T1 alone?
+	StalledAtFastPoint5 bool
+	V4                  types.TSVal // value after T2 released (must be v1)
+	V5                  types.TSVal // value after T2 released (must be ⊥)
+	Correct4            bool
+	Correct5            bool
+	Err                 error
+}
+
+// Correct reports whether the two-round reader survived both runs.
+func (r ControlResult) Correct() bool { return r.Correct4 && r.Correct5 }
+
+// String renders the verdict.
+func (r ControlResult) String() string {
+	return fmt.Sprintf("control(2-round safe) S=%d t=%d b=%d: run4=%v (stalled-fast=%v) run5=%v (stalled-fast=%v) correct=%v",
+		r.S, r.T, r.B, r.V4, r.StalledAtFastPoint4, r.V5, r.StalledAtFastPoint5, r.Correct())
+}
+
+// controlProtocol adapts the paper's safe storage (Figs. 2–4) to the
+// demonstrator's Protocol interface, running it at S = 2t+2b.
+func controlProtocol() Protocol {
+	return Protocol{
+		Name:     "gv06/safe-2round",
+		FastRead: false,
+		NewObject: func(id types.ObjectID, cfg quorum.Config) Forgeable {
+			return &forgeableSafe{Safe: object.NewSafe(id, cfg.R)}
+		},
+		NewWriter: func(cfg quorum.Config, conn transport.Conn) (WriterClient, error) {
+			return core.NewWriter(cfg, conn)
+		},
+		NewReader: func(cfg quorum.Config, conn transport.Conn) (ReaderClient, error) {
+			return core.NewSafeReader(cfg, conn, 0)
+		},
+	}
+}
+
+// forgeableSafe exposes the safe object's state to the adversary.
+type forgeableSafe struct{ *object.Safe }
+
+// Snapshot returns the forgeable state.
+func (f *forgeableSafe) Snapshot() any { return f.Safe.Snapshot() }
+
+// Restore adopts a forged state.
+func (f *forgeableSafe) Restore(s any) {
+	if snap, ok := s.(object.SafeSnapshot); ok {
+		f.Safe.Restore(snap)
+	}
+}
+
+// readWithRelease starts a READ with the skip block's traffic held in
+// transit, lets the world quiesce, records whether the read is still
+// undecided at that point (the "fast point": exactly S−t objects have
+// answered), then releases the block and lets the read finish.
+func (sc *scenario) readWithRelease(reader transport.NodeID, skip []int) (val types.TSVal, stalledAtFastPoint bool, err error) {
+	conn, err := sc.net.Register(reader)
+	if err != nil {
+		return types.TSVal{}, false, err
+	}
+	defer conn.Close()
+	r, err := sc.proto.NewReader(sc.cfg, conn)
+	if err != nil {
+		return types.TSVal{}, false, err
+	}
+	sc.blockAll(reader, skip)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var got types.TSVal
+	task := sc.net.Go(func() error {
+		v, err := r.Read(ctx)
+		got = v
+		return err
+	})
+	sc.net.Run()
+	stalledAtFastPoint = !task.Done()
+	for _, i := range skip {
+		obj := transport.Object(types.ObjectID(i))
+		sc.net.Unblock(reader, obj)
+		sc.net.Unblock(obj, reader)
+	}
+	sc.net.Run()
+	if !task.Done() {
+		return types.TSVal{}, stalledAtFastPoint, fmt.Errorf("lowerbound: control read did not finish after release")
+	}
+	return got, stalledAtFastPoint, task.Err()
+}
+
+// RunControl subjects the paper's two-round safe reader to the
+// Proposition 1 adversary.
+func RunControl(t, b int) ControlResult {
+	proto := controlProtocol()
+	res := ControlResult{T: t, B: b, S: quorum.FastReadThreshold(t, b)}
+	v1 := types.Value("v1")
+	res.Written = v1
+
+	sigma0, sigma1, sigma2, err := extract(proto, t, b, v1)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	// run4 analogue.
+	{
+		sc, err := newScenario(proto, t, b)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		for bi, i := range sc.blocks.B1 {
+			sc.objects[i].Restore(sigma1[bi])
+		}
+		if err := sc.write(v1, sc.blocks.T1); err != nil {
+			sc.net.Close()
+			res.Err = fmt.Errorf("lowerbound: control run4 write: %w", err)
+			return res
+		}
+		for _, i := range sc.blocks.B1 {
+			sc.objects[i].Restore(sigma0)
+		}
+		v4, stalled, err := sc.readWithRelease(transport.Reader(0), sc.blocks.T2)
+		sc.net.Close()
+		if err != nil {
+			res.Err = fmt.Errorf("lowerbound: control run4 read: %w", err)
+			return res
+		}
+		res.StalledAtFastPoint4 = stalled
+		res.V4 = v4
+		res.Correct4 = v4.Val.Equal(v1)
+	}
+
+	// run5 analogue.
+	{
+		sc, err := newScenario(proto, t, b)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		for bi, i := range sc.blocks.B2 {
+			sc.objects[i].Restore(sigma2[bi])
+		}
+		v5, stalled, err := sc.readWithRelease(transport.Reader(0), sc.blocks.T2)
+		sc.net.Close()
+		if err != nil {
+			res.Err = fmt.Errorf("lowerbound: control run5 read: %w", err)
+			return res
+		}
+		res.StalledAtFastPoint5 = stalled
+		res.V5 = v5
+		res.Correct5 = v5.Val.IsBottom()
+	}
+	return res
+}

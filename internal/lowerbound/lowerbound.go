@@ -1,0 +1,325 @@
+// Package lowerbound is an executable rendition of the Proposition 1
+// proof (Fig. 1): with S = 2t+2b base objects, no safe storage can have
+// every READ complete in a single round-trip.
+//
+// The package partitions the objects into the proof's blocks T1, T2, B1,
+// B2, extracts the states σ1 (a B1 object that has processed the read's
+// first-round message) and σ2 (a B2 object after the write completed)
+// by running the protocol under the proof's delayed-message schedules,
+// and then executes run4 (write completes, then read; B1 Byzantine,
+// forged to σ1 before the write and back to σ0 before replying) and
+// run5 (nothing written; B2 Byzantine, forged to σ2). A deterministic
+// fast reader receives byte-identical acknowledgements in both runs and
+// must return the same value — but safety demands v1 in run4 and ⊥ in
+// run5, so one of the two runs violates safety. The demonstrator
+// reports which.
+//
+// Any one-round-read protocol can be plugged in via Protocol; the
+// candidates in candidates.go cover the natural decision rules (trust
+// the highest timestamp; require b+1 support; a state-modifying fast
+// reader). As a control, the same adversarial states are replayed
+// against the paper's two-round readers (at the same S = 2t+2b), which
+// return the correct value in both runs — at the price of the second
+// round the theorem proves necessary.
+package lowerbound
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+)
+
+// Forgeable is a base object whose full state the adversary can copy
+// and overwrite — the paper's malicious objects "forge their state".
+type Forgeable interface {
+	transport.Handler
+	Snapshot() any
+	Restore(any)
+}
+
+// WriterClient writes values (any number of rounds).
+type WriterClient interface {
+	Write(ctx context.Context, v types.Value) error
+}
+
+// ReaderClient reads the register. For candidate fast protocols the
+// read completes in one round on S−t acknowledgements.
+type ReaderClient interface {
+	Read(ctx context.Context) (types.TSVal, error)
+}
+
+// Protocol is a pluggable storage implementation under test.
+type Protocol struct {
+	// Name labels the protocol in reports.
+	Name string
+	// FastRead declares whether every READ completes in one round
+	// (true for Proposition 1 candidates, false for the control).
+	FastRead bool
+	// NewObject returns a fresh correct base object.
+	NewObject func(id types.ObjectID, cfg quorum.Config) Forgeable
+	// NewWriter returns the writer client on conn.
+	NewWriter func(cfg quorum.Config, conn transport.Conn) (WriterClient, error)
+	// NewReader returns the single reader client on conn.
+	NewReader func(cfg quorum.Config, conn transport.Conn) (ReaderClient, error)
+}
+
+// Result reports one demonstrator execution.
+type Result struct {
+	Protocol string
+	T, B, S  int
+	Written  types.Value // v1
+	V4       types.TSVal // returned in run4 (read succeeds the write)
+	V5       types.TSVal // returned in run5 (nothing written)
+	// Run4Violation: run4 returned something other than v1.
+	Run4Violation bool
+	// Run5Violation: run5 returned something other than ⊥.
+	Run5Violation bool
+	// Stalled* report a read that failed to decide on the S−t
+	// acknowledgements the schedule admits — i.e. the protocol is not a
+	// fast-read implementation (needs more rounds), which for the
+	// control is exactly the expected outcome of round one.
+	Stalled4, Stalled5 bool
+	Err                error
+}
+
+// Violated reports whether safety broke in either run.
+func (r Result) Violated() bool { return r.Run4Violation || r.Run5Violation }
+
+// String renders the verdict for tables.
+func (r Result) String() string {
+	v := "SAFE"
+	switch {
+	case r.Run4Violation && r.Run5Violation:
+		v = "VIOLATED(run4,run5)"
+	case r.Run4Violation:
+		v = "VIOLATED(run4)"
+	case r.Run5Violation:
+		v = "VIOLATED(run5)"
+	case r.Stalled4 || r.Stalled5:
+		v = "STALLED(not fast)"
+	}
+	return fmt.Sprintf("%s S=%d t=%d b=%d: run4=%v run5=%v → %s", r.Protocol, r.S, r.T, r.B, r.V4, r.V5, v)
+}
+
+// scenario wires one simulated world: S = 2t+2b objects partitioned
+// into blocks, a writer and a single reader.
+type scenario struct {
+	cfg     quorum.Config
+	blocks  quorum.Blocks
+	net     *simnet.Net
+	objects []Forgeable
+	proto   Protocol
+}
+
+func newScenario(proto Protocol, t, b int) (*scenario, error) {
+	blocks, err := quorum.PartitionBlocks(t, b)
+	if err != nil {
+		return nil, err
+	}
+	s := quorum.FastReadThreshold(t, b)
+	cfg := quorum.Config{S: s, T: t, B: b, R: 1}
+	sc := &scenario{
+		cfg:    cfg,
+		blocks: blocks,
+		net:    simnet.New(simnet.FIFO()),
+		proto:  proto,
+	}
+	for i := 0; i < s; i++ {
+		obj := proto.NewObject(types.ObjectID(i), cfg)
+		sc.objects = append(sc.objects, obj)
+		if err := sc.net.Serve(transport.Object(types.ObjectID(i)), obj); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// blockAll prevents any traffic between node and the objects in ids.
+func (sc *scenario) blockAll(node transport.NodeID, ids []int) {
+	for _, i := range ids {
+		obj := transport.Object(types.ObjectID(i))
+		sc.net.Block(node, obj)
+		sc.net.Block(obj, node)
+	}
+}
+
+// write runs a complete WRITE of v with the writer's messages to the
+// blocked object set held in transit.
+func (sc *scenario) write(v types.Value, skip []int) error {
+	conn, err := sc.net.Register(transport.Writer())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w, err := sc.proto.NewWriter(sc.cfg, conn)
+	if err != nil {
+		return err
+	}
+	sc.blockAll(transport.Writer(), skip)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	task := sc.net.Go(func() error { return w.Write(ctx, v) })
+	sc.net.Run()
+	if !task.Done() {
+		return fmt.Errorf("lowerbound: write stalled with blocks %v", skip)
+	}
+	return task.Err()
+}
+
+// read runs a READ with traffic to the blocked object set held in
+// transit. It returns stalled=true when the read cannot decide on the
+// acknowledgements the schedule admits.
+func (sc *scenario) read(reader transport.NodeID, skip []int) (val types.TSVal, stalled bool, err error) {
+	conn, err := sc.net.Register(reader)
+	if err != nil {
+		return types.TSVal{}, false, err
+	}
+	defer conn.Close()
+	r, err := sc.proto.NewReader(sc.cfg, conn)
+	if err != nil {
+		return types.TSVal{}, false, err
+	}
+	sc.blockAll(reader, skip)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var got types.TSVal
+	task := sc.net.Go(func() error {
+		v, err := r.Read(ctx)
+		got = v
+		return err
+	})
+	sc.net.Run()
+	if !task.Done() {
+		return types.TSVal{}, true, nil
+	}
+	return got, false, task.Err()
+}
+
+// extract runs the σ-extraction phases (run1 and run2 of the proof) and
+// returns σ0 (fresh object state), σ1 for each B1 object (state after
+// processing the read's round-1 message), and σ2 for each B2 object
+// (state after the write completed).
+func extract(proto Protocol, t, b int, v1 types.Value) (sigma0 any, sigma1, sigma2 []any, err error) {
+	sc, err := newScenario(proto, t, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer sc.net.Close()
+	sigma0 = proto.NewObject(0, sc.cfg).Snapshot()
+
+	// run1: the read's round-1 message reaches only B1; B1's replies
+	// stay in transit; the reader crashes.
+	reader := transport.Reader(0)
+	conn, err := sc.net.Register(reader)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r, err := sc.proto.NewReader(sc.cfg, conn)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	skip := append(append(append([]int{}, sc.blocks.B2...), sc.blocks.T1...), sc.blocks.T2...)
+	sc.blockAll(reader, skip)
+	for _, i := range sc.blocks.B1 {
+		sc.net.Block(transport.Object(types.ObjectID(i)), reader) // readacks in transit
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	sc.net.Go(func() error {
+		_, err := r.Read(ctx)
+		return err
+	})
+	sc.net.Run() // delivers only reader→B1; B1 processes and its acks are held
+	for _, i := range sc.blocks.B1 {
+		sigma1 = append(sigma1, sc.objects[i].Snapshot())
+	}
+	conn.Close() // the reader crashes
+
+	// run2: the writer writes v1, skipping T1; snapshot B2 at t1.
+	if err := sc.write(v1, sc.blocks.T1); err != nil {
+		return nil, nil, nil, fmt.Errorf("lowerbound: run2 write: %w", err)
+	}
+	for _, i := range sc.blocks.B2 {
+		sigma2 = append(sigma2, sc.objects[i].Snapshot())
+	}
+	return sigma0, sigma1, sigma2, nil
+}
+
+// Run executes the full Proposition 1 demonstration for proto at the
+// given t, b (b ≥ 1).
+func Run(proto Protocol, t, b int) Result {
+	res := Result{Protocol: proto.Name, T: t, B: b, S: quorum.FastReadThreshold(t, b)}
+	v1 := types.Value("v1")
+	res.Written = v1
+
+	sigma0, sigma1, sigma2, err := extract(proto, t, b, v1)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	// run4: B1 is Byzantine. It forges σ1 before the write (so the
+	// write interacts with it exactly as in run3), lets the write
+	// complete (skipping T1), forges back to σ0, and only then does the
+	// reader — whose READ succeeds the completed write — run, reaching
+	// B1, B2 and T1 (T2's traffic delayed).
+	{
+		sc, err := newScenario(proto, t, b)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		for bi, i := range sc.blocks.B1 {
+			sc.objects[i].Restore(sigma1[bi])
+		}
+		if err := sc.write(v1, sc.blocks.T1); err != nil {
+			sc.net.Close()
+			res.Err = fmt.Errorf("lowerbound: run4 write: %w", err)
+			return res
+		}
+		for _, i := range sc.blocks.B1 {
+			sc.objects[i].Restore(sigma0)
+		}
+		v4, stalled, err := sc.read(transport.Reader(0), sc.blocks.T2)
+		sc.net.Close()
+		if err != nil {
+			res.Err = fmt.Errorf("lowerbound: run4 read: %w", err)
+			return res
+		}
+		res.Stalled4 = stalled
+		if !stalled {
+			res.V4 = v4
+			res.Run4Violation = !v4.Val.Equal(v1)
+		}
+	}
+
+	// run5: nothing is ever written. B2 is Byzantine and forges σ2 at
+	// the start; the reader reaches B1, B2 and T1 as in run4.
+	{
+		sc, err := newScenario(proto, t, b)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		for bi, i := range sc.blocks.B2 {
+			sc.objects[i].Restore(sigma2[bi])
+		}
+		v5, stalled, err := sc.read(transport.Reader(0), sc.blocks.T2)
+		sc.net.Close()
+		if err != nil {
+			res.Err = fmt.Errorf("lowerbound: run5 read: %w", err)
+			return res
+		}
+		res.Stalled5 = stalled
+		if !stalled {
+			res.V5 = v5
+			res.Run5Violation = !v5.Val.IsBottom()
+		}
+	}
+	return res
+}

@@ -1,0 +1,56 @@
+package lowerbound_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lowerbound"
+)
+
+// TestProposition1 replays the Fig. 1 runs against every candidate
+// fast-read protocol at several (t, b): each candidate must violate
+// safety in run4 or run5 (or stall, proving it is not fast).
+func TestProposition1(t *testing.T) {
+	for _, tc := range []struct{ t, b int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {3, 3}} {
+		for _, proto := range lowerbound.Candidates() {
+			name := fmt.Sprintf("%s/t=%d,b=%d", proto.Name, tc.t, tc.b)
+			t.Run(name, func(t *testing.T) {
+				res := lowerbound.Run(proto, tc.t, tc.b)
+				if res.Err != nil {
+					t.Fatalf("demonstrator error: %v", res.Err)
+				}
+				if res.Stalled4 || res.Stalled5 {
+					t.Fatalf("candidate stalled — not a fast protocol as claimed: %s", res)
+				}
+				if !res.Violated() {
+					t.Fatalf("no safety violation found — Proposition 1 replay failed: %s", res)
+				}
+				// Deterministic protocols see identical acks in run4 and
+				// run5 and must return the same value in both.
+				if !res.V4.Val.Equal(res.V5.Val) {
+					t.Errorf("indistinguishability broken: run4=%v run5=%v", res.V4, res.V5)
+				}
+			})
+		}
+	}
+}
+
+// TestControlSurvives subjects the paper's two-round safe reader to the
+// same adversary: it must refuse to decide at the fast point and return
+// the correct value once the delayed block arrives.
+func TestControlSurvives(t *testing.T) {
+	for _, tc := range []struct{ t, b int }{{1, 1}, {2, 1}, {2, 2}, {3, 3}} {
+		t.Run(fmt.Sprintf("t=%d,b=%d", tc.t, tc.b), func(t *testing.T) {
+			res := lowerbound.RunControl(tc.t, tc.b)
+			if res.Err != nil {
+				t.Fatalf("control error: %v", res.Err)
+			}
+			if !res.Correct() {
+				t.Fatalf("two-round reader violated safety under the Prop 1 adversary: %s", res)
+			}
+			if !res.StalledAtFastPoint4 || !res.StalledAtFastPoint5 {
+				t.Errorf("expected the 2-round reader to be undecided at the fast point: %s", res)
+			}
+		})
+	}
+}

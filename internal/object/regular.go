@@ -1,0 +1,171 @@
+package object
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Regular is the base object of the regular storage protocol (Fig. 5):
+// it keeps the entire per-timestamp write history. With the §5.1
+// optimization, read acks carry only the suffix of the history at or
+// above the reader's cached timestamp, and — when garbage collection is
+// enabled — entries below every reader's acknowledged cache timestamp
+// are pruned.
+type Regular struct {
+	id types.ObjectID
+
+	mu        sync.Mutex
+	ts        types.TS
+	history   types.History
+	tsr       types.TSRVector
+	readerLow []types.TS // highest CacheTS seen per reader (for GC)
+	gc        bool
+}
+
+var _ transport.Handler = (*Regular)(nil)
+
+// NewRegular returns a regular object with the Fig. 5 initial state:
+// ts = 0, history[0] = ⟨pw0, ⟨pw0, inittsrarray⟩⟩, tsr[j] = 0.
+// Garbage collection is off; enable it with EnableGC.
+func NewRegular(id types.ObjectID, readers int) *Regular {
+	return &Regular{
+		id:        id,
+		history:   types.NewHistory(),
+		tsr:       types.NewTSRVector(readers),
+		readerLow: make([]types.TS, readers),
+	}
+}
+
+// ID returns the object's index.
+func (s *Regular) ID() types.ObjectID { return s.id }
+
+// EnableGC turns on history pruning below the minimum cached timestamp
+// acknowledged by every reader. The paper notes the history assumption
+// "might raise issues of storage exhaustion and needs careful garbage
+// collection" (§1); this is that collector.
+func (s *Regular) EnableGC() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gc = true
+}
+
+// Handle processes one client message per Fig. 5 (with the §5 prose
+// indexing for the PW update — Fig. 5 line 6 indexes with the stale ts,
+// which the prose corrects to ts′ and ts′−1).
+func (s *Regular) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m := req.(type) {
+	case wire.PWReq:
+		// upon PW⟨ts′,pw′,w′⟩: if ts′ > ts then
+		//   history[ts′] := ⟨pw′, nil⟩; history[ts′−1] := ⟨w′.tsval, w′⟩
+		// w′ is the complete tuple of the previous write, so it fills
+		// the ts′−1 slot even at objects the previous W round skipped.
+		if m.TS > s.ts {
+			s.history[m.TS] = types.HistEntry{PW: m.PW.Clone()}
+			w := m.W.Clone()
+			s.history[m.TS-1] = types.HistEntry{PW: w.TSVal.Clone(), W: &w}
+			s.ts = m.TS
+			return wire.PWAck{ObjectID: s.id, TS: s.ts, TSR: s.tsr.Clone()}, true
+		}
+		return nil, false
+	case wire.WReq:
+		// upon W⟨ts′,pw′,w′⟩: if ts′ ≥ ts then history[ts′] := ⟨pw′,w′⟩.
+		if m.TS >= s.ts {
+			s.ts = m.TS
+			w := m.W.Clone()
+			s.history[m.TS] = types.HistEntry{PW: m.PW.Clone(), W: &w}
+			return wire.WAck{ObjectID: s.id, TS: s.ts}, true
+		}
+		return nil, false
+	case wire.ReadReq:
+		// upon READk⟨tsr′⟩ from r_j: if tsr′ > tsr[j], store it and ack
+		// with the history (suffix from the reader's cached timestamp
+		// onward under §5.1; CacheTS = 0 ships everything).
+		j := m.Reader
+		if int(j) < 0 || int(j) >= len(s.tsr) {
+			return nil, false
+		}
+		if m.TSR > s.tsr[j] {
+			s.tsr[j] = m.TSR
+			if m.CacheTS > s.readerLow[j] {
+				s.readerLow[j] = m.CacheTS
+			}
+			if s.gc {
+				s.pruneLocked()
+			}
+			return wire.ReadAckHist{
+				ObjectID: s.id,
+				Round:    m.Round,
+				TSR:      s.tsr[j],
+				History:  s.history.Suffix(m.CacheTS),
+			}, true
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// pruneLocked removes history entries strictly below the minimum cached
+// timestamp across all readers, always retaining the newest entry.
+func (s *Regular) pruneLocked() {
+	if len(s.readerLow) == 0 {
+		return
+	}
+	min := s.readerLow[0]
+	for _, low := range s.readerLow[1:] {
+		if low < min {
+			min = low
+		}
+	}
+	max := s.history.MaxTS()
+	for ts := range s.history {
+		if ts < min && ts < max {
+			delete(s.history, ts)
+		}
+	}
+}
+
+// HistoryLen returns the number of retained history entries (E8 metric).
+func (s *Regular) HistoryLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
+
+// HistoryBytes returns the encoded size of the retained history, the
+// storage-exhaustion metric of experiment E8.
+func (s *Regular) HistoryBytes() int {
+	s.mu.Lock()
+	h := s.history.Clone()
+	s.mu.Unlock()
+	return wire.EncodedSize(wire.ReadAckHist{ObjectID: s.id, History: h})
+}
+
+// RegularSnapshot is a copy of a regular object's full state.
+type RegularSnapshot struct {
+	TS      types.TS
+	History types.History
+	TSR     types.TSRVector
+}
+
+// Snapshot returns a deep copy of the object state.
+func (s *Regular) Snapshot() RegularSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RegularSnapshot{TS: s.ts, History: s.history.Clone(), TSR: s.tsr.Clone()}
+}
+
+// Restore overwrites the object state with the snapshot (adversary and
+// test use only).
+func (s *Regular) Restore(snap RegularSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ts = snap.TS
+	s.history = snap.History.Clone()
+	s.tsr = snap.TSR.Clone()
+}

@@ -1,0 +1,106 @@
+// Package quorum holds the resilience arithmetic of Byzantine-tolerant
+// storage emulations: the optimal-resilience bound S = 2t+b+1 of Martin,
+// Alvisi & Dahlin (Minimal Byzantine Storage, DISC 2002), the 2t+2b
+// fast-read threshold of Guerraoui & Vukolić (PODC 2006), and helpers for
+// validating protocol configurations.
+package quorum
+
+import "fmt"
+
+// Config describes a storage configuration: S base objects of which at
+// most T may fail and at most B of those failures may be Byzantine.
+type Config struct {
+	S int // total base objects
+	T int // maximum faulty objects (crash + Byzantine)
+	B int // maximum Byzantine objects, B ≤ T
+	R int // number of readers
+}
+
+// OptimalS returns the optimal-resilience object count 2t+b+1.
+func OptimalS(t, b int) int { return 2*t + b + 1 }
+
+// FastReadThreshold returns 2t+2b: Proposition 1 proves that no safe
+// storage using at most this many objects has all reads fast (1 round).
+func FastReadThreshold(t, b int) int { return 2*t + 2*b }
+
+// Optimal returns the optimally resilient configuration for t, b, r.
+func Optimal(t, b, r int) Config { return Config{S: OptimalS(t, b), T: t, B: b, R: r} }
+
+// Validate checks the structural constraints of the model (§2 of the
+// paper): b ≥ 0, b ≤ t, at least one reader, and S large enough for
+// wait-free emulation (S ≥ 2t+b+1).
+func (c Config) Validate() error {
+	switch {
+	case c.B < 0:
+		return fmt.Errorf("quorum: b = %d must be non-negative", c.B)
+	case c.T < c.B:
+		return fmt.Errorf("quorum: t = %d must be at least b = %d", c.T, c.B)
+	case c.R < 1:
+		return fmt.Errorf("quorum: need at least one reader, got %d", c.R)
+	case c.S < OptimalS(c.T, c.B):
+		return fmt.Errorf("quorum: S = %d below optimal resilience 2t+b+1 = %d",
+			c.S, OptimalS(c.T, c.B))
+	}
+	return nil
+}
+
+// IsOptimal reports whether the configuration uses exactly 2t+b+1 objects.
+func (c Config) IsOptimal() bool { return c.S == OptimalS(c.T, c.B) }
+
+// FastReadPossible reports whether the configuration is above the
+// Proposition 1 threshold, i.e. S > 2t+2b, where single-round reads are
+// not excluded by the lower bound.
+func (c Config) FastReadPossible() bool { return c.S > FastReadThreshold(c.T, c.B) }
+
+// RoundQuorum returns S−t, the number of replies a client can safely
+// await in every communication round (§2.3).
+func (c Config) RoundQuorum() int { return c.S - c.T }
+
+// SafeThreshold returns b+1, the support needed for the safe(c)
+// predicate: more confirmations than there are Byzantine objects.
+func (c Config) SafeThreshold() int { return c.B + 1 }
+
+// InvalidThreshold returns t+b+1, the witness count at which a candidate
+// is discarded (RespondedWO in Fig. 4, invalid(c) in Fig. 6).
+func (c Config) InvalidThreshold() int { return c.T + c.B + 1 }
+
+// MaxCorrect returns S−t, the minimum number of correct objects.
+func (c Config) MaxCorrect() int { return c.S - c.T }
+
+// NonMalicious returns S−b, the minimum number of non-Byzantine objects.
+func (c Config) NonMalicious() int { return c.S - c.B }
+
+// String renders the configuration for tables and logs.
+func (c Config) String() string {
+	return fmt.Sprintf("S=%d t=%d b=%d R=%d", c.S, c.T, c.B, c.R)
+}
+
+// Blocks is the T1/T2/B1/B2 partition used by the Proposition 1 proof:
+// T1 and T2 of size exactly t, B1 and B2 of size ≥1 and ≤b, covering all
+// S = 2t+2b objects.
+type Blocks struct {
+	T1, T2, B1, B2 []int
+}
+
+// PartitionBlocks splits object indices 0..S-1 (S = 2t+2b required) into
+// the proof's four blocks: T1 = first t, B1 = next b, B2 = next b,
+// T2 = last t.
+func PartitionBlocks(t, b int) (Blocks, error) {
+	if b < 1 {
+		return Blocks{}, fmt.Errorf("quorum: proposition 1 assumes b ≥ 1, got %d", b)
+	}
+	if t < b {
+		return Blocks{}, fmt.Errorf("quorum: t = %d must be at least b = %d", t, b)
+	}
+	s := FastReadThreshold(t, b)
+	idx := make([]int, s)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Blocks{
+		T1: idx[0:t],
+		B1: idx[t : t+b],
+		B2: idx[t+b : t+2*b],
+		T2: idx[t+2*b:],
+	}, nil
+}

@@ -1,0 +1,131 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimalS(t *testing.T) {
+	cases := []struct{ t, b, want int }{
+		{1, 1, 4}, {2, 1, 6}, {2, 2, 7}, {3, 1, 8}, {3, 3, 10}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := OptimalS(c.t, c.b); got != c.want {
+			t.Errorf("OptimalS(%d,%d) = %d, want %d", c.t, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"optimal", Optimal(2, 1, 1), true},
+		{"extra objects", Config{S: 10, T: 2, B: 1, R: 1}, true},
+		{"below optimal", Config{S: 5, T: 2, B: 1, R: 1}, false},
+		{"negative b", Config{S: 6, T: 2, B: -1, R: 1}, false},
+		{"b exceeds t", Config{S: 8, T: 2, B: 3, R: 1}, false},
+		{"no readers", Config{S: 6, T: 2, B: 1, R: 0}, false},
+		{"crash-only", Config{S: 3, T: 1, B: 0, R: 1}, true},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	cfg := Optimal(2, 1, 3) // S = 6
+	if got := cfg.RoundQuorum(); got != 4 {
+		t.Errorf("RoundQuorum = %d, want 4 (S−t)", got)
+	}
+	if got := cfg.SafeThreshold(); got != 2 {
+		t.Errorf("SafeThreshold = %d, want 2 (b+1)", got)
+	}
+	if got := cfg.InvalidThreshold(); got != 4 {
+		t.Errorf("InvalidThreshold = %d, want 4 (t+b+1)", got)
+	}
+	if got := cfg.NonMalicious(); got != 5 {
+		t.Errorf("NonMalicious = %d, want 5 (S−b)", got)
+	}
+	if !cfg.IsOptimal() {
+		t.Error("Optimal config must report IsOptimal")
+	}
+	if cfg.FastReadPossible() {
+		t.Error("S = 2t+b+1 ≤ 2t+2b for b≥1: fast reads excluded")
+	}
+	above := Config{S: FastReadThreshold(2, 1) + 1, T: 2, B: 1, R: 1}
+	if !above.FastReadPossible() {
+		t.Error("S = 2t+2b+1 is above the fast-read threshold")
+	}
+}
+
+func TestPartitionBlocks(t *testing.T) {
+	for _, c := range []struct{ t, b int }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {4, 4}} {
+		blocks, err := PartitionBlocks(c.t, c.b)
+		if err != nil {
+			t.Fatalf("t=%d b=%d: %v", c.t, c.b, err)
+		}
+		if len(blocks.T1) != c.t || len(blocks.T2) != c.t {
+			t.Errorf("t=%d b=%d: |T1|=%d |T2|=%d, want %d", c.t, c.b, len(blocks.T1), len(blocks.T2), c.t)
+		}
+		if len(blocks.B1) != c.b || len(blocks.B2) != c.b {
+			t.Errorf("t=%d b=%d: |B1|=%d |B2|=%d, want %d", c.t, c.b, len(blocks.B1), len(blocks.B2), c.b)
+		}
+		// Blocks partition 0..2t+2b−1.
+		seen := map[int]bool{}
+		for _, blk := range [][]int{blocks.T1, blocks.B1, blocks.B2, blocks.T2} {
+			for _, i := range blk {
+				if seen[i] {
+					t.Fatalf("t=%d b=%d: index %d appears twice", c.t, c.b, i)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != FastReadThreshold(c.t, c.b) {
+			t.Errorf("t=%d b=%d: partition covers %d of %d", c.t, c.b, len(seen), FastReadThreshold(c.t, c.b))
+		}
+	}
+}
+
+func TestPartitionBlocksRejectsBadInput(t *testing.T) {
+	if _, err := PartitionBlocks(2, 0); err == nil {
+		t.Error("b = 0 must be rejected (Proposition 1 assumes b ≥ 1)")
+	}
+	if _, err := PartitionBlocks(1, 2); err == nil {
+		t.Error("b > t must be rejected")
+	}
+}
+
+// Property: the paper's quorum arithmetic identities hold for every
+// valid (t, b).
+func TestQuickArithmeticIdentities(t *testing.T) {
+	f := func(tRaw, bRaw uint8) bool {
+		tt := int(tRaw%8) + 1
+		b := int(bRaw%uint8(tt)) + 1 // 1 ≤ b ≤ t
+		if b > tt {
+			return true
+		}
+		cfg := Optimal(tt, b, 1)
+		// S − t = t+b+1: a round quorum always contains a majority of
+		// the non-faulty and intersects any other round quorum in ≥ b+1.
+		if cfg.RoundQuorum() != tt+b+1 {
+			return false
+		}
+		if 2*cfg.RoundQuorum()-cfg.S < b+1 {
+			return false
+		}
+		// The optimal S is within the fast-read-impossible regime.
+		if cfg.S > FastReadThreshold(tt, b) && b >= 1 {
+			return false
+		}
+		// Safe threshold is achievable by correct objects alone.
+		return cfg.SafeThreshold() <= cfg.S-cfg.T
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

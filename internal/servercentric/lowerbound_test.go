@@ -1,0 +1,138 @@
+package servercentric_test
+
+// The §6 claim, executable: the Proposition 1 lower bound migrates to
+// the server-centric model — with at most 2t+2b servers, a reader that
+// decides as soon as it has pushes from S−t servers (the fastest
+// possible operation shape in the push model) cannot implement a safe
+// storage. We reconstruct the run4/run5 forged-state adversary directly
+// on push-model servers: the reader receives byte-identical pushes in
+// a world where v1 was written (and must be returned) and in a world
+// where nothing was written (and ⊥ must be returned).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// pushView is what a fast push reader decides on: the first S−t pushed
+// pairs, here synthesized directly (the network delivery the adversary
+// schedules).
+type pushView map[types.ObjectID]types.TSVal
+
+// fastPushDecide is the natural b+1-support rule a fast push reader
+// would use (the same rule that is safe at 2t+2b+1 servers).
+func fastPushDecide(view pushView, b int) types.TSVal {
+	support := map[string]int{}
+	pairs := map[string]types.TSVal{}
+	for _, p := range view {
+		k := fmt.Sprintf("%d|%s", p.TS, string(p.Val))
+		support[k]++
+		pairs[k] = p
+	}
+	best := types.InitTSVal()
+	for k, n := range support {
+		if n >= b+1 && pairs[k].TS > best.TS {
+			best = pairs[k]
+		}
+	}
+	return best
+}
+
+// trustHighestPush is the other natural rule.
+func trustHighestPush(view pushView, _ int) types.TSVal {
+	best := types.InitTSVal()
+	for _, p := range view {
+		if p.TS > best.TS {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestFastPushReadImpossibleAt2t2b(t *testing.T) {
+	for _, tc := range []struct{ t, b int }{{1, 1}, {2, 1}, {2, 2}, {3, 3}} {
+		t.Run(fmt.Sprintf("t=%d,b=%d", tc.t, tc.b), func(t *testing.T) {
+			blocks, err := quorum.PartitionBlocks(tc.t, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1 := types.TSVal{TS: 1, Val: types.Value("v1")}
+			bottom := types.InitTSVal()
+
+			// The reader hears from B1 ∪ B2 ∪ T1 = S−t servers; T2's
+			// pushes are delayed. In run4 the write completed (B2 and T2
+			// hold v1; T1 missed the write — its messages and echoes are
+			// in transit; B1 is Byzantine and pushes its forged-back σ0).
+			// In run5 nothing was written and B2 is Byzantine, pushing
+			// the forged σ2 = v1. Both worlds produce this exact view:
+			view := pushView{}
+			for _, i := range blocks.B1 {
+				view[types.ObjectID(i)] = bottom.Clone() // forged σ0 / honest σ0
+			}
+			for _, i := range blocks.B2 {
+				view[types.ObjectID(i)] = v1.Clone() // honest post-write / forged σ2
+			}
+			for _, i := range blocks.T1 {
+				view[types.ObjectID(i)] = bottom.Clone() // write+echo in transit / honest
+			}
+			s := quorum.FastReadThreshold(tc.t, tc.b)
+			if len(view) != s-tc.t {
+				t.Fatalf("view has %d pushes, want S−t = %d", len(view), s-tc.t)
+			}
+
+			for name, rule := range map[string]func(pushView, int) types.TSVal{
+				"require-support": fastPushDecide,
+				"trust-highest":   trustHighestPush,
+			} {
+				got := rule(view, tc.b)
+				// run4: safety demands v1; run5: safety demands ⊥. The
+				// rule returns one value for both — at least one is
+				// violated.
+				violatesRun4 := !got.Val.Equal(v1.Val)
+				violatesRun5 := !got.Val.IsBottom()
+				if !violatesRun4 && !violatesRun5 {
+					t.Errorf("%s: rule satisfied both runs — impossible by the theorem", name)
+				}
+			}
+		})
+	}
+}
+
+// TestEchoesDoNotRescueFastPushReads: even granting the run4 reader
+// every echo message among the reachable servers, the view is
+// unchanged — T1 never received the write (its echoes are in transit
+// with it), B1 lies, and B2's echo only re-confirms what B2 already
+// pushed. The §6 remark that server-to-server communication does not
+// circumvent the bound for fast reads, in test form.
+func TestEchoesDoNotRescueFastPushReads(t *testing.T) {
+	blocks, err := quorum.PartitionBlocks(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := types.TSVal{TS: 1, Val: types.Value("v1")}
+	view := pushView{}
+	for _, i := range blocks.B1 {
+		view[types.ObjectID(i)] = types.InitTSVal()
+	}
+	for _, i := range blocks.T1 {
+		view[types.ObjectID(i)] = types.InitTSVal()
+	}
+	for _, i := range blocks.B2 {
+		view[types.ObjectID(i)] = v1.Clone()
+	}
+	// An "echo-augmented" view can only change a server's pair if a
+	// correct, reachable server actually holds v1 and its echo is
+	// delivered. B2's echoes to T1 are exactly as delayed as the
+	// writer's messages to T1 were (the adversary schedules both), so
+	// nothing changes: support(v1) = |B2| = b < b+1 in run5's twin, and
+	// the indistinguishability stands.
+	if got := fastPushDecide(view, 2); !got.Val.IsBottom() {
+		t.Fatalf("support rule returned %v on the ambiguous view", got)
+	}
+	if got := trustHighestPush(view, 2); !got.Val.Equal(v1.Val) {
+		t.Fatalf("trust rule returned %v on the ambiguous view", got)
+	}
+}

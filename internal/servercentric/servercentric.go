@@ -1,0 +1,294 @@
+// Package servercentric implements the §6 extension of the model: base
+// objects become first-class servers that exchange messages with each
+// other and push unsolicited messages to clients. The notion of a
+// round-trip dissolves — a reader sends a single subscribe message and
+// then only receives.
+//
+// The storage built here is the natural push protocol the section
+// sketches: the writer stores a timestamped pair at S−t servers in one
+// round; servers echo every adopted pair to their peers, so all correct
+// servers converge on the latest write; a reader subscribes once and
+// waits for pushed states until some pair at the highest timestamp is
+// vouched for by b+1 distinct servers (Byzantine servers cannot
+// fabricate that support). The Proposition 1 lower bound migrates to
+// this model for *fast* (one round-trip) reads — the paper notes a
+// tight algorithm needs a different metric and leaves it open; this
+// package provides the executable model and the E9 measurements.
+package servercentric
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Server is one first-class storage server. It runs its own receive
+// loop over an active transport endpoint: adopt writes, echo to peers,
+// push state to subscribed readers.
+type Server struct {
+	id   types.ObjectID
+	cfg  quorum.Config
+	conn transport.Conn
+
+	mu     sync.Mutex
+	ts     types.TS
+	val    types.Value
+	subs   map[transport.NodeID]int64 // subscriber → subscription seq
+	pushes int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewServer returns server id over conn.
+func NewServer(id types.ObjectID, cfg quorum.Config, conn transport.Conn) *Server {
+	return &Server{
+		id:   id,
+		cfg:  cfg,
+		conn: conn,
+		subs: make(map[transport.NodeID]int64),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the server's receive loop; Stop cancels it.
+func (s *Server) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	go func() {
+		defer close(s.done)
+		for {
+			msg, err := s.conn.Recv(ctx)
+			if err != nil {
+				return
+			}
+			s.handle(msg)
+		}
+	}()
+}
+
+// Stop terminates the receive loop and waits for it to exit.
+func (s *Server) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.conn.Close()
+	<-s.done
+}
+
+// Pushes returns how many state pushes this server has sent (E9 metric).
+func (s *Server) Pushes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes
+}
+
+func (s *Server) handle(msg transport.Message) {
+	switch m := msg.Payload.(type) {
+	case wire.BaselineWriteReq:
+		s.adopt(m.TS, m.Val, true)
+		s.conn.Send(msg.From, wire.BaselineWriteAck{ObjectID: s.id, TS: m.TS})
+	case wire.PushState:
+		// Peer echo: adopt without re-echoing (one echo hop suffices for
+		// convergence: every correct server echoes what it adopts from
+		// the writer, and every correct server receives every echo).
+		s.adopt(m.TS, m.Val, false)
+	case wire.SubscribeReq:
+		s.mu.Lock()
+		s.subs[msg.From] = m.Seq
+		ts, val := s.ts, s.val.Clone()
+		s.pushes++
+		s.mu.Unlock()
+		s.conn.Send(msg.From, wire.PushState{ObjectID: s.id, Seq: m.Seq, TS: ts, Val: val})
+	}
+}
+
+// adopt installs a newer pair and notifies peers (echo) and subscribers
+// (push).
+func (s *Server) adopt(ts types.TS, val types.Value, echo bool) {
+	s.mu.Lock()
+	if ts <= s.ts {
+		s.mu.Unlock()
+		return
+	}
+	s.ts = ts
+	s.val = val.Clone()
+	subs := make(map[transport.NodeID]int64, len(s.subs))
+	for n, seq := range s.subs {
+		subs[n] = seq
+	}
+	s.pushes += len(subs)
+	s.mu.Unlock()
+
+	if echo {
+		for i := 0; i < s.cfg.S; i++ {
+			if types.ObjectID(i) == s.id {
+				continue
+			}
+			s.conn.Send(transport.Object(types.ObjectID(i)), wire.PushState{
+				ObjectID: s.id, TS: ts, Val: val.Clone(), Echo: true,
+			})
+		}
+	}
+	for n, seq := range subs {
+		s.conn.Send(n, wire.PushState{ObjectID: s.id, Seq: seq, TS: ts, Val: val.Clone()})
+	}
+}
+
+// Writer stores values in one round at S−t servers.
+type Writer struct {
+	cfg   quorum.Config
+	conn  transport.Conn
+	ts    types.TS
+	stats core.OpStats
+}
+
+// NewWriter returns the push-model writer.
+func NewWriter(cfg quorum.Config, conn transport.Conn) (*Writer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Writer{cfg: cfg, conn: conn}, nil
+}
+
+// LastStats returns the complexity record of the last completed WRITE.
+func (w *Writer) LastStats() core.OpStats { return w.stats }
+
+// Write stores v at S−t servers: one round (the echo propagation to the
+// rest happens server-side, off the writer's critical path).
+func (w *Writer) Write(ctx context.Context, v types.Value) error {
+	st := core.OpStats{Kind: core.OpWrite, Rounds: 1}
+	w.ts++
+	for i := 0; i < w.cfg.S; i++ {
+		w.conn.Send(transport.Object(types.ObjectID(i)), wire.BaselineWriteReq{TS: w.ts, Val: v.Clone()})
+		st.Sent++
+	}
+	acked := make(map[types.ObjectID]bool, w.cfg.RoundQuorum())
+	for len(acked) < w.cfg.RoundQuorum() {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("servercentric: write ts=%d: %w", w.ts, err)
+		}
+		ack, ok := msg.Payload.(wire.BaselineWriteAck)
+		if !ok || ack.TS != w.ts || acked[ack.ObjectID] {
+			continue
+		}
+		acked[ack.ObjectID] = true
+		st.Acks++
+	}
+	w.stats = st
+	return nil
+}
+
+// Reader reads with a single subscribe message and pushed replies: the
+// fastest possible operation shape in the server-centric model (§6).
+type Reader struct {
+	cfg   quorum.Config
+	conn  transport.Conn
+	seq   int64
+	stats core.OpStats
+}
+
+// NewReader returns the push-model reader.
+func NewReader(cfg quorum.Config, conn transport.Conn) (*Reader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{cfg: cfg, conn: conn}, nil
+}
+
+// LastStats returns the complexity record of the last completed READ.
+func (r *Reader) LastStats() core.OpStats { return r.stats }
+
+// Read subscribes once and waits for pushes until the highest
+// timestamped pair has b+1 distinct supporters among at least S−t
+// distinct servers. Echo convergence guarantees termination: every
+// correct server eventually pushes the latest adopted pair.
+func (r *Reader) Read(ctx context.Context) (types.TSVal, error) {
+	st := core.OpStats{Kind: core.OpRead, Rounds: 1}
+	r.seq++
+	for i := 0; i < r.cfg.S; i++ {
+		r.conn.Send(transport.Object(types.ObjectID(i)), wire.SubscribeReq{Seq: r.seq})
+		st.Sent++
+	}
+	latest := make(map[types.ObjectID]types.TSVal)
+	for {
+		msg, err := r.conn.Recv(ctx)
+		if err != nil {
+			return types.TSVal{}, fmt.Errorf("servercentric: read: %w", err)
+		}
+		push, ok := msg.Payload.(wire.PushState)
+		if !ok || push.Seq != r.seq {
+			continue
+		}
+		if msg.From.Kind != transport.KindObject || types.ObjectID(msg.From.Index) != push.ObjectID {
+			continue
+		}
+		st.Acks++
+		pair := types.TSVal{TS: push.TS, Val: push.Val.Clone()}
+		if cur, seen := latest[push.ObjectID]; !seen || pair.TS > cur.TS {
+			latest[push.ObjectID] = pair
+		}
+		if len(latest) < r.cfg.RoundQuorum() {
+			continue
+		}
+		if best, decided := decide(latest, r.cfg); decided {
+			r.stats = st
+			return best, nil
+		}
+	}
+}
+
+// decide scans the pushed pairs from the highest timestamp down: a
+// candidate refuted by t+b+1 servers (all pushing strictly below it)
+// is skipped — it was never completely written; the first unrefuted
+// candidate is returned once b+1 servers vouch for it (that exact pair,
+// or any higher timestamp), and blocks the decision until then. ⟨0,⊥⟩
+// is returnable once everything above it is refuted. This is the same
+// refute-or-support scan as the core reader's predicates: it can never
+// return a pair older than the last completed write (its ≥ t+1 correct
+// holders can never be outnumbered into refutation), and Byzantine
+// fabrications above it can only delay, not mislead.
+func decide(latest map[types.ObjectID]types.TSVal, cfg quorum.Config) (types.TSVal, bool) {
+	cands := map[string]types.TSVal{"0|": types.InitTSVal()}
+	for _, p := range latest {
+		cands[fmt.Sprintf("%d|%s", p.TS, string(p.Val))] = p
+	}
+	ordered := make([]types.TSVal, 0, len(cands))
+	for _, c := range cands {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].TS > ordered[b].TS })
+	for _, c := range ordered {
+		refuters, witnesses := 0, 0
+		for _, p := range latest {
+			// Strictly below c, or the same timestamp with a different
+			// value (one value per timestamp under a correct writer),
+			// contradicts c.
+			if p.TS < c.TS || (p.TS == c.TS && !p.Equal(c)) {
+				refuters++
+			}
+			if p.Equal(c) || p.TS > c.TS {
+				witnesses++
+			}
+		}
+		if c.TS == 0 {
+			return c, true
+		}
+		if refuters >= cfg.InvalidThreshold() {
+			continue
+		}
+		if witnesses >= cfg.SafeThreshold() {
+			return c, true
+		}
+		return types.TSVal{}, false
+	}
+	return types.TSVal{}, false
+}

@@ -1,0 +1,429 @@
+// Package memnet implements transport.Network as a concurrent in-memory
+// message-passing network with asynchronous, reliable point-to-point
+// links. It is the default substrate for tests and benchmarks.
+//
+// Faithful to the model of §2, links never duplicate or corrupt
+// messages, but delivery is asynchronous: tests exercise asynchrony with
+// per-link controls — Block/Unblock hold messages "in transit"
+// indefinitely, Drop discards them (a message that stays in transit
+// forever is indistinguishable from a dropped one to the protocols), a
+// delay function adds latency, and Crash silences a base object
+// mid-run. Byzantine behaviour needs no network support: a malicious
+// base object is simply an arbitrary Handler.
+package memnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Net is a concurrent in-memory network. The zero value is not usable;
+// call New.
+type Net struct {
+	mu       sync.Mutex
+	conns    map[transport.NodeID]*conn
+	objects  map[transport.NodeID]*objectServer
+	gates    map[linkKey]*gate
+	crashed  map[transport.NodeID]bool
+	taps     []transport.Tap
+	delayFn  func(from, to transport.NodeID) time.Duration
+	closed   bool
+	delivery sync.WaitGroup // tracks delayed deliveries
+}
+
+type linkKey struct{ from, to transport.NodeID }
+
+// gate holds messages for a blocked link, in order.
+type gate struct {
+	blocked bool
+	dropN   int // drop the next dropN messages
+	queue   []pending
+}
+
+type pending struct {
+	from, to transport.NodeID
+	payload  wire.Msg
+}
+
+// New returns an empty network.
+func New() *Net {
+	return &Net{
+		conns:   make(map[transport.NodeID]*conn),
+		objects: make(map[transport.NodeID]*objectServer),
+		gates:   make(map[linkKey]*gate),
+		crashed: make(map[transport.NodeID]bool),
+	}
+}
+
+// Register creates the endpoint of an active node.
+func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, dup := n.conns[id]; dup {
+		return nil, fmt.Errorf("memnet: %v already registered", id)
+	}
+	c := &conn{net: n, id: id, notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
+	n.conns[id] = c
+	return c, nil
+}
+
+// Serve installs a base object handler; the object processes requests
+// one at a time (atomic read-modify-write semantics).
+func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return transport.ErrClosed
+	}
+	if _, dup := n.objects[id]; dup {
+		return fmt.Errorf("memnet: %v already served", id)
+	}
+	srv := &objectServer{net: n, id: id, handler: h}
+	srv.cond = sync.NewCond(&srv.mu)
+	n.objects[id] = srv
+	go srv.run()
+	return nil
+}
+
+// AddTap registers a message observer invoked for every accepted send,
+// before gating, dropping, or delaying.
+func (n *Net) AddTap(t transport.Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = append(n.taps, t)
+}
+
+// SetDelay installs a per-link delay function applied to every delivered
+// message; nil removes delays.
+func (n *Net) SetDelay(fn func(from, to transport.NodeID) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delayFn = fn
+}
+
+// Block holds all subsequent messages on the directed link from→to until
+// Unblock. Held messages are "in transit" in the paper's sense.
+func (n *Net) Block(from, to transport.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gateLocked(from, to).blocked = true
+}
+
+// Unblock re-opens the link and delivers all held messages in order.
+func (n *Net) Unblock(from, to transport.NodeID) {
+	n.mu.Lock()
+	g := n.gateLocked(from, to)
+	g.blocked = false
+	held := g.queue
+	g.queue = nil
+	n.mu.Unlock()
+	for _, p := range held {
+		n.route(p.from, p.to, p.payload)
+	}
+}
+
+// BlockNode blocks every link into and out of id against every currently
+// known peer.
+func (n *Net) BlockNode(id transport.NodeID) {
+	for _, peer := range n.peers(id) {
+		n.Block(id, peer)
+		n.Block(peer, id)
+	}
+}
+
+// UnblockNode reverses BlockNode.
+func (n *Net) UnblockNode(id transport.NodeID) {
+	for _, peer := range n.peers(id) {
+		n.Unblock(id, peer)
+		n.Unblock(peer, id)
+	}
+}
+
+// DropNext discards the next k messages on the directed link from→to.
+func (n *Net) DropNext(from, to transport.NodeID, k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gateLocked(from, to).dropN += k
+}
+
+// Crash silences a base object: all queued and future requests to it are
+// dropped and it never replies again. Crashing an unknown ID is a no-op
+// that still records the crash (requests to it drop).
+func (n *Net) Crash(id transport.NodeID) {
+	n.mu.Lock()
+	n.crashed[id] = true
+	srv := n.objects[id]
+	n.mu.Unlock()
+	if srv != nil {
+		srv.crash()
+	}
+}
+
+// Crashed reports whether id has been crashed.
+func (n *Net) Crashed(id transport.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Close shuts the network down: all endpoints return ErrClosed, object
+// goroutines exit, delayed deliveries are awaited.
+func (n *Net) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*conn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	objs := make([]*objectServer, 0, len(n.objects))
+	for _, o := range n.objects {
+		objs = append(objs, o)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, o := range objs {
+		o.stop()
+	}
+	n.delivery.Wait()
+	return nil
+}
+
+func (n *Net) gateLocked(from, to transport.NodeID) *gate {
+	k := linkKey{from, to}
+	g := n.gates[k]
+	if g == nil {
+		g = &gate{}
+		n.gates[k] = g
+	}
+	return g
+}
+
+func (n *Net) peers(id transport.NodeID) []transport.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []transport.NodeID
+	for other := range n.conns {
+		if other != id {
+			out = append(out, other)
+		}
+	}
+	for other := range n.objects {
+		if other != id {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// send is the single entry point for all traffic (client→object,
+// object→client replies). It applies taps, crash filtering, gating,
+// dropping, and delays, then routes.
+func (n *Net) send(from, to transport.NodeID, payload wire.Msg) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	taps := n.taps
+	for _, t := range taps {
+		t.OnMessage(from, to, payload)
+	}
+	if n.crashed[to] || n.crashed[from] {
+		n.mu.Unlock()
+		return
+	}
+	g := n.gateLocked(from, to)
+	if g.dropN > 0 {
+		g.dropN--
+		n.mu.Unlock()
+		return
+	}
+	if g.blocked {
+		g.queue = append(g.queue, pending{from, to, payload})
+		n.mu.Unlock()
+		return
+	}
+	var delay time.Duration
+	if n.delayFn != nil {
+		delay = n.delayFn(from, to)
+	}
+	if delay > 0 {
+		n.delivery.Add(1)
+		n.mu.Unlock()
+		time.AfterFunc(delay, func() {
+			defer n.delivery.Done()
+			n.route(from, to, payload)
+		})
+		return
+	}
+	n.mu.Unlock()
+	n.route(from, to, payload)
+}
+
+// route hands a message to its destination: a conn inbox or an object
+// queue. Unknown destinations silently drop (message forever in transit).
+func (n *Net) route(from, to transport.NodeID, payload wire.Msg) {
+	n.mu.Lock()
+	if n.closed || n.crashed[to] {
+		n.mu.Unlock()
+		return
+	}
+	if c := n.conns[to]; c != nil {
+		n.mu.Unlock()
+		c.push(transport.Message{From: from, Payload: wire.Clone(payload)})
+		return
+	}
+	srv := n.objects[to]
+	n.mu.Unlock()
+	if srv != nil {
+		srv.enqueue(from, wire.Clone(payload))
+	}
+}
+
+// conn is an active node's endpoint with an unbounded inbox.
+type conn struct {
+	net      *Net
+	id       transport.NodeID
+	mu       sync.Mutex
+	queue    []transport.Message
+	notify   chan struct{}
+	closedCh chan struct{}
+	closed   bool
+}
+
+// ID returns the owning node's ID.
+func (c *conn) ID() transport.NodeID { return c.id }
+
+// Send enqueues payload for delivery to the given node.
+func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
+	c.net.send(c.id, to, payload)
+}
+
+// Recv returns the next delivered message, blocking until one arrives,
+// the context is cancelled, or the endpoint closes.
+func (c *conn) Recv(ctx context.Context) (transport.Message, error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			m := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			return m, nil
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return transport.Message{}, transport.ErrClosed
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.notify:
+		case <-ctx.Done():
+			return transport.Message{}, ctx.Err()
+		case <-c.closedCh:
+			return transport.Message{}, transport.ErrClosed
+		}
+	}
+}
+
+// Close releases the endpoint.
+func (c *conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.closedCh)
+	}
+	return nil
+}
+
+func (c *conn) push(m transport.Message) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, m)
+	c.mu.Unlock()
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+// objectServer serializes handler invocations for one base object.
+type objectServer struct {
+	net     *Net
+	id      transport.NodeID
+	handler transport.Handler
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []objectReq
+	crashed bool
+	stopped bool
+}
+
+type objectReq struct {
+	from    transport.NodeID
+	payload wire.Msg
+}
+
+func (s *objectServer) enqueue(from transport.NodeID, payload wire.Msg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || s.crashed {
+		return
+	}
+	s.queue = append(s.queue, objectReq{from, payload})
+	s.cond.Signal()
+}
+
+func (s *objectServer) crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+	s.queue = nil
+	s.cond.Broadcast()
+}
+
+func (s *objectServer) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+func (s *objectServer) run() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stopped && !s.crashed {
+			s.cond.Wait()
+		}
+		if s.stopped || s.crashed {
+			s.mu.Unlock()
+			return
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		reply, ok := s.handler.Handle(req.from, req.payload)
+		if ok {
+			s.net.send(s.id, req.from, reply)
+		}
+	}
+}

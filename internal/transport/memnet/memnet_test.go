@@ -1,0 +1,253 @@
+package memnet_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/memnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+type echo struct{ id types.ObjectID }
+
+func (h echo) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	if m, ok := req.(wire.BaselineReadReq); ok {
+		return wire.BaselineReadAck{ObjectID: h.id, Attempt: m.Attempt}, true
+	}
+	return nil, false
+}
+
+// silent never replies (exercises the no-reply handler path).
+type silent struct{}
+
+func (silent) Handle(transport.NodeID, wire.Msg) (wire.Msg, bool) { return nil, false }
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+func TestRequestReply(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	if err := net.Serve(transport.Object(0), echo{0}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+	m, err := conn.Recv(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != transport.Object(0) {
+		t.Errorf("From = %v", m.From)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	if _, err := net.Register(transport.Reader(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(transport.Reader(0)); err == nil {
+		t.Error("duplicate Register must fail")
+	}
+	if err := net.Serve(transport.Object(0), echo{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Serve(transport.Object(0), echo{0}); err == nil {
+		t.Error("duplicate Serve must fail")
+	}
+}
+
+func TestBlockUnblockOrderPreserved(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	net.Serve(transport.Object(0), echo{0})
+	conn, _ := net.Register(transport.Reader(0))
+	net.Block(transport.Reader(0), transport.Object(0))
+	for i := 1; i <= 5; i++ {
+		conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: i})
+	}
+	// Nothing should arrive while blocked.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := conn.Recv(short); err == nil {
+		t.Fatal("received through a blocked link")
+	}
+	net.Unblock(transport.Reader(0), transport.Object(0))
+	for i := 1; i <= 5; i++ {
+		m, err := conn.Recv(ctx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Payload.(wire.BaselineReadAck).Attempt; got != i {
+			t.Fatalf("delivery %d has attempt %d: order not preserved", i, got)
+		}
+	}
+}
+
+func TestDropNext(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	net.Serve(transport.Object(0), echo{0})
+	conn, _ := net.Register(transport.Reader(0))
+	net.DropNext(transport.Reader(0), transport.Object(0), 2)
+	for i := 1; i <= 3; i++ {
+		conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: i})
+	}
+	m, err := conn.Recv(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Payload.(wire.BaselineReadAck).Attempt; got != 3 {
+		t.Errorf("survivor attempt = %d, want 3", got)
+	}
+}
+
+func TestCrashSilencesObject(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	net.Serve(transport.Object(0), echo{0})
+	net.Serve(transport.Object(1), echo{1})
+	conn, _ := net.Register(transport.Reader(0))
+	net.Crash(transport.Object(0))
+	if !net.Crashed(transport.Object(0)) {
+		t.Error("Crashed must report true")
+	}
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+	conn.Send(transport.Object(1), wire.BaselineReadReq{Attempt: 1})
+	m, err := conn.Recv(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != transport.Object(1) {
+		t.Errorf("reply from %v, want object1", m.From)
+	}
+}
+
+func TestDelayDelivers(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	net.Serve(transport.Object(0), echo{0})
+	net.SetDelay(func(_, _ transport.NodeID) time.Duration { return 5 * time.Millisecond })
+	conn, _ := net.Register(transport.Reader(0))
+	start := time.Now()
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+	if _, err := conn.Recv(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 10*time.Millisecond {
+		t.Errorf("round trip %v, want ≥ 10ms (two delayed hops)", e)
+	}
+}
+
+func TestTapSeesAllTraffic(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	var mu sync.Mutex
+	count := 0
+	net.AddTap(transport.TapFunc(func(_, _ transport.NodeID, _ wire.Msg) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}))
+	net.Serve(transport.Object(0), echo{0})
+	conn, _ := net.Register(transport.Reader(0))
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+	if _, err := conn.Recv(ctx(t)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 2 { // request + reply
+		t.Errorf("tap saw %d messages, want 2", count)
+	}
+}
+
+func TestNoReplyHandler(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	net.Serve(transport.Object(0), silent{})
+	conn, _ := net.Register(transport.Reader(0))
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := conn.Recv(short); err == nil {
+		t.Error("silent handler must produce no reply")
+	}
+}
+
+func TestRecvAfterClose(t *testing.T) {
+	net := memnet.New()
+	conn, _ := net.Register(transport.Reader(0))
+	net.Close()
+	if _, err := conn.Recv(context.Background()); err == nil {
+		t.Error("Recv after Close must error")
+	}
+	// Sends after close are silently dropped (no panic).
+	conn.Send(transport.Object(0), wire.BaselineReadReq{})
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	// A mutable payload sent through the network must not alias the
+	// receiver's copy — Byzantine handlers must not corrupt honest state.
+	net := memnet.New()
+	defer net.Close()
+	got := make(chan wire.BaselineWriteReq, 1)
+	net.Serve(transport.Object(0), transport.HandlerFunc(func(_ transport.NodeID, m wire.Msg) (wire.Msg, bool) {
+		req := m.(wire.BaselineWriteReq)
+		got <- req
+		return nil, false
+	}))
+	conn, _ := net.Register(transport.Writer())
+	val := types.Value("mutable")
+	conn.Send(transport.Object(0), wire.BaselineWriteReq{TS: 1, Val: val})
+	val[0] = 'X' // sender mutates after sending
+	select {
+	case req := <-got:
+		if req.Val[0] == 'X' {
+			t.Error("payload aliased across the network boundary")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never invoked")
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	for i := 0; i < 4; i++ {
+		net.Serve(transport.Object(types.ObjectID(i)), echo{types.ObjectID(i)})
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < 16; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			conn, err := net.Register(transport.Reader(types.ReaderID(j)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for k := 0; k < 50; k++ {
+				conn.Send(transport.Object(types.ObjectID(k%4)), wire.BaselineReadReq{Attempt: k})
+				if _, err := conn.Recv(ctx(t)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+package simnet_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/simnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// echoHandler replies to every BaselineReadReq with its object ID.
+type echoHandler struct{ id types.ObjectID }
+
+func (h echoHandler) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	if m, ok := req.(wire.BaselineReadReq); ok {
+		return wire.BaselineReadAck{ObjectID: h.id, Attempt: m.Attempt}, true
+	}
+	return nil, false
+}
+
+func TestRequestReply(t *testing.T) {
+	net := simnet.New(nil)
+	defer net.Close()
+	for i := 0; i < 3; i++ {
+		if err := net.Serve(transport.Object(types.ObjectID(i)), echoHandler{types.ObjectID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []types.ObjectID
+	task := net.Go(func() error {
+		for i := 0; i < 3; i++ {
+			conn.Send(transport.Object(types.ObjectID(i)), wire.BaselineReadReq{Attempt: 1})
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for len(got) < 3 {
+			m, err := conn.Recv(ctx)
+			if err != nil {
+				return err
+			}
+			got = append(got, m.Payload.(wire.BaselineReadAck).ObjectID)
+		}
+		return nil
+	})
+	net.Run()
+	if !task.Done() {
+		t.Fatal("task did not complete")
+	}
+	if err := task.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d replies, want 3", len(got))
+	}
+}
+
+func TestFIFODeterminism(t *testing.T) {
+	// The same program must produce the same delivery order every time.
+	run := func() []types.ObjectID {
+		net := simnet.New(simnet.FIFO())
+		defer net.Close()
+		for i := 0; i < 5; i++ {
+			net.Serve(transport.Object(types.ObjectID(i)), echoHandler{types.ObjectID(i)})
+		}
+		conn, _ := net.Register(transport.Reader(0))
+		var order []types.ObjectID
+		task := net.Go(func() error {
+			for i := 4; i >= 0; i-- {
+				conn.Send(transport.Object(types.ObjectID(i)), wire.BaselineReadReq{Attempt: 1})
+			}
+			ctx := context.Background()
+			for len(order) < 5 {
+				m, err := conn.Recv(ctx)
+				if err != nil {
+					return err
+				}
+				order = append(order, m.Payload.(wire.BaselineReadAck).ObjectID)
+			}
+			return nil
+		})
+		net.Run()
+		if !task.Done() {
+			t.Fatal("stalled")
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("non-deterministic delivery: %v vs %v", got, first)
+		}
+	}
+	// FIFO must deliver in send order: 4,3,2,1,0.
+	want := []types.ObjectID{4, 3, 2, 1, 0}
+	if fmt.Sprint(first) != fmt.Sprint(want) {
+		t.Fatalf("FIFO order = %v, want %v", first, want)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed int64) []types.ObjectID {
+		net := simnet.New(simnet.Seeded(seed))
+		defer net.Close()
+		for i := 0; i < 5; i++ {
+			net.Serve(transport.Object(types.ObjectID(i)), echoHandler{types.ObjectID(i)})
+		}
+		conn, _ := net.Register(transport.Reader(0))
+		var order []types.ObjectID
+		task := net.Go(func() error {
+			for i := 0; i < 5; i++ {
+				conn.Send(transport.Object(types.ObjectID(i)), wire.BaselineReadReq{Attempt: 1})
+			}
+			for len(order) < 5 {
+				m, err := conn.Recv(context.Background())
+				if err != nil {
+					return err
+				}
+				order = append(order, m.Payload.(wire.BaselineReadAck).ObjectID)
+			}
+			return nil
+		})
+		net.Run()
+		if !task.Done() {
+			t.Fatal("stalled")
+		}
+		return order
+	}
+	if fmt.Sprint(run(7)) != fmt.Sprint(run(7)) {
+		t.Fatal("same seed produced different orders")
+	}
+}
+
+func TestBlockHoldsMessagesInTransit(t *testing.T) {
+	net := simnet.New(nil)
+	defer net.Close()
+	net.Serve(transport.Object(0), echoHandler{0})
+	conn, _ := net.Register(transport.Reader(0))
+	reader := transport.Reader(0)
+	net.Block(reader, transport.Object(0))
+
+	var got int
+	task := net.Go(func() error {
+		conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+		m, err := conn.Recv(context.Background())
+		if err != nil {
+			return err
+		}
+		got = int(m.Payload.(wire.BaselineReadAck).ObjectID)
+		return nil
+	})
+	net.Run()
+	if task.Done() {
+		t.Fatal("task finished despite blocked link")
+	}
+	if n := len(net.InTransit()); n != 1 {
+		t.Fatalf("in transit = %d, want 1", n)
+	}
+	net.Unblock(reader, transport.Object(0))
+	net.Run()
+	if !task.Done() {
+		t.Fatal("task did not finish after unblock")
+	}
+	_ = got
+}
+
+func TestCrashDiscardsTraffic(t *testing.T) {
+	net := simnet.New(nil)
+	defer net.Close()
+	net.Serve(transport.Object(0), echoHandler{0})
+	net.Serve(transport.Object(1), echoHandler{1})
+	conn, _ := net.Register(transport.Reader(0))
+	net.Crash(transport.Object(0))
+
+	var from types.ObjectID
+	task := net.Go(func() error {
+		conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+		conn.Send(transport.Object(1), wire.BaselineReadReq{Attempt: 1})
+		m, err := conn.Recv(context.Background())
+		if err != nil {
+			return err
+		}
+		from = m.Payload.(wire.BaselineReadAck).ObjectID
+		return nil
+	})
+	net.Run()
+	if !task.Done() {
+		t.Fatal("stalled")
+	}
+	if from != 1 {
+		t.Fatalf("reply from %d, want 1 (object 0 crashed)", from)
+	}
+}
+
+func TestTwoClientsInterleave(t *testing.T) {
+	net := simnet.New(nil)
+	defer net.Close()
+	net.Serve(transport.Object(0), echoHandler{0})
+	c1, _ := net.Register(transport.Reader(0))
+	c2, _ := net.Register(transport.Reader(1))
+	mk := func(conn transport.Conn) func() error {
+		return func() error {
+			conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+			_, err := conn.Recv(context.Background())
+			return err
+		}
+	}
+	t1 := net.Go(mk(c1))
+	t2 := net.Go(mk(c2))
+	net.Run()
+	if !t1.Done() || !t2.Done() {
+		t.Fatal("clients stalled")
+	}
+}

@@ -1,0 +1,294 @@
+// Package tcpnet runs the protocols over real TCP sockets: each base
+// object listens on its own address, clients keep one connection per
+// object and exchange gob-encoded frames. It implements the same
+// transport interfaces as memnet and simnet, so every client in this
+// repository runs over it unchanged — the cmd/robustread demo and the
+// integration tests use it for end-to-end realism.
+package tcpnet
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// frame is the on-wire unit: the sender's identity and the payload.
+type frame struct {
+	From    transport.NodeID
+	Payload interface{}
+}
+
+// Net assembles TCP endpoints. Objects are served with Serve (each gets
+// its own listener); clients Register and dial objects lazily.
+type Net struct {
+	mu        sync.Mutex
+	addrs     map[transport.NodeID]string
+	listeners map[transport.NodeID]net.Listener
+	conns     []*conn
+	taps      []transport.Tap
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New returns an empty TCP network on loopback.
+func New() *Net {
+	return &Net{
+		addrs:     make(map[transport.NodeID]string),
+		listeners: make(map[transport.NodeID]net.Listener),
+	}
+}
+
+// AddTap registers a message observer (applied on the client side to
+// outgoing requests and incoming replies).
+func (n *Net) AddTap(t transport.Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = append(n.taps, t)
+}
+
+func (n *Net) tapAll(from, to transport.NodeID, payload wire.Msg) {
+	n.mu.Lock()
+	taps := append([]transport.Tap(nil), n.taps...)
+	n.mu.Unlock()
+	for _, t := range taps {
+		t.OnMessage(from, to, payload)
+	}
+}
+
+// Serve starts a listener for object id and handles each accepted
+// connection with h. Requests on one connection are processed in order;
+// the object's Handler must be safe for concurrent use across
+// connections (all objects in this repository are).
+func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("tcpnet: listen for %v: %w", id, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return transport.ErrClosed
+	}
+	if _, dup := n.addrs[id]; dup {
+		n.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("tcpnet: %v already served", id)
+	}
+	n.addrs[id] = ln.Addr().String()
+	n.listeners[id] = ln
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.serveConn(id, h, c)
+			}()
+		}
+	}()
+	return nil
+}
+
+func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return // EOF or peer gone
+		}
+		payload, ok := f.Payload.(wire.Msg)
+		if !ok {
+			continue
+		}
+		reply, send := h.Handle(f.From, payload)
+		if !send {
+			continue
+		}
+		if err := enc.Encode(frame{From: id, Payload: reply}); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the listen address of a served object (tests and demos).
+func (n *Net) Addr(id transport.NodeID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.addrs[id]
+	return a, ok
+}
+
+// Register creates a client endpoint that dials objects on demand.
+func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	c := &conn{
+		net:      n,
+		id:       id,
+		peers:    make(map[transport.NodeID]*peer),
+		inbox:    make(chan transport.Message, 1024),
+		closedCh: make(chan struct{}),
+	}
+	n.conns = append(n.conns, c)
+	return c, nil
+}
+
+// Close shuts down all listeners and client connections.
+func (n *Net) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	lns := n.listeners
+	conns := n.conns
+	n.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// peer is one client→object TCP connection.
+type peer struct {
+	mu  sync.Mutex // serializes encoder writes
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// conn is a client endpoint.
+type conn struct {
+	net      *Net
+	id       transport.NodeID
+	mu       sync.Mutex
+	peers    map[transport.NodeID]*peer
+	inbox    chan transport.Message
+	closedCh chan struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ID returns the owning node's ID.
+func (c *conn) ID() transport.NodeID { return c.id }
+
+// Send dials to (once) and writes the frame. Failures are silent: in
+// the asynchronous model an undeliverable message is simply forever in
+// transit.
+func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
+	p, err := c.peerFor(to)
+	if err != nil {
+		return
+	}
+	c.net.tapAll(c.id, to, payload)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.enc.Encode(frame{From: c.id, Payload: payload})
+}
+
+func (c *conn) peerFor(to transport.NodeID) (*peer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, transport.ErrClosed
+	}
+	if p, ok := c.peers[to]; ok {
+		return p, nil
+	}
+	c.net.mu.Lock()
+	addr, ok := c.net.addrs[to]
+	c.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for %v", to)
+	}
+	sock, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %v: %w", to, err)
+	}
+	p := &peer{c: sock, enc: gob.NewEncoder(sock)}
+	c.peers[to] = p
+	c.wg.Add(1)
+	go c.readLoop(to, sock)
+	return p, nil
+}
+
+// readLoop pushes replies from one object connection into the inbox.
+func (c *conn) readLoop(from transport.NodeID, sock net.Conn) {
+	defer c.wg.Done()
+	dec := gob.NewDecoder(sock)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection dropped mid-frame; the model treats the
+				// remaining traffic as in transit forever.
+				_ = err
+			}
+			return
+		}
+		payload, ok := f.Payload.(wire.Msg)
+		if !ok {
+			continue
+		}
+		c.net.tapAll(f.From, c.id, payload)
+		select {
+		case c.inbox <- transport.Message{From: f.From, Payload: payload}:
+		case <-c.closedCh:
+			return
+		}
+	}
+}
+
+// Recv returns the next delivered reply.
+func (c *conn) Recv(ctx context.Context) (transport.Message, error) {
+	select {
+	case m := <-c.inbox:
+		return m, nil
+	case <-ctx.Done():
+		return transport.Message{}, ctx.Err()
+	case <-c.closedCh:
+		return transport.Message{}, transport.ErrClosed
+	}
+}
+
+// Close tears down all object connections.
+func (c *conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closedCh)
+	peers := c.peers
+	c.mu.Unlock()
+	for _, p := range peers {
+		p.c.Close()
+	}
+	c.wg.Wait()
+	return nil
+}

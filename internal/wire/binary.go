@@ -1,0 +1,404 @@
+package wire
+
+// A hand-rolled compact binary codec for the protocol messages, as an
+// alternative to gob. gob is self-describing and pays a per-message
+// type-dictionary cost that dominates the small control messages these
+// protocols exchange; the compact codec writes a one-byte tag followed
+// by varint-packed fields. BenchmarkCodecComparison (binary_test.go)
+// quantifies the difference; integrators embedding the library in a
+// bandwidth-sensitive deployment can frame connections with
+// EncodeCompact/DecodeCompact instead of Encode/Decode — both sides of
+// every message type round-trip exactly.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Message tags. Stable on-wire values: append only.
+const (
+	tagPWReq byte = iota + 1
+	tagPWAck
+	tagWReq
+	tagWAck
+	tagReadReq
+	tagReadAck
+	tagReadAckHist
+	tagBaselineWriteReq
+	tagBaselineWriteAck
+	tagBaselineReadReq
+	tagBaselineReadAck
+	tagPairsReadAck
+	tagSubscribeReq
+	tagPushState
+)
+
+// enc is a little append-only writer with varint packing.
+type enc struct{ buf bytes.Buffer }
+
+func (e *enc) u(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *enc) i(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *enc) bytes(b []byte) {
+	e.u(uint64(len(b)))
+	e.buf.Write(b)
+}
+
+// optBytes distinguishes nil (⊥) from empty.
+func (e *enc) optBytes(b []byte) {
+	if b == nil {
+		e.buf.WriteByte(0)
+		return
+	}
+	e.buf.WriteByte(1)
+	e.bytes(b)
+}
+
+func (e *enc) tsval(tv types.TSVal) {
+	e.i(int64(tv.TS))
+	e.optBytes(tv.Val)
+}
+
+func (e *enc) tsrVector(v types.TSRVector) {
+	if v == nil {
+		e.buf.WriteByte(0)
+		return
+	}
+	e.buf.WriteByte(1)
+	e.u(uint64(len(v)))
+	for _, r := range v {
+		e.i(int64(r))
+	}
+}
+
+func (e *enc) tsrMatrix(m types.TSRMatrix) {
+	ids := make([]types.ObjectID, 0, len(m))
+	for id, vec := range m {
+		if vec != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	e.u(uint64(len(ids)))
+	for _, id := range ids {
+		e.i(int64(id))
+		e.tsrVector(m[id])
+	}
+}
+
+func (e *enc) wtuple(w types.WTuple) {
+	e.tsval(w.TSVal)
+	e.tsrMatrix(w.TSR)
+}
+
+func (e *enc) history(h types.History) {
+	tss := h.Timestamps()
+	e.u(uint64(len(tss)))
+	for _, ts := range tss {
+		entry := h[ts]
+		e.i(int64(ts))
+		e.tsval(entry.PW)
+		if entry.W == nil {
+			e.buf.WriteByte(0)
+		} else {
+			e.buf.WriteByte(1)
+			e.wtuple(*entry.W)
+		}
+	}
+}
+
+// dec is the matching reader; the first error sticks.
+type dec struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (d *dec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *dec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+	}
+	return b
+}
+
+// maxLen caps length prefixes: a Byzantine peer must not make us
+// allocate unbounded memory from a tiny frame.
+const maxLen = 1 << 26
+
+func (d *dec) bytesN() []byte {
+	n := d.u()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen || int64(n) > int64(d.r.Len()) {
+		d.err = fmt.Errorf("wire: length %d exceeds frame", n)
+		return nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(d.r, out); err != nil {
+		d.err = err
+		return nil
+	}
+	return out
+}
+
+func (d *dec) optBytes() []byte {
+	if d.byte() == 0 {
+		return nil
+	}
+	return d.bytesN()
+}
+
+func (d *dec) tsval() types.TSVal {
+	ts := types.TS(d.i())
+	return types.TSVal{TS: ts, Val: d.optBytes()}
+}
+
+func (d *dec) tsrVector() types.TSRVector {
+	if d.byte() == 0 {
+		return nil
+	}
+	n := d.u()
+	// Each entry is at least one varint byte, so a count above the
+	// remaining frame is provably bogus — reject before allocating.
+	if d.err != nil || n > maxLen || int64(n) > int64(d.r.Len()) {
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: vector length %d", n)
+		}
+		return nil
+	}
+	out := make(types.TSRVector, n)
+	for i := range out {
+		out[i] = types.ReaderTS(d.i())
+	}
+	return out
+}
+
+func (d *dec) tsrMatrix() types.TSRMatrix {
+	n := d.u()
+	if d.err != nil || n > maxLen || int64(n) > int64(d.r.Len()) {
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: matrix length %d", n)
+		}
+		return nil
+	}
+	m := types.NewTSRMatrix()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		id := types.ObjectID(d.i())
+		m[id] = d.tsrVector()
+	}
+	return m
+}
+
+func (d *dec) wtuple() types.WTuple {
+	return types.WTuple{TSVal: d.tsval(), TSR: d.tsrMatrix()}
+}
+
+func (d *dec) history() types.History {
+	n := d.u()
+	if d.err != nil || n > maxLen || int64(n) > int64(d.r.Len()) {
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: history length %d", n)
+		}
+		return nil
+	}
+	h := make(types.History) // grows on demand; n is attacker-controlled
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		ts := types.TS(d.i())
+		entry := types.HistEntry{PW: d.tsval()}
+		if d.byte() == 1 {
+			w := d.wtuple()
+			entry.W = &w
+		}
+		h[ts] = entry
+	}
+	return h
+}
+
+// EncodeCompact serializes a message with the compact codec.
+func EncodeCompact(m Msg) ([]byte, error) {
+	var e enc
+	switch v := m.(type) {
+	case PWReq:
+		e.buf.WriteByte(tagPWReq)
+		e.i(int64(v.TS))
+		e.tsval(v.PW)
+		e.wtuple(v.W)
+	case PWAck:
+		e.buf.WriteByte(tagPWAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.TS))
+		e.tsrVector(v.TSR)
+	case WReq:
+		e.buf.WriteByte(tagWReq)
+		e.i(int64(v.TS))
+		e.tsval(v.PW)
+		e.wtuple(v.W)
+	case WAck:
+		e.buf.WriteByte(tagWAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.TS))
+	case ReadReq:
+		e.buf.WriteByte(tagReadReq)
+		e.i(int64(v.Round))
+		e.i(int64(v.Reader))
+		e.i(int64(v.TSR))
+		e.i(int64(v.CacheTS))
+	case ReadAck:
+		e.buf.WriteByte(tagReadAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Round))
+		e.i(int64(v.TSR))
+		e.tsval(v.PW)
+		e.wtuple(v.W)
+	case ReadAckHist:
+		e.buf.WriteByte(tagReadAckHist)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Round))
+		e.i(int64(v.TSR))
+		e.history(v.History)
+	case BaselineWriteReq:
+		e.buf.WriteByte(tagBaselineWriteReq)
+		e.i(int64(v.TS))
+		e.optBytes(v.Val)
+		e.bytes(v.Sig)
+	case BaselineWriteAck:
+		e.buf.WriteByte(tagBaselineWriteAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.TS))
+	case BaselineReadReq:
+		e.buf.WriteByte(tagBaselineReadReq)
+		e.i(int64(v.Attempt))
+		e.i(int64(v.Reader))
+	case BaselineReadAck:
+		e.buf.WriteByte(tagBaselineReadAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Attempt))
+		e.i(int64(v.TS))
+		e.optBytes(v.Val)
+		e.bytes(v.Sig)
+	case PairsReadAck:
+		e.buf.WriteByte(tagPairsReadAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Attempt))
+		e.tsval(v.PW)
+		e.tsval(v.W)
+	case SubscribeReq:
+		e.buf.WriteByte(tagSubscribeReq)
+		e.i(int64(v.Reader))
+		e.i(v.Seq)
+	case PushState:
+		e.buf.WriteByte(tagPushState)
+		e.i(int64(v.ObjectID))
+		e.i(v.Seq)
+		e.i(int64(v.TS))
+		e.optBytes(v.Val)
+		if v.Echo {
+			e.buf.WriteByte(1)
+		} else {
+			e.buf.WriteByte(0)
+		}
+	default:
+		return nil, fmt.Errorf("wire: compact codec: unknown message %T", m)
+	}
+	return e.buf.Bytes(), nil
+}
+
+// DecodeCompact deserializes a message produced by EncodeCompact.
+func DecodeCompact(data []byte) (Msg, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("wire: compact codec: empty frame")
+	}
+	d := &dec{r: bytes.NewReader(data[1:])}
+	var m Msg
+	switch data[0] {
+	case tagPWReq:
+		m = PWReq{TS: types.TS(d.i()), PW: d.tsval(), W: d.wtuple()}
+	case tagPWAck:
+		m = PWAck{ObjectID: types.ObjectID(d.i()), TS: types.TS(d.i()), TSR: d.tsrVector()}
+	case tagWReq:
+		m = WReq{TS: types.TS(d.i()), PW: d.tsval(), W: d.wtuple()}
+	case tagWAck:
+		m = WAck{ObjectID: types.ObjectID(d.i()), TS: types.TS(d.i())}
+	case tagReadReq:
+		m = ReadReq{Round: Round(d.i()), Reader: types.ReaderID(d.i()), TSR: types.ReaderTS(d.i()), CacheTS: types.TS(d.i())}
+	case tagReadAck:
+		m = ReadAck{ObjectID: types.ObjectID(d.i()), Round: Round(d.i()), TSR: types.ReaderTS(d.i()), PW: d.tsval(), W: d.wtuple()}
+	case tagReadAckHist:
+		m = ReadAckHist{ObjectID: types.ObjectID(d.i()), Round: Round(d.i()), TSR: types.ReaderTS(d.i()), History: d.history()}
+	case tagBaselineWriteReq:
+		m = BaselineWriteReq{TS: types.TS(d.i()), Val: d.optBytes(), Sig: d.bytesN()}
+	case tagBaselineWriteAck:
+		m = BaselineWriteAck{ObjectID: types.ObjectID(d.i()), TS: types.TS(d.i())}
+	case tagBaselineReadReq:
+		m = BaselineReadReq{Attempt: int(d.i()), Reader: types.ReaderID(d.i())}
+	case tagBaselineReadAck:
+		m = BaselineReadAck{ObjectID: types.ObjectID(d.i()), Attempt: int(d.i()), TS: types.TS(d.i()), Val: d.optBytes(), Sig: d.bytesN()}
+	case tagPairsReadAck:
+		m = PairsReadAck{ObjectID: types.ObjectID(d.i()), Attempt: int(d.i()), PW: d.tsval(), W: d.tsval()}
+	case tagSubscribeReq:
+		m = SubscribeReq{Reader: types.ReaderID(d.i()), Seq: d.i()}
+	case tagPushState:
+		m = PushState{ObjectID: types.ObjectID(d.i()), Seq: d.i(), TS: types.TS(d.i()), Val: d.optBytes(), Echo: d.byte() == 1}
+	default:
+		return nil, fmt.Errorf("wire: compact codec: unknown tag %d", data[0])
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: compact codec: %w", d.err)
+	}
+	if d.r.Len() != 0 {
+		return nil, fmt.Errorf("wire: compact codec: %d trailing bytes", d.r.Len())
+	}
+	return m, nil
+}
+
+// CompactSize returns the compact-codec size of a message in bytes
+// (math.MaxInt for unencodable messages, which cannot happen for
+// well-formed payloads).
+func CompactSize(m Msg) int {
+	data, err := EncodeCompact(m)
+	if err != nil {
+		return math.MaxInt
+	}
+	return len(data)
+}

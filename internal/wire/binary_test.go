@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"math/rand"
+
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// msgEqual deep-compares two messages using the domain equality of the
+// payload types (gob/compact round-trips may turn empty maps into nil).
+func msgEqual(a, b Msg) bool {
+	switch x := a.(type) {
+	case PWReq:
+		y, ok := b.(PWReq)
+		return ok && x.TS == y.TS && x.PW.Equal(y.PW) && x.W.Equal(y.W)
+	case PWAck:
+		y, ok := b.(PWAck)
+		return ok && x.ObjectID == y.ObjectID && x.TS == y.TS && x.TSR.Equal(y.TSR)
+	case WReq:
+		y, ok := b.(WReq)
+		return ok && x.TS == y.TS && x.PW.Equal(y.PW) && x.W.Equal(y.W)
+	case WAck:
+		y, ok := b.(WAck)
+		return ok && x == y
+	case ReadReq:
+		y, ok := b.(ReadReq)
+		return ok && x == y
+	case ReadAck:
+		y, ok := b.(ReadAck)
+		return ok && x.ObjectID == y.ObjectID && x.Round == y.Round && x.TSR == y.TSR &&
+			x.PW.Equal(y.PW) && x.W.Equal(y.W)
+	case ReadAckHist:
+		y, ok := b.(ReadAckHist)
+		if !ok || x.ObjectID != y.ObjectID || x.Round != y.Round || x.TSR != y.TSR {
+			return false
+		}
+		if len(x.History) != len(y.History) {
+			return false
+		}
+		for ts, e := range x.History {
+			if !e.Equal(y.History[ts]) {
+				return false
+			}
+		}
+		return true
+	case BaselineWriteReq:
+		y, ok := b.(BaselineWriteReq)
+		return ok && x.TS == y.TS && x.Val.Equal(y.Val) && string(x.Sig) == string(y.Sig)
+	case BaselineWriteAck:
+		y, ok := b.(BaselineWriteAck)
+		return ok && x == y
+	case BaselineReadReq:
+		y, ok := b.(BaselineReadReq)
+		return ok && x == y
+	case BaselineReadAck:
+		y, ok := b.(BaselineReadAck)
+		return ok && x.ObjectID == y.ObjectID && x.Attempt == y.Attempt && x.TS == y.TS &&
+			x.Val.Equal(y.Val) && string(x.Sig) == string(y.Sig)
+	case PairsReadAck:
+		y, ok := b.(PairsReadAck)
+		return ok && x.ObjectID == y.ObjectID && x.Attempt == y.Attempt &&
+			x.PW.Equal(y.PW) && x.W.Equal(y.W)
+	case SubscribeReq:
+		y, ok := b.(SubscribeReq)
+		return ok && x == y
+	case PushState:
+		y, ok := b.(PushState)
+		return ok && x.ObjectID == y.ObjectID && x.Seq == y.Seq && x.TS == y.TS &&
+			x.Val.Equal(y.Val) && x.Echo == y.Echo
+	}
+	return false
+}
+
+func TestCompactRoundTripAllTypes(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		data, err := EncodeCompact(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		back, err := DecodeCompact(data)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !msgEqual(m, back) {
+			t.Fatalf("%T round-trip mismatch:\n  in:  %+v\n  out: %+v", m, m, back)
+		}
+	}
+}
+
+func TestCompactRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},       // unknown tag
+		{tagPWAck}, // truncated
+		{tagReadAckHist, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // absurd length
+	}
+	for i, data := range cases {
+		if _, err := DecodeCompact(data); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+}
+
+func TestCompactRejectsTrailingBytes(t *testing.T) {
+	data, err := EncodeCompact(WAck{ObjectID: 1, TS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCompact(append(data, 0xAB)); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+func TestCompactSmallerThanGob(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		gobSize := EncodedSize(m)
+		compact := CompactSize(m)
+		if compact >= gobSize {
+			t.Errorf("%T: compact %dB not smaller than gob %dB", m, compact, gobSize)
+		}
+	}
+}
+
+func TestCompactBottomVsEmptyValue(t *testing.T) {
+	// ⊥ (nil) and an empty value are semantically distinct and must
+	// survive the round trip distinctly.
+	for _, val := range []types.Value{nil, {}} {
+		m := BaselineReadAck{ObjectID: 1, TS: 2, Val: val, Sig: []byte{}}
+		data, err := EncodeCompact(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeCompact(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := back.(BaselineReadAck).Val
+		if got.IsBottom() != val.IsBottom() {
+			t.Errorf("⊥-ness changed: in=%v out=%v", val == nil, got == nil)
+		}
+	}
+}
+
+// randomHistMsg builds a random history-carrying ack.
+func randomHistMsg(rng *rand.Rand) ReadAckHist {
+	h := types.NewHistory()
+	for i := 0; i < rng.Intn(12); i++ {
+		ts := types.TS(rng.Intn(40))
+		m := types.NewTSRMatrix()
+		for k := 0; k < rng.Intn(4); k++ {
+			vec := types.NewTSRVector(1 + rng.Intn(3))
+			for x := range vec {
+				vec[x] = types.ReaderTS(rng.Intn(6)) - 1
+			}
+			m[types.ObjectID(rng.Intn(9))] = vec
+		}
+		w := types.WTuple{TSVal: types.TSVal{TS: ts, Val: types.Value{byte(rng.Intn(256))}}, TSR: m}
+		entry := types.HistEntry{PW: w.TSVal.Clone()}
+		if rng.Intn(2) == 0 {
+			entry.W = &w
+		}
+		h[ts] = entry
+	}
+	return ReadAckHist{
+		ObjectID: types.ObjectID(rng.Intn(12)),
+		Round:    Round(1 + rng.Intn(2)),
+		TSR:      types.ReaderTS(rng.Int63n(1 << 30)),
+		History:  h,
+	}
+}
+
+func TestQuickCompactHistoryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomHistMsg(rng)
+		data, err := EncodeCompact(m)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeCompact(data)
+		if err != nil {
+			return false
+		}
+		return msgEqual(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompactNeverPanicsOnFuzz(t *testing.T) {
+	f := func(data []byte) bool {
+		m, err := DecodeCompact(data)
+		if err == nil && m == nil {
+			return false
+		}
+		if err == nil {
+			// Whatever decoded must re-encode.
+			if _, err := EncodeCompact(m); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCodecComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	small := ReadReq{Round: Round2, Reader: 1, TSR: 12345, CacheTS: 678}
+	big := randomHistMsg(rng)
+	for _, tc := range []struct {
+		name string
+		msg  Msg
+	}{{"small/ReadReq", small}, {"large/ReadAckHist", big}} {
+		b.Run("gob/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := Encode(tc.msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(EncodedSize(tc.msg)), "bytes/msg")
+		})
+		b.Run("compact/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := EncodeCompact(tc.msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := DecodeCompact(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(CompactSize(tc.msg)), "bytes/msg")
+		})
+	}
+}

@@ -1,0 +1,268 @@
+// Package wire defines the messages exchanged between clients and base
+// objects in the protocols of Guerraoui & Vukolić (PODC 2006): the
+// writer's PW and W round messages (Fig. 2), the reader's READ1/READ2
+// round messages (Figs. 4 and 6), and the corresponding acknowledgements
+// from objects (Figs. 3 and 5).
+//
+// The same message set serves the safe protocol, the regular protocol
+// (history-carrying acks), the baselines, and the server-centric
+// extension. Messages are plain data; every payload type is registered
+// with encoding/gob so the TCP transport and the size accounting in
+// EncodedSize work on all of them.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Msg is any protocol message payload.
+type Msg interface{ isMsg() }
+
+// Round identifies a read round: 1 for READ1, 2 for READ2.
+type Round int
+
+// Read rounds.
+const (
+	Round1 Round = 1
+	Round2 Round = 2
+)
+
+// PWReq is the writer's first-round message PW⟨ts, pw, w⟩: it writes the
+// new pw pair (and re-writes the previous complete tuple w) and reads
+// back the object's reader-timestamp vector.
+type PWReq struct {
+	TS types.TS
+	PW types.TSVal
+	W  types.WTuple
+}
+
+// PWAck is the object's PW_ACK⟨ts, tsr⟩ reply carrying its per-reader
+// timestamp vector, which the writer folds into currenttsrarray.
+type PWAck struct {
+	ObjectID types.ObjectID
+	TS       types.TS
+	TSR      types.TSRVector
+}
+
+// WReq is the writer's second-round message W⟨ts, pw, w⟩ installing the
+// complete tuple w = ⟨pw, currenttsrarray⟩.
+type WReq struct {
+	TS types.TS
+	PW types.TSVal
+	W  types.WTuple
+}
+
+// WAck is the object's WRITE_ACK⟨ts⟩ reply.
+type WAck struct {
+	ObjectID types.ObjectID
+	TS       types.TS
+}
+
+// ReadReq is the reader's READk⟨tsr′⟩ message. Readers store their fresh
+// timestamp into the object's tsr[j] field in both rounds. CacheTS
+// implements the §5.1 optimization for the regular protocol: objects
+// ship only the history suffix at or above CacheTS. Safe-protocol
+// readers leave CacheTS at zero.
+type ReadReq struct {
+	Round   Round
+	Reader  types.ReaderID
+	TSR     types.ReaderTS
+	CacheTS types.TS
+}
+
+// ReadAck is the safe object's READk_ACK⟨tsr[j], pw, w⟩ reply (Fig. 3).
+type ReadAck struct {
+	ObjectID types.ObjectID
+	Round    Round
+	TSR      types.ReaderTS
+	PW       types.TSVal
+	W        types.WTuple
+}
+
+// ReadAckHist is the regular object's READk_ACK⟨tsr[j], history⟩ reply
+// (Fig. 5), carrying the write history (possibly a suffix under §5.1).
+type ReadAckHist struct {
+	ObjectID types.ObjectID
+	Round    Round
+	TSR      types.ReaderTS
+	History  types.History
+}
+
+// Baseline messages -------------------------------------------------------
+
+// BaselineWriteReq is the single-round write of the ABD, authenticated
+// and fast-read baselines: store ⟨ts, v⟩ if newer. Sig carries the
+// writer's signature for the authenticated baseline and is empty
+// otherwise.
+type BaselineWriteReq struct {
+	TS  types.TS
+	Val types.Value
+	Sig []byte
+}
+
+// BaselineWriteAck acknowledges a BaselineWriteReq.
+type BaselineWriteAck struct {
+	ObjectID types.ObjectID
+	TS       types.TS
+}
+
+// BaselineReadReq asks an object for its current pair. Attempt
+// distinguishes successive rounds of multi-round baseline reads.
+type BaselineReadReq struct {
+	Attempt int
+	Reader  types.ReaderID
+}
+
+// BaselineReadAck returns the object's current pair (with signature for
+// the authenticated baseline).
+type BaselineReadAck struct {
+	ObjectID types.ObjectID
+	Attempt  int
+	TS       types.TS
+	Val      types.Value
+	Sig      []byte
+}
+
+// PairsReadAck returns both fields of a two-field (pw/w) baseline object
+// to a non-mutating reader: the b+1-round baseline of [1].
+type PairsReadAck struct {
+	ObjectID types.ObjectID
+	Attempt  int
+	PW       types.TSVal
+	W        types.TSVal
+}
+
+// Server-centric messages -------------------------------------------------
+
+// SubscribeReq is a reader's single push-model message (§6): the reader
+// announces a read and servers push state until it can decide.
+type SubscribeReq struct {
+	Reader types.ReaderID
+	Seq    int64
+}
+
+// PushState is an unsolicited server→client or server→server message in
+// the server-centric model carrying the server's current pair.
+type PushState struct {
+	ObjectID types.ObjectID
+	Seq      int64
+	TS       types.TS
+	Val      types.Value
+	Echo     bool // true when relayed between servers
+}
+
+func (PWReq) isMsg()            {}
+func (PWAck) isMsg()            {}
+func (WReq) isMsg()             {}
+func (WAck) isMsg()             {}
+func (ReadReq) isMsg()          {}
+func (ReadAck) isMsg()          {}
+func (ReadAckHist) isMsg()      {}
+func (BaselineWriteReq) isMsg() {}
+func (BaselineWriteAck) isMsg() {}
+func (BaselineReadReq) isMsg()  {}
+func (BaselineReadAck) isMsg()  {}
+func (PairsReadAck) isMsg()     {}
+func (SubscribeReq) isMsg()     {}
+func (PushState) isMsg()        {}
+
+// registerAll makes every payload type known to gob, once, at package
+// load. gob.Register is idempotent for identical concrete types, and the
+// set of messages is closed, so doing this in an init-style var block is
+// safe and keeps callers free of registration boilerplate.
+var _ = func() struct{} {
+	for _, m := range []interface{}{
+		PWReq{}, PWAck{}, WReq{}, WAck{},
+		ReadReq{}, ReadAck{}, ReadAckHist{},
+		BaselineWriteReq{}, BaselineWriteAck{}, BaselineReadReq{}, BaselineReadAck{}, PairsReadAck{},
+		SubscribeReq{}, PushState{},
+	} {
+		gob.Register(m)
+	}
+	return struct{}{}
+}()
+
+// Encode serializes a message with gob (used by the TCP transport and by
+// size accounting).
+func Encode(m Msg) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	wrapped := envelope{Payload: m}
+	if err := enc.Encode(&wrapped); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", m, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a message previously produced by Encode.
+func Decode(data []byte) (Msg, error) {
+	var wrapped envelope
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&wrapped); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	m, ok := wrapped.Payload.(Msg)
+	if !ok {
+		return nil, fmt.Errorf("wire: decoded %T is not a protocol message", wrapped.Payload)
+	}
+	return m, nil
+}
+
+// envelope lets gob carry the interface value with its concrete type.
+type envelope struct {
+	Payload interface{}
+}
+
+// EncodedSize returns the gob-encoded size of a message in bytes; the E7
+// and E8 experiments use it to account message volume. It returns 0 for
+// messages that fail to encode (never the case for well-formed payloads).
+func EncodedSize(m Msg) int {
+	data, err := Encode(m)
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// Clone deep-copies a message so transports can hand independent copies
+// to receivers. Byzantine handlers receive clones and cannot mutate
+// honest state through shared slices or maps.
+func Clone(m Msg) Msg {
+	switch v := m.(type) {
+	case PWReq:
+		return PWReq{TS: v.TS, PW: v.PW.Clone(), W: v.W.Clone()}
+	case PWAck:
+		return PWAck{ObjectID: v.ObjectID, TS: v.TS, TSR: v.TSR.Clone()}
+	case WReq:
+		return WReq{TS: v.TS, PW: v.PW.Clone(), W: v.W.Clone()}
+	case WAck:
+		return v
+	case ReadReq:
+		return v
+	case ReadAck:
+		return ReadAck{ObjectID: v.ObjectID, Round: v.Round, TSR: v.TSR, PW: v.PW.Clone(), W: v.W.Clone()}
+	case ReadAckHist:
+		return ReadAckHist{ObjectID: v.ObjectID, Round: v.Round, TSR: v.TSR, History: v.History.Clone()}
+	case BaselineWriteReq:
+		return BaselineWriteReq{TS: v.TS, Val: v.Val.Clone(), Sig: append([]byte(nil), v.Sig...)}
+	case BaselineWriteAck:
+		return v
+	case BaselineReadReq:
+		return v
+	case BaselineReadAck:
+		return BaselineReadAck{ObjectID: v.ObjectID, Attempt: v.Attempt, TS: v.TS, Val: v.Val.Clone(), Sig: append([]byte(nil), v.Sig...)}
+	case PairsReadAck:
+		return PairsReadAck{ObjectID: v.ObjectID, Attempt: v.Attempt, PW: v.PW.Clone(), W: v.W.Clone()}
+	case SubscribeReq:
+		return v
+	case PushState:
+		return PushState{ObjectID: v.ObjectID, Seq: v.Seq, TS: v.TS, Val: v.Val.Clone(), Echo: v.Echo}
+	default:
+		// Unknown payloads only arise from test doubles; pass through.
+		return m
+	}
+}

@@ -1,0 +1,80 @@
+// Package workload generates the operation sequences driven by the
+// benchmark harness: seeded, reproducible mixes of reads and writes
+// with configurable value sizes and contention patterns.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// OpKind is a generated operation type.
+type OpKind int
+
+// Generated operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// Op is one generated operation; Reader selects which reader performs a
+// read.
+type Op struct {
+	Kind   OpKind
+	Reader types.ReaderID
+	Value  types.Value // writes only
+}
+
+// Spec describes a workload mix.
+type Spec struct {
+	Seed      int64
+	Ops       int
+	ReadFrac  float64 // fraction of reads in (0,1); writes fill the rest
+	Readers   int
+	ValueSize int // bytes per written value (0 means small labels)
+}
+
+// Generate produces the operation sequence for a spec. The first
+// operation is always a write so reads have something to observe.
+func Generate(spec Spec) []Op {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Readers < 1 {
+		spec.Readers = 1
+	}
+	ops := make([]Op, 0, spec.Ops)
+	writeSeq := 0
+	mkValue := func() types.Value {
+		writeSeq++
+		if spec.ValueSize <= 0 {
+			return types.Value(fmt.Sprintf("w%06d", writeSeq))
+		}
+		v := make(types.Value, spec.ValueSize)
+		rng.Read(v)
+		return v
+	}
+	for i := 0; i < spec.Ops; i++ {
+		if i > 0 && rng.Float64() < spec.ReadFrac {
+			ops = append(ops, Op{Kind: OpRead, Reader: types.ReaderID(rng.Intn(spec.Readers))})
+			continue
+		}
+		ops = append(ops, Op{Kind: OpWrite, Value: mkValue()})
+	}
+	return ops
+}
+
+// ReadHeavy returns a 90% read mix.
+func ReadHeavy(seed int64, ops, readers int) []Op {
+	return Generate(Spec{Seed: seed, Ops: ops, ReadFrac: 0.9, Readers: readers})
+}
+
+// WriteHeavy returns a 90% write mix.
+func WriteHeavy(seed int64, ops, readers int) []Op {
+	return Generate(Spec{Seed: seed, Ops: ops, ReadFrac: 0.1, Readers: readers})
+}
+
+// Balanced returns a 50/50 mix.
+func Balanced(seed int64, ops, readers int) []Op {
+	return Generate(Spec{Seed: seed, Ops: ops, ReadFrac: 0.5, Readers: readers})
+}

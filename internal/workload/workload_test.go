@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateReproducible(t *testing.T) {
+	a := Generate(Spec{Seed: 42, Ops: 50, ReadFrac: 0.7, Readers: 3})
+	b := Generate(Spec{Seed: 42, Ops: 50, ReadFrac: 0.7, Readers: 3})
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("same seed must generate the same workload")
+	}
+	c := Generate(Spec{Seed: 43, Ops: 50, ReadFrac: 0.7, Readers: 3})
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenerateFirstOpIsWrite(t *testing.T) {
+	ops := Generate(Spec{Seed: 1, Ops: 10, ReadFrac: 0.99, Readers: 1})
+	if len(ops) != 10 || ops[0].Kind != OpWrite {
+		t.Errorf("first op = %+v", ops[0])
+	}
+}
+
+func TestGenerateMixes(t *testing.T) {
+	count := func(ops []Op) (w, r int) {
+		for _, op := range ops {
+			if op.Kind == OpWrite {
+				w++
+			} else {
+				r++
+			}
+		}
+		return
+	}
+	w, r := count(ReadHeavy(7, 1000, 2))
+	if r <= w {
+		t.Errorf("read-heavy: %d writes vs %d reads", w, r)
+	}
+	w, r = count(WriteHeavy(7, 1000, 2))
+	if w <= r {
+		t.Errorf("write-heavy: %d writes vs %d reads", w, r)
+	}
+	w, r = count(Balanced(7, 1000, 2))
+	if w < 300 || r < 300 {
+		t.Errorf("balanced: %d writes vs %d reads", w, r)
+	}
+}
+
+func TestGenerateValueSize(t *testing.T) {
+	ops := Generate(Spec{Seed: 1, Ops: 20, ReadFrac: 0, ValueSize: 64})
+	for _, op := range ops {
+		if op.Kind == OpWrite && len(op.Value) != 64 {
+			t.Fatalf("value size = %d, want 64", len(op.Value))
+		}
+	}
+}
+
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw, readersRaw uint8, frac float64) bool {
+		spec := Spec{
+			Seed:     seed,
+			Ops:      int(opsRaw % 100),
+			ReadFrac: frac - float64(int(frac)), // into [0,1)
+			Readers:  int(readersRaw%4) + 1,
+		}
+		if spec.ReadFrac < 0 {
+			spec.ReadFrac = -spec.ReadFrac
+		}
+		ops := Generate(spec)
+		if len(ops) != spec.Ops {
+			return false
+		}
+		for i, op := range ops {
+			switch op.Kind {
+			case OpWrite:
+				if op.Value == nil {
+					return false
+				}
+			case OpRead:
+				if i == 0 {
+					return false // first op is always a write
+				}
+				if int(op.Reader) < 0 || int(op.Reader) >= spec.Readers {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
