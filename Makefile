@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race fmt fmt-check bench demo clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench runs every benchmark once as a smoke check and regenerates the
+# store perf-trajectory file BENCH_store.json (single-register vs.
+# sharded vs. batched, ops/s and rounds-per-read).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) run ./cmd/benchharness -store -out BENCH_store.json
+
+demo:
+	$(GO) run ./examples/kvstore
+
+clean:
+	rm -f BENCH_store.json

@@ -157,6 +157,48 @@ func BenchmarkE10Resilience(b *testing.B) {
 	}
 }
 
+// Store benchmarks: the sharded multi-register keyspace, single vs.
+// sharded vs. batched (the BENCH_store.json grid; cmd/benchharness
+// -store regenerates the recorded file).
+
+func BenchmarkStoreSingleRegisterBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunSingleRegisterBench(1, 1, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/s")
+	}
+}
+
+func BenchmarkStoreScenarios(b *testing.B) {
+	for _, sc := range harness.StoreScenarios() {
+		b.Run(sc.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunStoreBench(sc.Name, sc.Spec, 64, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.OpsPerSec, "ops/s")
+				if res.RoundsPerRead > 2 {
+					b.Fatalf("read exceeded 2 rounds: %+v", res)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreByzantineShards(b *testing.B) {
+	spec := harness.StoreSpec{T: 1, B: 1, Shards: 2, ReadersPerShard: 4, ByzPerShard: 1, Batched: true}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunStoreBench("byz", spec, 32, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/s")
+	}
+}
+
 // Component micro-benchmarks.
 
 func BenchmarkProposition1Replay(b *testing.B) {

@@ -1,16 +1,22 @@
 // Command benchharness regenerates every experiment table of the
 // reproduction (E1–E10 in DESIGN.md) and prints them in the format
-// recorded in EXPERIMENTS.md.
+// recorded in EXPERIMENTS.md. With -store it instead runs the sharded
+// multi-register store experiment — single-register baseline vs.
+// sharded vs. batched, over memnet and tcpnet — and writes the rows to
+// a JSON file (-out, default BENCH_store.json).
 //
 // Usage:
 //
 //	benchharness [-quick] [-only E4] [-t 2] [-b 1]
+//	benchharness -store [-quick] [-writers 64] [-out BENCH_store.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -26,7 +32,14 @@ func run() int {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4); empty = all")
 	t := flag.Int("t", 2, "fault budget t for single-point experiments")
 	b := flag.Int("b", 1, "Byzantine budget b for single-point experiments")
+	storeMode := flag.Bool("store", false, "run the sharded store experiment instead of E1–E10")
+	writers := flag.Int("writers", 64, "concurrent single-key writers in -store mode")
+	out := flag.String("out", "BENCH_store.json", "output file for -store results")
 	flag.Parse()
+
+	if *storeMode {
+		return runStore(*quick, *writers, *out)
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(strings.ToUpper(*only), ",") {
@@ -103,4 +116,66 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runStore runs the multi-register store experiment and writes the
+// perf-trajectory file: ops/s and rounds-per-read for the
+// single-register baseline vs. sharded vs. batched deployments, with
+// the tcpnet batched-vs-unbatched pair at the full writer count.
+func runStore(quick bool, writers int, out string) int {
+	// The experiment measures transport amortization, not collector
+	// behaviour: relax GC so allocation churn from 64 concurrent
+	// protocol clients doesn't dominate either side of the comparison.
+	debug.SetGCPercent(400)
+	opsPerWriter := 48
+	baselineOps := 512
+	if quick {
+		opsPerWriter = 16
+		baselineOps = 128
+	}
+
+	var results []harness.StoreBenchResult
+	single, err := harness.RunSingleRegisterBench(1, 1, baselineOps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "store bench: single-register: %v\n", err)
+		return 1
+	}
+	results = append(results, single)
+
+	for _, sc := range harness.StoreScenarios() {
+		res, err := harness.RunStoreBench(sc.Name, sc.Spec, writers, opsPerWriter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store bench: %s: %v\n", sc.Name, err)
+			return 1
+		}
+		results = append(results, res)
+	}
+
+	fmt.Printf("%-22s %-8s %8s %12s %14s %15s\n", "scenario", "net", "writers", "ops", "ops/s", "rounds/read")
+	var tcpPlain, tcpBatched float64
+	for _, r := range results {
+		fmt.Printf("%-22s %-8s %8d %12d %14.0f %15.2f\n", r.Name, r.Transport, r.Writers, r.Ops, r.OpsPerSec, r.RoundsPerRead)
+		if r.Transport == "tcpnet" && r.Writers > 1 {
+			if r.Batched {
+				tcpBatched = r.OpsPerSec
+			} else {
+				tcpPlain = r.OpsPerSec
+			}
+		}
+	}
+	if tcpPlain > 0 {
+		fmt.Printf("tcpnet batched/unbatched speedup at %d writers: %.2fx\n", writers, tcpBatched/tcpPlain)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d scenarios)\n", out, len(results))
+	return 0
 }

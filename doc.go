@@ -9,8 +9,18 @@
 // (internal/lowerbound), the baselines the paper positions itself
 // against (internal/baseline), the §6 server-centric model
 // (internal/servercentric), and three interchangeable transports
-// (internal/transport/...). See README.md for the map, DESIGN.md for
-// the system inventory, and EXPERIMENTS.md for the reproduction
-// results. bench_test.go in this directory regenerates every
-// experiment via `go test -bench`.
+// (internal/transport/...).
+//
+// Beyond the reproduction, the store package (backed by
+// internal/store) scales the single register into a sharded
+// multi-register keyspace — string keys consistent-hashed onto
+// independent base-object clusters, one register automaton per key per
+// object — and internal/transport/batch adds the batched hot path that
+// coalesces concurrent in-flight ops to the same base object into one
+// multi-op frame on both the in-memory and the TCP transport.
+//
+// See README.md for the map and how to run the examples and
+// benchmarks. bench_test.go in this directory regenerates every
+// experiment via `go test -bench`; BENCH_store.json records the store
+// throughput trajectory.
 package repro

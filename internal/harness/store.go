@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/transport/batch"
+	"repro/internal/types"
+)
+
+// StoreSpec describes one sharded multi-register deployment for the
+// store experiments: the per-shard resilience budgets, the shard and
+// reader-pool shape, the transport, and the batching knobs.
+type StoreSpec struct {
+	T, B            int
+	Shards          int
+	ReadersPerShard int
+	Semantics       store.Semantics
+	ByzPerShard     int
+	TCP             bool
+	Batched         bool
+	FlushWindow     time.Duration
+	MaxBatch        int
+}
+
+// BuildStore opens the multi-register cluster a spec describes.
+func BuildStore(spec StoreSpec) (*store.Store, error) {
+	opts := store.Options{
+		T:               spec.T,
+		B:               spec.B,
+		Shards:          spec.Shards,
+		ReadersPerShard: spec.ReadersPerShard,
+		Semantics:       spec.Semantics,
+		ByzPerShard:     spec.ByzPerShard,
+		TCP:             spec.TCP,
+	}
+	if spec.Batched {
+		opts.Batching = &batch.Options{FlushWindow: spec.FlushWindow, MaxBatch: spec.MaxBatch}
+	}
+	return store.Open(opts)
+}
+
+// StoreBenchResult is one row of the store throughput experiment,
+// serialized into BENCH_store.json by cmd/benchharness and make bench.
+type StoreBenchResult struct {
+	Name           string  `json:"name"`
+	Transport      string  `json:"transport"`
+	Batched        bool    `json:"batched"`
+	Semantics      string  `json:"semantics"`
+	T              int     `json:"t"`
+	B              int     `json:"b"`
+	Shards         int     `json:"shards"`
+	Writers        int     `json:"writers"`
+	Ops            int64   `json:"ops"`
+	Seconds        float64 `json:"seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	RoundsPerRead  float64 `json:"rounds_per_read"`
+	RoundsPerWrite float64 `json:"rounds_per_write"`
+}
+
+// RunStoreBench drives writers concurrent single-key writers (plus one
+// read per writer at the end) against a fresh deployment and reports
+// aggregate throughput. Each writer owns its own register, so the
+// workload is exactly the multi-register hot path the batching layer
+// amortizes.
+func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
+	s, err := BuildStore(spec)
+	if err != nil {
+		return StoreBenchResult{}, err
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("bench/%d", w)
+			for i := 0; i < opsPerWriter; i++ {
+				if err := s.Write(ctx, key, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+			if _, err := s.Read(ctx, key); err != nil {
+				errs <- fmt.Errorf("reader %d: %w", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return StoreBenchResult{}, err
+	}
+
+	m := s.Metrics()
+	ops := m.Writes + m.Reads
+	transport := "memnet"
+	if spec.TCP {
+		transport = "tcpnet"
+	}
+	sem := spec.Semantics
+	if sem == "" {
+		sem = store.RegularOpt
+	}
+	return StoreBenchResult{
+		Name:           name,
+		Transport:      transport,
+		Batched:        spec.Batched,
+		Semantics:      string(sem),
+		T:              spec.T,
+		B:              spec.B,
+		Shards:         s.NumShards(),
+		Writers:        writers,
+		Ops:            ops,
+		Seconds:        elapsed.Seconds(),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		RoundsPerRead:  m.RoundsPerRead(),
+		RoundsPerWrite: m.RoundsPerWrite(),
+	}, nil
+}
+
+// RunSingleRegisterBench is the baseline row: the seed's one-register
+// cluster (GV06 regular-optimized over memnet) driven sequentially by
+// its single writer, as every workload before the sharded store was.
+func RunSingleRegisterBench(t, b, ops int) (StoreBenchResult, error) {
+	cl, err := Build(Spec{Protocol: GV06RegularOpt, T: t, B: b, Readers: 1})
+	if err != nil {
+		return StoreBenchResult{}, err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	start := time.Now()
+	var rounds int
+	for i := 0; i < ops; i++ {
+		if err := cl.Writer().Write(ctx, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			return StoreBenchResult{}, err
+		}
+		rounds += cl.Writer().LastStats().Rounds
+	}
+	if _, err := cl.Reader(0).Read(ctx); err != nil {
+		return StoreBenchResult{}, err
+	}
+	readRounds := cl.Reader(0).LastStats().Rounds
+	elapsed := time.Since(start)
+
+	total := int64(ops + 1)
+	return StoreBenchResult{
+		Name:           "single-register",
+		Transport:      "memnet",
+		Semantics:      string(store.RegularOpt),
+		T:              t,
+		B:              b,
+		Shards:         1,
+		Writers:        1,
+		Ops:            total,
+		Seconds:        elapsed.Seconds(),
+		OpsPerSec:      float64(total) / elapsed.Seconds(),
+		RoundsPerRead:  float64(readRounds),
+		RoundsPerWrite: float64(rounds) / float64(ops),
+	}, nil
+}
+
+// StoreScenarios returns the comparison grid of the store experiment.
+// The memnet pair shows keyspace scaling at the seed's resilience point
+// (4 shards, t = b = 1, regular-optimized registers). The tcpnet pair
+// isolates the batched transport hot path: one shard at t = b = 2
+// (S = 7, so every op fans out to seven objects — the frame volume
+// batching amortizes) with safe registers, whose O(1) object state
+// keeps the measurement on transport cost rather than history upkeep.
+func StoreScenarios() []struct {
+	Name string
+	Spec StoreSpec
+} {
+	mem := StoreSpec{T: 1, B: 1, Shards: 4, ReadersPerShard: 4, Semantics: store.RegularOpt}
+	memBatched := mem
+	memBatched.Batched = true
+	tcp := StoreSpec{T: 2, B: 2, Shards: 1, ReadersPerShard: 4, Semantics: store.Safe, TCP: true}
+	tcpBatched := tcp
+	tcpBatched.Batched = true
+	tcpBatched.FlushWindow = 100 * time.Microsecond
+	tcpBatched.MaxBatch = 128
+	return []struct {
+		Name string
+		Spec StoreSpec
+	}{
+		{"sharded-mem", mem},
+		{"sharded-mem-batched", memBatched},
+		{"sharded-tcp", tcp},
+		{"sharded-tcp-batched", tcpBatched},
+	}
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/types"
+)
+
+func TestBuildStoreRoundTrip(t *testing.T) {
+	s, err := BuildStore(StoreSpec{T: 1, B: 1, Shards: 2, ReadersPerShard: 2, Semantics: store.RegularOpt, Batched: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Write(ctx, key, types.Value(key)); err != nil {
+			t.Fatal(err)
+		}
+		tv, err := s.Read(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tv.Val.Equal(types.Value(key)) {
+			t.Fatalf("round trip mangled %s: %v", key, tv)
+		}
+	}
+}
+
+func TestRunStoreBenchProducesSaneRows(t *testing.T) {
+	res, err := RunStoreBench("smoke", StoreSpec{T: 1, B: 1, Shards: 1, ReadersPerShard: 2, Semantics: store.RegularOpt}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 4*2+4 {
+		t.Fatalf("ops miscounted: %+v", res)
+	}
+	if res.OpsPerSec <= 0 || res.Seconds <= 0 {
+		t.Fatalf("degenerate rates: %+v", res)
+	}
+	if res.RoundsPerRead != 2 || res.RoundsPerWrite != 2 {
+		t.Fatalf("rounds must match the paper's 2-round bound: %+v", res)
+	}
+}
+
+func TestRunSingleRegisterBenchBaseline(t *testing.T) {
+	res, err := RunSingleRegisterBench(1, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "single-register" || res.Ops != 9 || res.OpsPerSec <= 0 {
+		t.Fatalf("bad baseline row: %+v", res)
+	}
+}
+
+func TestStoreScenariosShape(t *testing.T) {
+	scs := StoreScenarios()
+	if len(scs) != 4 {
+		t.Fatalf("want 4 scenarios, got %d", len(scs))
+	}
+	names := map[string]StoreSpec{}
+	for _, sc := range scs {
+		names[sc.Name] = sc.Spec
+	}
+	if !names["sharded-tcp-batched"].Batched || names["sharded-tcp"].Batched {
+		t.Fatal("tcp pair must differ only in batching")
+	}
+	p, b := names["sharded-tcp"], names["sharded-tcp-batched"]
+	p.Batched, p.FlushWindow, p.MaxBatch = b.Batched, b.FlushWindow, b.MaxBatch
+	if p != b {
+		t.Fatalf("tcp pair differs beyond batching: %+v vs %+v", names["sharded-tcp"], b)
+	}
+}

@@ -1,0 +1,210 @@
+package store
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// mux multiplexes many per-register protocol clients onto one physical
+// transport endpoint. Each register client holds a regConn whose Send
+// wraps outgoing messages in a wire.RegOp envelope; a single dispatch
+// goroutine pumps the physical endpoint and routes incoming RegOps to
+// the owning register's inbox. Sharing the physical endpoint is what
+// lets the transport batching layer coalesce ops from different
+// registers into one frame.
+type mux struct {
+	conn transport.Conn
+
+	mu     sync.Mutex
+	regs   map[string]*regConn
+	closed bool
+}
+
+// newMux wraps conn and starts the dispatch loop.
+func newMux(conn transport.Conn) *mux {
+	m := &mux{conn: conn, regs: make(map[string]*regConn)}
+	go m.dispatch()
+	return m
+}
+
+// register returns the virtual endpoint of the named register, creating
+// it on first use.
+func (m *mux) register(reg string) *regConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rc := m.regs[reg]
+	if rc == nil {
+		rc = &regConn{mux: m, reg: reg, notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
+		if m.closed {
+			rc.close()
+		}
+		m.regs[reg] = rc
+	}
+	return rc
+}
+
+// dispatch routes delivered RegOps to register inboxes until the
+// physical endpoint closes; traffic without a register envelope is
+// dropped (no single-register client shares a muxed endpoint).
+func (m *mux) dispatch() {
+	ctx := context.Background()
+	for {
+		msg, err := m.conn.Recv(ctx)
+		if err != nil {
+			m.mu.Lock()
+			m.closed = true
+			regs := make([]*regConn, 0, len(m.regs))
+			for _, rc := range m.regs {
+				regs = append(regs, rc)
+			}
+			m.mu.Unlock()
+			for _, rc := range regs {
+				rc.close()
+			}
+			return
+		}
+		op, ok := msg.Payload.(wire.RegOp)
+		if !ok {
+			continue
+		}
+		m.mu.Lock()
+		rc := m.regs[op.Reg]
+		m.mu.Unlock()
+		if rc != nil {
+			rc.push(transport.Message{From: msg.From, Payload: op.Msg})
+		}
+	}
+}
+
+// close shuts the physical endpoint down; dispatch then closes every
+// register inbox.
+func (m *mux) close() error { return m.conn.Close() }
+
+// regConn is the virtual transport.Conn of one register: protocol
+// clients from internal/core run over it unchanged.
+type regConn struct {
+	mux *mux
+	reg string
+
+	mu       sync.Mutex
+	queue    []transport.Message
+	notify   chan struct{}
+	closedCh chan struct{}
+	closed   bool
+}
+
+var _ transport.Conn = (*regConn)(nil)
+
+// ID returns the physical endpoint's node identity.
+func (c *regConn) ID() transport.NodeID { return c.mux.conn.ID() }
+
+// Send wraps payload in the register envelope and ships it over the
+// shared endpoint.
+func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
+	c.mux.conn.Send(to, wire.RegOp{Reg: c.reg, Msg: payload})
+}
+
+// Recv returns the next message addressed to this register.
+func (c *regConn) Recv(ctx context.Context) (transport.Message, error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			m := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			return m, nil
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return transport.Message{}, transport.ErrClosed
+		}
+		select {
+		case <-c.notify:
+		case <-ctx.Done():
+			return transport.Message{}, ctx.Err()
+		case <-c.closedCh:
+			return transport.Message{}, transport.ErrClosed
+		}
+	}
+}
+
+// Close is a no-op: virtual conns share the physical endpoint, which the
+// store closes once.
+func (c *regConn) Close() error { return nil }
+
+func (c *regConn) push(m transport.Message) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.queue = append(c.queue, m)
+	c.mu.Unlock()
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (c *regConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.closedCh)
+	}
+}
+
+// registry is the multi-register base object: one independent register
+// automaton per key, created on first touch by the factory. It unwraps
+// the RegOp envelope, applies the inner message to the key's automaton
+// (the transport serializes Handle calls, preserving the atomic
+// read-modify-write object semantics per register), and re-wraps the
+// reply. A Byzantine factory yields a Byzantine automaton for every
+// register of that object — the adversary model per register is exactly
+// the paper's.
+type registry struct {
+	factory func(reg string) transport.Handler
+
+	mu   sync.Mutex
+	regs map[string]transport.Handler
+}
+
+var _ transport.Handler = (*registry)(nil)
+
+// newRegistry returns a multi-register object backed by factory.
+func newRegistry(factory func(reg string) transport.Handler) *registry {
+	return &registry{factory: factory, regs: make(map[string]transport.Handler)}
+}
+
+// Handle implements transport.Handler.
+func (g *registry) Handle(from transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	op, ok := req.(wire.RegOp)
+	if !ok {
+		return nil, false
+	}
+	g.mu.Lock()
+	h := g.regs[op.Reg]
+	if h == nil {
+		h = g.factory(op.Reg)
+		g.regs[op.Reg] = h
+	}
+	g.mu.Unlock()
+	reply, send := h.Handle(from, op.Msg)
+	if !send {
+		return nil, false
+	}
+	return wire.RegOp{Reg: op.Reg, Msg: reply}, true
+}
+
+// Registers returns the number of materialized registers (tests and
+// metrics).
+func (g *registry) Registers() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.regs)
+}

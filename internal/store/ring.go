@@ -1,0 +1,78 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash shard ring: register keys hash onto a
+// 64-bit circle populated with VirtualNodes points per shard, and a key
+// belongs to the shard owning the first point at or clockwise of the
+// key's hash. The mapping is a pure function of (shards, virtual nodes,
+// key) — no process-local state — so every client of a deployment
+// routes identically, and adding shards in a future resize moves only
+// the keys between the new points and their predecessors.
+type Ring struct {
+	shards int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds the ring for the given shard count; vnodes points are
+// placed per shard (≤ 0 selects 64).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("store: ring needs at least one shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard=%d/vnode=%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard // deterministic collision order
+	})
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard owning key.
+func (r *Ring) Shard(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a followed by a 64-bit avalanche finalizer. FNV alone
+// keeps sequential keys ("key-1", "key-2", …) on adjacent circle
+// positions, which collapses them onto one shard; the finalizer spreads
+// them uniformly. Both stages are pure arithmetic — deterministic across
+// processes and platforms, the routing contract above.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

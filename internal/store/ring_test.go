@@ -1,0 +1,85 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRoutingIsDeterministic(t *testing.T) {
+	a, err := NewRing(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Shard(key) != b.Shard(key) {
+			t.Fatalf("two rings with identical parameters disagree on %q: %d vs %d", key, a.Shard(key), b.Shard(key))
+		}
+	}
+}
+
+func TestRingRepeatedLookupsAgree(t *testing.T) {
+	r, err := NewRing(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user/%d/profile", i)
+		first := r.Shard(key)
+		for k := 0; k < 3; k++ {
+			if got := r.Shard(key); got != first {
+				t.Fatalf("lookup for %q not stable: %d then %d", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingCoversAllShardsAndBounds(t *testing.T) {
+	const shards = 8
+	r, err := NewRing(shards, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		s := r.Shard(fmt.Sprintf("key-%d", i))
+		if s < 0 || s >= shards {
+			t.Fatalf("shard %d out of range [0,%d)", s, shards)
+		}
+		seen[s]++
+	}
+	if len(seen) != shards {
+		t.Fatalf("only %d/%d shards receive keys", len(seen), shards)
+	}
+	// With 64 vnodes per shard the split should be roughly balanced:
+	// no shard should own more than 3× its fair share.
+	fair := keys / shards
+	for s, n := range seen {
+		if n > 3*fair {
+			t.Fatalf("shard %d owns %d keys (fair share %d) — ring badly unbalanced", s, n, fair)
+		}
+	}
+}
+
+func TestRingSingleShardTakesEverything(t *testing.T) {
+	r, err := NewRing(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Shard(fmt.Sprintf("k%d", i)); got != 0 {
+			t.Fatalf("single-shard ring routed %d", got)
+		}
+	}
+}
+
+func TestRingRejectsZeroShards(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Fatal("ring with no shards must be rejected")
+	}
+}

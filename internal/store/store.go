@@ -1,0 +1,427 @@
+// Package store turns the single SWMR robust register of Guerraoui &
+// Vukolić (PODC 2006) into a sharded multi-register keyspace. String
+// register IDs are routed over a consistent-hash ring onto independent
+// shards; each shard is one S = 2t+b+1 base-object cluster in which
+// every base object hosts one independent register automaton per key
+// (internal/object via the registry demultiplexer) and every key gets
+// its own writer and per-reader-slot reader clients from internal/core,
+// unchanged.
+//
+// The composition is safe because safe/regular register constructions
+// compose locally: distinct registers share no protocol state — each
+// key's timestamps, histories, and reader-timestamp matrices live in
+// its own automaton — so the paper's per-register guarantees (2-round
+// wait-free reads and writes, safety/regularity under ≤ b Byzantine
+// objects per shard) carry over key by key.
+//
+// All register clients of a shard share one physical transport endpoint
+// per role, which is what makes the batched hot path effective: with
+// transport batching enabled, concurrent in-flight ops from different
+// registers to the same base object coalesce into one wire.Batch frame
+// (one encoder run, one socket write on TCP) instead of one frame per
+// op.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/byzantine"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/transport/batch"
+	"repro/internal/transport/memnet"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/types"
+)
+
+// Semantics selects the per-register protocol variant.
+type Semantics string
+
+// Register semantics. RegularOpt is the default: regular registers with
+// the §5.1 cached-suffix optimization.
+const (
+	Safe       Semantics = "safe"
+	Regular    Semantics = "regular"
+	RegularOpt Semantics = "regular-opt"
+)
+
+// Options configures a deployment. The zero value opens a single-shard
+// in-memory store with t = b = 1 (S = 4 objects), four reader slots,
+// regular-optimized semantics, and batching off.
+type Options struct {
+	// T and B are the per-shard fault budgets; each shard runs
+	// S = 2T+B+1 base objects. Both zero selects t = b = 1.
+	T, B int
+	// Shards is the number of independent base-object clusters
+	// (default 1).
+	Shards int
+	// ReadersPerShard sizes each shard's reader-slot pool: the R of the
+	// per-shard configuration, and the number of reads a shard serves
+	// concurrently (default 4).
+	ReadersPerShard int
+	// VirtualNodes is the ring points per shard (default 64).
+	VirtualNodes int
+	// Semantics picks the register protocol (default RegularOpt).
+	Semantics Semantics
+	// TCP runs each shard over real loopback TCP instead of the
+	// in-memory transport.
+	TCP bool
+	// Batching, when non-nil, enables the batched transport hot path
+	// with these knobs.
+	Batching *batch.Options
+	// ByzPerShard makes the highest-indexed objects of every shard
+	// Byzantine (high-forging adversaries from internal/byzantine).
+	// Must be ≤ B.
+	ByzPerShard int
+	// GC enables history garbage collection on regular register
+	// automata.
+	GC bool
+}
+
+// withDefaults normalizes opts.
+func (o Options) withDefaults() (Options, error) {
+	if o.T == 0 && o.B == 0 {
+		o.T, o.B = 1, 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.ReadersPerShard <= 0 {
+		o.ReadersPerShard = 4
+	}
+	if o.Semantics == "" {
+		o.Semantics = RegularOpt
+	}
+	switch o.Semantics {
+	case Safe, Regular, RegularOpt:
+	default:
+		return o, fmt.Errorf("store: unknown semantics %q", o.Semantics)
+	}
+	if o.ByzPerShard > o.B {
+		return o, fmt.Errorf("store: %d Byzantine objects per shard exceeds budget b = %d", o.ByzPerShard, o.B)
+	}
+	if o.ByzPerShard < 0 {
+		return o, fmt.Errorf("store: negative ByzPerShard %d", o.ByzPerShard)
+	}
+	return o, nil
+}
+
+// Metrics aggregates operation counts across the store's lifetime.
+type Metrics struct {
+	Writes      int64
+	WriteRounds int64
+	Reads       int64
+	ReadRounds  int64
+}
+
+// RoundsPerRead returns the mean communication round-trips per READ.
+func (m Metrics) RoundsPerRead() float64 {
+	if m.Reads == 0 {
+		return 0
+	}
+	return float64(m.ReadRounds) / float64(m.Reads)
+}
+
+// RoundsPerWrite returns the mean communication round-trips per WRITE.
+func (m Metrics) RoundsPerWrite() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.WriteRounds) / float64(m.Writes)
+}
+
+// network is the slice of memnet.Net / tcpnet.Net the store needs.
+type network interface {
+	transport.Network
+	AddTap(transport.Tap)
+	Close() error
+}
+
+// Store is a sharded multi-register robust keyspace.
+type Store struct {
+	opts   Options
+	cfg    quorum.Config
+	ring   *Ring
+	shards []*shard
+
+	writes, writeRounds atomic.Int64
+	reads, readRounds   atomic.Int64
+}
+
+// shard is one independent base-object cluster and its client pools.
+type shard struct {
+	cfg quorum.Config
+	net network
+
+	writerMux *mux
+	wmu       sync.Mutex
+	writers   map[string]*regWriter
+
+	slots    chan *readerSlot
+	allSlots []*readerSlot
+	objs     []*registry
+}
+
+// regWriter serializes the single writer of one register.
+type regWriter struct {
+	mu sync.Mutex
+	w  *core.Writer
+}
+
+// readerSlot is one reusable reader identity of a shard: physical conn
+// plus the per-register reader clients that have used it.
+type readerSlot struct {
+	id      types.ReaderID
+	mux     *mux
+	readers map[string]readerClient
+}
+
+// readerClient is what core's safe and regular readers have in common.
+type readerClient interface {
+	Read(ctx context.Context) (types.TSVal, error)
+	LastStats() core.OpStats
+}
+
+// Open builds and starts a store per opts.
+func Open(opts Options) (*Store, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg := quorum.Optimal(opts.T, opts.B, opts.ReadersPerShard)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(opts.Shards, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, cfg: cfg, ring: ring}
+	for i := 0; i < opts.Shards; i++ {
+		sh, err := s.buildShard()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// buildShard starts one cluster: network, S multi-register objects (the
+// last ByzPerShard of them Byzantine), a shared writer endpoint, and the
+// reader-slot pool.
+func (s *Store) buildShard() (*shard, error) {
+	var nw network
+	if s.opts.TCP {
+		n := tcpnet.New()
+		if s.opts.Batching != nil {
+			n.EnableBatching(*s.opts.Batching)
+		}
+		nw = n
+	} else {
+		n := memnet.New()
+		if s.opts.Batching != nil {
+			n.EnableBatching(*s.opts.Batching)
+		}
+		nw = n
+	}
+	sh := &shard{cfg: s.cfg, net: nw, writers: make(map[string]*regWriter)}
+
+	for i := 0; i < s.cfg.S; i++ {
+		id := types.ObjectID(i)
+		byz := i >= s.cfg.S-s.opts.ByzPerShard
+		reg := newRegistry(s.registerFactory(id, byz))
+		if err := nw.Serve(transport.Object(id), reg); err != nil {
+			nw.Close()
+			return nil, err
+		}
+		sh.objs = append(sh.objs, reg)
+	}
+
+	wconn, err := nw.Register(transport.Writer())
+	if err != nil {
+		nw.Close()
+		return nil, err
+	}
+	sh.writerMux = newMux(wconn)
+
+	sh.slots = make(chan *readerSlot, s.cfg.R)
+	for j := 0; j < s.cfg.R; j++ {
+		rconn, err := nw.Register(transport.Reader(types.ReaderID(j)))
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		slot := &readerSlot{id: types.ReaderID(j), mux: newMux(rconn), readers: make(map[string]readerClient)}
+		sh.allSlots = append(sh.allSlots, slot)
+		sh.slots <- slot
+	}
+	return sh, nil
+}
+
+// registerFactory returns the per-register automaton builder for one
+// base object.
+func (s *Store) registerFactory(id types.ObjectID, byz bool) func(string) transport.Handler {
+	cfg, sem, gc := s.cfg, s.opts.Semantics, s.opts.GC
+	forged := types.Value("forged-by-byzantine")
+	return func(string) transport.Handler {
+		if byz {
+			if sem == Safe {
+				return byzantine.NewSafeHighForger(id, cfg.R, 1000, forged, nil)
+			}
+			return byzantine.NewRegularHighForger(id, cfg.R, 1000, forged)
+		}
+		if sem == Safe {
+			return object.NewSafe(id, cfg.R)
+		}
+		obj := object.NewRegular(id, cfg.R)
+		if gc {
+			obj.EnableGC()
+		}
+		return obj
+	}
+}
+
+// Config returns the per-shard resilience configuration.
+func (s *Store) Config() quorum.Config { return s.cfg }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard index key routes to — a pure function of
+// the deployment shape and the key.
+func (s *Store) ShardFor(key string) int { return s.ring.Shard(key) }
+
+// AddTap installs a message observer on every shard's network (frame
+// accounting in tests and benchmarks).
+func (s *Store) AddTap(t transport.Tap) {
+	for _, sh := range s.shards {
+		sh.net.AddTap(t)
+	}
+}
+
+// Metrics returns the cumulative operation counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		Writes:      s.writes.Load(),
+		WriteRounds: s.writeRounds.Load(),
+		Reads:       s.reads.Load(),
+		ReadRounds:  s.readRounds.Load(),
+	}
+}
+
+// Write stores val in register key. Concurrent writes to distinct keys
+// proceed in parallel; writes to the same key serialize, preserving the
+// single-writer model per register.
+func (s *Store) Write(ctx context.Context, key string, val types.Value) error {
+	_, err := s.WriteTS(ctx, key, val)
+	return err
+}
+
+// WriteTS is Write returning the timestamp the register's writer
+// assigned to this value.
+func (s *Store) WriteTS(ctx context.Context, key string, val types.Value) (types.TS, error) {
+	sh := s.shards[s.ring.Shard(key)]
+	rw, err := sh.writerFor(key)
+	if err != nil {
+		return 0, err
+	}
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if err := rw.w.Write(ctx, val); err != nil {
+		return 0, fmt.Errorf("store: write %q: %w", key, err)
+	}
+	s.writes.Add(1)
+	s.writeRounds.Add(int64(rw.w.LastStats().Rounds))
+	return rw.w.TS(), nil
+}
+
+// Read returns register key's current timestamp-value pair (⟨0,⊥⟩ if
+// never written). It borrows one of the shard's reader slots for the
+// duration; with all slots busy it waits for one or for ctx.
+func (s *Store) Read(ctx context.Context, key string) (types.TSVal, error) {
+	sh := s.shards[s.ring.Shard(key)]
+	var slot *readerSlot
+	select {
+	case slot = <-sh.slots:
+	case <-ctx.Done():
+		return types.TSVal{}, ctx.Err()
+	}
+	defer func() { sh.slots <- slot }()
+
+	r, err := sh.readerFor(slot, key, s.opts.Semantics)
+	if err != nil {
+		return types.TSVal{}, err
+	}
+	tv, err := r.Read(ctx)
+	if err != nil {
+		return types.TSVal{}, fmt.Errorf("store: read %q: %w", key, err)
+	}
+	s.reads.Add(1)
+	s.readRounds.Add(int64(r.LastStats().Rounds))
+	return tv, nil
+}
+
+// writerFor returns key's register writer, creating it on first use
+// over the shard's shared writer endpoint.
+func (sh *shard) writerFor(key string) (*regWriter, error) {
+	sh.wmu.Lock()
+	defer sh.wmu.Unlock()
+	rw := sh.writers[key]
+	if rw == nil {
+		w, err := core.NewWriter(sh.cfg, sh.writerMux.register(key))
+		if err != nil {
+			return nil, err
+		}
+		rw = &regWriter{w: w}
+		sh.writers[key] = rw
+	}
+	return rw, nil
+}
+
+// readerFor returns the slot's reader client for key, creating it on
+// first use. Reader state (control timestamps, the §5.1 cache) is per
+// (slot, register), matching the paper's per-reader identity j.
+func (sh *shard) readerFor(slot *readerSlot, key string, sem Semantics) (readerClient, error) {
+	if r := slot.readers[key]; r != nil {
+		return r, nil
+	}
+	conn := slot.mux.register(key)
+	var (
+		r   readerClient
+		err error
+	)
+	switch sem {
+	case Safe:
+		r, err = core.NewSafeReader(sh.cfg, conn, slot.id)
+	case Regular:
+		r, err = core.NewRegularReader(sh.cfg, conn, slot.id, false)
+	default:
+		r, err = core.NewRegularReader(sh.cfg, conn, slot.id, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	slot.readers[key] = r
+	return r, nil
+}
+
+// Close tears every shard down.
+func (s *Store) Close() error {
+	var errs []error
+	for _, sh := range s.shards {
+		sh.writerMux.close()
+		for _, slot := range sh.allSlots {
+			slot.mux.close()
+		}
+		errs = append(errs, sh.net.Close())
+	}
+	return errors.Join(errs...)
+}

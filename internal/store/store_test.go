@@ -1,0 +1,332 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/transport"
+	"repro/internal/transport/batch"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestOpenRejectsBadOptions(t *testing.T) {
+	if _, err := Open(Options{Semantics: "fancy"}); err == nil {
+		t.Error("unknown semantics must be rejected")
+	}
+	if _, err := Open(Options{T: 1, B: 1, ByzPerShard: 2}); err == nil {
+		t.Error("ByzPerShard > B must be rejected")
+	}
+	if _, err := Open(Options{T: 1, B: 2}); err == nil {
+		t.Error("b > t must be rejected")
+	}
+}
+
+func TestWriteReadManyKeysAcrossShards(t *testing.T) {
+	s, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+
+	const keys = 64
+	shardsSeen := make(map[int]bool)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		shardsSeen[s.ShardFor(key)] = true
+		for v := 0; v < 3; v++ {
+			if err := s.Write(ctx, key, types.Value(fmt.Sprintf("%s=v%d", key, v))); err != nil {
+				t.Fatalf("write %s: %v", key, err)
+			}
+		}
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		tv, err := s.Read(ctx, key)
+		if err != nil {
+			t.Fatalf("read %s: %v", key, err)
+		}
+		want := types.Value(fmt.Sprintf("%s=v2", key))
+		if tv.TS != 3 || !tv.Val.Equal(want) {
+			t.Fatalf("read %s returned %v, want ⟨3,%q⟩", key, tv, want)
+		}
+	}
+	if len(shardsSeen) != 4 {
+		t.Fatalf("64 keys hit only %d/4 shards", len(shardsSeen))
+	}
+	m := s.Metrics()
+	if m.Writes != keys*3 || m.Reads != keys {
+		t.Fatalf("metrics miscounted: %+v", m)
+	}
+	if got := m.RoundsPerRead(); got > 2 {
+		t.Fatalf("rounds per read %v exceeds the paper's 2-round bound", got)
+	}
+}
+
+func TestUnwrittenKeyReturnsBottom(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tv, err := s.Read(testCtx(t), "never-written")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.TS != 0 || !tv.Val.IsBottom() {
+		t.Fatalf("unwritten key read %v, want ⟨0,⊥⟩", tv)
+	}
+}
+
+func TestShardRoutingMatchesRing(t *testing.T) {
+	s, err := Open(Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := NewRing(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("route-%d", i)
+		if s.ShardFor(key) != r.Shard(key) {
+			t.Fatalf("store and standalone ring disagree on %q", key)
+		}
+	}
+}
+
+func TestRegistersAreIndependent(t *testing.T) {
+	// Interleaved writes to two keys on the same shard must not bleed
+	// timestamps or values into each other.
+	s, err := Open(Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+	for i := 1; i <= 5; i++ {
+		if err := s.Write(ctx, "a", types.Value(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i <= 2 {
+			if err := s.Write(ctx, "b", types.Value(fmt.Sprintf("b%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	av, err := s.Read(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := s.Read(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.TS != 5 || !av.Val.Equal(types.Value("a5")) {
+		t.Fatalf("register a polluted: %v", av)
+	}
+	if bv.TS != 2 || !bv.Val.Equal(types.Value("b2")) {
+		t.Fatalf("register b polluted: %v", bv)
+	}
+}
+
+func TestPerKeySemanticsUnderByzantineObject(t *testing.T) {
+	for _, sem := range []Semantics{Safe, Regular, RegularOpt} {
+		t.Run(string(sem), func(t *testing.T) {
+			s, err := Open(Options{T: 1, B: 1, Shards: 2, Semantics: sem, ByzPerShard: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			ctx := testCtx(t)
+
+			var clock consistency.Clock
+			histories := make(map[string]*consistency.History)
+			for i := 0; i < 8; i++ {
+				key := fmt.Sprintf("byz-key-%d", i)
+				histories[key] = &consistency.History{}
+				for v := 0; v < 3; v++ {
+					start := clock.Now()
+					ts, err := s.WriteTS(ctx, key, types.Value(fmt.Sprintf("%s/v%d", key, v)))
+					if err != nil {
+						t.Fatalf("write %s under Byzantine object: %v", key, err)
+					}
+					histories[key].Record(consistency.Op{
+						Kind: consistency.KindWrite, Start: start, End: clock.Now(),
+						TS: ts, Val: types.Value(fmt.Sprintf("%s/v%d", key, v)),
+					})
+					rs := clock.Now()
+					tv, err := s.Read(ctx, key)
+					if err != nil {
+						t.Fatalf("read %s under Byzantine object: %v", key, err)
+					}
+					histories[key].Record(consistency.Op{
+						Kind: consistency.KindRead, Start: rs, End: clock.Now(),
+						TS: tv.TS, Val: tv.Val,
+					})
+				}
+			}
+			// Per-register checks: the paper's guarantees hold key by key.
+			for key, h := range histories {
+				ops := h.Ops()
+				if vs := consistency.CheckSafety(ops); len(vs) != 0 {
+					t.Errorf("%s: safety violated: %v", key, vs)
+				}
+				if sem != Safe {
+					if vs := consistency.CheckRegularity(ops); len(vs) != 0 {
+						t.Errorf("%s: regularity violated: %v", key, vs)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	s, err := Open(Options{Shards: 2, ReadersPerShard: 4, Batching: &batch.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+
+	const writers = 32
+	const opsEach = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("w-%d", w)
+			for i := 1; i <= opsEach; i++ {
+				if err := s.Write(ctx, key, types.Value(fmt.Sprintf("%s#%d", key, i))); err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+					return
+				}
+				if _, err := s.Read(ctx, key); err != nil {
+					errs <- fmt.Errorf("%s read: %w", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for w := 0; w < writers; w++ {
+		key := fmt.Sprintf("w-%d", w)
+		tv, err := s.Read(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv.TS != opsEach || !tv.Val.Equal(types.Value(fmt.Sprintf("%s#%d", key, opsEach))) {
+			t.Fatalf("%s converged to %v, want ts %d", key, tv, opsEach)
+		}
+	}
+}
+
+// frameCounter counts client→object request frames.
+type frameCounter struct {
+	mu     sync.Mutex
+	frames int
+}
+
+func (f *frameCounter) OnMessage(from, to transport.NodeID, _ wire.Msg) {
+	if from.Kind != transport.KindObject && to.Kind == transport.KindObject {
+		f.mu.Lock()
+		f.frames++
+		f.mu.Unlock()
+	}
+}
+
+func (f *frameCounter) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frames
+}
+
+func TestBatchingReducesRequestFrames(t *testing.T) {
+	run := func(batched bool) (frames int, ops int64) {
+		opts := Options{Shards: 1, ReadersPerShard: 2}
+		if batched {
+			opts.Batching = &batch.Options{FlushWindow: 500 * time.Microsecond, MaxBatch: 64}
+		}
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fc := &frameCounter{}
+		s.AddTap(fc)
+		ctx := testCtx(t)
+		const writers = 24
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				key := fmt.Sprintf("k-%d", w)
+				for i := 0; i < 4; i++ {
+					if err := s.Write(ctx, key, types.Value("v")); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return fc.count(), s.Metrics().Writes
+	}
+	unbatchedFrames, n1 := run(false)
+	batchedFrames, n2 := run(true)
+	if n1 != n2 {
+		t.Fatalf("op counts differ: %d vs %d", n1, n2)
+	}
+	if batchedFrames >= unbatchedFrames {
+		t.Fatalf("batching did not reduce request frames: %d (batched) vs %d (unbatched)", batchedFrames, unbatchedFrames)
+	}
+	t.Logf("request frames: unbatched=%d batched=%d (%.1f%% of unbatched)",
+		unbatchedFrames, batchedFrames, 100*float64(batchedFrames)/float64(unbatchedFrames))
+}
+
+func TestTCPStoreEndToEnd(t *testing.T) {
+	s, err := Open(Options{TCP: true, Shards: 2, Batching: &batch.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+	const keys = 16
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tcp-%d", i)
+		if err := s.Write(ctx, key, types.Value(key+"!")); err != nil {
+			t.Fatalf("write over TCP: %v", err)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tcp-%d", i)
+		tv, err := s.Read(ctx, key)
+		if err != nil {
+			t.Fatalf("read over TCP: %v", err)
+		}
+		if !tv.Val.Equal(types.Value(key + "!")) {
+			t.Fatalf("TCP round trip mangled %s: %v", key, tv)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package batch implements the batched transport hot path: a client-side
+// endpoint wrapper that coalesces concurrent in-flight messages to the
+// same base object into a single wire.Batch frame, and a server-side
+// handler wrapper that unpacks such frames, applies each op atomically in
+// order, and returns the produced acknowledgements as one Batch reply.
+//
+// The per-message cost of the protocols — a network frame, an encoder
+// run, a syscall on TCP — is independent of how many registers a client
+// serves, so when many register clients share one physical endpoint
+// (internal/store), coalescing amortizes that cost across every op that
+// happens to be in flight to the same object. Two knobs bound the
+// trade-off: MaxBatch caps the ops per frame (a full batch flushes
+// immediately), and FlushWindow caps how long a lone op waits for
+// companions before it is sent anyway.
+//
+// Both memnet and tcpnet integrate this package behind their
+// EnableBatching switch; protocol code is unaware of batching and runs
+// unchanged.
+package batch
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// DefaultFlushWindow bounds the extra latency a lone op pays waiting for
+// batch companions.
+const DefaultFlushWindow = 200 * time.Microsecond
+
+// DefaultMaxBatch caps the ops coalesced into one frame.
+const DefaultMaxBatch = 64
+
+// Options are the batching knobs.
+type Options struct {
+	// FlushWindow is the maximum time an op waits for companions before
+	// its batch is flushed regardless of size. Zero selects the default.
+	FlushWindow time.Duration
+	// MaxBatch flushes a destination's batch as soon as it reaches this
+	// many ops. Zero selects the default.
+	MaxBatch int
+}
+
+// withDefaults fills zero knobs.
+func (o Options) withDefaults() Options {
+	if o.FlushWindow <= 0 {
+		o.FlushWindow = DefaultFlushWindow
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// Conn wraps a transport endpoint with send-side coalescing and
+// receive-side unpacking. Messages to base objects are held for at most
+// FlushWindow and shipped together as one wire.Batch; replies arriving as
+// a Batch are delivered to Recv one op at a time. Traffic to non-object
+// nodes passes through unbatched. Safe for concurrent use.
+type Conn struct {
+	inner transport.Conn
+	opts  Options
+
+	mu     sync.Mutex
+	pend   map[transport.NodeID]*destQueue
+	closed bool
+
+	rmu    sync.Mutex
+	rqueue []transport.Message
+}
+
+// destQueue accumulates the in-flight ops for one destination.
+type destQueue struct {
+	ops []wire.Msg
+	gen int // flush generation, guards stale timers
+}
+
+// NewConn wraps inner with batching per opts.
+func NewConn(inner transport.Conn, opts Options) *Conn {
+	return &Conn{inner: inner, opts: opts.withDefaults(), pend: make(map[transport.NodeID]*destQueue)}
+}
+
+var _ transport.Conn = (*Conn)(nil)
+
+// ID returns the wrapped endpoint's node.
+func (c *Conn) ID() transport.NodeID { return c.inner.ID() }
+
+// Send enqueues payload for coalescing when to is a base object, passing
+// other traffic straight through. The op is shipped when the batch fills
+// (MaxBatch) or the flush window elapses, whichever comes first.
+func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
+	if to.Kind != transport.KindObject {
+		c.inner.Send(to, payload)
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		// The model treats sends after close as forever in transit.
+		return
+	}
+	q := c.pend[to]
+	if q == nil {
+		q = &destQueue{}
+		c.pend[to] = q
+	}
+	q.ops = append(q.ops, payload)
+	if len(q.ops) >= c.opts.MaxBatch {
+		ops := c.takeLocked(q)
+		c.mu.Unlock()
+		c.ship(to, ops)
+		return
+	}
+	if len(q.ops) == 1 {
+		gen := q.gen
+		time.AfterFunc(c.opts.FlushWindow, func() { c.flushDest(to, gen) })
+	}
+	c.mu.Unlock()
+}
+
+// takeLocked empties q and bumps its generation so pending timers for the
+// taken ops become no-ops.
+func (c *Conn) takeLocked(q *destQueue) []wire.Msg {
+	ops := q.ops
+	q.ops = nil
+	q.gen++
+	return ops
+}
+
+// flushDest ships the pending batch for one destination if the flush
+// generation still matches (i.e. no size-triggered flush beat the timer).
+func (c *Conn) flushDest(to transport.NodeID, gen int) {
+	c.mu.Lock()
+	q := c.pend[to]
+	if q == nil || q.gen != gen || len(q.ops) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	ops := c.takeLocked(q)
+	c.mu.Unlock()
+	c.ship(to, ops)
+}
+
+// ship sends the coalesced ops as one frame; a lone op travels bare so
+// uncontended traffic pays no envelope cost.
+func (c *Conn) ship(to transport.NodeID, ops []wire.Msg) {
+	if len(ops) == 0 {
+		return
+	}
+	if len(ops) == 1 {
+		c.inner.Send(to, ops[0])
+		return
+	}
+	c.inner.Send(to, wire.Batch{Ops: ops})
+}
+
+// Flush ships every pending batch immediately.
+func (c *Conn) Flush() {
+	c.mu.Lock()
+	type out struct {
+		to  transport.NodeID
+		ops []wire.Msg
+	}
+	var pending []out
+	for to, q := range c.pend {
+		if len(q.ops) > 0 {
+			pending = append(pending, out{to, c.takeLocked(q)})
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range pending {
+		c.ship(p.to, p.ops)
+	}
+}
+
+// Recv returns the next delivered message, unpacking Batch replies into
+// their constituent ops (delivered in batch order).
+func (c *Conn) Recv(ctx context.Context) (transport.Message, error) {
+	for {
+		c.rmu.Lock()
+		if len(c.rqueue) > 0 {
+			m := c.rqueue[0]
+			c.rqueue = c.rqueue[1:]
+			c.rmu.Unlock()
+			return m, nil
+		}
+		c.rmu.Unlock()
+		m, err := c.inner.Recv(ctx)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		b, ok := m.Payload.(wire.Batch)
+		if !ok {
+			return m, nil
+		}
+		c.rmu.Lock()
+		for _, op := range b.Ops {
+			c.rqueue = append(c.rqueue, transport.Message{From: m.From, Payload: op})
+		}
+		c.rmu.Unlock()
+	}
+}
+
+// Close flushes pending batches and closes the wrapped endpoint.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.Flush()
+	return c.inner.Close()
+}
+
+// WrapHandler makes a base-object handler batch-aware: a wire.Batch
+// request is unpacked and each op applied atomically in order (the
+// transport serializes Handle calls exactly as for bare messages), and
+// the produced replies travel back as one Batch. Non-batch requests pass
+// through untouched, so a batching client and an unbatched client can
+// share an object.
+func WrapHandler(h transport.Handler) transport.Handler {
+	return transport.HandlerFunc(func(from transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+		b, ok := req.(wire.Batch)
+		if !ok {
+			return h.Handle(from, req)
+		}
+		var replies []wire.Msg
+		for _, op := range b.Ops {
+			if reply, send := h.Handle(from, op); send {
+				replies = append(replies, reply)
+			}
+		}
+		switch len(replies) {
+		case 0:
+			return nil, false
+		case 1:
+			return replies[0], true
+		default:
+			return wire.Batch{Ops: replies}, true
+		}
+	})
+}

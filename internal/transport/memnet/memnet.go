@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/transport/batch"
 	"repro/internal/wire"
 )
 
@@ -32,6 +33,7 @@ type Net struct {
 	crashed  map[transport.NodeID]bool
 	taps     []transport.Tap
 	delayFn  func(from, to transport.NodeID) time.Duration
+	batching *batch.Options
 	closed   bool
 	delivery sync.WaitGroup // tracks delayed deliveries
 }
@@ -60,6 +62,17 @@ func New() *Net {
 	}
 }
 
+// EnableBatching makes the network coalesce concurrent client→object
+// traffic into wire.Batch frames (see internal/transport/batch): conns
+// created by subsequent Register calls gain a batching send path, and
+// handlers installed by subsequent Serve calls unpack batch frames. Call
+// it before registering endpoints.
+func (n *Net) EnableBatching(opts batch.Options) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.batching = &opts
+}
+
 // Register creates the endpoint of an active node.
 func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	n.mu.Lock()
@@ -72,6 +85,9 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	}
 	c := &conn{net: n, id: id, notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
 	n.conns[id] = c
+	if n.batching != nil {
+		return batch.NewConn(c, *n.batching), nil
+	}
 	return c, nil
 }
 
@@ -85,6 +101,9 @@ func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
 	}
 	if _, dup := n.objects[id]; dup {
 		return fmt.Errorf("memnet: %v already served", id)
+	}
+	if n.batching != nil {
+		h = batch.WrapHandler(h)
 	}
 	srv := &objectServer{net: n, id: id, handler: h}
 	srv.cond = sync.NewCond(&srv.mu)

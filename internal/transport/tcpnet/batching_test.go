@@ -1,0 +1,123 @@
+package tcpnet_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/batch"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// frameTap counts client→object request frames (a wire.Batch is one
+// frame, which is the point of the batched hot path).
+type frameTap struct {
+	mu       sync.Mutex
+	requests int
+	batched  int
+}
+
+func (f *frameTap) OnMessage(from, to transport.NodeID, payload wire.Msg) {
+	if to.Kind != transport.KindObject {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.requests++
+	if _, ok := payload.(wire.Batch); ok {
+		f.batched++
+	}
+}
+
+// TestBatchingCoalescesConcurrentOpsOverTCP asserts the hot-path
+// contract: N concurrent in-flight ops to one object travel in fewer
+// than N TCP frames, and every op still gets its reply.
+func TestBatchingCoalescesConcurrentOpsOverTCP(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	net.EnableBatching(batch.Options{FlushWindow: 2 * time.Millisecond, MaxBatch: 64})
+
+	tap := &frameTap{}
+	net.AddTap(tap)
+	if err := net.Serve(transport.Object(0), echo{0}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prime the connection so the lazy dial doesn't serialize the burst.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: -1})
+	if _, err := conn.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tap.mu.Lock()
+	tap.requests, tap.batched = 0, 0
+	tap.mu.Unlock()
+
+	const n = 32
+	for i := 0; i < n; i++ {
+		conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: i})
+	}
+	got := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		m, err := conn.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack := m.Payload.(wire.BaselineReadAck)
+		if !ack.Val.Equal(types.Value("pong")) {
+			t.Fatalf("reply mangled: %+v", ack)
+		}
+		if got[ack.Attempt] {
+			t.Fatalf("duplicate reply for op %d", ack.Attempt)
+		}
+		got[ack.Attempt] = true
+	}
+
+	tap.mu.Lock()
+	frames, batched := tap.requests, tap.batched
+	tap.mu.Unlock()
+	if frames >= n {
+		t.Fatalf("%d concurrent ops used %d request frames; batching must use < %d", n, frames, n)
+	}
+	if batched == 0 {
+		t.Fatalf("no wire.Batch frame observed across %d frames", frames)
+	}
+	t.Logf("%d ops → %d request frames (%d batched)", n, frames, batched)
+}
+
+// TestBatchedAndBareClientsShareAnObject checks the compatibility
+// contract of WrapHandler: an object served on a batching network still
+// answers bare single-op frames (the wrapper passes them through).
+func TestBatchedAndBareClientsShareAnObject(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	net.EnableBatching(batch.Options{FlushWindow: time.Millisecond, MaxBatch: 8})
+	if err := net.Serve(transport.Object(0), echo{0}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Register(transport.Reader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// A lone op travels bare even on a batching conn; the wrapped
+	// handler must still answer it.
+	conn.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 7})
+	m, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := m.Payload.(wire.BaselineReadAck); ack.Attempt != 7 {
+		t.Fatalf("wrong reply: %+v", ack)
+	}
+}

@@ -37,6 +37,8 @@ const (
 	tagPairsReadAck
 	tagSubscribeReq
 	tagPushState
+	tagRegOp
+	tagBatch
 )
 
 // enc is a little append-only writer with varint packing.
@@ -338,14 +340,45 @@ func EncodeCompact(m Msg) ([]byte, error) {
 		} else {
 			e.buf.WriteByte(0)
 		}
+	case RegOp:
+		e.buf.WriteByte(tagRegOp)
+		e.bytes([]byte(v.Reg))
+		sub, err := EncodeCompact(v.Msg)
+		if err != nil {
+			return nil, err
+		}
+		e.bytes(sub)
+	case Batch:
+		e.buf.WriteByte(tagBatch)
+		e.u(uint64(len(v.Ops)))
+		for _, op := range v.Ops {
+			sub, err := EncodeCompact(op)
+			if err != nil {
+				return nil, err
+			}
+			e.bytes(sub)
+		}
 	default:
 		return nil, fmt.Errorf("wire: compact codec: unknown message %T", m)
 	}
 	return e.buf.Bytes(), nil
 }
 
+// maxNest caps RegOp/Batch nesting during decode. Legitimate frames
+// nest at most two levels (Batch of RegOps); without a cap, a Byzantine
+// peer could craft a deeply self-nested frame whose recursive decode
+// exhausts the stack — a fatal, unrecoverable runtime error.
+const maxNest = 4
+
 // DecodeCompact deserializes a message produced by EncodeCompact.
 func DecodeCompact(data []byte) (Msg, error) {
+	return decodeCompact(data, 0)
+}
+
+func decodeCompact(data []byte, depth int) (Msg, error) {
+	if depth > maxNest {
+		return nil, fmt.Errorf("wire: compact codec: nesting exceeds %d levels", maxNest)
+	}
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: compact codec: empty frame")
 	}
@@ -380,6 +413,39 @@ func DecodeCompact(data []byte) (Msg, error) {
 		m = SubscribeReq{Reader: types.ReaderID(d.i()), Seq: d.i()}
 	case tagPushState:
 		m = PushState{ObjectID: types.ObjectID(d.i()), Seq: d.i(), TS: types.TS(d.i()), Val: d.optBytes(), Echo: d.byte() == 1}
+	case tagRegOp:
+		reg := string(d.bytesN())
+		sub := d.bytesN()
+		if d.err == nil {
+			inner, err := decodeCompact(sub, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("wire: compact codec: reg op payload: %w", err)
+			}
+			m = RegOp{Reg: reg, Msg: inner}
+		}
+	case tagBatch:
+		n := d.u()
+		// Each op costs at least one length byte; a count above the
+		// remaining frame is provably bogus.
+		if d.err == nil && (n > maxLen || int64(n) > int64(d.r.Len())) {
+			d.err = fmt.Errorf("wire: batch length %d", n)
+		}
+		if d.err != nil {
+			n = 0 // never size an allocation from a rejected count
+		}
+		ops := make([]Msg, 0, min(int(n), 1024))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			sub := d.bytesN()
+			if d.err != nil {
+				break
+			}
+			inner, err := decodeCompact(sub, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("wire: compact codec: batch op %d: %w", i, err)
+			}
+			ops = append(ops, inner)
+		}
+		m = Batch{Ops: ops}
 	default:
 		return nil, fmt.Errorf("wire: compact codec: unknown tag %d", data[0])
 	}

@@ -70,6 +70,20 @@ func msgEqual(a, b Msg) bool {
 		y, ok := b.(PushState)
 		return ok && x.ObjectID == y.ObjectID && x.Seq == y.Seq && x.TS == y.TS &&
 			x.Val.Equal(y.Val) && x.Echo == y.Echo
+	case RegOp:
+		y, ok := b.(RegOp)
+		return ok && x.Reg == y.Reg && msgEqual(x.Msg, y.Msg)
+	case Batch:
+		y, ok := b.(Batch)
+		if !ok || len(x.Ops) != len(y.Ops) {
+			return false
+		}
+		for i := range x.Ops {
+			if !msgEqual(x.Ops[i], y.Ops[i]) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -97,11 +111,41 @@ func TestCompactRejectsGarbage(t *testing.T) {
 		{99},       // unknown tag
 		{tagPWAck}, // truncated
 		{tagReadAckHist, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // absurd length
+		{tagBatch, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // batch count 2^63: must error, not panic
+		{tagBatch, 0x04, 0x01, byte(tagWAck)},                                  // count beyond frame
 	}
 	for i, data := range cases {
 		if _, err := DecodeCompact(data); err == nil {
 			t.Errorf("case %d: garbage decoded", i)
 		}
+	}
+}
+
+func TestCompactRejectsDeepNesting(t *testing.T) {
+	// Legitimate frames nest at most Batch→RegOp→message; a Byzantine
+	// peer hand-crafting deeper self-nesting must hit the cap instead
+	// of recursing toward stack exhaustion.
+	m := Msg(WAck{ObjectID: 1, TS: 2})
+	for i := 0; i < 3; i++ {
+		m = RegOp{Reg: "r", Msg: m}
+	}
+	data, err := EncodeCompact(Batch{Ops: []Msg{m}}) // depth 4: allowed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCompact(data); err != nil {
+		t.Fatalf("nesting at the cap must decode: %v", err)
+	}
+	deep := Msg(WAck{ObjectID: 1, TS: 2})
+	for i := 0; i < 64; i++ {
+		deep = RegOp{Reg: "r", Msg: deep}
+	}
+	data, err = EncodeCompact(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCompact(data); err == nil {
+		t.Fatal("64-deep nesting must be rejected")
 	}
 }
 

@@ -136,6 +136,28 @@ type PairsReadAck struct {
 	W        types.TSVal
 }
 
+// Multi-register and batching frames --------------------------------------
+
+// RegOp addresses a protocol message to one named register of a
+// multi-register base object. The sharded store (internal/store) keeps
+// one independent register automaton per key on every base object and
+// uses RegOp as the demultiplexing envelope; the wrapped Msg is any of
+// the single-register messages above, unchanged.
+type RegOp struct {
+	Reg string
+	Msg Msg
+}
+
+// Batch is the multi-op frame of the batched transport hot path: a
+// length-prefixed sequence of independent protocol messages (typically
+// RegOps for distinct registers) coalesced into a single network frame
+// because they were concurrently in flight between the same client and
+// the same base object. Objects process the ops in order and reply with
+// a Batch of the produced acknowledgements.
+type Batch struct {
+	Ops []Msg
+}
+
 // Server-centric messages -------------------------------------------------
 
 // SubscribeReq is a reader's single push-model message (§6): the reader
@@ -169,6 +191,8 @@ func (BaselineReadAck) isMsg()  {}
 func (PairsReadAck) isMsg()     {}
 func (SubscribeReq) isMsg()     {}
 func (PushState) isMsg()        {}
+func (RegOp) isMsg()            {}
+func (Batch) isMsg()            {}
 
 // registerAll makes every payload type known to gob, once, at package
 // load. gob.Register is idempotent for identical concrete types, and the
@@ -180,6 +204,7 @@ var _ = func() struct{} {
 		ReadReq{}, ReadAck{}, ReadAckHist{},
 		BaselineWriteReq{}, BaselineWriteAck{}, BaselineReadReq{}, BaselineReadAck{}, PairsReadAck{},
 		SubscribeReq{}, PushState{},
+		RegOp{}, Batch{},
 	} {
 		gob.Register(m)
 	}
@@ -261,6 +286,14 @@ func Clone(m Msg) Msg {
 		return v
 	case PushState:
 		return PushState{ObjectID: v.ObjectID, Seq: v.Seq, TS: v.TS, Val: v.Val.Clone(), Echo: v.Echo}
+	case RegOp:
+		return RegOp{Reg: v.Reg, Msg: Clone(v.Msg)}
+	case Batch:
+		ops := make([]Msg, len(v.Ops))
+		for i, op := range v.Ops {
+			ops[i] = Clone(op)
+		}
+		return Batch{Ops: ops}
 	default:
 		// Unknown payloads only arise from test doubles; pass through.
 		return m

@@ -1,0 +1,56 @@
+// Package store is the public API of the sharded multi-register robust
+// keyspace: string register IDs consistently hashed onto independent
+// S = 2t+b+1 base-object clusters, each register an SWMR safe or regular
+// register of Guerraoui & Vukolić (PODC 2006) with 2-round wait-free
+// reads and writes under up to b Byzantine base objects per shard.
+//
+//	s, err := store.Open(store.Options{Shards: 4, Batching: &store.BatchOptions{}})
+//	defer s.Close()
+//	err = s.Write(ctx, "users/42", types.Value("alice"))
+//	pair, err := s.Read(ctx, "users/42")
+//
+// The implementation lives in internal/store; this package re-exports
+// the deployment surface. See examples/kvstore for a complete demo with
+// Byzantine fault injection and consistency validation.
+package store
+
+import (
+	istore "repro/internal/store"
+	"repro/internal/transport/batch"
+)
+
+// Store is a sharded multi-register robust keyspace.
+type Store = istore.Store
+
+// Options configures a deployment; see internal/store for field
+// semantics. The zero value opens a single-shard in-memory store with
+// t = b = 1.
+type Options = istore.Options
+
+// Metrics aggregates operation counts across the store's lifetime.
+type Metrics = istore.Metrics
+
+// Ring is the consistent-hash shard ring used for key routing.
+type Ring = istore.Ring
+
+// Semantics selects the per-register protocol variant.
+type Semantics = istore.Semantics
+
+// Register semantics.
+const (
+	Safe       = istore.Safe
+	Regular    = istore.Regular
+	RegularOpt = istore.RegularOpt
+)
+
+// BatchOptions are the batched-transport knobs (flush window and max
+// batch size); the zero value selects the defaults.
+type BatchOptions = batch.Options
+
+// Open builds and starts a store per opts.
+func Open(opts Options) (*Store, error) { return istore.Open(opts) }
+
+// NewRing builds a standalone routing ring (vnodes ≤ 0 selects the
+// default), for clients that need to predict placement without opening
+// a store.
+func NewRing(shards, vnodes int) (*Ring, error) { return istore.NewRing(shards, vnodes) }
