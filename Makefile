@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt fmt-check bench demo clean
+.PHONY: all build vet test race fmt fmt-check bench demo chaos clean
 
 all: build vet test
 
@@ -32,6 +32,15 @@ bench:
 
 demo:
 	$(GO) run ./examples/kvstore
+
+# chaos runs the seeded fault-injection soak under the race detector —
+# the batched multi-shard store over memnet and tcpnet with message
+# drop/delay/duplication/reordering, partitions, and crash/restart of
+# one object per shard (plus one Byzantine object), validated register
+# by register against internal/consistency — then the chaos demo.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' -v ./internal/harness
+	$(GO) run ./examples/chaos
 
 clean:
 	rm -f BENCH_store.json

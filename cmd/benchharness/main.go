@@ -34,11 +34,12 @@ func run() int {
 	b := flag.Int("b", 1, "Byzantine budget b for single-point experiments")
 	storeMode := flag.Bool("store", false, "run the sharded store experiment instead of E1–E10")
 	writers := flag.Int("writers", 64, "concurrent single-key writers in -store mode")
+	gc := flag.Bool("gc", false, "enable history garbage collection on the -store deployments")
 	out := flag.String("out", "BENCH_store.json", "output file for -store results")
 	flag.Parse()
 
 	if *storeMode {
-		return runStore(*quick, *writers, *out)
+		return runStore(*quick, *writers, *gc, *out)
 	}
 
 	want := map[string]bool{}
@@ -120,9 +121,12 @@ func maxInt(a, b int) int {
 
 // runStore runs the multi-register store experiment and writes the
 // perf-trajectory file: ops/s and rounds-per-read for the
-// single-register baseline vs. sharded vs. batched deployments, with
-// the tcpnet batched-vs-unbatched pair at the full writer count.
-func runStore(quick bool, writers int, out string) int {
+// single-register baseline vs. sharded vs. batched vs. faulty-network
+// deployments, with the tcpnet batched-vs-unbatched pair at the full
+// writer count. With gc set, every sharded deployment runs with history
+// garbage collection enabled (regular registers prune below the
+// readers' acknowledged cache timestamps).
+func runStore(quick bool, writers int, gc bool, out string) int {
 	// The experiment measures transport amortization, not collector
 	// behaviour: relax GC so allocation churn from 64 concurrent
 	// protocol clients doesn't dominate either side of the comparison.
@@ -143,6 +147,7 @@ func runStore(quick bool, writers int, out string) int {
 	results = append(results, single)
 
 	for _, sc := range harness.StoreScenarios() {
+		sc.Spec.GC = gc
 		res, err := harness.RunStoreBench(sc.Name, sc.Spec, writers, opsPerWriter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "store bench: %s: %v\n", sc.Name, err)
@@ -151,10 +156,10 @@ func runStore(quick bool, writers int, out string) int {
 		results = append(results, res)
 	}
 
-	fmt.Printf("%-22s %-8s %8s %12s %14s %15s\n", "scenario", "net", "writers", "ops", "ops/s", "rounds/read")
+	fmt.Printf("%-26s %-8s %8s %12s %14s %15s\n", "scenario", "net", "writers", "ops", "ops/s", "rounds/read")
 	var tcpPlain, tcpBatched float64
 	for _, r := range results {
-		fmt.Printf("%-22s %-8s %8d %12d %14.0f %15.2f\n", r.Name, r.Transport, r.Writers, r.Ops, r.OpsPerSec, r.RoundsPerRead)
+		fmt.Printf("%-26s %-8s %8d %12d %14.0f %15.2f\n", r.Name, r.Transport, r.Writers, r.Ops, r.OpsPerSec, r.RoundsPerRead)
 		if r.Transport == "tcpnet" && r.Writers > 1 {
 			if r.Batched {
 				tcpBatched = r.OpsPerSec

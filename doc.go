@@ -19,8 +19,22 @@
 // coalesces concurrent in-flight ops to the same base object into one
 // multi-op frame on both the in-memory and the TCP transport.
 //
+// The robustness the paper proves is exercised for real by
+// internal/transport/fault: a composable, seeded fault-injection layer
+// that wraps either transport with per-link message drop, delay,
+// jitter, duplication, reordering, link partitions, and base-object
+// crash/restart cycles (on TCP, a crash severs sockets and a restart
+// exercises the client's re-dial path). The budget arithmetic follows
+// §2 of the paper: at most t faulty objects per shard, of which at most
+// b ≤ t Byzantine — crash-faulty and Byzantine objects draw from the
+// same t, so store.Options enforces Faults.Faulty + ByzPerShard ≤ T.
+// harness.RunChaos soaks the keyspace under a seeded schedule and
+// validates every register's history against internal/consistency;
+// `make chaos` runs it under the race detector.
+//
 // See README.md for the map and how to run the examples and
 // benchmarks. bench_test.go in this directory regenerates every
 // experiment via `go test -bench`; BENCH_store.json records the store
-// throughput trajectory.
+// throughput trajectory, including a degraded-mode (faulty network)
+// row.
 package repro

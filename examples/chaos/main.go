@@ -1,0 +1,63 @@
+// Chaos demo: the sharded, batched store surviving an actively hostile
+// network. Two shards run at t = 2, b = 1 (S = 6 base objects each);
+// per shard, the highest-indexed object is Byzantine (a high-forging
+// adversary) and the lowest-indexed one is crash/omission-faulty — it
+// loses a quarter of its traffic and cycles through seeded crash and
+// partition windows — while every link in the deployment jitters,
+// duplicates, and reorders messages. Both fault classes together stay
+// within the paper's budget (b Byzantine among ≤ t faulty), so every
+// operation still completes in ≤ 2 rounds and every per-register
+// history must validate as safe and regular.
+//
+// The fault schedule is seeded: pass a different seed as the first
+// argument to explore another run; the default reproduces the same
+// chaos every time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	seed := int64(0xC0FFEE)
+	if len(os.Args) > 1 {
+		s, err := strconv.ParseInt(os.Args[1], 0, 64)
+		if err != nil {
+			log.Fatalf("seed %q: %v", os.Args[1], err)
+		}
+		seed = s
+	}
+
+	for _, tr := range []struct {
+		name string
+		tcp  bool
+	}{{"memnet", false}, {"tcpnet", true}} {
+		spec := harness.ChaosScenario(seed, tr.tcp)
+		plan := spec.Store.Faults
+		fmt.Printf("== %s: %d shards × S=%d objects (t=%d, b=%d), %d Byzantine + %d crash-faulty per shard\n",
+			tr.name, spec.Store.Shards, 2*spec.Store.T+spec.Store.B+1, spec.Store.T, spec.Store.B,
+			spec.Store.ByzPerShard, plan.Faulty)
+		fmt.Printf("   plan: seed=%#x drop=%.0f%% delay=%v jitter=%v dup=%.0f%% reorder=%.0f%% crash-cycles=%d\n",
+			plan.Seed, plan.Drop*100, plan.Delay, plan.Jitter, plan.Duplicate*100, plan.Reorder*100, plan.Crash.Cycles)
+
+		rep, err := harness.RunChaos(spec)
+		if err != nil {
+			log.Fatalf("%s chaos run failed: %v", tr.name, err)
+		}
+		fmt.Printf("   %v\n", rep)
+		if len(rep.Violations) > 0 {
+			for _, v := range rep.Violations {
+				fmt.Printf("   !! %s\n", v)
+			}
+			fmt.Println("consistency violated — the robustness claim is broken")
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	fmt.Println("all per-register histories safe and regular under drop/delay/dup/reorder + crash/restart + Byzantine forgery ✓")
+}

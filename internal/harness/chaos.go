@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/store"
+	"repro/internal/transport/fault"
+	"repro/internal/types"
+)
+
+// ChaosSpec describes one chaos soak: a sharded store deployment (the
+// fault plan rides in Store.Faults) and the workload driven against it
+// while the plan injects drops, delays, duplication, reordering,
+// partitions, and crash/restart windows.
+type ChaosSpec struct {
+	Store StoreSpec
+
+	// Keys is the number of registers exercised (default 32).
+	Keys int
+	// WritesPerKey and ReadsPerKey size the per-register workload
+	// (defaults 4 and 4).
+	WritesPerKey int
+	ReadsPerKey  int
+	// WriterWorkers and ReaderWorkers are the driving goroutine counts
+	// (defaults 8 and 8). Each register keeps a single writer — worker w
+	// owns keys w, w+WriterWorkers, … — preserving the SWMR model.
+	WriterWorkers int
+	ReaderWorkers int
+	// Timeout bounds the whole soak (default 2 minutes). Ops are
+	// wait-free while faults stay within budget, so hitting it means a
+	// liveness bug, reported as an error.
+	Timeout time.Duration
+}
+
+// withDefaults normalizes the workload shape.
+func (sp ChaosSpec) withDefaults() ChaosSpec {
+	if sp.Keys <= 0 {
+		sp.Keys = 32
+	}
+	if sp.WritesPerKey <= 0 {
+		sp.WritesPerKey = 4
+	}
+	if sp.ReadsPerKey <= 0 {
+		sp.ReadsPerKey = 4
+	}
+	if sp.WriterWorkers <= 0 {
+		sp.WriterWorkers = 8
+	}
+	if sp.ReaderWorkers <= 0 {
+		sp.ReaderWorkers = 8
+	}
+	if sp.Timeout <= 0 {
+		sp.Timeout = 2 * time.Minute
+	}
+	return sp
+}
+
+// DefaultChaosPlan is the fault schedule of the stock chaos scenario:
+// one crash/omission-faulty object per shard losing a quarter of its
+// traffic and cycling through crash and partition windows, with jitter,
+// duplication, and reordering on every link. Pair it with a deployment
+// whose budget admits one faulty object (t ≥ 1 + ByzPerShard).
+func DefaultChaosPlan(seed int64) *fault.Plan {
+	return &fault.Plan{
+		Seed:      seed,
+		Faulty:    1,
+		Drop:      0.25,
+		Delay:     50 * time.Microsecond,
+		Jitter:    300 * time.Microsecond,
+		Duplicate: 0.1,
+		Reorder:   0.25,
+		Crash: fault.CrashPlan{
+			Cycles: 3,
+			UpMin:  80 * time.Millisecond, UpMax: 160 * time.Millisecond,
+			DownMin: 20 * time.Millisecond, DownMax: 60 * time.Millisecond,
+			PartitionBias: 0.5,
+		},
+	}
+}
+
+// ChaosScenario returns the stock soak configuration: a batched
+// multi-shard deployment at t = 2, b = 1 with one Byzantine and one
+// crash-faulty object per shard — both fault classes at once, within
+// the paper's budget (b + crash ≤ t) — over memnet or tcpnet.
+func ChaosScenario(seed int64, tcp bool) ChaosSpec {
+	return ChaosSpec{
+		Store: StoreSpec{
+			T: 2, B: 1,
+			Shards:          2,
+			ReadersPerShard: 4,
+			Semantics:       store.RegularOpt,
+			ByzPerShard:     1,
+			TCP:             tcp,
+			Batched:         true,
+			FlushWindow:     100 * time.Microsecond,
+			MaxBatch:        64,
+			Faults:          DefaultChaosPlan(seed),
+		},
+	}
+}
+
+// ChaosReport is the outcome of one soak.
+type ChaosReport struct {
+	Keys       int
+	Writes     int64
+	Reads      int64
+	Elapsed    time.Duration
+	Faults     fault.Stats
+	Violations []string // rendered per-register consistency violations
+}
+
+// String renders the report for logs and demos.
+func (r ChaosReport) String() string {
+	verdict := "zero violations"
+	if len(r.Violations) > 0 {
+		verdict = fmt.Sprintf("%d VIOLATIONS", len(r.Violations))
+	}
+	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v] — %s",
+		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, verdict)
+}
+
+// RunChaos drives the multi-register workload against a fault-injected
+// deployment, recording every operation in a per-register history, and
+// validates each register against the paper's semantics: safety always,
+// regularity too unless the deployment runs safe registers. The soak
+// errors if any operation fails or the timeout trips (the protocols are
+// wait-free within the fault budget, so neither may happen); semantic
+// violations are returned in the report rather than as an error, so
+// callers can print the counterexamples.
+func RunChaos(spec ChaosSpec) (ChaosReport, error) {
+	spec = spec.withDefaults()
+	s, err := BuildStore(spec.Store)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), spec.Timeout)
+	defer cancel()
+
+	var clock consistency.Clock
+	histories := make([]*consistency.History, spec.Keys)
+	for i := range histories {
+		histories[i] = &consistency.History{}
+	}
+	key := func(i int) string { return fmt.Sprintf("chaos/%04d", i) }
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, spec.WriterWorkers+spec.ReaderWorkers)
+
+	for w := 0; w < spec.WriterWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < spec.Keys; i += spec.WriterWorkers {
+				for v := 0; v < spec.WritesPerKey; v++ {
+					val := types.Value(fmt.Sprintf("%s=v%d", key(i), v))
+					st := clock.Now()
+					ts, err := s.WriteTS(ctx, key(i), val)
+					if err != nil {
+						errs <- fmt.Errorf("chaos write %s: %w", key(i), err)
+						return
+					}
+					histories[i].Record(consistency.Op{
+						Kind: consistency.KindWrite, Start: st, End: clock.Now(), TS: ts, Val: val,
+					})
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < spec.ReaderWorkers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; i < spec.Keys; i += spec.ReaderWorkers {
+				for n := 0; n < spec.ReadsPerKey; n++ {
+					st := clock.Now()
+					tv, err := s.Read(ctx, key(i))
+					if err != nil {
+						errs <- fmt.Errorf("chaos read %s: %w", key(i), err)
+						return
+					}
+					histories[i].Record(consistency.Op{
+						Kind: consistency.KindRead, Reader: types.ReaderID(r), Start: st, End: clock.Now(),
+						TS: tv.TS, Val: tv.Val,
+					})
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return ChaosReport{}, err
+	}
+
+	// Keep a trickle of recorded ops flowing until every scheduled fault
+	// window has opened and healed: on a fast machine the bulk workload
+	// can finish before the first crash fires, and a soak that never
+	// overlaps a window proves nothing about crash/restart.
+	if f := spec.Store.Faults; f != nil && f.Crash.Cycles > 0 && f.Faulty > 0 {
+		shards := spec.Store.Shards
+		if shards <= 0 {
+			shards = 1
+		}
+		target := int64(shards * f.Faulty * f.Crash.Cycles)
+		for i := 0; ctx.Err() == nil; i++ {
+			st := s.FaultStats()
+			if st.Restarts+st.Heals >= target {
+				break
+			}
+			k := i % spec.Keys
+			if i%2 == 0 {
+				val := types.Value(fmt.Sprintf("%s=drain%d", key(k), i))
+				stamp := clock.Now()
+				ts, err := s.WriteTS(ctx, key(k), val)
+				if err != nil {
+					return ChaosReport{}, fmt.Errorf("chaos drain write %s: %w", key(k), err)
+				}
+				histories[k].Record(consistency.Op{
+					Kind: consistency.KindWrite, Start: stamp, End: clock.Now(), TS: ts, Val: val,
+				})
+			} else {
+				stamp := clock.Now()
+				tv, err := s.Read(ctx, key(k))
+				if err != nil {
+					return ChaosReport{}, fmt.Errorf("chaos drain read %s: %w", key(k), err)
+				}
+				histories[k].Record(consistency.Op{
+					Kind: consistency.KindRead,
+					// Sentinel identity one past the worker readers, so
+					// drain reads are attributable in violation reports
+					// and never conflated with worker 0's.
+					Reader: types.ReaderID(spec.ReaderWorkers),
+					Start:  stamp, End: clock.Now(), TS: tv.TS, Val: tv.Val,
+				})
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return ChaosReport{}, fmt.Errorf("chaos drain: fault schedule never completed: %w", err)
+		}
+	}
+
+	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats()}
+	m := s.Metrics()
+	report.Writes, report.Reads = m.Writes, m.Reads
+
+	checkRegularity := spec.Store.Semantics != store.Safe
+	for i, h := range histories {
+		ops := h.Ops()
+		for _, v := range consistency.CheckSafety(ops) {
+			report.Violations = append(report.Violations, fmt.Sprintf("%s: %v", key(i), v))
+		}
+		if checkRegularity {
+			for _, v := range consistency.CheckRegularity(ops) {
+				report.Violations = append(report.Violations, fmt.Sprintf("%s: %v", key(i), v))
+			}
+		}
+	}
+	return report, nil
+}

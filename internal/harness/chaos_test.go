@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transport/fault"
+)
+
+// chaosSeed pins the soak schedule: the acceptance bar is that the soak
+// passes deterministically from a seed, not merely on a lucky run.
+const chaosSeed = 0xC0FFEE
+
+func runChaosSoak(t *testing.T, tcp bool) {
+	t.Helper()
+	spec := ChaosScenario(chaosSeed, tcp)
+	if testing.Short() {
+		spec.Keys = 16
+		spec.WritesPerKey = 3
+		spec.ReadsPerKey = 3
+	}
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("consistency violated under faults:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Writes == 0 || rep.Reads == 0 {
+		t.Fatalf("degenerate soak: %+v", rep)
+	}
+	if rep.Faults.Dropped == 0 || rep.Faults.Delayed == 0 {
+		t.Fatalf("fault layer injected nothing: %v", rep.Faults)
+	}
+	if got := rep.Faults.Crashes + rep.Faults.Partitions; got == 0 {
+		t.Fatalf("no crash/partition window overlapped the workload — soak too short to count: %v", rep.Faults)
+	}
+}
+
+// TestChaosSoakMemnet: the batched multi-shard store completes its
+// workload with zero consistency violations while one object per shard
+// drops/crashes/partitions (within the t budget, alongside one
+// Byzantine object) and every link jitters, duplicates, and reorders.
+func TestChaosSoakMemnet(t *testing.T) {
+	runChaosSoak(t, false)
+}
+
+// TestChaosSoakTCPNet: the same soak over real sockets — crashes sever
+// TCP connections and restarts exercise the client re-dial path.
+func TestChaosSoakTCPNet(t *testing.T) {
+	runChaosSoak(t, true)
+}
+
+// TestChaosBudgetEnforced: a plan whose faulty set plus the Byzantine
+// set exceeds t must be refused — such a run could stall, not soak.
+func TestChaosBudgetEnforced(t *testing.T) {
+	spec := ChaosScenario(1, false)
+	spec.Store.Faults.Faulty = spec.Store.T // + 1 Byzantine > t
+	if _, err := RunChaos(spec); err == nil {
+		t.Fatal("over-budget fault plan accepted")
+	}
+}
+
+// TestChaosSafeSemantics: the soak also validates the safe-register
+// variant (safety only — regular checks don't apply).
+func TestChaosSafeSemantics(t *testing.T) {
+	spec := ChaosScenario(7, false)
+	spec.Store.Semantics = "safe"
+	spec.Keys = 12
+	spec.WritesPerKey = 3
+	spec.ReadsPerKey = 3
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("safe semantics violated: %v", rep.Violations)
+	}
+}
+
+// TestDefaultChaosPlanValid keeps the stock plan self-consistent.
+func TestDefaultChaosPlanValid(t *testing.T) {
+	if err := DefaultChaosPlan(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var zero fault.Plan
+	if err := zero.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

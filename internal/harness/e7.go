@@ -72,8 +72,23 @@ func runE7One(p Protocol, t, b, ops int) (E7Row, error) {
 	// Clients return as soon as they have a quorum of acknowledgements;
 	// the stragglers are still in flight. Settle after every operation
 	// so each counter window holds exactly one operation's traffic
-	// (server-centric echoes included).
-	settle := func() { time.Sleep(2 * time.Millisecond) }
+	// (server-centric echoes included). A fixed nap is not enough on a
+	// loaded machine (parallel test packages under -race), so wait for
+	// the counter to go quiescent: unchanged across two consecutive
+	// samples, with a hard cap.
+	settle := func() {
+		deadline := time.Now().Add(250 * time.Millisecond)
+		last := cl.Counter.Messages()
+		for quiet := 0; quiet < 2 && time.Now().Before(deadline); {
+			time.Sleep(time.Millisecond)
+			if now := cl.Counter.Messages(); now == last {
+				quiet++
+			} else {
+				last = now
+				quiet = 0
+			}
+		}
+	}
 	settle()
 
 	var wm, wb, rm, rb float64

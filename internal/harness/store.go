@@ -8,12 +8,14 @@ import (
 
 	"repro/internal/store"
 	"repro/internal/transport/batch"
+	"repro/internal/transport/fault"
 	"repro/internal/types"
 )
 
 // StoreSpec describes one sharded multi-register deployment for the
 // store experiments: the per-shard resilience budgets, the shard and
-// reader-pool shape, the transport, and the batching knobs.
+// reader-pool shape, the transport, the batching knobs, history GC, and
+// an optional fault plan for degraded-mode runs.
 type StoreSpec struct {
 	T, B            int
 	Shards          int
@@ -24,6 +26,8 @@ type StoreSpec struct {
 	Batched         bool
 	FlushWindow     time.Duration
 	MaxBatch        int
+	GC              bool
+	Faults          *fault.Plan
 }
 
 // BuildStore opens the multi-register cluster a spec describes.
@@ -36,6 +40,8 @@ func BuildStore(spec StoreSpec) (*store.Store, error) {
 		Semantics:       spec.Semantics,
 		ByzPerShard:     spec.ByzPerShard,
 		TCP:             spec.TCP,
+		GC:              spec.GC,
+		Faults:          spec.Faults,
 	}
 	if spec.Batched {
 		opts.Batching = &batch.Options{FlushWindow: spec.FlushWindow, MaxBatch: spec.MaxBatch}
@@ -54,6 +60,9 @@ type StoreBenchResult struct {
 	B              int     `json:"b"`
 	Shards         int     `json:"shards"`
 	Writers        int     `json:"writers"`
+	GC             bool    `json:"gc,omitempty"`
+	Faulty         bool    `json:"faulty,omitempty"`
+	FaultsInjected int64   `json:"faults_injected,omitempty"`
 	Ops            int64   `json:"ops"`
 	Seconds        float64 `json:"seconds"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
@@ -111,6 +120,7 @@ func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (Stor
 	if sem == "" {
 		sem = store.RegularOpt
 	}
+	fs := s.FaultStats()
 	return StoreBenchResult{
 		Name:           name,
 		Transport:      transport,
@@ -120,6 +130,9 @@ func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (Stor
 		B:              spec.B,
 		Shards:         s.NumShards(),
 		Writers:        writers,
+		GC:             spec.GC,
+		Faulty:         spec.Faults != nil,
+		FaultsInjected: fs.Dropped + fs.Delayed + fs.Duplicated,
 		Ops:            ops,
 		Seconds:        elapsed.Seconds(),
 		OpsPerSec:      float64(ops) / elapsed.Seconds(),
@@ -178,6 +191,10 @@ func RunSingleRegisterBench(t, b, ops int) (StoreBenchResult, error) {
 // (S = 7, so every op fans out to seven objects — the frame volume
 // batching amortizes) with safe registers, whose O(1) object state
 // keeps the measurement on transport cost rather than history upkeep.
+// The faulty row measures degraded mode: the batched memnet deployment
+// under the chaos layer — one lossy object per shard plus global
+// jitter/duplication — so the perf trajectory also covers a network
+// that is misbehaving within the paper's fault budget.
 func StoreScenarios() []struct {
 	Name string
 	Spec StoreSpec
@@ -190,6 +207,15 @@ func StoreScenarios() []struct {
 	tcpBatched.Batched = true
 	tcpBatched.FlushWindow = 100 * time.Microsecond
 	tcpBatched.MaxBatch = 128
+	memFaulty := memBatched
+	memFaulty.Faults = &fault.Plan{
+		Seed:      20260726,
+		Faulty:    1,
+		Drop:      0.25,
+		Jitter:    200 * time.Microsecond,
+		Duplicate: 0.05,
+		Reorder:   0.2,
+	}
 	return []struct {
 		Name string
 		Spec StoreSpec
@@ -198,5 +224,6 @@ func StoreScenarios() []struct {
 		{"sharded-mem-batched", memBatched},
 		{"sharded-tcp", tcp},
 		{"sharded-tcp-batched", tcpBatched},
+		{"sharded-mem-batched-faulty", memFaulty},
 	}
 }

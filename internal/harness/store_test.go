@@ -33,6 +33,24 @@ func TestBuildStoreRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBuildStoreWithGC(t *testing.T) {
+	s, err := BuildStore(StoreSpec{T: 1, B: 1, Shards: 1, ReadersPerShard: 2, Semantics: store.RegularOpt, GC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i := 0; i < 12; i++ {
+		if err := s.Write(ctx, "gc-key", types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(ctx, "gc-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestRunStoreBenchProducesSaneRows(t *testing.T) {
 	res, err := RunStoreBench("smoke", StoreSpec{T: 1, B: 1, Shards: 1, ReadersPerShard: 2, Semantics: store.RegularOpt}, 4, 2)
 	if err != nil {
@@ -61,8 +79,8 @@ func TestRunSingleRegisterBenchBaseline(t *testing.T) {
 
 func TestStoreScenariosShape(t *testing.T) {
 	scs := StoreScenarios()
-	if len(scs) != 4 {
-		t.Fatalf("want 4 scenarios, got %d", len(scs))
+	if len(scs) != 5 {
+		t.Fatalf("want 5 scenarios, got %d", len(scs))
 	}
 	names := map[string]StoreSpec{}
 	for _, sc := range scs {
@@ -75,5 +93,17 @@ func TestStoreScenariosShape(t *testing.T) {
 	p.Batched, p.FlushWindow, p.MaxBatch = b.Batched, b.FlushWindow, b.MaxBatch
 	if p != b {
 		t.Fatalf("tcp pair differs beyond batching: %+v vs %+v", names["sharded-tcp"], b)
+	}
+	f := names["sharded-mem-batched-faulty"]
+	if f.Faults == nil {
+		t.Fatal("faulty scenario must carry a fault plan")
+	}
+	if f.Faults.Faulty+f.ByzPerShard > f.T {
+		t.Fatalf("faulty scenario exceeds the fault budget: %d faulty + %d byz > t=%d", f.Faults.Faulty, f.ByzPerShard, f.T)
+	}
+	g := f
+	g.Faults = names["sharded-mem-batched"].Faults
+	if g != names["sharded-mem-batched"] {
+		t.Fatal("faulty row must differ from sharded-mem-batched only in the fault plan")
 	}
 }

@@ -37,7 +37,7 @@ func (m *mux) register(reg string) *regConn {
 	defer m.mu.Unlock()
 	rc := m.regs[reg]
 	if rc == nil {
-		rc = &regConn{mux: m, reg: reg, notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
+		rc = &regConn{mux: m, reg: reg, inbox: transport.NewInbox()}
 		if m.closed {
 			rc.close()
 		}
@@ -86,14 +86,9 @@ func (m *mux) close() error { return m.conn.Close() }
 // regConn is the virtual transport.Conn of one register: protocol
 // clients from internal/core run over it unchanged.
 type regConn struct {
-	mux *mux
-	reg string
-
-	mu       sync.Mutex
-	queue    []transport.Message
-	notify   chan struct{}
-	closedCh chan struct{}
-	closed   bool
+	mux   *mux
+	reg   string
+	inbox *transport.Inbox
 }
 
 var _ transport.Conn = (*regConn)(nil)
@@ -109,27 +104,7 @@ func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
 
 // Recv returns the next message addressed to this register.
 func (c *regConn) Recv(ctx context.Context) (transport.Message, error) {
-	for {
-		c.mu.Lock()
-		if len(c.queue) > 0 {
-			m := c.queue[0]
-			c.queue = c.queue[1:]
-			c.mu.Unlock()
-			return m, nil
-		}
-		closed := c.closed
-		c.mu.Unlock()
-		if closed {
-			return transport.Message{}, transport.ErrClosed
-		}
-		select {
-		case <-c.notify:
-		case <-ctx.Done():
-			return transport.Message{}, ctx.Err()
-		case <-c.closedCh:
-			return transport.Message{}, transport.ErrClosed
-		}
-	}
+	return c.inbox.Recv(ctx)
 }
 
 // Close is a no-op: virtual conns share the physical endpoint, which the
@@ -137,26 +112,11 @@ func (c *regConn) Recv(ctx context.Context) (transport.Message, error) {
 func (c *regConn) Close() error { return nil }
 
 func (c *regConn) push(m transport.Message) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return
-	}
-	c.queue = append(c.queue, m)
-	c.mu.Unlock()
-	select {
-	case c.notify <- struct{}{}:
-	default:
-	}
+	c.inbox.Push(m)
 }
 
 func (c *regConn) close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		close(c.closedCh)
-	}
+	c.inbox.Close()
 }
 
 // registry is the multi-register base object: one independent register

@@ -35,6 +35,7 @@ import (
 	"repro/internal/quorum"
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
+	"repro/internal/transport/fault"
 	"repro/internal/transport/memnet"
 	"repro/internal/transport/tcpnet"
 	"repro/internal/types"
@@ -82,6 +83,15 @@ type Options struct {
 	// GC enables history garbage collection on regular register
 	// automata.
 	GC bool
+	// Faults, when non-nil, wraps every shard's network in the seeded
+	// fault-injection layer (internal/transport/fault): message
+	// drop/delay/duplication/reordering, partitions, and crash/restart
+	// of the Faults.Faulty lowest-indexed objects per shard. Each shard
+	// derives its own schedule from Faults.Seed. The paper's budget
+	// counts Byzantine objects among the t faulty ones, so
+	// Faults.Faulty + ByzPerShard must stay ≤ T for the deployment to
+	// remain wait-free.
+	Faults *fault.Plan
 }
 
 // withDefaults normalizes opts.
@@ -108,6 +118,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.ByzPerShard < 0 {
 		return o, fmt.Errorf("store: negative ByzPerShard %d", o.ByzPerShard)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return o, err
+		}
+		if o.Faults.Faulty+o.ByzPerShard > o.T {
+			return o, fmt.Errorf("store: %d crash-faulty + %d Byzantine objects per shard exceed the fault budget t = %d (Byzantine failures count against t)",
+				o.Faults.Faulty, o.ByzPerShard, o.T)
+		}
 	}
 	return o, nil
 }
@@ -156,8 +175,9 @@ type Store struct {
 
 // shard is one independent base-object cluster and its client pools.
 type shard struct {
-	cfg quorum.Config
-	net network
+	cfg    quorum.Config
+	net    network
+	faults *fault.Net // nil without a fault plan
 
 	writerMux *mux
 	wmu       sync.Mutex
@@ -204,7 +224,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	s := &Store{opts: opts, cfg: cfg, ring: ring}
 	for i := 0; i < opts.Shards; i++ {
-		sh, err := s.buildShard()
+		sh, err := s.buildShard(i)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -214,10 +234,14 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
-// buildShard starts one cluster: network, S multi-register objects (the
-// last ByzPerShard of them Byzantine), a shared writer endpoint, and the
-// reader-slot pool.
-func (s *Store) buildShard() (*shard, error) {
+// faultSeedStride separates per-shard fault schedules derived from one
+// root seed.
+const faultSeedStride = 0x5DEECE66D
+
+// buildShard starts one cluster: network (fault-wrapped when a plan is
+// set), S multi-register objects (the last ByzPerShard of them
+// Byzantine), a shared writer endpoint, and the reader-slot pool.
+func (s *Store) buildShard(index int) (*shard, error) {
 	var nw network
 	if s.opts.TCP {
 		n := tcpnet.New()
@@ -233,6 +257,12 @@ func (s *Store) buildShard() (*shard, error) {
 		nw = n
 	}
 	sh := &shard{cfg: s.cfg, net: nw, writers: make(map[string]*regWriter)}
+	if s.opts.Faults != nil {
+		plan := s.opts.Faults.WithSeed(s.opts.Faults.Seed + int64(index)*faultSeedStride)
+		sh.faults = fault.Wrap(nw, plan)
+		nw = sh.faults
+		sh.net = nw
+	}
 
 	for i := 0; i < s.cfg.S; i++ {
 		id := types.ObjectID(i)
@@ -305,6 +335,28 @@ func (s *Store) AddTap(t transport.Tap) {
 	for _, sh := range s.shards {
 		sh.net.AddTap(t)
 	}
+}
+
+// FaultNet returns shard's fault-injection layer for manual fault
+// control (partitions, crash/restart) in tests and demos, or nil when
+// the store was opened without a fault plan.
+func (s *Store) FaultNet(shard int) *fault.Net {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil
+	}
+	return s.shards[shard].faults
+}
+
+// FaultStats aggregates the injected-fault counters across all shards
+// (zero without a fault plan).
+func (s *Store) FaultStats() fault.Stats {
+	var total fault.Stats
+	for _, sh := range s.shards {
+		if sh.faults != nil {
+			total = total.Add(sh.faults.Stats())
+		}
+	}
+	return total
 }
 
 // Metrics returns the cumulative operation counters.

@@ -68,19 +68,27 @@ type Conn struct {
 	pend   map[transport.NodeID]*destQueue
 	closed bool
 
-	rmu    sync.Mutex
-	rqueue []transport.Message
+	rmu     sync.Mutex
+	rqueue  []transport.Message
+	rwait   chan struct{} // broadcast: rqueue grew or the inner reader slot freed
+	reading bool          // a receiver is inside inner.Recv (single-flight)
 }
 
 // destQueue accumulates the in-flight ops for one destination.
 type destQueue struct {
-	ops []wire.Msg
-	gen int // flush generation, guards stale timers
+	ops   []wire.Msg
+	gen   int         // flush generation, guards stale timers
+	timer *time.Timer // pending flush timer, stopped when the batch is taken
 }
 
 // NewConn wraps inner with batching per opts.
 func NewConn(inner transport.Conn, opts Options) *Conn {
-	return &Conn{inner: inner, opts: opts.withDefaults(), pend: make(map[transport.NodeID]*destQueue)}
+	return &Conn{
+		inner: inner,
+		opts:  opts.withDefaults(),
+		pend:  make(map[transport.NodeID]*destQueue),
+		rwait: make(chan struct{}),
+	}
 }
 
 var _ transport.Conn = (*Conn)(nil)
@@ -116,17 +124,22 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 	}
 	if len(q.ops) == 1 {
 		gen := q.gen
-		time.AfterFunc(c.opts.FlushWindow, func() { c.flushDest(to, gen) })
+		q.timer = time.AfterFunc(c.opts.FlushWindow, func() { c.flushDest(to, gen) })
 	}
 	c.mu.Unlock()
 }
 
-// takeLocked empties q and bumps its generation so pending timers for the
-// taken ops become no-ops.
+// takeLocked empties q, bumps its generation so pending timers for the
+// taken ops become no-ops, and stops the flush timer (a timer that
+// already fired is neutralized by the generation bump).
 func (c *Conn) takeLocked(q *destQueue) []wire.Msg {
 	ops := q.ops
 	q.ops = nil
 	q.gen++
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
 	return ops
 }
 
@@ -178,33 +191,73 @@ func (c *Conn) Flush() {
 
 // Recv returns the next delivered message, unpacking Batch replies into
 // their constituent ops (delivered in batch order).
+//
+// The inner read is single-flighted: at most one receiver blocks in
+// inner.Recv while the others wait on a broadcast channel that fires
+// whenever the queue grows or the reader slot frees. Without this,
+// a receiver parked inside inner.Recv never observes ops a concurrent
+// receiver unpacked into rqueue, so batched replies can stall behind an
+// idle socket until unrelated traffic arrives.
 func (c *Conn) Recv(ctx context.Context) (transport.Message, error) {
 	for {
 		c.rmu.Lock()
 		if len(c.rqueue) > 0 {
-			m := c.rqueue[0]
-			c.rqueue = c.rqueue[1:]
+			m := c.popLocked()
 			c.rmu.Unlock()
 			return m, nil
 		}
+		if !c.reading {
+			c.reading = true
+			c.rmu.Unlock()
+			m, err := c.inner.Recv(ctx)
+			c.rmu.Lock()
+			c.reading = false
+			// Wake every queued receiver: either the queue is about to
+			// grow, or the reader slot just freed (including on error, so
+			// a waiter with a live context can take over the read).
+			wake := c.rwait
+			c.rwait = make(chan struct{})
+			close(wake)
+			if err != nil {
+				c.rmu.Unlock()
+				return transport.Message{}, err
+			}
+			b, ok := m.Payload.(wire.Batch)
+			if !ok {
+				c.rmu.Unlock()
+				return m, nil
+			}
+			for _, op := range b.Ops {
+				c.rqueue = append(c.rqueue, transport.Message{From: m.From, Payload: op})
+			}
+			c.rmu.Unlock()
+			continue
+		}
+		wait := c.rwait
 		c.rmu.Unlock()
-		m, err := c.inner.Recv(ctx)
-		if err != nil {
-			return transport.Message{}, err
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return transport.Message{}, ctx.Err()
 		}
-		b, ok := m.Payload.(wire.Batch)
-		if !ok {
-			return m, nil
-		}
-		c.rmu.Lock()
-		for _, op := range b.Ops {
-			c.rqueue = append(c.rqueue, transport.Message{From: m.From, Payload: op})
-		}
-		c.rmu.Unlock()
 	}
 }
 
-// Close flushes pending batches and closes the wrapped endpoint.
+// popLocked removes and returns the queue head, nilling out the consumed
+// slot so the backing array does not pin delivered messages, and
+// releasing the array entirely once drained.
+func (c *Conn) popLocked() transport.Message {
+	m := c.rqueue[0]
+	c.rqueue[0] = transport.Message{}
+	c.rqueue = c.rqueue[1:]
+	if len(c.rqueue) == 0 {
+		c.rqueue = nil
+	}
+	return m
+}
+
+// Close flushes pending batches (stopping their flush timers, so none
+// fires into the closed endpoint) and closes the wrapped endpoint.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	c.closed = true

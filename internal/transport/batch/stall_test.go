@@ -1,0 +1,209 @@
+package batch
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// countingConn instruments Recv entry so tests can observe how many
+// receivers are parked inside the inner endpoint.
+type countingConn struct {
+	*fakeConn
+	inRecv atomic.Int32
+}
+
+func (c *countingConn) Recv(ctx context.Context) (transport.Message, error) {
+	c.inRecv.Add(1)
+	defer c.inRecv.Add(-1)
+	return c.fakeConn.Recv(ctx)
+}
+
+// TestRecvCrossReceiverWakeup is the regression test for the batched-
+// reply stall: two receivers block in Recv with nothing queued, then a
+// single Batch carrying two ops arrives on the inner endpoint.
+//
+// Pre-fix semantics (documented here, reproduced by this test on the old
+// code path): both receivers entered inner.Recv; the one that won the
+// race unpacked the batch into rqueue and returned the first op, while
+// the other stayed parked inside inner.Recv — it never re-examined
+// rqueue, so the second op stalled behind an idle socket until unrelated
+// traffic arrived (forever, in this test). Post-fix, the inner read is
+// single-flighted and the unpacking receiver's broadcast wakes the
+// queued one, which drains the second op from rqueue immediately.
+func TestRecvCrossReceiverWakeup(t *testing.T) {
+	inner := &countingConn{fakeConn: newFakeConn()}
+	c := NewConn(inner, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	results := make(chan wire.Msg, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			m, err := c.Recv(ctx)
+			if err != nil {
+				return
+			}
+			results <- m.Payload
+		}()
+	}
+
+	// Let both receivers park. With the single-flight fix exactly one may
+	// occupy the inner endpoint; the other must wait on the queue signal.
+	deadline := time.Now().Add(time.Second)
+	for inner.inRecv.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := inner.inRecv.Load(); n != 1 {
+		t.Fatalf("inner read must be single-flighted: %d receivers inside inner.Recv, want 1", n)
+	}
+
+	inner.inbox <- transport.Message{From: transport.Object(0), Payload: wire.Batch{Ops: []wire.Msg{
+		wire.BaselineReadAck{ObjectID: 0, Attempt: 0},
+		wire.BaselineReadAck{ObjectID: 0, Attempt: 1},
+	}}}
+
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-results:
+			got[m.(wire.BaselineReadAck).Attempt] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("receiver stalled: only %d of 2 batched ops delivered (cross-receiver wakeup broken)", i)
+		}
+	}
+	if !got[0] || !got[1] {
+		t.Fatalf("ops misdelivered: %v", got)
+	}
+}
+
+// TestRecvWaiterHonorsContext: a receiver queued behind the single-flight
+// reader must still unblock on its own context.
+func TestRecvWaiterHonorsContext(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{})
+
+	bg, cancelBG := context.WithCancel(context.Background())
+	defer cancelBG()
+	go c.Recv(bg) // occupies the inner read slot, never fed
+
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Recv(ctx)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Fatalf("queued receiver returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued receiver ignored its cancelled context")
+	}
+}
+
+// TestCloseStopsFlushTimers: a pending flush timer must be stopped when
+// its batch is taken — by a size-triggered flush or by Close — instead of
+// firing later into a closed endpoint.
+func TestCloseStopsFlushTimers(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{FlushWindow: 50 * time.Millisecond, MaxBatch: 64})
+	c.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 0})
+	c.Send(transport.Object(1), wire.BaselineReadReq{Attempt: 1})
+
+	c.mu.Lock()
+	armed := 0
+	for _, q := range c.pend {
+		if q.timer != nil {
+			armed++
+		}
+	}
+	c.mu.Unlock()
+	if armed != 2 {
+		t.Fatalf("want 2 armed flush timers before close, got %d", armed)
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	for to, q := range c.pend {
+		if q.timer != nil {
+			t.Errorf("flush timer for %v still armed after Close", to)
+		}
+	}
+	c.mu.Unlock()
+
+	// The close-flush ships both ops; nothing may arrive afterwards when
+	// the (stopped) timers would have fired.
+	shipped := len(inner.frames())
+	if shipped != 2 {
+		t.Fatalf("close must flush both destinations, got %d frames", shipped)
+	}
+	time.Sleep(120 * time.Millisecond)
+	if got := len(inner.frames()); got != shipped {
+		t.Fatalf("stale flush timer fired into closed endpoint: %d frames after close, had %d", got, shipped)
+	}
+}
+
+// TestMaxBatchFlushStopsTimer: the size-triggered flush path must also
+// disarm the window timer it raced with.
+func TestMaxBatchFlushStopsTimer(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 2})
+	obj := transport.Object(3)
+	c.Send(obj, wire.BaselineReadReq{Attempt: 0}) // arms the timer
+	c.Send(obj, wire.BaselineReadReq{Attempt: 1}) // size-triggered flush
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q := c.pend[obj]; q == nil || q.timer != nil {
+		t.Fatal("size-triggered flush must stop the pending window timer")
+	}
+}
+
+// TestRecvQueueReleasesConsumedSlots: consumed rqueue entries must be
+// zeroed (and the backing array dropped once drained) so delivered
+// messages are not pinned by the queue's backing array.
+func TestRecvQueueReleasesConsumedSlots(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{})
+	inner.inbox <- transport.Message{From: transport.Object(0), Payload: wire.Batch{Ops: []wire.Msg{
+		wire.BaselineReadAck{Attempt: 0},
+		wire.BaselineReadAck{Attempt: 1},
+		wire.BaselineReadAck{Attempt: 2},
+	}}}
+	ctx := context.Background()
+	if _, err := c.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.rmu.Lock()
+	head := c.rqueue // len 2, sharing the backing array with the consumed slot
+	c.rmu.Unlock()
+	if len(head) != 2 {
+		t.Fatalf("queue should hold 2 ops after one Recv, got %d", len(head))
+	}
+	if _, err := c.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// head[0] aliases the slot the second Recv consumed; it must be zeroed.
+	if head[0].Payload != nil || head[0].From != (transport.NodeID{}) {
+		t.Fatalf("consumed rqueue slot still pins its message: %+v", head[0])
+	}
+	if _, err := c.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.rqueue != nil {
+		t.Fatal("drained rqueue must release its backing array")
+	}
+}

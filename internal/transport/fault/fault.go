@@ -1,0 +1,715 @@
+// Package fault is a composable, seeded fault-injection layer for any
+// transport.Network: it wraps the endpoints a network hands out and
+// subjects every client↔object message to per-link drop, delay, jitter,
+// duplication and reordering, link partitions, and base-object
+// crash/restart cycles — the adversities the paper's model admits,
+// previously available only inside the deterministic simnet simulator.
+// memnet and tcpnet (batched or not) run under it unchanged.
+//
+// The fault model mirrors §2 of the paper. Up to t of the S base
+// objects may be faulty, and up to b ≤ t of those may be Byzantine; the
+// remaining links are reliable (asynchronous, but every message is
+// eventually delivered). Accordingly, the lossy faults — message drop,
+// partitions, crash/restart — are confined to a designated faulty set
+// (Plan.Faulty lowest-indexed objects; internal/store makes the
+// highest-indexed objects Byzantine, so the two classes stay disjoint
+// and together respect the t budget), while the asynchrony faults —
+// delay, jitter, duplication, reordering — may hit every link: the
+// protocols are proven against arbitrary asynchrony and must shrug
+// those off everywhere. Keeping Faulty + Byzantine ≤ t is what makes a
+// chaos run a soak rather than a liveness counterexample: wait-freedom
+// only holds when at least S−t objects answer every round.
+//
+// A crash discards the object's in-flight traffic (requests queued at
+// the object die with it; replies already in flight are dropped at the
+// receiving endpoint); a restart re-serves the object with its state
+// intact — crash-recovery with stable storage. When the wrapped network
+// implements socket- or queue-level crash (memnet, tcpnet), the layer
+// drives it too, so on TCP a crash really severs connections and a
+// restart forces the client's re-dial path.
+//
+// All randomness flows from Plan.Seed, so a fault schedule is
+// reproducible: same seed, same faulty set, same crash windows, same
+// per-message dice stream (message-level interleaving still depends on
+// goroutine scheduling, but the statistical shape and the schedule of
+// every run are fixed by the seed).
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Plan is the seeded fault schedule for one wrapped network. The zero
+// value injects nothing; each knob composes independently.
+type Plan struct {
+	// Seed drives every random choice: the per-message dice and the
+	// per-object crash schedules. Runs with the same plan are
+	// statistically identical.
+	Seed int64
+
+	// Faulty is the size of the crash/omission-faulty set: objects with
+	// Index < Faulty are subject to Drop and to the Crash schedule. Keep
+	// Faulty + Byzantine objects within the deployment's t budget or the
+	// protocols lose their liveness guarantee (see the package comment).
+	Faulty int
+
+	// Drop is the per-message drop probability on links to and from
+	// faulty objects (requests and replies alike).
+	Drop float64
+
+	// Delay is a fixed extra one-way latency applied to every message on
+	// every link.
+	Delay time.Duration
+
+	// Jitter adds a uniform random [0, Jitter) latency on every link —
+	// with unequal per-message draws, messages overtake one another, so
+	// jitter is also the reordering mechanism.
+	Jitter time.Duration
+
+	// Duplicate is the per-message probability of delivering a second
+	// copy (with an independent delay draw) on any link. The protocols
+	// must dedupe: objects guard by timestamp, clients by responder.
+	Duplicate float64
+
+	// Reorder is the per-message probability of an extra Jitter-sized
+	// penalty, forcing overtakes even under light load. It requires
+	// Jitter > 0 (jitter is the reordering mechanism); Validate rejects
+	// a reordering plan without it.
+	Reorder float64
+
+	// Crash, when Cycles > 0, schedules crash/restart (or partition/heal)
+	// windows for every faulty object.
+	Crash CrashPlan
+}
+
+// CrashPlan schedules down-windows for the faulty set. Each cycle is an
+// up-phase of uniform [UpMin, UpMax) followed by a down-phase of uniform
+// [DownMin, DownMax). A down-phase is a crash — in-flight traffic is
+// discarded and, when the wrapped network supports it, sockets/queues
+// really die — or, with probability PartitionBias, a partition: the
+// object keeps running but the fault layer holds everything to and
+// from it "in transit", delivering it when the window heals.
+type CrashPlan struct {
+	Cycles           int
+	UpMin, UpMax     time.Duration
+	DownMin, DownMax time.Duration
+	PartitionBias    float64
+}
+
+// Validate checks the plan's arithmetic (probabilities in [0,1],
+// non-negative counts and durations, ordered windows).
+func (p Plan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Reorder", p.Reorder}, {"PartitionBias", p.Crash.PartitionBias}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.Faulty < 0 {
+		return fmt.Errorf("fault: negative Faulty %d", p.Faulty)
+	}
+	if p.Delay < 0 || p.Jitter < 0 {
+		return fmt.Errorf("fault: negative delay/jitter")
+	}
+	if p.Reorder > 0 && p.Jitter <= 0 {
+		return fmt.Errorf("fault: Reorder = %v needs Jitter > 0 (jitter is the reordering mechanism)", p.Reorder)
+	}
+	c := p.Crash
+	if c.Cycles < 0 {
+		return fmt.Errorf("fault: negative crash cycles %d", c.Cycles)
+	}
+	if c.Cycles > 0 {
+		if c.UpMin < 0 || c.DownMin < 0 || c.UpMax < c.UpMin || c.DownMax < c.DownMin {
+			return fmt.Errorf("fault: crash windows must satisfy 0 ≤ min ≤ max")
+		}
+	}
+	return nil
+}
+
+// WithSeed returns a copy of the plan reseeded with seed — how a
+// multi-shard deployment derives independent per-shard schedules from
+// one root seed.
+func (p Plan) WithSeed(seed int64) Plan {
+	p.Seed = seed
+	return p
+}
+
+// Stats counts injected faults across a wrapped network's lifetime.
+type Stats struct {
+	Dropped    int64 // messages discarded (drop dice, crash windows)
+	Delayed    int64 // messages that paid Delay/Jitter/Reorder latency
+	Duplicated int64 // extra copies delivered
+	Crashes    int64 // crash windows opened
+	Restarts   int64 // crash windows healed
+	Partitions int64 // partition windows opened (scheduled or manual)
+	Heals      int64 // partition windows healed
+}
+
+// Add returns the fieldwise sum (aggregating across shards).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Dropped:    s.Dropped + o.Dropped,
+		Delayed:    s.Delayed + o.Delayed,
+		Duplicated: s.Duplicated + o.Duplicated,
+		Crashes:    s.Crashes + o.Crashes,
+		Restarts:   s.Restarts + o.Restarts,
+		Partitions: s.Partitions + o.Partitions,
+		Heals:      s.Heals + o.Heals,
+	}
+}
+
+// String renders the counters compactly for reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d partitions=%d heals=%d",
+		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Partitions, s.Heals)
+}
+
+// crashRestarter is the optional deeper-integration surface of a wrapped
+// network: memnet discards the object's queue, tcpnet severs sockets.
+type crashRestarter interface {
+	Crash(id transport.NodeID)
+	Restart(id transport.NodeID) error
+}
+
+// tapper lets the wrapper forward AddTap to networks that support it.
+type tapper interface{ AddTap(transport.Tap) }
+
+// closer lets Close cascade into the wrapped network.
+type closer interface{ Close() error }
+
+// linkKey is a directed link.
+type linkKey struct{ from, to transport.NodeID }
+
+// Net wraps a transport.Network with fault injection. Build one with
+// Wrap; it implements transport.Network and forwards AddTap/Close to the
+// inner network when supported.
+type Net struct {
+	inner transport.Network
+	plan  Plan
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	down map[transport.NodeID]downMode // objects in a down window
+	cut  map[linkKey]bool              // partitioned directed links
+
+	// held queues the traffic of partition windows and cut links, in
+	// link order: a partition keeps messages "in transit" (the paper's
+	// asynchrony) and a heal releases them, whereas a crash discards.
+	held map[holdKey][]heldMsg
+
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup // schedulers, pumps, delayed deliveries
+
+	dropped, delayed, duplicated atomic.Int64
+	crashes, restarts            atomic.Int64
+	partitions, heals            atomic.Int64
+}
+
+// downMode distinguishes the two kinds of down window.
+type downMode byte
+
+const (
+	modeCrash downMode = iota + 1
+	modePartition
+)
+
+// holdKey buckets held traffic by what blocks it: a partitioned object
+// or a cut directed link.
+type holdKey struct {
+	node transport.NodeID
+	link linkKey
+}
+
+// heldMsg is one delivery waiting out a partition; on release it is
+// re-injected, so a still-standing second obstacle re-holds it.
+type heldMsg struct {
+	from, to transport.NodeID
+	deliver  func()
+}
+
+// Wrap layers plan over inner. The plan should be validated first; Wrap
+// panics on an invalid one (a programming error, not a runtime
+// condition).
+func Wrap(inner transport.Network, plan Plan) *Net {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &Net{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		down:  make(map[transport.NodeID]downMode),
+		cut:   make(map[linkKey]bool),
+		held:  make(map[holdKey][]heldMsg),
+		done:  make(chan struct{}),
+	}
+}
+
+var _ transport.Network = (*Net)(nil)
+
+// Plan returns the wrapped plan (reporting).
+func (n *Net) Plan() Plan { return n.plan }
+
+// Stats returns the fault counters so far.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Dropped:    n.dropped.Load(),
+		Delayed:    n.delayed.Load(),
+		Duplicated: n.duplicated.Load(),
+		Crashes:    n.crashes.Load(),
+		Restarts:   n.restarts.Load(),
+		Partitions: n.partitions.Load(),
+		Heals:      n.heals.Load(),
+	}
+}
+
+// isFaulty reports whether id belongs to the lossy set.
+func (n *Net) isFaulty(id transport.NodeID) bool {
+	return id.Kind == transport.KindObject && id.Index >= 0 && id.Index < n.plan.Faulty
+}
+
+// Register wraps the inner endpoint: outgoing messages pass through the
+// send-side injector, incoming ones are pumped through the receive-side
+// injector into a local inbox.
+func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
+	inner, err := n.inner.Register(id)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{net: n, inner: inner, id: id, inbox: transport.NewInbox()}
+	// wg.Add under the lock that vouches for !closed, so Close cannot
+	// start waiting between the check and the Add (see inject).
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		inner.Close()
+		return nil, transport.ErrClosed
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go c.pump()
+	return c, nil
+}
+
+// Serve installs the handler on the inner network and, when the object
+// is in the faulty set and the plan schedules crash cycles, starts its
+// seeded crash/restart loop.
+func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
+	if err := n.inner.Serve(id, h); err != nil {
+		return err
+	}
+	if n.isFaulty(id) && n.plan.Crash.Cycles > 0 {
+		// wg.Add under the closed-lock, as in Register.
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return transport.ErrClosed
+		}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.crashLoop(id)
+	}
+	return nil
+}
+
+// AddTap forwards to the inner network when it supports observation.
+// Taps therefore see ground-truth traffic, before injection.
+func (n *Net) AddTap(t transport.Tap) {
+	if tp, ok := n.inner.(tapper); ok {
+		tp.AddTap(t)
+	}
+}
+
+// Close stops the schedulers, closes the inner network, and waits for
+// every pump, scheduler, and delayed delivery to finish.
+func (n *Net) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	n.mu.Unlock()
+	var err error
+	if c, ok := n.inner.(closer); ok {
+		err = c.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// CrashObject opens a manual crash window for id: its in-flight traffic
+// is discarded and everything to/from it drops until RestartObject. When
+// the inner network supports socket/queue-level crash, that fires too.
+func (n *Net) CrashObject(id transport.NodeID) {
+	n.takeDown(id, false)
+}
+
+// RestartObject heals a manual crash window.
+func (n *Net) RestartObject(id transport.NodeID) {
+	n.bringUp(id)
+}
+
+// PartitionObject cuts every link to and from id at the fault layer; the
+// object itself keeps running (state, sockets, and queues intact) and
+// its traffic is held "in transit" until HealObject releases it.
+func (n *Net) PartitionObject(id transport.NodeID) {
+	n.takeDown(id, true)
+}
+
+// HealObject reverses PartitionObject and releases the held traffic
+// back through the injector (so it pays the normal delay/jitter dice
+// and may be reordered, like any in-transit message).
+func (n *Net) HealObject(id transport.NodeID) {
+	n.bringUp(id)
+}
+
+// PartitionLink cuts the directed link from→to, holding its traffic in
+// transit until HealLink.
+func (n *Net) PartitionLink(from, to transport.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.cut[linkKey{from, to}] {
+		n.cut[linkKey{from, to}] = true
+		n.partitions.Add(1)
+	}
+}
+
+// HealLink reverses PartitionLink, releasing the held traffic through
+// the injector (normal dice apply; see HealObject).
+func (n *Net) HealLink(from, to transport.NodeID) {
+	n.mu.Lock()
+	if !n.cut[linkKey{from, to}] {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.cut, linkKey{from, to})
+	n.heals.Add(1)
+	held := n.takeHeldLocked(holdKey{link: linkKey{from, to}})
+	n.mu.Unlock()
+	n.reinject(held)
+}
+
+// Down reports whether id is inside a down window (crash or partition).
+func (n *Net) Down(id transport.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id] != 0
+}
+
+// takeDown opens a down window. A partition keeps the inner network
+// untouched and holds traffic; a crash also fires the inner teardown
+// when supported.
+func (n *Net) takeDown(id transport.NodeID, partition bool) {
+	mode := modeCrash
+	if partition {
+		mode = modePartition
+	}
+	n.mu.Lock()
+	if n.down[id] != 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.down[id] = mode
+	n.mu.Unlock()
+	if partition {
+		n.partitions.Add(1)
+		return
+	}
+	n.crashes.Add(1)
+	if cr, ok := n.inner.(crashRestarter); ok {
+		cr.Crash(id)
+	}
+}
+
+// bringUp heals whatever down window is open for id, deciding crash vs.
+// partition from the recorded mode (not the caller's intent, so a
+// manual RestartObject also heals a scheduled partition correctly). The
+// heal is claimed atomically by deleting the down entry, so concurrent
+// heals cannot double-restart or double-count. A partition heal
+// releases the held traffic (a crash has none — it was discarded); a
+// crash heal restarts the inner object first, and if that fails (e.g.
+// the TCP port could not be re-bound) re-marks the object down so the
+// counters stay honest — a soak then reports its schedule incomplete
+// instead of pretending the object recovered.
+func (n *Net) bringUp(id transport.NodeID) {
+	n.mu.Lock()
+	mode := n.down[id]
+	if mode == 0 {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.down, id) // claim the heal
+	if mode == modePartition {
+		held := n.takeHeldLocked(holdKey{node: id})
+		n.mu.Unlock()
+		n.heals.Add(1)
+		n.reinject(held)
+		return
+	}
+	n.mu.Unlock()
+	if cr, ok := n.inner.(crashRestarter); ok {
+		if err := cr.Restart(id); err != nil {
+			n.mu.Lock()
+			n.down[id] = modeCrash // heal failed: still down
+			n.mu.Unlock()
+			return
+		}
+	}
+	n.restarts.Add(1)
+}
+
+// takeHeldLocked removes and returns one hold bucket.
+func (n *Net) takeHeldLocked(k holdKey) []heldMsg {
+	held := n.held[k]
+	delete(n.held, k)
+	return held
+}
+
+// reinject pushes released messages back through the injector, in
+// order: a message still facing another partition is re-held, the rest
+// roll the normal dice.
+func (n *Net) reinject(held []heldMsg) {
+	for _, h := range held {
+		n.inject(h.from, h.to, h.deliver)
+	}
+}
+
+// crashLoop runs one faulty object's seeded schedule: Cycles rounds of
+// up-window → down-window (crash or partition by PartitionBias). The
+// whole schedule is drawn up front from a per-object source, so it is a
+// pure function of (plan seed, object index) regardless of goroutine
+// interleaving.
+func (n *Net) crashLoop(id transport.NodeID) {
+	defer n.wg.Done()
+	cp := n.plan.Crash
+	rng := rand.New(rand.NewSource(n.plan.Seed ^ int64(uint64(id.Index+1)*0x9E3779B97F4A7C15)))
+	type window struct {
+		up, down  time.Duration
+		partition bool
+	}
+	schedule := make([]window, cp.Cycles)
+	for i := range schedule {
+		schedule[i] = window{
+			up:        uniform(rng, cp.UpMin, cp.UpMax),
+			down:      uniform(rng, cp.DownMin, cp.DownMax),
+			partition: rng.Float64() < cp.PartitionBias,
+		}
+	}
+	for _, w := range schedule {
+		if !n.sleep(w.up) {
+			return
+		}
+		n.takeDown(id, w.partition)
+		if !n.sleep(w.down) {
+			n.heal(id)
+			return
+		}
+		n.heal(id)
+	}
+}
+
+// heal brings id up, retrying while the heal fails (a crashed tcpnet
+// object's port can be transiently occupied) so a schedule never
+// strands an object down past its last window; it gives up only when
+// the network closes.
+func (n *Net) heal(id transport.NodeID) {
+	n.bringUp(id)
+	for n.Down(id) {
+		if !n.sleep(10 * time.Millisecond) {
+			return
+		}
+		n.bringUp(id)
+	}
+}
+
+// uniform draws from [lo, hi); hi ≤ lo yields lo.
+func uniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+// sleep waits for d or until the network closes; false on close.
+func (n *Net) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// verdict rolls the per-message dice for one directed delivery.
+type verdict struct {
+	drop  bool
+	delay time.Duration
+	dup   bool
+}
+
+// judge applies the per-message dice to the link from→to. Drop only
+// applies when an endpoint is in the faulty set; asynchrony faults
+// (delay, jitter, reordering, duplication) apply to every link.
+func (n *Net) judgeLocked(from, to transport.NodeID) verdict {
+	if (n.isFaulty(from) || n.isFaulty(to)) && n.plan.Drop > 0 && n.rng.Float64() < n.plan.Drop {
+		return verdict{drop: true}
+	}
+	v := verdict{delay: n.plan.Delay}
+	if n.plan.Jitter > 0 {
+		v.delay += time.Duration(n.rng.Int63n(int64(n.plan.Jitter)))
+		if n.plan.Reorder > 0 && n.rng.Float64() < n.plan.Reorder {
+			v.delay += time.Duration(n.rng.Int63n(int64(n.plan.Jitter)))
+		}
+	}
+	if n.plan.Duplicate > 0 && n.rng.Float64() < n.plan.Duplicate {
+		v.dup = true
+	}
+	return v
+}
+
+// inject routes one directed delivery through the fault model. Crash
+// windows discard it; partition windows and cut links hold it in
+// transit (released on heal); otherwise the dice decide drop, delay,
+// and duplication, and deliver runs accordingly.
+func (n *Net) inject(from, to transport.NodeID, deliver func()) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.dropped.Add(1)
+		return
+	}
+	if n.down[from] == modeCrash || n.down[to] == modeCrash {
+		n.mu.Unlock()
+		n.dropped.Add(1)
+		return
+	}
+	// Hold on the first obstacle; release re-injects, so a message
+	// facing several partitions waits out each in turn.
+	var hk holdKey
+	switch {
+	case n.down[from] == modePartition:
+		hk = holdKey{node: from}
+	case n.down[to] == modePartition:
+		hk = holdKey{node: to}
+	case n.cut[linkKey{from, to}]:
+		hk = holdKey{link: linkKey{from, to}}
+	default:
+		v := n.judgeLocked(from, to)
+		var d verdict
+		if v.dup {
+			// Independent draw for the duplicate: the copies may arrive
+			// in either order, or the duplicate may itself be dropped.
+			d = n.judgeLocked(from, to)
+		}
+		// Register the deliveries with wg while still holding the lock
+		// that vouched for !closed: Close flips closed under the same
+		// lock before it starts waiting, so it cannot observe a zero
+		// counter between this check and the Add.
+		deliveries := 0
+		if !v.drop {
+			deliveries++
+		}
+		if v.dup && !d.drop {
+			deliveries++
+		}
+		n.wg.Add(deliveries)
+		n.mu.Unlock()
+		if v.drop {
+			n.dropped.Add(1)
+			return
+		}
+		n.schedule(v.delay, deliver)
+		if v.dup {
+			if d.drop {
+				n.dropped.Add(1)
+			} else {
+				n.duplicated.Add(1)
+				n.schedule(d.delay, deliver)
+			}
+		}
+		return
+	}
+	n.held[hk] = append(n.held[hk], heldMsg{from: from, to: to, deliver: deliver})
+	n.mu.Unlock()
+}
+
+// schedule runs deliver now or after d (counting it as delayed when
+// d > 0). The caller has already added the delivery to wg, under n.mu.
+func (n *Net) schedule(d time.Duration, deliver func()) {
+	if d <= 0 {
+		deliver()
+		n.wg.Done()
+		return
+	}
+	n.delayed.Add(1)
+	time.AfterFunc(d, func() {
+		defer n.wg.Done()
+		deliver()
+	})
+}
+
+// conn is a fault-injected endpoint: Send rolls the dice before handing
+// to the inner endpoint; a pump goroutine rolls them again on every
+// delivered message before queuing it for Recv.
+type conn struct {
+	net   *Net
+	inner transport.Conn
+	id    transport.NodeID
+	inbox *transport.Inbox
+}
+
+var _ transport.Conn = (*conn)(nil)
+
+// ID returns the owning node's ID.
+func (c *conn) ID() transport.NodeID { return c.id }
+
+// Send subjects the message to the outbound fault dice, then ships it
+// over the inner endpoint (possibly delayed, possibly twice).
+func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
+	c.net.inject(c.id, to, func() { c.inner.Send(to, payload) })
+}
+
+// pump drains the inner endpoint, subjecting every delivered message to
+// the inbound fault dice (replies from a crashed object die here — they
+// were in flight when it went down).
+func (c *conn) pump() {
+	defer c.net.wg.Done()
+	for {
+		m, err := c.inner.Recv(context.Background())
+		if err != nil {
+			c.inbox.Close()
+			return
+		}
+		c.net.inject(m.From, c.id, func() { c.inbox.Push(m) })
+	}
+}
+
+// Recv returns the next message that survived injection.
+func (c *conn) Recv(ctx context.Context) (transport.Message, error) {
+	return c.inbox.Recv(ctx)
+}
+
+// Close closes the inner endpoint; the pump then closes the inbox.
+func (c *conn) Close() error {
+	err := c.inner.Close()
+	c.inbox.Close()
+	return err
+}

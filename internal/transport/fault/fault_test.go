@@ -1,0 +1,306 @@
+package fault_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/fault"
+	"repro/internal/transport/memnet"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/wire"
+)
+
+// echo acks every BaselineReadReq with its attempt number.
+type echo struct{}
+
+func (echo) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	if m, ok := req.(wire.BaselineReadReq); ok {
+		return wire.BaselineReadAck{Attempt: m.Attempt}, true
+	}
+	return nil, false
+}
+
+func ctx(t *testing.T) context.Context {
+	t.Helper()
+	c, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	t.Cleanup(cancel)
+	return c
+}
+
+// askOnce sends one request and waits briefly for its reply.
+func askOnce(t *testing.T, conn transport.Conn, obj transport.NodeID, attempt int, wait time.Duration) bool {
+	t.Helper()
+	conn.Send(obj, wire.BaselineReadReq{Attempt: attempt})
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+		short, cancel := context.WithDeadline(context.Background(), deadline)
+		m, err := conn.Recv(short)
+		cancel()
+		if err != nil {
+			return false
+		}
+		if ack, ok := m.Payload.(wire.BaselineReadAck); ok && ack.Attempt == attempt {
+			return true
+		}
+	}
+	return false
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	n := fault.Wrap(memnet.New(), fault.Plan{})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		conn.Send(obj, wire.BaselineReadReq{Attempt: i})
+		m, err := conn.Recv(ctx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Payload.(wire.BaselineReadAck).Attempt; got != i {
+			t.Fatalf("reply %d: got %d (zero plan must preserve order and loss-freedom)", i, got)
+		}
+	}
+	if s := n.Stats(); s != (fault.Stats{}) {
+		t.Fatalf("zero plan injected faults: %v", s)
+	}
+}
+
+func TestDropConfinedToFaultySet(t *testing.T) {
+	// Object 0 is faulty with certain drop; object 1 must stay reliable.
+	n := fault.Wrap(memnet.New(), fault.Plan{Seed: 1, Faulty: 1, Drop: 1.0})
+	defer n.Close()
+	if err := n.Serve(transport.Object(0), echo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Serve(transport.Object(1), echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if askOnce(t, conn, transport.Object(0), 1, 100*time.Millisecond) {
+		t.Fatal("message to the faulty object survived Drop = 1.0")
+	}
+	if !askOnce(t, conn, transport.Object(1), 2, 5*time.Second) {
+		t.Fatal("message to a non-faulty object was dropped")
+	}
+	if n.Stats().Dropped == 0 {
+		t.Fatal("drop counter not incremented")
+	}
+}
+
+func TestDelayDuplicationAndStats(t *testing.T) {
+	n := fault.Wrap(memnet.New(), fault.Plan{Seed: 7, Delay: time.Millisecond, Jitter: 2 * time.Millisecond, Duplicate: 1.0})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.Send(obj, wire.BaselineReadReq{Attempt: 42})
+	m, err := conn.Recv(ctx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Payload.(wire.BaselineReadAck).Attempt != 42 {
+		t.Fatalf("wrong reply: %+v", m.Payload)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("round trip %v beat the 2×1ms base delay — delay not applied", elapsed)
+	}
+	// Everything duplicates: the object dedupes nothing here (its guard
+	// is attempt-free), so the duplicate request produces a second ack
+	// and the duplicate of an ack another copy. At least one extra copy
+	// of the first reply must surface.
+	short, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := conn.Recv(short); err != nil {
+		t.Fatalf("no duplicate delivery arrived: %v", err)
+	}
+	s := n.Stats()
+	if s.Delayed == 0 || s.Duplicated == 0 {
+		t.Fatalf("stats missed injections: %v", s)
+	}
+}
+
+func TestManualCrashRestartOverMemnet(t *testing.T) {
+	inner := memnet.New()
+	n := fault.Wrap(inner, fault.Plan{Faulty: 1})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !askOnce(t, conn, obj, 1, 5*time.Second) {
+		t.Fatal("object unreachable before crash")
+	}
+
+	n.CrashObject(obj)
+	if !n.Down(obj) {
+		t.Fatal("Down must report true inside the crash window")
+	}
+	if !inner.Crashed(obj) {
+		t.Fatal("crash must cascade into the wrapped memnet")
+	}
+	if askOnce(t, conn, obj, 2, 100*time.Millisecond) {
+		t.Fatal("crashed object replied")
+	}
+
+	n.RestartObject(obj)
+	if n.Down(obj) || inner.Crashed(obj) {
+		t.Fatal("restart must heal both layers")
+	}
+	if !askOnce(t, conn, obj, 3, 5*time.Second) {
+		t.Fatal("restarted object unreachable")
+	}
+	s := n.Stats()
+	if s.Crashes != 1 || s.Restarts != 1 {
+		t.Fatalf("crash counters wrong: %v", s)
+	}
+}
+
+func TestPartitionLeavesInnerNetworkUntouched(t *testing.T) {
+	inner := memnet.New()
+	n := fault.Wrap(inner, fault.Plan{})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.PartitionObject(obj)
+	if inner.Crashed(obj) {
+		t.Fatal("a partition must not crash the inner object")
+	}
+	if askOnce(t, conn, obj, 1, 100*time.Millisecond) {
+		t.Fatal("partitioned object reachable")
+	}
+	n.HealObject(obj)
+	if !askOnce(t, conn, obj, 2, 5*time.Second) {
+		t.Fatal("healed object unreachable")
+	}
+	s := n.Stats()
+	if s.Partitions != 1 || s.Heals != 1 || s.Crashes != 0 {
+		t.Fatalf("partition counters wrong: %v", s)
+	}
+}
+
+func TestDirectedLinkPartition(t *testing.T) {
+	n := fault.Wrap(memnet.New(), fault.Plan{})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut only the reply direction: requests arrive, acks vanish.
+	n.PartitionLink(obj, transport.Reader(0))
+	if askOnce(t, conn, obj, 1, 100*time.Millisecond) {
+		t.Fatal("reply crossed a cut link")
+	}
+	n.HealLink(obj, transport.Reader(0))
+	if !askOnce(t, conn, obj, 2, 5*time.Second) {
+		t.Fatal("healed link did not recover")
+	}
+}
+
+func TestScheduledCrashCyclesOverTCP(t *testing.T) {
+	// One faulty object cycling through two short crash windows over real
+	// sockets; a second, non-faulty object stays reliable throughout.
+	n := fault.Wrap(tcpnet.New(), fault.Plan{
+		Seed:   99,
+		Faulty: 1,
+		Crash: fault.CrashPlan{
+			Cycles: 2,
+			UpMin:  20 * time.Millisecond, UpMax: 40 * time.Millisecond,
+			DownMin: 20 * time.Millisecond, DownMax: 40 * time.Millisecond,
+		},
+	})
+	defer n.Close()
+	if err := n.Serve(transport.Object(0), echo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Serve(transport.Object(1), echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer both objects through the schedule; the reliable one must
+	// answer every probe, the faulty one must answer again after the
+	// final window heals.
+	deadline := time.Now().Add(3 * time.Second)
+	attempt := 0
+	for time.Now().Before(deadline) && n.Stats().Restarts < 2 {
+		attempt++
+		if !askOnce(t, conn, transport.Object(1), attempt, 5*time.Second) {
+			t.Fatal("non-faulty object went dark during the chaos schedule")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := n.Stats()
+	if s.Crashes+s.Partitions < 2 {
+		t.Fatalf("schedule did not run its 2 windows: %v", s)
+	}
+	if s.Crashes != s.Restarts || s.Partitions != s.Heals {
+		t.Fatalf("windows not healed: %v", s)
+	}
+	ok := false
+	for i := 0; i < 40 && !ok; i++ {
+		attempt++
+		ok = askOnce(t, conn, transport.Object(0), attempt, 250*time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("faulty object unreachable after its schedule completed")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []fault.Plan{
+		{Drop: 1.5},
+		{Duplicate: -0.1},
+		{Faulty: -1},
+		{Delay: -time.Second},
+		{Crash: fault.CrashPlan{Cycles: -1}},
+		{Crash: fault.CrashPlan{Cycles: 1, UpMin: 2 * time.Second, UpMax: time.Second}},
+		{Reorder: 0.5}, // reordering without jitter is a silent no-op
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated: %+v", i, p)
+		}
+	}
+	good := fault.Plan{Seed: 3, Faulty: 2, Drop: 0.5, Delay: time.Millisecond, Jitter: time.Millisecond,
+		Duplicate: 0.2, Reorder: 0.3, Crash: fault.CrashPlan{Cycles: 3, UpMax: time.Second, DownMax: time.Second, PartitionBias: 0.5}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	if got := good.WithSeed(42).Seed; got != 42 {
+		t.Errorf("WithSeed: %d", got)
+	}
+}

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// Inbox is the unbounded receive mailbox shared by transport endpoints
+// (memnet conns, the fault layer's conns, the store's per-register
+// virtual conns): Push appends a delivered message and Recv blocks for
+// the next one, the context, or Close. It is written for correctness
+// under concurrent receivers — the wakeup token is re-armed whenever
+// messages remain, so back-to-back pushes cannot strand a parked
+// receiver on a non-empty queue — and consumed slots are zeroed (the
+// backing array released once drained) so the queue never pins
+// delivered payloads.
+type Inbox struct {
+	mu       sync.Mutex
+	queue    []Message
+	notify   chan struct{}
+	closedCh chan struct{}
+	closed   bool
+}
+
+// NewInbox returns an empty, open inbox.
+func NewInbox() *Inbox {
+	return &Inbox{notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
+}
+
+// Push enqueues m for delivery; after Close it reports false and drops
+// the message (forever "in transit").
+func (b *Inbox) Push(m Message) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Recv returns the next queued message, draining what was delivered
+// before Close and then returning ErrClosed.
+func (b *Inbox) Recv(ctx context.Context) (Message, error) {
+	for {
+		b.mu.Lock()
+		if len(b.queue) > 0 {
+			m := b.queue[0]
+			b.queue[0] = Message{}
+			b.queue = b.queue[1:]
+			if len(b.queue) == 0 {
+				b.queue = nil
+			} else {
+				// Re-arm the wakeup token for any other parked receiver.
+				select {
+				case b.notify <- struct{}{}:
+				default:
+				}
+			}
+			b.mu.Unlock()
+			return m, nil
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return Message{}, ErrClosed
+		}
+		b.mu.Unlock()
+		select {
+		case <-b.notify:
+		case <-ctx.Done():
+			return Message{}, ctx.Err()
+		case <-b.closedCh:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+// Close wakes every pending Recv; it is idempotent.
+func (b *Inbox) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.closedCh)
+	}
+}

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestInboxConcurrentReceivers: back-to-back pushes collapse into one
+// wakeup token; with two parked receivers the token must be re-armed on
+// pop so the second receiver drains the remainder instead of stalling
+// on a non-empty queue.
+func TestInboxConcurrentReceivers(t *testing.T) {
+	b := NewInbox()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	got := make(chan Message, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			m, err := b.Recv(ctx)
+			if err == nil {
+				got <- m
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // both receivers parked
+	b.Push(Message{Payload: wire.WAck{TS: 1}})
+	b.Push(Message{Payload: wire.WAck{TS: 2}})
+
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-got:
+			seen[int(m.Payload.(wire.WAck).TS)] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("receiver stalled with a non-empty queue: delivered %d of 2", i)
+		}
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("misdelivery: %v", seen)
+	}
+}
+
+// TestInboxDrainsBeforeClose: messages pushed before Close are still
+// delivered; afterwards Recv reports ErrClosed and Push drops.
+func TestInboxDrainsBeforeClose(t *testing.T) {
+	b := NewInbox()
+	b.Push(Message{Payload: wire.WAck{TS: 7}})
+	b.Close()
+	ctx := context.Background()
+	m, err := b.Recv(ctx)
+	if err != nil || m.Payload.(wire.WAck).TS != 7 {
+		t.Fatalf("pre-close message lost: %v %v", m, err)
+	}
+	if _, err := b.Recv(ctx); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if b.Push(Message{Payload: wire.WAck{TS: 8}}) {
+		t.Fatal("push after close must report false")
+	}
+}
+
+// TestInboxContext: a parked Recv honors its context.
+func TestInboxContext(t *testing.T) {
+	b := NewInbox()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(ctx)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv ignored its cancelled context")
+	}
+}

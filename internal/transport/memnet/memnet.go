@@ -83,7 +83,7 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	if _, dup := n.conns[id]; dup {
 		return nil, fmt.Errorf("memnet: %v already registered", id)
 	}
-	c := &conn{net: n, id: id, notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
+	c := &conn{net: n, id: id, inbox: transport.NewInbox()}
 	n.conns[id] = c
 	if n.batching != nil {
 		return batch.NewConn(c, *n.batching), nil
@@ -174,8 +174,9 @@ func (n *Net) DropNext(from, to transport.NodeID, k int) {
 }
 
 // Crash silences a base object: all queued and future requests to it are
-// dropped and it never replies again. Crashing an unknown ID is a no-op
-// that still records the crash (requests to it drop).
+// dropped and it does not reply until (unless) Restart is called.
+// Crashing an unknown ID is a no-op that still records the crash
+// (requests to it drop).
 func (n *Net) Crash(id transport.NodeID) {
 	n.mu.Lock()
 	n.crashed[id] = true
@@ -184,6 +185,27 @@ func (n *Net) Crash(id transport.NodeID) {
 	if srv != nil {
 		srv.crash()
 	}
+}
+
+// Restart revives a crashed base object. Its handler state is intact —
+// the model is crash-recovery with stable storage — but every request
+// that was queued or in flight at crash time is gone for good: the crash
+// discarded them, matching the paper's view that a message lost to a
+// faulty object is forever "in transit". Restarting a non-crashed or
+// unknown object is a no-op.
+func (n *Net) Restart(id transport.NodeID) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	delete(n.crashed, id)
+	srv := n.objects[id]
+	n.mu.Unlock()
+	if srv != nil {
+		srv.restart()
+	}
+	return nil
 }
 
 // Crashed reports whether id has been crashed.
@@ -315,13 +337,9 @@ func (n *Net) route(from, to transport.NodeID, payload wire.Msg) {
 
 // conn is an active node's endpoint with an unbounded inbox.
 type conn struct {
-	net      *Net
-	id       transport.NodeID
-	mu       sync.Mutex
-	queue    []transport.Message
-	notify   chan struct{}
-	closedCh chan struct{}
-	closed   bool
+	net   *Net
+	id    transport.NodeID
+	inbox *transport.Inbox
 }
 
 // ID returns the owning node's ID.
@@ -335,52 +353,17 @@ func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
 // Recv returns the next delivered message, blocking until one arrives,
 // the context is cancelled, or the endpoint closes.
 func (c *conn) Recv(ctx context.Context) (transport.Message, error) {
-	for {
-		c.mu.Lock()
-		if len(c.queue) > 0 {
-			m := c.queue[0]
-			c.queue = c.queue[1:]
-			c.mu.Unlock()
-			return m, nil
-		}
-		if c.closed {
-			c.mu.Unlock()
-			return transport.Message{}, transport.ErrClosed
-		}
-		c.mu.Unlock()
-		select {
-		case <-c.notify:
-		case <-ctx.Done():
-			return transport.Message{}, ctx.Err()
-		case <-c.closedCh:
-			return transport.Message{}, transport.ErrClosed
-		}
-	}
+	return c.inbox.Recv(ctx)
 }
 
 // Close releases the endpoint.
 func (c *conn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		close(c.closedCh)
-	}
+	c.inbox.Close()
 	return nil
 }
 
 func (c *conn) push(m transport.Message) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return
-	}
-	c.queue = append(c.queue, m)
-	c.mu.Unlock()
-	select {
-	case c.notify <- struct{}{}:
-	default:
-	}
+	c.inbox.Push(m)
 }
 
 // objectServer serializes handler invocations for one base object.
@@ -415,7 +398,14 @@ func (s *objectServer) crash() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.crashed = true
-	s.queue = nil
+	s.queue = nil // in-flight requests die with the crash
+	s.cond.Broadcast()
+}
+
+func (s *objectServer) restart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = false
 	s.cond.Broadcast()
 }
 
@@ -426,13 +416,16 @@ func (s *objectServer) stop() {
 	s.cond.Broadcast()
 }
 
+// run serializes handler invocations. A crashed server parks here (its
+// goroutine outlives the crash so a restart resumes service without
+// racing a second run loop); only stop makes it exit.
 func (s *objectServer) run() {
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.stopped && !s.crashed {
+		for !s.stopped && (s.crashed || len(s.queue) == 0) {
 			s.cond.Wait()
 		}
-		if s.stopped || s.crashed {
+		if s.stopped {
 			s.mu.Unlock()
 			return
 		}

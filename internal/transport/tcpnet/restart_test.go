@@ -1,0 +1,103 @@
+package tcpnet_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// seq acks with a strictly increasing sequence so tests can tell whether
+// handler state survived a crash/restart cycle.
+type seq struct{ n int }
+
+func (s *seq) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	if _, ok := req.(wire.BaselineReadReq); ok {
+		s.n++
+		return wire.BaselineReadAck{Attempt: s.n, Val: types.Value("pong")}, true
+	}
+	return nil, false
+}
+
+// TestCrashRestartRedial: a crash severs the object's listener and its
+// established connections; after a restart on the same address the
+// client's send path re-dials and the object serves again with its
+// state intact.
+func TestCrashRestartRedial(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	obj := transport.Object(0)
+	if err := net.Serve(obj, &seq{}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := net.Addr(obj)
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	ask := func() (int, bool) {
+		conn.Send(obj, wire.BaselineReadReq{})
+		short, cancelShort := context.WithTimeout(ctx, 500*time.Millisecond)
+		defer cancelShort()
+		m, err := conn.Recv(short)
+		if err != nil {
+			return 0, false
+		}
+		return m.Payload.(wire.BaselineReadAck).Attempt, true
+	}
+
+	if got, ok := ask(); !ok || got != 1 {
+		t.Fatalf("first ask: %d %v", got, ok)
+	}
+
+	net.Crash(obj)
+	if !net.Crashed(obj) {
+		t.Fatal("Crashed must report true after Crash")
+	}
+	if _, ok := ask(); ok {
+		t.Fatal("crashed object must not reply")
+	}
+
+	if err := net.Restart(obj); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := net.Addr(obj); got != addr {
+		t.Fatalf("restart moved the object: %s → %s", addr, got)
+	}
+
+	// The stale client connection died with the crash; the send path must
+	// re-dial on its own. Sends raced against connection teardown may be
+	// lost (they were in transit at crash time), so retry a few times.
+	ok := false
+	var got int
+	for i := 0; i < 20 && !ok; i++ {
+		got, ok = ask()
+	}
+	if !ok {
+		t.Fatal("restarted object unreachable: client did not re-dial")
+	}
+	if got < 2 {
+		t.Fatalf("ack sequence %d after restart, want ≥ 2 (handler state retained)", got)
+	}
+}
+
+// TestRestartWithoutCrashIsNoop covers the trivial edges of the API.
+func TestRestartWithoutCrashIsNoop(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	obj := transport.Object(1)
+	if err := net.Serve(obj, &seq{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Restart(obj); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(transport.Object(7)) // never served: no-op
+}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
@@ -87,11 +88,17 @@ func readFrame(r *bufio.Reader) (transport.NodeID, wire.Msg, error) {
 }
 
 // Net assembles TCP endpoints. Objects are served with Serve (each gets
-// its own listener); clients Register and dial objects lazily.
+// its own listener); clients Register and dial objects lazily. Crash and
+// Restart model base-object failure at the socket level: a crash closes
+// the object's listener and severs every established connection, a
+// restart re-listens on the same address so clients can re-dial.
 type Net struct {
 	mu        sync.Mutex
 	addrs     map[transport.NodeID]string
 	listeners map[transport.NodeID]net.Listener
+	handlers  map[transport.NodeID]transport.Handler
+	srvConns  map[transport.NodeID]map[net.Conn]struct{}
+	crashed   map[transport.NodeID]bool
 	conns     []*conn
 	taps      []transport.Tap
 	batching  *batch.Options
@@ -104,6 +111,9 @@ func New() *Net {
 	return &Net{
 		addrs:     make(map[transport.NodeID]string),
 		listeners: make(map[transport.NodeID]net.Listener),
+		handlers:  make(map[transport.NodeID]transport.Handler),
+		srvConns:  make(map[transport.NodeID]map[net.Conn]struct{}),
+		crashed:   make(map[transport.NodeID]bool),
 	}
 }
 
@@ -164,24 +174,63 @@ func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
 	}
 	n.addrs[id] = ln.Addr().String()
 	n.listeners[id] = ln
+	n.handlers[id] = h
+	// Register the accept loop with wg while still holding the lock
+	// that vouched for !closed: Close flips closed under the same lock
+	// before waiting, so it cannot observe a zero counter in between.
+	n.wg.Add(1)
 	n.mu.Unlock()
 
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		for {
-			c, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.serveConn(id, h, c)
-			}()
-		}
-	}()
+	go n.acceptLoop(id, h, ln)
 	return nil
+}
+
+// acceptLoop serves one listener generation of an object; Crash closes
+// the listener (and the accepted connections) to end it, Restart starts
+// a fresh one.
+func (n *Net) acceptLoop(id transport.NodeID, h transport.Handler, ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !n.trackServerConn(id, c) {
+			c.Close() // lost the race with a crash
+			continue
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer n.untrackServerConn(id, c)
+			n.serveConn(id, h, c)
+		}()
+	}
+}
+
+// trackServerConn records an accepted connection so a crash can sever
+// it; false when the object is crashed or the network closed.
+func (n *Net) trackServerConn(id transport.NodeID, c net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.crashed[id] {
+		return false
+	}
+	set := n.srvConns[id]
+	if set == nil {
+		set = make(map[net.Conn]struct{})
+		n.srvConns[id] = set
+	}
+	set[c] = struct{}{}
+	return true
+}
+
+func (n *Net) untrackServerConn(id transport.NodeID, c net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if set := n.srvConns[id]; set != nil {
+		delete(set, c)
+	}
 }
 
 func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
@@ -203,6 +252,87 @@ func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
 	}
 }
 
+// Crash silences a served object at the socket level: its listener
+// closes, every established connection to it is severed (discarding
+// whatever frames were in flight on them), and dials fail until Restart.
+// The handler and its state survive — the model is crash-recovery with
+// stable storage. Crashing an unknown or already-crashed object is a
+// no-op.
+func (n *Net) Crash(id transport.NodeID) {
+	n.mu.Lock()
+	if n.crashed[id] {
+		n.mu.Unlock()
+		return
+	}
+	ln, served := n.listeners[id]
+	if !served {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed[id] = true
+	delete(n.listeners, id)
+	conns := n.srvConns[id]
+	delete(n.srvConns, id)
+	n.mu.Unlock()
+	ln.Close()
+	for c := range conns {
+		c.Close()
+	}
+}
+
+// Crashed reports whether id is currently crashed.
+func (n *Net) Crashed(id transport.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Restart re-serves a crashed object on its original address, so clients
+// holding that address (or re-dialing lazily) reach it again. The bind
+// is retried briefly — another socket can transiently hold the old
+// ephemeral port — and an error is returned if the address stays
+// unavailable, in which case the object remains crashed.
+func (n *Net) Restart(id transport.NodeID) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if !n.crashed[id] {
+		n.mu.Unlock()
+		return nil
+	}
+	addr := n.addrs[id]
+	h := n.handlers[id]
+	n.mu.Unlock()
+
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("tcpnet: restart %v on %s: %w", id, addr, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return transport.ErrClosed
+	}
+	delete(n.crashed, id)
+	n.listeners[id] = ln
+	// wg.Add under the lock that vouched for !closed (see Serve).
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	go n.acceptLoop(id, h, ln)
+	return nil
+}
+
 // Addr returns the listen address of a served object (tests and demos).
 func (n *Net) Addr(id transport.NodeID) (string, bool) {
 	n.mu.Lock()
@@ -219,11 +349,10 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 		return nil, transport.ErrClosed
 	}
 	c := &conn{
-		net:      n,
-		id:       id,
-		peers:    make(map[transport.NodeID]*peer),
-		inbox:    make(chan transport.Message, 1024),
-		closedCh: make(chan struct{}),
+		net:   n,
+		id:    id,
+		peers: make(map[transport.NodeID]*peer),
+		inbox: transport.NewInbox(),
 	}
 	n.conns = append(n.conns, c)
 	if n.batching != nil {
@@ -240,13 +369,25 @@ func (n *Net) Close() error {
 		return nil
 	}
 	n.closed = true
-	lns := n.listeners
+	lns := make([]net.Listener, 0, len(n.listeners))
+	for _, ln := range n.listeners {
+		lns = append(lns, ln)
+	}
+	var srv []net.Conn
+	for _, set := range n.srvConns {
+		for c := range set {
+			srv = append(srv, c)
+		}
+	}
 	conns := n.conns
 	n.mu.Unlock()
 	for _, ln := range lns {
 		ln.Close()
 	}
 	for _, c := range conns {
+		c.Close()
+	}
+	for _, c := range srv {
 		c.Close()
 	}
 	n.wg.Wait()
@@ -262,31 +403,51 @@ type peer struct {
 
 // conn is a client endpoint.
 type conn struct {
-	net      *Net
-	id       transport.NodeID
-	mu       sync.Mutex
-	peers    map[transport.NodeID]*peer
-	inbox    chan transport.Message
-	closedCh chan struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	net    *Net
+	id     transport.NodeID
+	mu     sync.Mutex
+	peers  map[transport.NodeID]*peer
+	inbox  *transport.Inbox
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // ID returns the owning node's ID.
 func (c *conn) ID() transport.NodeID { return c.id }
 
-// Send dials to (once) and writes the frame. Failures are silent: in
-// the asynchronous model an undeliverable message is simply forever in
-// transit.
+// Send dials to (once) and writes the frame. On a write failure — the
+// typical aftermath of the object crashing and closing the socket — the
+// dead peer is evicted and the send retried once over a fresh
+// connection, so a restarted object is reachable again without protocol
+// cooperation. Remaining failures are silent: in the asynchronous model
+// an undeliverable message is simply forever in transit.
 func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
-	p, err := c.peerFor(to)
-	if err != nil {
-		return
-	}
 	c.net.tapAll(c.id, to, payload)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_ = writeFrame(p.w, c.id, payload)
+	for attempt := 0; attempt < 2; attempt++ {
+		p, err := c.peerFor(to)
+		if err != nil {
+			return // endpoint closed, or the object is unreachable (down)
+		}
+		p.mu.Lock()
+		err = writeFrame(p.w, c.id, payload)
+		p.mu.Unlock()
+		if err == nil {
+			return
+		}
+		c.dropPeer(to, p)
+	}
+}
+
+// dropPeer evicts a dead connection so the next Send re-dials. Only the
+// exact peer is evicted: a concurrent Send may already have installed a
+// fresh one.
+func (c *conn) dropPeer(to transport.NodeID, p *peer) {
+	c.mu.Lock()
+	if c.peers[to] == p {
+		delete(c.peers, to)
+	}
+	c.mu.Unlock()
+	p.c.Close()
 }
 
 func (c *conn) peerFor(to transport.NodeID) (*peer, error) {
@@ -311,14 +472,17 @@ func (c *conn) peerFor(to transport.NodeID) (*peer, error) {
 	p := &peer{c: sock, w: bufio.NewWriter(sock)}
 	c.peers[to] = p
 	c.wg.Add(1)
-	go c.readLoop(to, sock)
+	go c.readLoop(to, p)
 	return p, nil
 }
 
-// readLoop pushes replies from one object connection into the inbox.
-func (c *conn) readLoop(from transport.NodeID, sock net.Conn) {
+// readLoop pushes replies from one object connection into the inbox,
+// evicting the peer when the connection dies so a later Send re-dials
+// (the object may have crashed and restarted in between).
+func (c *conn) readLoop(from transport.NodeID, p *peer) {
 	defer c.wg.Done()
-	r := bufio.NewReader(sock)
+	defer c.dropPeer(from, p)
+	r := bufio.NewReader(p.c)
 	for {
 		sender, payload, err := readFrame(r)
 		if err != nil {
@@ -327,24 +491,15 @@ func (c *conn) readLoop(from transport.NodeID, sock net.Conn) {
 			return
 		}
 		c.net.tapAll(sender, c.id, payload)
-		select {
-		case c.inbox <- transport.Message{From: sender, Payload: payload}:
-		case <-c.closedCh:
-			return
+		if !c.inbox.Push(transport.Message{From: sender, Payload: payload}) {
+			return // endpoint closed
 		}
 	}
 }
 
 // Recv returns the next delivered reply.
 func (c *conn) Recv(ctx context.Context) (transport.Message, error) {
-	select {
-	case m := <-c.inbox:
-		return m, nil
-	case <-ctx.Done():
-		return transport.Message{}, ctx.Err()
-	case <-c.closedCh:
-		return transport.Message{}, transport.ErrClosed
-	}
+	return c.inbox.Recv(ctx)
 }
 
 // Close tears down all object connections.
@@ -355,9 +510,12 @@ func (c *conn) Close() error {
 		return nil
 	}
 	c.closed = true
-	close(c.closedCh)
-	peers := c.peers
+	peers := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
 	c.mu.Unlock()
+	c.inbox.Close()
 	for _, p := range peers {
 		p.c.Close()
 	}

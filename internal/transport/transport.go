@@ -6,15 +6,19 @@
 // Three implementations live in subpackages:
 //
 //   - memnet: a concurrent in-memory network with per-link gates
-//     (block/drop/delay) and crash injection — the default substrate for
-//     tests and benchmarks.
+//     (block/drop/delay) and crash/restart injection — the default
+//     substrate for tests and benchmarks.
 //   - simnet: a deterministic, single-stepped simulator in which an
 //     adversary (or a seeded policy) picks the next message to deliver —
 //     the substrate of the Proposition 1 lower-bound demonstrator and of
 //     the property tests.
-//   - tcpnet: the same interfaces over real TCP sockets.
+//   - tcpnet: the same interfaces over real TCP sockets, with
+//     socket-level object crash/restart and client re-dial.
 //
-// Protocol code is written once against Conn and runs on all three.
+// Protocol code is written once against Conn and runs on all three. The
+// fault subpackage wraps any of them with a seeded chaos layer (drop,
+// delay, duplication, reordering, partitions, crash/restart schedules);
+// the batch subpackage adds the coalescing hot path.
 package transport
 
 import (

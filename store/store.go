@@ -17,6 +17,7 @@ package store
 import (
 	istore "repro/internal/store"
 	"repro/internal/transport/batch"
+	"repro/internal/transport/fault"
 )
 
 // Store is a sharded multi-register robust keyspace.
@@ -46,6 +47,26 @@ const (
 // BatchOptions are the batched-transport knobs (flush window and max
 // batch size); the zero value selects the defaults.
 type BatchOptions = batch.Options
+
+// FaultPlan is the seeded fault schedule of the chaos transport layer
+// (internal/transport/fault): per-link drop/delay/duplication/
+// reordering, partitions, and crash/restart of the FaultPlan.Faulty
+// lowest-indexed objects per shard. Set it via Options.Faults. Byzantine
+// failures count against the same t budget, so keep
+// Faulty + ByzPerShard ≤ T.
+type FaultPlan = fault.Plan
+
+// CrashPlan schedules crash/restart (or partition/heal) windows for the
+// faulty set of a FaultPlan.
+type CrashPlan = fault.CrashPlan
+
+// FaultStats counts injected faults; Store.FaultStats aggregates them
+// across shards.
+type FaultStats = fault.Stats
+
+// FaultNet is one shard's fault-injection layer, exposed by
+// Store.FaultNet for manual fault control in tests and demos.
+type FaultNet = fault.Net
 
 // Open builds and starts a store per opts.
 func Open(opts Options) (*Store, error) { return istore.Open(opts) }
