@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt fmt-check bench demo chaos clean
+.PHONY: all build vet test race fmt fmt-check bench demo chaos chaos-recovery clean
 
 all: build vet test
 
@@ -41,6 +41,16 @@ demo:
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' -v ./internal/harness
 	$(GO) run ./examples/chaos
+
+# chaos-recovery runs the amnesia soak under the race detector: every
+# crash window restarts the object with WIPED volatile state, the
+# internal/recovery subsystem rebuilds its registers from a quorum of
+# shard siblings mid-workload (memnet and tcpnet), and every register
+# history — including reads recorded after the last catch-up — must
+# validate as safe and regular. Then the recovery demo.
+chaos-recovery:
+	$(GO) test -race -count=1 -run 'ChaosRecovery' -v ./internal/harness
+	$(GO) run ./examples/recovery
 
 clean:
 	rm -f BENCH_store.json

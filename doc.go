@@ -32,6 +32,21 @@
 // validates every register's history against internal/consistency;
 // `make chaos` runs it under the race detector.
 //
+// The paper's crash model assumes stable storage — a restarted object
+// returns with its state intact. internal/recovery drops that
+// assumption: an amnesia restart (fault.CrashPlan.AmnesiaBias, or
+// RestartObjectAmnesia) wipes the object's volatile registers and bumps
+// its incarnation epoch; the object is fenced out of every quorum (it
+// answers nothing, and its pre-crash replies are rejected by clients as
+// stale via the wire.Epoch incarnation envelope) until a catch-up
+// protocol has rebuilt its registers from t+b+1 shard siblings
+// (wire.StateReq/StateResp, timestamp-dominant merge). That quorum
+// always intersects the latest completed write's quorum in an honest
+// object, so a recovered object rejoins at full freshness and stops
+// counting against the t budget instead of silently eroding write
+// quorums. `make chaos-recovery` soaks amnesia restarts mid-workload on
+// both transports under the race detector.
+//
 // See README.md for the map and how to run the examples and
 // benchmarks. bench_test.go in this directory regenerates every
 // experiment via `go test -bench`; BENCH_store.json records the store

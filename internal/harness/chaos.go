@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/consistency"
+	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/fault"
 	"repro/internal/types"
@@ -103,6 +104,32 @@ func ChaosScenario(seed int64, tcp bool) ChaosSpec {
 	}
 }
 
+// RecoveryChaosPlan is DefaultChaosPlan with every crash window healing
+// WITHOUT stable storage: the object restarts with wiped registers and
+// must catch up from its shard siblings before serving again. Partition
+// windows stay mixed in (an object that never lost its state must not
+// run a catch-up).
+func RecoveryChaosPlan(seed int64) *fault.Plan {
+	p := DefaultChaosPlan(seed)
+	p.Crash.PartitionBias = 0.4
+	p.Crash.AmnesiaBias = 1.0
+	return p
+}
+
+// RecoveryChaosScenario is the amnesia soak: the stock chaos deployment
+// with the recovery subsystem enabled and an amnesia crash schedule.
+// Per shard: one Byzantine object (silent on catch-up queries, forging
+// read replies) plus one crash-faulty object that repeatedly loses its
+// volatile state mid-workload — the catch-up quorum t+b+1 = 4 exactly
+// matches the shard's always-up honest sibling count, so every recovery
+// must complete and every register must still validate.
+func RecoveryChaosScenario(seed int64, tcp bool) ChaosSpec {
+	spec := ChaosScenario(seed, tcp)
+	spec.Store.Faults = RecoveryChaosPlan(seed)
+	spec.Store.Recovery = true
+	return spec
+}
+
 // ChaosReport is the outcome of one soak.
 type ChaosReport struct {
 	Keys       int
@@ -110,7 +137,8 @@ type ChaosReport struct {
 	Reads      int64
 	Elapsed    time.Duration
 	Faults     fault.Stats
-	Violations []string // rendered per-register consistency violations
+	Recovery   recovery.Stats // catch-up counters (zero without a recovery policy)
+	Violations []string       // rendered per-register consistency violations
 }
 
 // String renders the report for logs and demos.
@@ -119,8 +147,12 @@ func (r ChaosReport) String() string {
 	if len(r.Violations) > 0 {
 		verdict = fmt.Sprintf("%d VIOLATIONS", len(r.Violations))
 	}
-	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v] — %s",
-		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, verdict)
+	rec := ""
+	if r.Recovery.CatchUps > 0 {
+		rec = fmt.Sprintf(" (%d amnesia catch-ups, %d registers re-transferred)", r.Recovery.CatchUps, r.Recovery.RegsRestored)
+	}
+	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v]%s — %s",
+		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, rec, verdict)
 }
 
 // RunChaos drives the multi-register workload against a fault-injected
@@ -246,7 +278,33 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 		}
 	}
 
-	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats()}
+	// With recovery enabled, wait for every in-flight amnesia catch-up
+	// to complete (within the budget the quorum is always reachable, so
+	// hitting the timeout is a recovery liveness bug), then record one
+	// final read per register so the validation below covers state
+	// served AFTER the last catch-up installed.
+	if spec.Store.Recovery {
+		for s.RecoveringCount() > 0 && ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		if err := ctx.Err(); err != nil {
+			return ChaosReport{}, fmt.Errorf("chaos drain: amnesia catch-up never completed: %w", err)
+		}
+		for i := 0; i < spec.Keys; i++ {
+			stamp := clock.Now()
+			tv, err := s.Read(ctx, key(i))
+			if err != nil {
+				return ChaosReport{}, fmt.Errorf("chaos post-recovery read %s: %w", key(i), err)
+			}
+			histories[i].Record(consistency.Op{
+				Kind:   consistency.KindRead,
+				Reader: types.ReaderID(spec.ReaderWorkers), // drain/post-recovery sentinel identity
+				Start:  stamp, End: clock.Now(), TS: tv.TS, Val: tv.Val,
+			})
+		}
+	}
+
+	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats()}
 	m := s.Metrics()
 	report.Writes, report.Reads = m.Writes, m.Reads
 

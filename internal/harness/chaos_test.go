@@ -52,6 +52,53 @@ func TestChaosSoakTCPNet(t *testing.T) {
 	runChaosSoak(t, true)
 }
 
+// recoverySeed pins the amnesia soak schedule (chosen so the schedule
+// draws both amnesia crash windows and partition windows on both
+// transports).
+const recoverySeed = 0xBADC0DE
+
+func runRecoverySoak(t *testing.T, tcp bool) {
+	t.Helper()
+	spec := RecoveryChaosScenario(recoverySeed, tcp)
+	if testing.Short() {
+		spec.Keys = 16
+		spec.WritesPerKey = 3
+		spec.ReadsPerKey = 3
+	}
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("consistency violated across amnesia restarts:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Faults.Amnesias == 0 {
+		t.Fatalf("no amnesia window overlapped the soak — nothing was recovered: %v", rep.Faults)
+	}
+	if rep.Recovery.CatchUps == 0 {
+		t.Fatalf("amnesia restarts happened but no catch-up completed: faults [%v] recovery %+v", rep.Faults, rep.Recovery)
+	}
+	if rep.Recovery.RegsRestored == 0 {
+		t.Fatalf("catch-ups completed but transferred no register state: %+v", rep.Recovery)
+	}
+}
+
+// TestChaosRecoverySoakMemnet: the amnesia soak — every crash window
+// wipes the object's registers, catch-up rebuilds them from a quorum of
+// siblings mid-workload, and every per-register history (including
+// reads recorded after the last recovery) still validates as safe and
+// regular.
+func TestChaosRecoverySoakMemnet(t *testing.T) {
+	runRecoverySoak(t, false)
+}
+
+// TestChaosRecoverySoakTCPNet: the same soak over real sockets, where
+// an amnesia restart also severs connections and exercises re-dial.
+func TestChaosRecoverySoakTCPNet(t *testing.T) {
+	runRecoverySoak(t, true)
+}
+
 // TestChaosBudgetEnforced: a plan whose faulty set plus the Byzantine
 // set exceeds t must be refused — such a run could stall, not soak.
 func TestChaosBudgetEnforced(t *testing.T) {

@@ -224,18 +224,60 @@ func worstCaseRounds(p Protocol, t, b int) (int, error) {
 		}
 	}))
 
-	// Safety valve: release everything after a grace period so the GV06
-	// reader (which never issues extra rounds) terminates too.
-	timer := time.AfterFunc(300*time.Millisecond, func() {
-		mu.Lock()
-		defer mu.Unlock()
-		for ; released < len(holders); released++ {
-			cl.Net.Unblock(transport.Object(holders[released]), readerID)
-		}
-	})
-	defer timer.Stop()
+	// Event-driven release for readers that never issue extra query
+	// rounds: the GV06 reader keeps waiting WITHIN round 2, so the
+	// tap-driven release above never fires for it. Watch the message
+	// counter the way E7's settle does — when traffic has been quiescent
+	// across consecutive samples while the read is still outstanding,
+	// the reader is waiting on a blocked holder, so release the next
+	// one. The valve runs ONLY for such round-stable readers: the
+	// multi-round reader's releases stay purely tap-driven (exactly one
+	// holder per observed round), so a scheduler stall can never hand it
+	// early support and shrink its measured round count — the slippage
+	// the former 300 ms wall-clock valve suffered in both directions.
+	// For the GV06 reader early release is harmless: its round count is
+	// fixed at 2 by construction, quiescence only decides how long it
+	// waits inside that round.
+	readDone := make(chan struct{})
+	valveDone := make(chan struct{})
+	if p == MultiRound {
+		close(valveDone) // tap-driven releases are sufficient and exact
+	} else {
+		go func() {
+			defer close(valveDone)
+			last := cl.Counter.Messages()
+			quiet := 0
+			for {
+				select {
+				case <-readDone:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				now := cl.Counter.Messages()
+				if now != last {
+					last, quiet = now, 0
+					continue
+				}
+				if quiet++; quiet < 2 {
+					continue
+				}
+				quiet = 0
+				mu.Lock()
+				if released < len(holders) {
+					h := holders[released]
+					released++
+					mu.Unlock()
+					cl.Net.Unblock(transport.Object(h), readerID)
+					continue
+				}
+				mu.Unlock()
+			}
+		}()
+	}
 
 	got, err := cl.Reader(0).Read(ctx)
+	close(readDone)
+	<-valveDone
 	if err != nil {
 		return 0, fmt.Errorf("worst-case read: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/fault"
@@ -28,6 +29,9 @@ type StoreSpec struct {
 	MaxBatch        int
 	GC              bool
 	Faults          *fault.Plan
+	// Recovery enables the amnesia catch-up subsystem with default
+	// policy — required when Faults schedules amnesia crash windows.
+	Recovery bool
 }
 
 // BuildStore opens the multi-register cluster a spec describes.
@@ -45,6 +49,9 @@ func BuildStore(spec StoreSpec) (*store.Store, error) {
 	}
 	if spec.Batched {
 		opts.Batching = &batch.Options{FlushWindow: spec.FlushWindow, MaxBatch: spec.MaxBatch}
+	}
+	if spec.Recovery {
+		opts.Recovery = &recovery.Policy{}
 	}
 	return store.Open(opts)
 }
@@ -216,6 +223,23 @@ func StoreScenarios() []struct {
 		Duplicate: 0.05,
 		Reorder:   0.2,
 	}
+	// The recovery row runs the batched deployment while one object per
+	// shard cycles through amnesia crash windows (state wiped on every
+	// restart, rebuilt by catch-up mid-workload) — the perf trajectory of
+	// a store that keeps losing and re-transferring volatile state.
+	memRecovery := memBatched
+	memRecovery.Recovery = true
+	memRecovery.Faults = &fault.Plan{
+		Seed:   20260726,
+		Faulty: 1,
+		Jitter: 200 * time.Microsecond,
+		Crash: fault.CrashPlan{
+			Cycles: 2,
+			UpMin:  10 * time.Millisecond, UpMax: 30 * time.Millisecond,
+			DownMin: 5 * time.Millisecond, DownMax: 15 * time.Millisecond,
+			AmnesiaBias: 1.0,
+		},
+	}
 	return []struct {
 		Name string
 		Spec StoreSpec
@@ -225,5 +249,6 @@ func StoreScenarios() []struct {
 		{"sharded-tcp", tcp},
 		{"sharded-tcp-batched", tcpBatched},
 		{"sharded-mem-batched-faulty", memFaulty},
+		{"sharded-mem-batched-recovery", memRecovery},
 	}
 }

@@ -79,8 +79,8 @@ func TestRunSingleRegisterBenchBaseline(t *testing.T) {
 
 func TestStoreScenariosShape(t *testing.T) {
 	scs := StoreScenarios()
-	if len(scs) != 5 {
-		t.Fatalf("want 5 scenarios, got %d", len(scs))
+	if len(scs) != 6 {
+		t.Fatalf("want 6 scenarios, got %d", len(scs))
 	}
 	names := map[string]StoreSpec{}
 	for _, sc := range scs {
@@ -105,5 +105,21 @@ func TestStoreScenariosShape(t *testing.T) {
 	g.Faults = names["sharded-mem-batched"].Faults
 	if g != names["sharded-mem-batched"] {
 		t.Fatal("faulty row must differ from sharded-mem-batched only in the fault plan")
+	}
+	r := names["sharded-mem-batched-recovery"]
+	if !r.Recovery {
+		t.Fatal("recovery scenario must enable the catch-up subsystem")
+	}
+	if r.Faults == nil || r.Faults.Crash.AmnesiaBias <= 0 {
+		t.Fatal("recovery scenario must schedule amnesia crash windows")
+	}
+	if r.Faults.Faulty+r.ByzPerShard > r.T {
+		t.Fatalf("recovery scenario exceeds the fault budget: %d faulty + %d byz > t=%d", r.Faults.Faulty, r.ByzPerShard, r.T)
+	}
+	r.Recovery, r.Faults = false, nil
+	base := names["sharded-mem-batched"]
+	base.Faults = nil
+	if r != base {
+		t.Fatal("recovery row must differ from sharded-mem-batched only in faults + recovery")
 	}
 }

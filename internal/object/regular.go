@@ -160,12 +160,24 @@ func (s *Regular) Snapshot() RegularSnapshot {
 	return RegularSnapshot{TS: s.ts, History: s.history.Clone(), TSR: s.tsr.Clone()}
 }
 
-// Restore overwrites the object state with the snapshot (adversary and
-// test use only).
+// Restore overwrites the object state with the snapshot (amnesia
+// catch-up install, adversary, and test use).
 func (s *Regular) Restore(snap RegularSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ts = snap.TS
 	s.history = snap.History.Clone()
 	s.tsr = snap.TSR.Clone()
+}
+
+// Forget wipes the volatile state back to the Fig. 5 initial state —
+// an amnesia restart (crash-recovery without stable storage). The GC
+// flag survives: it is configuration, not state.
+func (s *Regular) Forget() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ts = 0
+	s.history = types.NewHistory()
+	s.tsr = types.NewTSRVector(len(s.tsr))
+	s.readerLow = make([]types.TS, len(s.readerLow))
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/object"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -21,11 +22,19 @@ type mux struct {
 	mu     sync.Mutex
 	regs   map[string]*regConn
 	closed bool
+
+	// inc tracks the highest incarnation seen per sender (only the
+	// dispatch goroutine touches it). Recovery-enabled objects stamp
+	// every reply with their incarnation (wire.Epoch); a reply from an
+	// earlier incarnation was minted before the sender's amnesia crash,
+	// reflects state the sender no longer holds, and must not count
+	// toward a quorum.
+	inc map[transport.NodeID]int64
 }
 
 // newMux wraps conn and starts the dispatch loop.
 func newMux(conn transport.Conn) *mux {
-	m := &mux{conn: conn, regs: make(map[string]*regConn)}
+	m := &mux{conn: conn, regs: make(map[string]*regConn), inc: make(map[transport.NodeID]int64)}
 	go m.dispatch()
 	return m
 }
@@ -66,7 +75,15 @@ func (m *mux) dispatch() {
 			}
 			return
 		}
-		op, ok := msg.Payload.(wire.RegOp)
+		payload := msg.Payload
+		if ep, isEpoch := payload.(wire.Epoch); isEpoch {
+			if ep.Inc < m.inc[msg.From] {
+				continue // stale incarnation: a zombie reply from a pre-amnesia life
+			}
+			m.inc[msg.From] = ep.Inc
+			payload = ep.Msg
+		}
+		op, ok := payload.(wire.RegOp)
 		if !ok {
 			continue
 		}
@@ -167,4 +184,59 @@ func (g *registry) Registers() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.regs)
+}
+
+// The registry is the recovery subsystem's state surface: a recovering
+// object snapshots a healthy sibling's registry, and an amnesia restart
+// wipes and later restores its own. Only regular register automata are
+// transferable (they expose Snapshot/Restore); store.Open enforces
+// regular semantics when recovery is enabled.
+
+// SnapshotRegs deep-copies every regular register automaton's state
+// (recovery.StateStore).
+func (g *registry) SnapshotRegs() []wire.RegState {
+	g.mu.Lock()
+	names := make([]string, 0, len(g.regs))
+	autos := make([]transport.Handler, 0, len(g.regs))
+	for name, h := range g.regs {
+		names = append(names, name)
+		autos = append(autos, h)
+	}
+	g.mu.Unlock()
+	out := make([]wire.RegState, 0, len(names))
+	for i, h := range autos {
+		r, ok := h.(*object.Regular)
+		if !ok {
+			continue
+		}
+		snap := r.Snapshot() // deep copy under the automaton's own lock
+		out = append(out, wire.RegState{Reg: names[i], TS: snap.TS, History: snap.History, TSR: snap.TSR})
+	}
+	return out
+}
+
+// RestoreRegs installs caught-up register states, creating automata on
+// demand through the factory so configuration (GC, reader count) is
+// preserved across an amnesia wipe (recovery.StateStore).
+func (g *registry) RestoreRegs(regs []wire.RegState) {
+	for _, rs := range regs {
+		g.mu.Lock()
+		h := g.regs[rs.Reg]
+		if h == nil {
+			h = g.factory(rs.Reg)
+			g.regs[rs.Reg] = h
+		}
+		g.mu.Unlock()
+		if r, ok := h.(*object.Regular); ok {
+			r.Restore(object.RegularSnapshot{TS: rs.TS, History: rs.History, TSR: rs.TSR})
+		}
+	}
+}
+
+// Forget drops every register automaton — the amnesia wipe
+// (recovery.StateStore). Fresh automata grow back through the factory.
+func (g *registry) Forget() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.regs = make(map[string]transport.Handler)
 }

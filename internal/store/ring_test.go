@@ -82,4 +82,103 @@ func TestRingRejectsZeroShards(t *testing.T) {
 	if _, err := NewRing(0, 8); err == nil {
 		t.Fatal("ring with no shards must be rejected")
 	}
+	if _, err := NewRing(-3, 8); err == nil {
+		t.Fatal("ring with negative shards must be rejected")
+	}
+}
+
+// TestRingDefaultVnodes: vnodes ≤ 0 selects the documented default of
+// 64 — the resulting ring routes identically to an explicit 64.
+func TestRingDefaultVnodes(t *testing.T) {
+	for _, vnodes := range []int{0, -5} {
+		def, err := NewRing(6, vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := NewRing(6, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			key := fmt.Sprintf("default-vnode-key-%d", i)
+			if def.Shard(key) != explicit.Shard(key) {
+				t.Fatalf("vnodes=%d ring disagrees with explicit 64 on %q", vnodes, key)
+			}
+		}
+	}
+}
+
+// TestRingSingleShardDegenerateConfigs: every vnode count, including
+// the minimum, yields a total function onto shard 0.
+func TestRingSingleShardDegenerateConfigs(t *testing.T) {
+	for _, vnodes := range []int{1, 2, 64} {
+		r, err := NewRing(1, vnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if got := r.Shard(fmt.Sprintf("deg/%d/%d", vnodes, i)); got != 0 {
+				t.Fatalf("single-shard ring (vnodes=%d) routed %d", vnodes, got)
+			}
+		}
+	}
+}
+
+// TestRingWrapAround: a key hashing past the highest circle point must
+// wrap to the first point, not fall off the ring.
+func TestRingWrapAround(t *testing.T) {
+	r, err := NewRing(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.points[len(r.points)-1].hash
+	found := false
+	for i := 0; i < 1_000_000 && !found; i++ {
+		key := fmt.Sprintf("wrap-%d", i)
+		if hash64(key) > top {
+			found = true
+			if got, want := r.Shard(key), r.points[0].shard; got != want {
+				t.Fatalf("key beyond the highest point routed to %d, want wrap to %d", got, want)
+			}
+		}
+	}
+	if !found {
+		t.Skip("no probe key hashed past the highest point (astronomically unlikely)")
+	}
+}
+
+// TestRingSkewBound pins the load-balance quality the avalanche
+// finalizer buys: across shard counts and key shapes (sequential,
+// path-like, fixed-prefix — the adversarial patterns for plain FNV),
+// no shard owns more than 1.6× its fair share and none starves below
+// 0.4× at the default vnode count.
+func TestRingSkewBound(t *testing.T) {
+	const keys = 20000
+	shapes := []struct {
+		name string
+		key  func(i int) string
+	}{
+		{"sequential", func(i int) string { return fmt.Sprintf("key-%d", i) }},
+		{"path", func(i int) string { return fmt.Sprintf("users/%d/profile", i) }},
+		{"prefix", func(i int) string { return fmt.Sprintf("aaaaaaaaaaaaaaaa-%08x", i) }},
+	}
+	for _, shards := range []int{2, 4, 8, 16} {
+		r, err := NewRing(shards, 0) // default vnodes
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shape := range shapes {
+			counts := make([]int, shards)
+			for i := 0; i < keys; i++ {
+				counts[r.Shard(shape.key(i))]++
+			}
+			fair := float64(keys) / float64(shards)
+			for s, n := range counts {
+				if ratio := float64(n) / fair; ratio > 1.6 || ratio < 0.4 {
+					t.Errorf("shards=%d shape=%s: shard %d owns %.2f× its fair share (%d keys of %d)",
+						shards, shape.name, s, ratio, n, keys)
+				}
+			}
+		}
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/object"
 	"repro/internal/quorum"
+	"repro/internal/recovery"
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/fault"
@@ -92,6 +93,18 @@ type Options struct {
 	// Faults.Faulty + ByzPerShard must stay ≤ T for the deployment to
 	// remain wait-free.
 	Faults *fault.Plan
+	// Recovery, when non-nil, enables the amnesia catch-up subsystem
+	// (internal/recovery): every honest base object is wrapped in a
+	// recovery guard that stamps replies with an incarnation epoch, and
+	// an amnesia restart (a crash healed WITHOUT stable storage — see
+	// fault.CrashPlan.AmnesiaBias and fault.Net.RestartObjectAmnesia)
+	// fences the object out of quorums until it has rebuilt its
+	// registers from Recovery.Quorum shard siblings. Requires regular
+	// semantics (safe automata have no transferable history), and is
+	// required whenever the fault plan schedules amnesia crashes — a
+	// wiped object that cannot catch up is gone for good and silently
+	// eats the whole t budget.
+	Recovery *recovery.Policy
 }
 
 // withDefaults normalizes opts.
@@ -126,6 +139,24 @@ func (o Options) withDefaults() (Options, error) {
 		if o.Faults.Faulty+o.ByzPerShard > o.T {
 			return o, fmt.Errorf("store: %d crash-faulty + %d Byzantine objects per shard exceed the fault budget t = %d (Byzantine failures count against t)",
 				o.Faults.Faulty, o.ByzPerShard, o.T)
+		}
+		if o.Faults.Crash.AmnesiaBias > 0 && o.Recovery == nil {
+			return o, fmt.Errorf("store: the fault plan schedules amnesia crashes (AmnesiaBias = %v) but no recovery policy is set — a wiped object can never rejoin the quorum without catch-up",
+				o.Faults.Crash.AmnesiaBias)
+		}
+	}
+	if o.Recovery != nil {
+		if o.Semantics == Safe {
+			return o, fmt.Errorf("store: recovery requires regular semantics (safe register automata have no transferable history)")
+		}
+		// The catch-up quorum must be satisfiable or a wiped object is
+		// fenced forever: at most S−1 siblings exist, and Byzantine
+		// objects never donate state (they are silent on StateReq).
+		s := 2*o.T + o.B + 1
+		q := o.Recovery.WithDefaults(o.T, o.B).Quorum
+		if donors := s - 1 - o.ByzPerShard; q > donors {
+			return o, fmt.Errorf("store: recovery quorum %d exceeds the %d honest siblings a recovering object has (S=%d, %d Byzantine) — catch-up could never complete",
+				q, donors, s, o.ByzPerShard)
 		}
 	}
 	return o, nil
@@ -186,6 +217,7 @@ type shard struct {
 	slots    chan *readerSlot
 	allSlots []*readerSlot
 	objs     []*registry
+	managers []*recovery.Manager // per honest object, nil slice without a recovery policy
 }
 
 // regWriter serializes the single writer of one register.
@@ -264,11 +296,23 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		sh.net = nw
 	}
 
+	// With a recovery policy, every honest object is served behind a
+	// recovery guard: incarnation-stamped replies, the catch-up fence,
+	// and StateReq donation. Byzantine objects stay unguarded — a real
+	// adversary would not run the honest recovery automaton (it stays
+	// silent on StateReq and its replies carry no epoch), and it never
+	// crashes anyway: the faulty and Byzantine sets are disjoint.
+	guards := make([]*recovery.Guard, s.cfg.S)
 	for i := 0; i < s.cfg.S; i++ {
 		id := types.ObjectID(i)
 		byz := i >= s.cfg.S-s.opts.ByzPerShard
 		reg := newRegistry(s.registerFactory(id, byz))
-		if err := nw.Serve(transport.Object(id), reg); err != nil {
+		var h transport.Handler = reg
+		if s.opts.Recovery != nil && !byz {
+			guards[i] = recovery.NewGuard(id, reg, reg)
+			h = guards[i]
+		}
+		if err := nw.Serve(transport.Object(id), h); err != nil {
 			nw.Close()
 			return nil, err
 		}
@@ -292,6 +336,35 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		slot := &readerSlot{id: types.ReaderID(j), mux: newMux(rconn), readers: make(map[string]readerClient)}
 		sh.allSlots = append(sh.allSlots, slot)
 		sh.slots <- slot
+	}
+
+	// One catch-up manager per guarded object, each speaking through its
+	// own recovery endpoint (the manager is a client of the shard's
+	// network — through the fault layer, so catch-up traffic shares the
+	// asynchrony faults but is never lossy: only object endpoints belong
+	// to the faulty set).
+	if s.opts.Recovery != nil {
+		policy := s.opts.Recovery.WithDefaults(s.cfg.T, s.cfg.B)
+		for i, guard := range guards {
+			if guard == nil {
+				continue
+			}
+			rconn, err := nw.Register(transport.Recovery(types.ObjectID(i)))
+			if err != nil {
+				for _, mgr := range sh.managers {
+					mgr.Close()
+				}
+				nw.Close()
+				return nil, err
+			}
+			siblings := make([]transport.NodeID, 0, s.cfg.S-1)
+			for j := 0; j < s.cfg.S; j++ {
+				if j != i {
+					siblings = append(siblings, transport.Object(types.ObjectID(j)))
+				}
+			}
+			sh.managers = append(sh.managers, recovery.NewManager(guard, rconn, siblings, policy))
+		}
 	}
 	return sh, nil
 }
@@ -354,6 +427,34 @@ func (s *Store) FaultStats() fault.Stats {
 	for _, sh := range s.shards {
 		if sh.faults != nil {
 			total = total.Add(sh.faults.Stats())
+		}
+	}
+	return total
+}
+
+// RecoveringCount returns how many base objects are currently fenced
+// pending amnesia catch-up, across all shards (zero without a recovery
+// policy). A fenced object answers nothing and is excluded from every
+// quorum until its catch-up completes.
+func (s *Store) RecoveringCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		for _, mgr := range sh.managers {
+			if mgr.Recovering() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RecoveryStats aggregates the catch-up counters across all shards
+// (zero without a recovery policy).
+func (s *Store) RecoveryStats() recovery.Stats {
+	var total recovery.Stats
+	for _, sh := range s.shards {
+		for _, mgr := range sh.managers {
+			total = total.Add(mgr.Stats())
 		}
 	}
 	return total
@@ -469,6 +570,9 @@ func (sh *shard) readerFor(slot *readerSlot, key string, sem Semantics) (readerC
 func (s *Store) Close() error {
 	var errs []error
 	for _, sh := range s.shards {
+		for _, mgr := range sh.managers {
+			errs = append(errs, mgr.Close())
+		}
 		sh.writerMux.close()
 		for _, slot := range sh.allSlots {
 			slot.mux.close()

@@ -271,26 +271,43 @@ func (c *Conn) Close() error {
 // transport serializes Handle calls exactly as for bare messages), and
 // the produced replies travel back as one Batch. Non-batch requests pass
 // through untouched, so a batching client and an unbatched client can
-// share an object.
+// share an object. The wrapper forwards transport.Amnesiac, so an
+// amnesia restart reaches the wrapped handler through the batching
+// layer.
 func WrapHandler(h transport.Handler) transport.Handler {
-	return transport.HandlerFunc(func(from transport.NodeID, req wire.Msg) (wire.Msg, bool) {
-		b, ok := req.(wire.Batch)
-		if !ok {
-			return h.Handle(from, req)
+	return &batchHandler{inner: h}
+}
+
+// batchHandler is the WrapHandler implementation; a named type (rather
+// than a HandlerFunc closure) so it can forward the optional Forget.
+type batchHandler struct{ inner transport.Handler }
+
+// Handle unpacks Batch frames and applies each op in order.
+func (b *batchHandler) Handle(from transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	batch, ok := req.(wire.Batch)
+	if !ok {
+		return b.inner.Handle(from, req)
+	}
+	var replies []wire.Msg
+	for _, op := range batch.Ops {
+		if reply, send := b.inner.Handle(from, op); send {
+			replies = append(replies, reply)
 		}
-		var replies []wire.Msg
-		for _, op := range b.Ops {
-			if reply, send := h.Handle(from, op); send {
-				replies = append(replies, reply)
-			}
-		}
-		switch len(replies) {
-		case 0:
-			return nil, false
-		case 1:
-			return replies[0], true
-		default:
-			return wire.Batch{Ops: replies}, true
-		}
-	})
+	}
+	switch len(replies) {
+	case 0:
+		return nil, false
+	case 1:
+		return replies[0], true
+	default:
+		return wire.Batch{Ops: replies}, true
+	}
+}
+
+// Forget forwards an amnesia wipe to the wrapped handler when it
+// supports one.
+func (b *batchHandler) Forget() {
+	if a, ok := b.inner.(transport.Amnesiac); ok {
+		a.Forget()
+	}
 }

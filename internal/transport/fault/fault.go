@@ -97,11 +97,19 @@ type Plan struct {
 // really die — or, with probability PartitionBias, a partition: the
 // object keeps running but the fault layer holds everything to and
 // from it "in transit", delivering it when the window heals.
+//
+// AmnesiaBias is the probability that a crash window (not a partition)
+// heals WITHOUT stable storage: the restart wipes the object's volatile
+// state (transport.Amnesiac) instead of preserving it, so the object
+// must run a catch-up protocol (internal/recovery) before it serves
+// again. On wrapped networks or handlers without amnesia support the
+// window degrades to a stable-storage restart.
 type CrashPlan struct {
 	Cycles           int
 	UpMin, UpMax     time.Duration
 	DownMin, DownMax time.Duration
 	PartitionBias    float64
+	AmnesiaBias      float64
 }
 
 // Validate checks the plan's arithmetic (probabilities in [0,1],
@@ -110,7 +118,7 @@ func (p Plan) Validate() error {
 	for _, pr := range []struct {
 		name string
 		v    float64
-	}{{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Reorder", p.Reorder}, {"PartitionBias", p.Crash.PartitionBias}} {
+	}{{"Drop", p.Drop}, {"Duplicate", p.Duplicate}, {"Reorder", p.Reorder}, {"PartitionBias", p.Crash.PartitionBias}, {"AmnesiaBias", p.Crash.AmnesiaBias}} {
 		if pr.v < 0 || pr.v > 1 {
 			return fmt.Errorf("fault: %s = %v outside [0,1]", pr.name, pr.v)
 		}
@@ -150,7 +158,13 @@ type Stats struct {
 	Delayed    int64 // messages that paid Delay/Jitter/Reorder latency
 	Duplicated int64 // extra copies delivered
 	Crashes    int64 // crash windows opened
-	Restarts   int64 // crash windows healed
+	Restarts   int64 // crash windows healed (amnesiac or not)
+	// Amnesias is the subset of Restarts routed through the wrapped
+	// network's amnesia restart. A network without amnesia support
+	// degrades the window to a stable-storage restart and is not
+	// counted; whether the handler itself could forget is the served
+	// handler's contract (transport.Amnesiac), invisible at this layer.
+	Amnesias   int64
 	Partitions int64 // partition windows opened (scheduled or manual)
 	Heals      int64 // partition windows healed
 }
@@ -163,6 +177,7 @@ func (s Stats) Add(o Stats) Stats {
 		Duplicated: s.Duplicated + o.Duplicated,
 		Crashes:    s.Crashes + o.Crashes,
 		Restarts:   s.Restarts + o.Restarts,
+		Amnesias:   s.Amnesias + o.Amnesias,
 		Partitions: s.Partitions + o.Partitions,
 		Heals:      s.Heals + o.Heals,
 	}
@@ -170,8 +185,8 @@ func (s Stats) Add(o Stats) Stats {
 
 // String renders the counters compactly for reports.
 func (s Stats) String() string {
-	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d partitions=%d heals=%d",
-		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Partitions, s.Heals)
+	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d amnesias=%d partitions=%d heals=%d",
+		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Amnesias, s.Partitions, s.Heals)
 }
 
 // crashRestarter is the optional deeper-integration surface of a wrapped
@@ -179,6 +194,14 @@ func (s Stats) String() string {
 type crashRestarter interface {
 	Crash(id transport.NodeID)
 	Restart(id transport.NodeID) error
+}
+
+// amnesiaRestarter is the optional amnesia surface of a wrapped network:
+// RestartAmnesia wipes the handler's volatile state before service
+// resumes. Networks without it degrade amnesia windows to stable-storage
+// restarts.
+type amnesiaRestarter interface {
+	RestartAmnesia(id transport.NodeID) error
 }
 
 // tapper lets the wrapper forward AddTap to networks that support it.
@@ -212,17 +235,22 @@ type Net struct {
 	wg     sync.WaitGroup // schedulers, pumps, delayed deliveries
 
 	dropped, delayed, duplicated atomic.Int64
-	crashes, restarts            atomic.Int64
+	crashes, restarts, amnesias  atomic.Int64
 	partitions, heals            atomic.Int64
 }
 
-// downMode distinguishes the two kinds of down window.
+// downMode distinguishes the kinds of down window.
 type downMode byte
 
 const (
-	modeCrash downMode = iota + 1
+	modeCrash   downMode = iota + 1
+	modeAmnesia          // a crash whose heal wipes volatile state
 	modePartition
 )
+
+// isCrash reports whether the mode discards traffic like a crash
+// (amnesia windows are crashes until they heal).
+func (m downMode) isCrash() bool { return m == modeCrash || m == modeAmnesia }
 
 // holdKey buckets held traffic by what blocks it: a partitioned object
 // or a cut directed link.
@@ -269,6 +297,7 @@ func (n *Net) Stats() Stats {
 		Duplicated: n.duplicated.Load(),
 		Crashes:    n.crashes.Load(),
 		Restarts:   n.restarts.Load(),
+		Amnesias:   n.amnesias.Load(),
 		Partitions: n.partitions.Load(),
 		Heals:      n.heals.Load(),
 	}
@@ -354,11 +383,27 @@ func (n *Net) Close() error {
 // is discarded and everything to/from it drops until RestartObject. When
 // the inner network supports socket/queue-level crash, that fires too.
 func (n *Net) CrashObject(id transport.NodeID) {
-	n.takeDown(id, false)
+	n.takeDown(id, modeCrash)
 }
 
-// RestartObject heals a manual crash window.
+// RestartObject heals a manual crash window (stable storage: the
+// object's state survives the crash).
 func (n *Net) RestartObject(id transport.NodeID) {
+	n.bringUp(id)
+}
+
+// RestartObjectAmnesia heals a manual crash window WITHOUT stable
+// storage: the restart wipes the object's volatile state (when the
+// wrapped network and handler support amnesia), so the object must
+// catch up from its peers before serving again. Healing a partition
+// window this way keeps partition semantics — a partitioned object
+// never lost its state.
+func (n *Net) RestartObjectAmnesia(id transport.NodeID) {
+	n.mu.Lock()
+	if n.down[id] == modeCrash {
+		n.down[id] = modeAmnesia
+	}
+	n.mu.Unlock()
 	n.bringUp(id)
 }
 
@@ -366,7 +411,7 @@ func (n *Net) RestartObject(id transport.NodeID) {
 // object itself keeps running (state, sockets, and queues intact) and
 // its traffic is held "in transit" until HealObject releases it.
 func (n *Net) PartitionObject(id transport.NodeID) {
-	n.takeDown(id, true)
+	n.takeDown(id, modePartition)
 }
 
 // HealObject reverses PartitionObject and releases the held traffic
@@ -410,13 +455,9 @@ func (n *Net) Down(id transport.NodeID) bool {
 }
 
 // takeDown opens a down window. A partition keeps the inner network
-// untouched and holds traffic; a crash also fires the inner teardown
-// when supported.
-func (n *Net) takeDown(id transport.NodeID, partition bool) {
-	mode := modeCrash
-	if partition {
-		mode = modePartition
-	}
+// untouched and holds traffic; a crash (amnesiac or not — the two only
+// differ at heal time) also fires the inner teardown when supported.
+func (n *Net) takeDown(id transport.NodeID, mode downMode) {
 	n.mu.Lock()
 	if n.down[id] != 0 {
 		n.mu.Unlock()
@@ -424,7 +465,7 @@ func (n *Net) takeDown(id transport.NodeID, partition bool) {
 	}
 	n.down[id] = mode
 	n.mu.Unlock()
-	if partition {
+	if mode == modePartition {
 		n.partitions.Add(1)
 		return
 	}
@@ -460,15 +501,29 @@ func (n *Net) bringUp(id transport.NodeID) {
 		return
 	}
 	n.mu.Unlock()
-	if cr, ok := n.inner.(crashRestarter); ok {
-		if err := cr.Restart(id); err != nil {
-			n.mu.Lock()
-			n.down[id] = modeCrash // heal failed: still down
-			n.mu.Unlock()
-			return
+	wiped := false
+	restart := func() error {
+		if mode == modeAmnesia {
+			if ar, ok := n.inner.(amnesiaRestarter); ok {
+				wiped = true
+				return ar.RestartAmnesia(id)
+			}
 		}
+		if cr, ok := n.inner.(crashRestarter); ok {
+			return cr.Restart(id)
+		}
+		return nil
+	}
+	if err := restart(); err != nil {
+		n.mu.Lock()
+		n.down[id] = mode // heal failed: still down
+		n.mu.Unlock()
+		return
 	}
 	n.restarts.Add(1)
+	if wiped {
+		n.amnesias.Add(1)
+	}
 }
 
 // takeHeldLocked removes and returns one hold bucket.
@@ -497,22 +552,33 @@ func (n *Net) crashLoop(id transport.NodeID) {
 	cp := n.plan.Crash
 	rng := rand.New(rand.NewSource(n.plan.Seed ^ int64(uint64(id.Index+1)*0x9E3779B97F4A7C15)))
 	type window struct {
-		up, down  time.Duration
-		partition bool
+		up, down time.Duration
+		mode     downMode
 	}
 	schedule := make([]window, cp.Cycles)
 	for i := range schedule {
-		schedule[i] = window{
-			up:        uniform(rng, cp.UpMin, cp.UpMax),
-			down:      uniform(rng, cp.DownMin, cp.DownMax),
-			partition: rng.Float64() < cp.PartitionBias,
+		w := window{
+			up:   uniform(rng, cp.UpMin, cp.UpMax),
+			down: uniform(rng, cp.DownMin, cp.DownMax),
+			mode: modeCrash,
 		}
+		// Draw both dice unconditionally so the schedule stays a pure
+		// function of (seed, object index) regardless of the biases.
+		partition := rng.Float64() < cp.PartitionBias
+		amnesia := rng.Float64() < cp.AmnesiaBias
+		switch {
+		case partition:
+			w.mode = modePartition
+		case amnesia:
+			w.mode = modeAmnesia
+		}
+		schedule[i] = w
 	}
 	for _, w := range schedule {
 		if !n.sleep(w.up) {
 			return
 		}
-		n.takeDown(id, w.partition)
+		n.takeDown(id, w.mode)
 		if !n.sleep(w.down) {
 			n.heal(id)
 			return
@@ -596,7 +662,7 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 		n.dropped.Add(1)
 		return
 	}
-	if n.down[from] == modeCrash || n.down[to] == modeCrash {
+	if n.down[from].isCrash() || n.down[to].isCrash() {
 		n.mu.Unlock()
 		n.dropped.Add(1)
 		return

@@ -177,6 +177,127 @@ func TestManualCrashRestartOverMemnet(t *testing.T) {
 	}
 }
 
+// amnesiacEcho acks with a per-handler sequence and supports Forget, so
+// tests can tell a stable-storage restart from an amnesia restart.
+type amnesiacEcho struct{ n int }
+
+func (a *amnesiacEcho) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+	if _, ok := req.(wire.BaselineReadReq); ok {
+		a.n++
+		return wire.BaselineReadAck{Attempt: a.n}, true
+	}
+	return nil, false
+}
+
+func (a *amnesiacEcho) Forget() { a.n = 0 }
+
+// askSeq sends one request and returns the ack's sequence number.
+func askSeq(t *testing.T, conn transport.Conn, obj transport.NodeID, wait time.Duration) (int, bool) {
+	t.Helper()
+	conn.Send(obj, wire.BaselineReadReq{})
+	deadline := time.Now().Add(wait)
+	short, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	m, err := conn.Recv(short)
+	if err != nil {
+		return 0, false
+	}
+	return m.Payload.(wire.BaselineReadAck).Attempt, true
+}
+
+// TestManualAmnesiaRestart: RestartObjectAmnesia cascades the wipe into
+// the wrapped memnet, so the object resumes from empty state, and the
+// Amnesias counter records it.
+func TestManualAmnesiaRestart(t *testing.T) {
+	inner := memnet.New()
+	n := fault.Wrap(inner, fault.Plan{Faulty: 1})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, &amnesiacEcho{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 1; want <= 3; want++ {
+		if got, ok := askSeq(t, conn, obj, 5*time.Second); !ok || got != want {
+			t.Fatalf("warm-up ack %d: got %d ok=%v", want, got, ok)
+		}
+	}
+
+	n.CrashObject(obj)
+	n.RestartObjectAmnesia(obj)
+	if n.Down(obj) {
+		t.Fatal("object still down after amnesia restart")
+	}
+	if got, ok := askSeq(t, conn, obj, 5*time.Second); !ok || got != 1 {
+		t.Fatalf("ack after amnesia restart: got %d ok=%v, want 1 (state wiped)", got, ok)
+	}
+	s := n.Stats()
+	if s.Crashes != 1 || s.Restarts != 1 || s.Amnesias != 1 {
+		t.Fatalf("amnesia counters wrong: %v", s)
+	}
+
+	// A plain restart after the next crash keeps the state.
+	if got, _ := askSeq(t, conn, obj, 5*time.Second); got != 2 {
+		t.Fatalf("pre-crash ack: %d", got)
+	}
+	n.CrashObject(obj)
+	n.RestartObject(obj)
+	if got, ok := askSeq(t, conn, obj, 5*time.Second); !ok || got != 3 {
+		t.Fatalf("ack after plain restart: got %d ok=%v, want 3 (state retained)", got, ok)
+	}
+	if s := n.Stats(); s.Amnesias != 1 {
+		t.Fatalf("plain restart counted as amnesia: %v", s)
+	}
+}
+
+// TestScheduledAmnesiaWindows: with AmnesiaBias = 1 every scheduled
+// crash window heals with a wipe; the handler's sequence proves it and
+// the counters agree.
+func TestScheduledAmnesiaWindows(t *testing.T) {
+	n := fault.Wrap(memnet.New(), fault.Plan{
+		Seed:   5,
+		Faulty: 1,
+		Crash: fault.CrashPlan{
+			Cycles: 2,
+			UpMin:  20 * time.Millisecond, UpMax: 40 * time.Millisecond,
+			DownMin: 20 * time.Millisecond, DownMax: 40 * time.Millisecond,
+			AmnesiaBias: 1.0,
+		},
+	})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, &amnesiacEcho{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && n.Stats().Restarts < 2 {
+		askSeq(t, conn, obj, 50*time.Millisecond) // keep traffic flowing
+	}
+	s := n.Stats()
+	if s.Restarts < 2 || s.Amnesias != s.Restarts {
+		t.Fatalf("amnesia schedule incomplete: %v", s)
+	}
+	// Post-schedule the object answers from wiped state: its sequence is
+	// far below the number of acks it has produced across all lives.
+	got, ok := 0, false
+	for i := 0; i < 40 && !ok; i++ {
+		got, ok = askSeq(t, conn, obj, 250*time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("object unreachable after amnesia schedule")
+	}
+	if got > 20 {
+		t.Fatalf("sequence %d after two wipes — state seemingly survived", got)
+	}
+}
+
 func TestPartitionLeavesInnerNetworkUntouched(t *testing.T) {
 	inner := memnet.New()
 	n := fault.Wrap(inner, fault.Plan{})
@@ -289,6 +410,7 @@ func TestPlanValidate(t *testing.T) {
 		{Crash: fault.CrashPlan{Cycles: -1}},
 		{Crash: fault.CrashPlan{Cycles: 1, UpMin: 2 * time.Second, UpMax: time.Second}},
 		{Reorder: 0.5}, // reordering without jitter is a silent no-op
+		{Crash: fault.CrashPlan{Cycles: 1, AmnesiaBias: 1.2}},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {

@@ -208,6 +208,34 @@ func (n *Net) Restart(id transport.NodeID) error {
 	return nil
 }
 
+// RestartAmnesia revives a crashed base object WITHOUT stable storage:
+// the handler's volatile state is wiped (transport.Amnesiac.Forget)
+// before service resumes, modeling a process that restarts from an
+// empty disk. A handler that cannot forget restarts with its state
+// intact instead — the stable-storage model of Restart — so callers who
+// require amnesia semantics must serve an Amnesiac handler. Like
+// Restart, requests queued or in flight at crash time are gone for
+// good.
+func (n *Net) RestartAmnesia(id transport.NodeID) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	var h transport.Handler
+	// Only a crashed object loses its state: amnesia-restarting a live
+	// object is a no-op like Restart, never a wipe of a serving handler
+	// (mirroring tcpnet's crashed-guard).
+	if srv := n.objects[id]; srv != nil && n.crashed[id] {
+		h = srv.handler
+	}
+	n.mu.Unlock()
+	if a, ok := h.(transport.Amnesiac); ok {
+		a.Forget()
+	}
+	return n.Restart(id)
+}
+
 // Crashed reports whether id has been crashed.
 func (n *Net) Crashed(id transport.NodeID) bool {
 	n.mu.Lock()

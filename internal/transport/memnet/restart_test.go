@@ -75,6 +75,89 @@ func TestCrashRestartKeepsObjectState(t *testing.T) {
 	}
 }
 
+// forgetCounter is a counter whose state can be wiped (an Amnesiac
+// handler).
+type forgetCounter struct{ counter }
+
+func (c *forgetCounter) Forget() { c.n = 0 }
+
+// TestRestartAmnesiaWipesObjectState: RestartAmnesia on an Amnesiac
+// handler resumes service from wiped state — the ack sequence starts
+// over — whereas a handler without Forget keeps its state (the
+// stable-storage fallback).
+func TestRestartAmnesiaWipesObjectState(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	obj := transport.Object(0)
+	if err := net.Serve(obj, &forgetCounter{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	ask := func() int {
+		t.Helper()
+		conn.Send(obj, wire.BaselineReadReq{})
+		m, err := conn.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Payload.(wire.BaselineReadAck).Attempt
+	}
+
+	if got := ask(); got != 1 {
+		t.Fatalf("first ack: %d", got)
+	}
+	net.Crash(obj)
+	if err := net.RestartAmnesia(obj); err != nil {
+		t.Fatal(err)
+	}
+	if net.Crashed(obj) {
+		t.Fatal("Crashed must report false after RestartAmnesia")
+	}
+	if got := ask(); got != 1 {
+		t.Fatalf("ack after amnesia restart: %d, want 1 (state wiped)", got)
+	}
+}
+
+// TestRestartAmnesiaFallsBackToStableStorage: a handler without Forget
+// restarts with its state intact.
+func TestRestartAmnesiaFallsBackToStableStorage(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	obj := transport.Object(0)
+	if err := net.Serve(obj, &counter{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	conn.Send(obj, wire.BaselineReadReq{})
+	if _, err := conn.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(obj)
+	if err := net.RestartAmnesia(obj); err != nil {
+		t.Fatal(err)
+	}
+	conn.Send(obj, wire.BaselineReadReq{})
+	m, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Payload.(wire.BaselineReadAck).Attempt; got != 2 {
+		t.Fatalf("ack after fallback restart: %d, want 2 (state retained)", got)
+	}
+}
+
 func TestRestartUnknownOrLiveObjectIsNoop(t *testing.T) {
 	net := memnet.New()
 	defer net.Close()

@@ -88,6 +88,61 @@ func TestCrashRestartRedial(t *testing.T) {
 	}
 }
 
+// forgetSeq is a seq whose state can be wiped (an Amnesiac handler).
+type forgetSeq struct{ seq }
+
+func (s *forgetSeq) Forget() { s.n = 0 }
+
+// TestRestartAmnesiaWipesStateOverTCP: an amnesia restart re-listens on
+// the same address AND wipes the handler, so the ack sequence restarts
+// from 1 once the client re-dials.
+func TestRestartAmnesiaWipesStateOverTCP(t *testing.T) {
+	net := tcpnet.New()
+	defer net.Close()
+	obj := transport.Object(0)
+	if err := net.Serve(obj, &forgetSeq{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	ask := func() (int, bool) {
+		conn.Send(obj, wire.BaselineReadReq{})
+		short, cancelShort := context.WithTimeout(ctx, 500*time.Millisecond)
+		defer cancelShort()
+		m, err := conn.Recv(short)
+		if err != nil {
+			return 0, false
+		}
+		return m.Payload.(wire.BaselineReadAck).Attempt, true
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, ok := ask(); !ok {
+			t.Fatal("warm-up ask failed")
+		}
+	}
+	net.Crash(obj)
+	if err := net.RestartAmnesia(obj); err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	var got int
+	for i := 0; i < 20 && !ok; i++ {
+		got, ok = ask()
+	}
+	if !ok {
+		t.Fatal("amnesia-restarted object unreachable")
+	}
+	if got != 1 {
+		t.Fatalf("ack sequence %d after amnesia restart, want 1 (state wiped)", got)
+	}
+}
+
 // TestRestartWithoutCrashIsNoop covers the trivial edges of the API.
 func TestRestartWithoutCrashIsNoop(t *testing.T) {
 	net := tcpnet.New()

@@ -333,6 +333,26 @@ func (n *Net) Restart(id transport.NodeID) error {
 	return nil
 }
 
+// RestartAmnesia re-serves a crashed object on its original address
+// WITHOUT stable storage: the handler's volatile state is wiped
+// (transport.Amnesiac.Forget) before the listener comes back, modeling
+// a process that restarts from an empty disk. A handler that cannot
+// forget restarts with its state intact instead (the Restart model).
+// The wipe happens before the re-listen, so no frame is served from
+// pre-crash state.
+func (n *Net) RestartAmnesia(id transport.NodeID) error {
+	n.mu.Lock()
+	crashed := n.crashed[id]
+	h := n.handlers[id]
+	n.mu.Unlock()
+	if crashed {
+		if a, ok := h.(transport.Amnesiac); ok {
+			a.Forget()
+		}
+	}
+	return n.Restart(id)
+}
+
 // Addr returns the listen address of a served object (tests and demos).
 func (n *Net) Addr(id transport.NodeID) (string, bool) {
 	n.mu.Lock()

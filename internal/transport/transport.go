@@ -33,11 +33,16 @@ import (
 type NodeKind int
 
 // Node kinds. Objects are passive in the data-centric model; the
-// server-centric extension (§6) registers servers as active nodes.
+// server-centric extension (§6) registers servers as active nodes, and
+// the amnesia-recovery subsystem (internal/recovery) registers one
+// recovery client per base object — base objects never talk to each
+// other directly, so a recovering object's catch-up queries travel over
+// an ordinary client endpoint of its own kind.
 const (
 	KindWriter NodeKind = iota + 1
 	KindReader
 	KindObject
+	KindRecovery
 )
 
 // String renders the kind for logs.
@@ -49,6 +54,8 @@ func (k NodeKind) String() string {
 		return "reader"
 	case KindObject:
 		return "object"
+	case KindRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -68,6 +75,10 @@ func Reader(j types.ReaderID) NodeID { return NodeID{Kind: KindReader, Index: in
 
 // Object returns the ID of base object i.
 func Object(i types.ObjectID) NodeID { return NodeID{Kind: KindObject, Index: int(i)} }
+
+// Recovery returns the ID of base object i's recovery client — the
+// endpoint its catch-up manager speaks through after an amnesia restart.
+func Recovery(i types.ObjectID) NodeID { return NodeID{Kind: KindRecovery, Index: int(i)} }
 
 // String renders the ID compactly, e.g. "reader0" or "object3".
 func (n NodeID) String() string { return fmt.Sprintf("%s%d", n.Kind, n.Index) }
@@ -122,6 +133,14 @@ type Network interface {
 
 // ErrClosed is returned by Recv after the endpoint (or network) closes.
 var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// Amnesiac is implemented by handlers whose volatile state can be wiped
+// in place: an amnesia restart (crash-recovery WITHOUT stable storage)
+// calls Forget instead of preserving the handler's state across the
+// crash. Forget must be safe to call concurrently with Handle and must
+// not block. Networks fall back to the stable-storage restart for
+// handlers that cannot forget.
+type Amnesiac interface{ Forget() }
 
 // Tap observes every message accepted by the network, before any drop or
 // delay policy. Implementations must be safe for concurrent use. The

@@ -39,6 +39,9 @@ const (
 	tagPushState
 	tagRegOp
 	tagBatch
+	tagEpoch
+	tagStateReq
+	tagStateResp
 )
 
 // enc is a little append-only writer with varint packing.
@@ -358,15 +361,40 @@ func EncodeCompact(m Msg) ([]byte, error) {
 			}
 			e.bytes(sub)
 		}
+	case Epoch:
+		e.buf.WriteByte(tagEpoch)
+		e.i(v.Inc)
+		sub, err := EncodeCompact(v.Msg)
+		if err != nil {
+			return nil, err
+		}
+		e.bytes(sub)
+	case StateReq:
+		e.buf.WriteByte(tagStateReq)
+		e.i(v.Seq)
+		e.i(int64(v.Requester))
+	case StateResp:
+		e.buf.WriteByte(tagStateResp)
+		e.i(int64(v.ObjectID))
+		e.i(v.Seq)
+		e.i(v.Incarnation)
+		e.u(uint64(len(v.Regs)))
+		for _, rs := range v.Regs {
+			e.bytes([]byte(rs.Reg))
+			e.i(int64(rs.TS))
+			e.history(rs.History)
+			e.tsrVector(rs.TSR)
+		}
 	default:
 		return nil, fmt.Errorf("wire: compact codec: unknown message %T", m)
 	}
 	return e.buf.Bytes(), nil
 }
 
-// maxNest caps RegOp/Batch nesting during decode. Legitimate frames
-// nest at most two levels (Batch of RegOps); without a cap, a Byzantine
-// peer could craft a deeply self-nested frame whose recursive decode
+// maxNest caps RegOp/Batch/Epoch nesting during decode. Legitimate
+// frames nest at most three levels (a Batch of Epoch-stamped RegOps on
+// the recovery-enabled reply path); without a cap, a Byzantine peer
+// could craft a deeply self-nested frame whose recursive decode
 // exhausts the stack — a fatal, unrecoverable runtime error.
 const maxNest = 4
 
@@ -446,6 +474,37 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 			ops = append(ops, inner)
 		}
 		m = Batch{Ops: ops}
+	case tagEpoch:
+		inc := d.i()
+		sub := d.bytesN()
+		if d.err == nil {
+			inner, err := decodeCompact(sub, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("wire: compact codec: epoch payload: %w", err)
+			}
+			m = Epoch{Inc: inc, Msg: inner}
+		}
+	case tagStateReq:
+		m = StateReq{Seq: d.i(), Requester: types.ObjectID(d.i())}
+	case tagStateResp:
+		resp := StateResp{ObjectID: types.ObjectID(d.i()), Seq: d.i(), Incarnation: d.i()}
+		n := d.u()
+		// Each register costs at least a few bytes; a count above the
+		// remaining frame is provably bogus — reject before allocating.
+		if d.err == nil && (n > maxLen || int64(n) > int64(d.r.Len())) {
+			d.err = fmt.Errorf("wire: state resp length %d", n)
+		}
+		if d.err != nil {
+			n = 0
+		}
+		resp.Regs = make([]RegState, 0, min(int(n), 1024))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			rs := RegState{Reg: string(d.bytesN()), TS: types.TS(d.i())}
+			rs.History = d.history()
+			rs.TSR = d.tsrVector()
+			resp.Regs = append(resp.Regs, rs)
+		}
+		m = resp
 	default:
 		return nil, fmt.Errorf("wire: compact codec: unknown tag %d", data[0])
 	}

@@ -84,8 +84,39 @@ func msgEqual(a, b Msg) bool {
 			}
 		}
 		return true
+	case Epoch:
+		y, ok := b.(Epoch)
+		return ok && x.Inc == y.Inc && msgEqual(x.Msg, y.Msg)
+	case StateReq:
+		y, ok := b.(StateReq)
+		return ok && x == y
+	case StateResp:
+		y, ok := b.(StateResp)
+		if !ok || x.ObjectID != y.ObjectID || x.Seq != y.Seq || x.Incarnation != y.Incarnation ||
+			len(x.Regs) != len(y.Regs) {
+			return false
+		}
+		for i := range x.Regs {
+			if !regStateEqual(x.Regs[i], y.Regs[i]) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
+}
+
+// regStateEqual deep-compares two register snapshots.
+func regStateEqual(a, b RegState) bool {
+	if a.Reg != b.Reg || a.TS != b.TS || !a.TSR.Equal(b.TSR) || len(a.History) != len(b.History) {
+		return false
+	}
+	for ts, e := range a.History {
+		if !e.Equal(b.History[ts]) {
+			return false
+		}
+	}
+	return true
 }
 
 func TestCompactRoundTripAllTypes(t *testing.T) {

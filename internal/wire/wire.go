@@ -158,6 +158,58 @@ type Batch struct {
 	Ops []Msg
 }
 
+// Recovery (amnesia catch-up) messages ------------------------------------
+
+// Epoch is the incarnation envelope of a recovery-enabled base object:
+// every protocol reply is wrapped with the object's current incarnation
+// number, which an amnesia restart bumps. Clients track the highest
+// incarnation seen per object and reject replies from earlier
+// incarnations — a zombie reply that left the object before its crash
+// reflects state the object no longer holds and must not count toward a
+// quorum.
+type Epoch struct {
+	Inc int64
+	Msg Msg
+}
+
+// StateReq is the catch-up query a recovering base object broadcasts to
+// its shard siblings (acting as a client — base objects never talk to
+// each other in the data-centric model, so the recovery manager speaks
+// through its own transport endpoint). Seq correlates responses with
+// the catch-up attempt that solicited them; duplicated or reordered
+// responses from an earlier attempt are discarded by Seq.
+type StateReq struct {
+	Seq       int64
+	Requester types.ObjectID
+}
+
+// StateResp is a sibling's reply: its incarnation and a snapshot of
+// every register automaton it hosts. A fenced (itself recovering)
+// object does not answer; Byzantine objects in this repository stay
+// silent too (they forge protocol replies, not recovery donations —
+// hardening catch-up against Byzantine state donors is an open item).
+type StateResp struct {
+	ObjectID    types.ObjectID
+	Seq         int64
+	Incarnation int64
+	Regs        []RegState
+}
+
+// RegState is one register's transferable volatile state: exactly the
+// regular object's Snapshot/Restore surface (timestamp, write history,
+// per-reader timestamp vector).
+type RegState struct {
+	Reg     string
+	TS      types.TS
+	History types.History
+	TSR     types.TSRVector
+}
+
+// Clone deep-copies the register state.
+func (rs RegState) Clone() RegState {
+	return RegState{Reg: rs.Reg, TS: rs.TS, History: rs.History.Clone(), TSR: rs.TSR.Clone()}
+}
+
 // Server-centric messages -------------------------------------------------
 
 // SubscribeReq is a reader's single push-model message (§6): the reader
@@ -193,6 +245,9 @@ func (SubscribeReq) isMsg()     {}
 func (PushState) isMsg()        {}
 func (RegOp) isMsg()            {}
 func (Batch) isMsg()            {}
+func (Epoch) isMsg()            {}
+func (StateReq) isMsg()         {}
+func (StateResp) isMsg()        {}
 
 // registerAll makes every payload type known to gob, once, at package
 // load. gob.Register is idempotent for identical concrete types, and the
@@ -205,6 +260,7 @@ var _ = func() struct{} {
 		BaselineWriteReq{}, BaselineWriteAck{}, BaselineReadReq{}, BaselineReadAck{}, PairsReadAck{},
 		SubscribeReq{}, PushState{},
 		RegOp{}, Batch{},
+		Epoch{}, StateReq{}, StateResp{},
 	} {
 		gob.Register(m)
 	}
@@ -294,6 +350,16 @@ func Clone(m Msg) Msg {
 			ops[i] = Clone(op)
 		}
 		return Batch{Ops: ops}
+	case Epoch:
+		return Epoch{Inc: v.Inc, Msg: Clone(v.Msg)}
+	case StateReq:
+		return v
+	case StateResp:
+		regs := make([]RegState, len(v.Regs))
+		for i, rs := range v.Regs {
+			regs[i] = rs.Clone()
+		}
+		return StateResp{ObjectID: v.ObjectID, Seq: v.Seq, Incarnation: v.Incarnation, Regs: regs}
 	default:
 		// Unknown payloads only arise from test doubles; pass through.
 		return m

@@ -38,6 +38,12 @@ func sampleMsgs() []Msg {
 			RegOp{Reg: "b", Msg: ReadReq{Round: Round1, Reader: 1, TSR: 9}},
 			WAck{ObjectID: 1, TS: 7},
 		}},
+		Epoch{Inc: 3, Msg: RegOp{Reg: "users/42", Msg: WAck{ObjectID: 1, TS: 7}}},
+		StateReq{Seq: 12, Requester: 2},
+		StateResp{ObjectID: 3, Seq: 12, Incarnation: 2, Regs: []RegState{
+			{Reg: "users/42", TS: 7, History: h, TSR: types.TSRVector{1, 0}},
+			{Reg: "empty", History: types.NewHistory(), TSR: types.NewTSRVector(2)},
+		}},
 	}
 }
 

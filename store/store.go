@@ -15,6 +15,7 @@
 package store
 
 import (
+	"repro/internal/recovery"
 	istore "repro/internal/store"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/fault"
@@ -67,6 +68,20 @@ type FaultStats = fault.Stats
 // FaultNet is one shard's fault-injection layer, exposed by
 // Store.FaultNet for manual fault control in tests and demos.
 type FaultNet = fault.Net
+
+// RecoveryPolicy configures the amnesia catch-up subsystem
+// (internal/recovery). Set it via Options.Recovery; the zero value
+// selects every default (catch-up quorum t+b+1). With a policy in
+// place, a base object restarted WITHOUT stable storage (an amnesia
+// crash window, or fault.Net.RestartObjectAmnesia) is fenced out of
+// every quorum until it has rebuilt its registers from a quorum of
+// shard siblings — so a wiped-and-recovered object stops counting
+// against the fault budget t.
+type RecoveryPolicy = recovery.Policy
+
+// RecoveryStats counts completed catch-ups and transferred registers;
+// Store.RecoveryStats aggregates them across shards.
+type RecoveryStats = recovery.Stats
 
 // Open builds and starts a store per opts.
 func Open(opts Options) (*Store, error) { return istore.Open(opts) }
