@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt fmt-check bench demo chaos chaos-recovery clean
+.PHONY: all build vet test race fmt fmt-check bench demo chaos chaos-recovery chaos-membership clean
 
 all: build vet test
 
@@ -51,6 +51,19 @@ chaos:
 chaos-recovery:
 	$(GO) test -race -count=1 -run 'ChaosRecovery' -v ./internal/harness
 	$(GO) run ./examples/recovery
+
+# chaos-membership runs the live-reconfiguration soak under the race
+# detector on memnet and tcpnet: with the seeded chaos workload running
+# (drop/jitter/duplication/reordering, amnesia crash windows, one
+# Byzantine object per shard), one base object per shard is killed for
+# good and Replaced at a fresh address; every register must validate
+# regular semantics across the configuration flip, post-flip reads must
+# observe all pre-flip completed writes, and stale clients must heal
+# through signed ConfigUpdate redirects (observed in the stats). Then
+# the membership demo.
+chaos-membership:
+	$(GO) test -race -count=1 -run 'ChaosMembership' -v ./internal/harness
+	$(GO) run ./examples/membership
 
 clean:
 	rm -f BENCH_store.json

@@ -45,7 +45,28 @@
 // object, so a recovered object rejoins at full freshness and stops
 // counting against the t budget instead of silently eroding write
 // quorums. `make chaos-recovery` soaks amnesia restarts mid-workload on
-// both transports under the race detector.
+// both transports under the race detector. Deployments that admit
+// lying state donors can enable recovery.Policy.CrossValidate: per-
+// entry b+1 agreement replaces the blind timestamp-dominant merge.
+//
+// The paper also fixes the object set S forever, so a PERMANENTLY dead
+// or Byzantine member eats the fault budget t for the lifetime of the
+// deployment. internal/membership lifts that with a reconfiguration
+// epoch: the shard's slot→address member list is versioned
+// (wire.ConfigEpoch on every request and reply, composing with the
+// incarnation epoch), and Store.Replace swaps a faulty member for a
+// fresh object at a new transport address while reads and writes
+// continue. The replacement is an amnesia recovery at a new address —
+// served fenced, state-transferred from t+b+1 members of the OLD
+// configuration (so completed writes dominate the installed state and
+// the old and new quorums intersect across the flip) — after which the
+// shard flips: members answer stale-epoch ops with an HMAC-signed
+// wire.ConfigUpdate redirect, clients verify, adopt, and replay their
+// in-flight ops in one extra round-trip, and the evicted endpoint is
+// released (late fault-plan operations against it are recorded no-ops,
+// fault.Stats.StaleTargets). `make chaos-membership` soaks a live
+// replacement per shard mid-workload on both transports under the race
+// detector.
 //
 // See README.md for the map and how to run the examples and
 // benchmarks. bench_test.go in this directory regenerates every

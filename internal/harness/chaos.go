@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/consistency"
+	"repro/internal/membership"
 	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/fault"
@@ -137,8 +138,9 @@ type ChaosReport struct {
 	Reads      int64
 	Elapsed    time.Duration
 	Faults     fault.Stats
-	Recovery   recovery.Stats // catch-up counters (zero without a recovery policy)
-	Violations []string       // rendered per-register consistency violations
+	Recovery   recovery.Stats   // catch-up counters (zero without a recovery policy)
+	Membership membership.Stats // reconfiguration counters (zero without a membership policy)
+	Violations []string         // rendered per-register consistency violations
 }
 
 // String renders the report for logs and demos.
@@ -150,6 +152,10 @@ func (r ChaosReport) String() string {
 	rec := ""
 	if r.Recovery.CatchUps > 0 {
 		rec = fmt.Sprintf(" (%d amnesia catch-ups, %d registers re-transferred)", r.Recovery.CatchUps, r.Recovery.RegsRestored)
+	}
+	if r.Membership.Replacements > 0 {
+		rec += fmt.Sprintf(" (%d members replaced live: %d redirects, %d client adoptions)",
+			r.Membership.Replacements, r.Membership.Redirects, r.Membership.Adoptions)
 	}
 	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v]%s — %s",
 		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, rec, verdict)
@@ -304,7 +310,7 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 		}
 	}
 
-	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats()}
+	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats(), Membership: s.MembershipStats()}
 	m := s.Metrics()
 	report.Writes, report.Reads = m.Writes, m.Reads
 

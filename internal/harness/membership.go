@@ -1,0 +1,296 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/transport/fault"
+	"repro/internal/types"
+)
+
+// MembershipChaosPlan is the fault schedule of the membership soak:
+// the amnesia plan's asynchrony faults on every link (jitter,
+// duplication, reordering) plus drop and two amnesia crash windows on
+// the designated faulty object per shard — so the soak exercises
+// ordinary amnesia recovery BEFORE the same object is killed for good
+// and replaced.
+func MembershipChaosPlan(seed int64) *fault.Plan {
+	p := RecoveryChaosPlan(seed)
+	p.Crash.Cycles = 2
+	p.Crash.PartitionBias = 0 // every window is an amnesia crash: state transfer, not buffering
+	return p
+}
+
+// MembershipChaosScenario is the live-reconfiguration soak: the stock
+// amnesia-chaos deployment (t = 2, b = 1 per shard: one Byzantine
+// object forging replies and staying silent on catch-up, one
+// crash-faulty object cycling through amnesia windows) with the
+// membership subsystem enabled and donor cross-validation on. Mid-
+// workload, RunMembershipChaos kills the faulty object of every shard
+// for good and Replaces it with a fresh object at a new address.
+func MembershipChaosScenario(seed int64, tcp bool) ChaosSpec {
+	spec := ChaosScenario(seed, tcp)
+	spec.Store.Faults = MembershipChaosPlan(seed)
+	spec.Store.Recovery = true
+	spec.Store.DonorValidation = true
+	spec.Store.Membership = true
+	return spec
+}
+
+// RunMembershipChaos drives a continuous multi-register workload
+// against a membership-enabled deployment and, mid-stream, replaces
+// one base object per shard — the designated crash-faulty one, killed
+// for good first — validating:
+//
+//   - per-register regular semantics across the configuration flip
+//     (every recorded history must validate, exactly as in RunChaos);
+//   - freshness across the flip: a read issued after the flip observes
+//     every write that completed before it (checked per register
+//     against the last pre-flip completed timestamp);
+//   - the self-heal path: clients learn the new configuration from
+//     signed ConfigUpdate redirects — the soak asserts redirects were
+//     served AND adopted, not merely that nothing failed;
+//   - stale-target safety: fault operations aimed at the evicted
+//     address after the flip are recorded no-ops.
+//
+// The workload runs through four phases: the seeded amnesia chaos
+// schedule completes (ordinary recovery, as in RunChaos), the per-shard
+// kill+Replace fires under continuous load, the workload drains, and a
+// final read pass per register feeds the consistency validation.
+func RunMembershipChaos(spec ChaosSpec) (ChaosReport, error) {
+	spec = spec.withDefaults()
+	if !spec.Store.Membership {
+		return ChaosReport{}, fmt.Errorf("membership chaos: spec does not enable membership")
+	}
+	s, err := BuildStore(spec.Store)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), spec.Timeout)
+	defer cancel()
+
+	var clock consistency.Clock
+	histories := make([]*consistency.History, spec.Keys)
+	for i := range histories {
+		histories[i] = &consistency.History{}
+	}
+	key := func(i int) string { return fmt.Sprintf("member/%04d", i) }
+
+	// lastTS[i] is key i's newest COMPLETED write timestamp, updated by
+	// its single writer after each write returns — the pre-flip
+	// freshness baseline is snapshotted from it.
+	lastTS := make([]atomic.Int64, spec.Keys)
+
+	start := time.Now()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	// Continuous workload: each key is written by exactly one goroutine
+	// (SWMR per register) and read concurrently, across every phase —
+	// including both flips — until the main thread stops it.
+	for w := 0; w < spec.WriterWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; ; round++ {
+				for i := w; i < spec.Keys; i += spec.WriterWorkers {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					val := types.Value(fmt.Sprintf("%s=v%d", key(i), round))
+					st := clock.Now()
+					ts, err := s.WriteTS(ctx, key(i), val)
+					if err != nil {
+						if ctx.Err() == nil {
+							fail(fmt.Errorf("membership chaos write %s: %w", key(i), err))
+						}
+						return
+					}
+					histories[i].Record(consistency.Op{
+						Kind: consistency.KindWrite, Start: st, End: clock.Now(), TS: ts, Val: val,
+					})
+					lastTS[i].Store(int64(ts))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < spec.ReaderWorkers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				for i := r; i < spec.Keys; i += spec.ReaderWorkers {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st := clock.Now()
+					tv, err := s.Read(ctx, key(i))
+					if err != nil {
+						if ctx.Err() == nil {
+							fail(fmt.Errorf("membership chaos read %s: %w", key(i), err))
+						}
+						return
+					}
+					histories[i].Record(consistency.Op{
+						Kind: consistency.KindRead, Reader: types.ReaderID(r), Start: st, End: clock.Now(),
+						TS: tv.TS, Val: tv.Val,
+					})
+				}
+			}
+		}(r)
+	}
+	finish := func() {
+		close(stop)
+		wg.Wait()
+	}
+	failed := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr != nil {
+			return firstErr
+		}
+		return ctx.Err()
+	}
+
+	// Phase 1: let the seeded amnesia schedule complete — every crash
+	// window opened, healed, and caught up — so the replacement lands on
+	// a deployment that has already been through ordinary recovery.
+	f := spec.Store.Faults
+	target := int64(spec.Store.Shards * f.Faulty * f.Crash.Cycles)
+	for {
+		if err := failed(); err != nil {
+			finish()
+			return ChaosReport{}, fmt.Errorf("membership chaos: amnesia phase: %w", err)
+		}
+		st := s.FaultStats()
+		if st.Restarts+st.Heals >= target && s.RecoveringCount() == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Phase 2: per shard, kill the designated faulty object for GOOD
+	// (its schedule is spent; no restart is coming — the scenario the
+	// fixed-S model cannot cure) and replace it live. The pre-flip
+	// freshness baseline is snapshotted right before the first kill.
+	preFlip := make([]types.TS, spec.Keys)
+	for i := range preFlip {
+		preFlip[i] = types.TS(lastTS[i].Load())
+	}
+	victim := transport.Object(0) // the faulty set is the lowest-indexed object
+	replaced := 0
+	for shard := 0; shard < spec.Store.Shards; shard++ {
+		s.FaultNet(shard).CrashObject(victim)
+		if _, err := s.Replace(ctx, shard, 0, 0); err != nil {
+			finish()
+			return ChaosReport{}, fmt.Errorf("membership chaos: replace shard %d: %w", shard, err)
+		}
+		replaced++
+	}
+
+	// Phase 3: run on until EVERY shard's clients have demonstrably
+	// healed — redirects served and adopted on that shard, not merely
+	// in aggregate — then stop the workload.
+	for {
+		if err := failed(); err != nil {
+			finish()
+			return ChaosReport{}, fmt.Errorf("membership chaos: post-flip phase: %w", err)
+		}
+		healed := 0
+		for shard := 0; shard < spec.Store.Shards; shard++ {
+			if ms, ok := s.ShardMembershipStats(shard); ok && ms.Redirects > 0 && ms.Adoptions > 0 {
+				healed++
+			}
+		}
+		if healed == spec.Store.Shards {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	finish()
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	if err != nil {
+		return ChaosReport{}, err
+	}
+
+	// Phase 4: stale-target probe — the spent schedule plus these manual
+	// operations against the evicted addresses must all be recorded
+	// no-ops — then a final read per register: it must observe at least
+	// the last write that completed before its shard's flip, and it
+	// feeds the per-register validation below.
+	for shard := 0; shard < spec.Store.Shards; shard++ {
+		fn := s.FaultNet(shard)
+		fn.CrashObject(victim)
+		fn.RestartObject(victim)
+	}
+	if st := s.FaultStats(); st.StaleTargets == 0 {
+		return ChaosReport{}, fmt.Errorf("membership chaos: fault ops against evicted endpoints were not recorded as stale no-ops: %v", st)
+	}
+	for s.RecoveringCount() > 0 && ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	if err := ctx.Err(); err != nil {
+		return ChaosReport{}, fmt.Errorf("membership chaos: post-flip catch-up never completed: %w", err)
+	}
+	for i := 0; i < spec.Keys; i++ {
+		st := clock.Now()
+		tv, err := s.Read(ctx, key(i))
+		if err != nil {
+			return ChaosReport{}, fmt.Errorf("membership chaos: post-flip read %s: %w", key(i), err)
+		}
+		if tv.TS < preFlip[i] {
+			return ChaosReport{}, fmt.Errorf("membership chaos: post-flip read %s observed ts %d, older than the pre-flip completed write %d",
+				key(i), tv.TS, preFlip[i])
+		}
+		histories[i].Record(consistency.Op{
+			Kind:   consistency.KindRead,
+			Reader: types.ReaderID(spec.ReaderWorkers), // sentinel identity, as in RunChaos
+			Start:  st, End: clock.Now(), TS: tv.TS, Val: tv.Val,
+		})
+	}
+
+	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats(), Membership: s.MembershipStats()}
+	m := s.Metrics()
+	report.Writes, report.Reads = m.Writes, m.Reads
+	if got := report.Membership.Replacements; got != int64(replaced) {
+		return ChaosReport{}, fmt.Errorf("membership chaos: %d replacements recorded, want %d", got, replaced)
+	}
+
+	checkRegularity := spec.Store.Semantics != store.Safe
+	for i, h := range histories {
+		ops := h.Ops()
+		for _, v := range consistency.CheckSafety(ops) {
+			report.Violations = append(report.Violations, fmt.Sprintf("%s: %v", key(i), v))
+		}
+		if checkRegularity {
+			for _, v := range consistency.CheckRegularity(ops) {
+				report.Violations = append(report.Violations, fmt.Sprintf("%s: %v", key(i), v))
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// membershipSeed pins the reconfiguration soak schedule.
+const membershipSeed = 0x5EED5
+
+func runMembershipSoak(t *testing.T, tcp bool) {
+	t.Helper()
+	spec := MembershipChaosScenario(membershipSeed, tcp)
+	if testing.Short() {
+		spec.Keys = 16
+	}
+	rep, err := RunMembershipChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("consistency violated across the configuration flip:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Writes == 0 || rep.Reads == 0 {
+		t.Fatalf("degenerate soak: %+v", rep)
+	}
+	if rep.Faults.Amnesias == 0 {
+		t.Fatalf("no amnesia window overlapped the pre-flip phase: %v", rep.Faults)
+	}
+	ms := rep.Membership
+	if ms.Replacements != int64(spec.Store.Shards) {
+		t.Fatalf("replacements %d, want one per shard (%d)", ms.Replacements, spec.Store.Shards)
+	}
+	// The acceptance bar: stale clients recovered THROUGH the redirect
+	// protocol — observed, not merely not-failing.
+	if ms.Redirects == 0 {
+		t.Fatalf("no stale-epoch op was redirected: %v", ms)
+	}
+	if ms.Adoptions == 0 {
+		t.Fatalf("no client adopted the new configuration: %v", ms)
+	}
+	if ms.BadUpdates != 0 {
+		t.Fatalf("clients saw unverifiable redirects: %v", ms)
+	}
+	if rep.Faults.StaleTargets == 0 {
+		t.Fatalf("fault ops against the evicted endpoints were not recorded: %v", rep.Faults)
+	}
+	if rep.Recovery.CatchUps < int64(2*spec.Store.Shards) {
+		// At least the scheduled amnesia catch-ups plus one state
+		// transfer per replacement.
+		t.Fatalf("catch-ups %d, want ≥ %d (amnesia windows + replacements): %+v",
+			rep.Recovery.CatchUps, 2*spec.Store.Shards, rep.Recovery)
+	}
+}
+
+// TestChaosMembershipSoakMemnet: under full chaos (drop, jitter,
+// duplication, reordering, amnesia crash windows, one Byzantine object
+// per shard), one object per shard is killed for good mid-workload and
+// replaced live at a new address; every register validates regular
+// semantics across the flip, post-flip reads observe all pre-flip
+// completed writes, and stale clients self-heal through signed
+// ConfigUpdate redirects.
+func TestChaosMembershipSoakMemnet(t *testing.T) {
+	runMembershipSoak(t, false)
+}
+
+// TestChaosMembershipSoakTCPNet: the same soak over real sockets — the
+// evicted listener closes for good and the replacement serves from a
+// fresh port that clients learn through the redirect.
+func TestChaosMembershipSoakTCPNet(t *testing.T) {
+	runMembershipSoak(t, true)
+}

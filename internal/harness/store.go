@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/membership"
 	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/batch"
@@ -32,6 +33,13 @@ type StoreSpec struct {
 	// Recovery enables the amnesia catch-up subsystem with default
 	// policy — required when Faults schedules amnesia crash windows.
 	Recovery bool
+	// DonorValidation hardens catch-up against Byzantine state donors:
+	// per-entry b+1 cross-validation instead of the blind dominant
+	// merge (recovery.Policy.CrossValidate).
+	DonorValidation bool
+	// Membership enables the reconfiguration subsystem (config epochs,
+	// signed redirects, Store.Replace) with a random per-deployment key.
+	Membership bool
 }
 
 // BuildStore opens the multi-register cluster a spec describes.
@@ -51,7 +59,10 @@ func BuildStore(spec StoreSpec) (*store.Store, error) {
 		opts.Batching = &batch.Options{FlushWindow: spec.FlushWindow, MaxBatch: spec.MaxBatch}
 	}
 	if spec.Recovery {
-		opts.Recovery = &recovery.Policy{}
+		opts.Recovery = &recovery.Policy{CrossValidate: spec.DonorValidation}
+	}
+	if spec.Membership {
+		opts.Membership = &membership.Policy{}
 	}
 	return store.Open(opts)
 }
@@ -240,6 +251,14 @@ func StoreScenarios() []struct {
 			AmnesiaBias: 1.0,
 		},
 	}
+	// The membership row prices the reconfiguration layer on the hot
+	// path: every request/reply carries the configuration epoch (client
+	// translation + stamp, object-side gate check) even though no
+	// replacement happens during the measurement — the steady-state
+	// overhead an operable deployment pays for being reconfigurable.
+	memMembership := memBatched
+	memMembership.Recovery = true
+	memMembership.Membership = true
 	return []struct {
 		Name string
 		Spec StoreSpec
@@ -250,5 +269,6 @@ func StoreScenarios() []struct {
 		{"sharded-tcp-batched", tcpBatched},
 		{"sharded-mem-batched-faulty", memFaulty},
 		{"sharded-mem-batched-recovery", memRecovery},
+		{"sharded-mem-batched-membership", memMembership},
 	}
 }

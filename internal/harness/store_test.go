@@ -79,8 +79,8 @@ func TestRunSingleRegisterBenchBaseline(t *testing.T) {
 
 func TestStoreScenariosShape(t *testing.T) {
 	scs := StoreScenarios()
-	if len(scs) != 6 {
-		t.Fatalf("want 6 scenarios, got %d", len(scs))
+	if len(scs) != 7 {
+		t.Fatalf("want 7 scenarios, got %d", len(scs))
 	}
 	names := map[string]StoreSpec{}
 	for _, sc := range scs {
@@ -121,5 +121,13 @@ func TestStoreScenariosShape(t *testing.T) {
 	base.Faults = nil
 	if r != base {
 		t.Fatal("recovery row must differ from sharded-mem-batched only in faults + recovery")
+	}
+	m := names["sharded-mem-batched-membership"]
+	if !m.Membership || !m.Recovery {
+		t.Fatal("membership scenario must enable membership and its recovery prerequisite")
+	}
+	m.Membership, m.Recovery = false, false
+	if m != base {
+		t.Fatal("membership row must differ from sharded-mem-batched only in membership + recovery")
 	}
 }

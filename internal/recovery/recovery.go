@@ -40,9 +40,21 @@
 // inside the faulty set, at least S−1−(Faulty−1)−Byz ≥ t+b+1 honest
 // siblings are permanently up, so a catch-up always completes. In this
 // repository Byzantine objects do not answer StateReq (they forge
-// protocol replies, not recovery donations); hardening catch-up against
-// Byzantine state donors — per-entry b+1 cross-validation — is an open
-// ROADMAP item.
+// protocol replies, not recovery donations); deployments that admit
+// LYING donors can enable Policy.CrossValidate, which installs a
+// history row or reader-timestamp entry only when b+1 distinct donors
+// agree on it byte for byte (Validated) — a forged donation can never
+// gather b+1 vouchers. See Policy.CrossValidate for the quorum-size
+// conditions under which every completed write keeps its b+1 honest
+// vouchers too.
+//
+// The membership subsystem (internal/membership, internal/store)
+// reuses this protocol for live replacement: a replacement object is an
+// amnesia recovery at a new address, catching up from an explicit donor
+// list — the members of the OLD configuration — rather than a fixed
+// sibling set, which is why Manager's donor set is updatable
+// (SetSiblings) and keyed by transport endpoint rather than object
+// index.
 package recovery
 
 import (
@@ -69,6 +81,33 @@ type Policy struct {
 	// Retry is the re-broadcast interval for catch-up queries whose
 	// responses are lost or delayed in transit. Zero selects 25ms.
 	Retry time.Duration
+	// CrossValidate hardens catch-up against Byzantine state donors:
+	// instead of trusting the timestamp-dominant merge blindly, every
+	// history row and reader-timestamp entry is installed only when
+	// Vouchers distinct donors agree on it byte for byte (Validated), so
+	// a lying donor can never smuggle a forged row or an inflated
+	// timestamp into the recovering object — integrity holds
+	// unconditionally. Freshness is conditional on the quorum: a
+	// completed write occupies t+b+1 of the 2t+b siblings, so Quorum
+	// collected donations intersect its holders in Quorum−(t−1)−b
+	// entries — at the default Quorum = t+b+1 that is b+1 copies, all
+	// honest when Byzantine objects are donation-silent (this
+	// repository's adversary: they forge protocol replies, not
+	// StateResp), so every completed write stays vouchable. Against
+	// donors that ANSWER and selectively omit rows, b of those b+1
+	// copies may be withheld; raise Quorum to t+2b+1 to guarantee b+1
+	// honest copies of every completed write regardless — collectible
+	// out of the 2t+b siblings when b < t, BECAUSE in that threat model
+	// the liars answer and count toward collection. (A deployment whose
+	// Byzantine objects are donation-silent, like internal/store's,
+	// neither needs nor can collect the larger quorum — Open's
+	// honest-donor check will say so.) Off by default; Vouchers must
+	// not exceed Quorum or no entry could ever be vouched
+	// (internal/store's Open rejects that).
+	CrossValidate bool
+	// Vouchers is the agreement threshold of CrossValidate. Zero selects
+	// b+1: more agreeing donors than there are possible liars.
+	Vouchers int
 }
 
 // WithDefaults fills zero fields for a shard with fault budgets t, b.
@@ -78,6 +117,9 @@ func (p Policy) WithDefaults(t, b int) Policy {
 	}
 	if p.Retry <= 0 {
 		p.Retry = 25 * time.Millisecond
+	}
+	if p.CrossValidate && p.Vouchers <= 0 {
+		p.Vouchers = b + 1
 	}
 	return p
 }
@@ -271,15 +313,132 @@ func Dominant(resps []wire.StateResp) []wire.RegState {
 	return out
 }
 
+// Validated merges sibling snapshots with per-entry cross-validation:
+// a history row is installed only when at least vouchers distinct
+// donors present an identical copy, and each reader-timestamp entry is
+// the largest value at least vouchers donors reach. With at most
+// vouchers−1 lying donors, nothing forged survives — a fabricated row
+// or an inflated timestamp can never gather vouchers agreeing copies.
+// Completed writes survive when the collected quorum carries vouchers
+// honest copies of them (see Policy.CrossValidate for the exact
+// quorum-size conditions); the regular object's PW rule writes
+// history[ts] and history[ts−1] together, so the vouched state always
+// carries a complete tuple at its top timestamp or the one below — the
+// automaton invariant Install relies on.
+//
+// The installed timestamp is the newest vouched row's; unvouched rows
+// above it (a lone donor's in-flight pre-write, or a lie) are dropped,
+// which is indistinguishable from the object never having received
+// those messages. Like Dominant, the result is a pure function of the
+// response set, sorted by register name.
+func Validated(resps []wire.StateResp, vouchers int) []wire.RegState {
+	if vouchers <= 1 {
+		return Dominant(resps)
+	}
+	type rowVote struct {
+		entry types.HistEntry
+		count int
+	}
+	type regVotes struct {
+		rows map[types.TS][]rowVote
+		tsrs []types.TSRVector
+	}
+	regs := make(map[string]*regVotes)
+	for _, resp := range resps {
+		// One vote per donor per register: a lying donor listing the
+		// same register twice in one donation must not stuff the ballot
+		// with its own duplicates.
+		voted := make(map[string]bool, len(resp.Regs))
+		for _, rs := range resp.Regs {
+			if voted[rs.Reg] {
+				continue
+			}
+			voted[rs.Reg] = true
+			rv := regs[rs.Reg]
+			if rv == nil {
+				rv = &regVotes{rows: make(map[types.TS][]rowVote)}
+				regs[rs.Reg] = rv
+			}
+			for ts, entry := range rs.History {
+				votes := rv.rows[ts]
+				matched := false
+				for i := range votes {
+					if votes[i].entry.Equal(entry) {
+						votes[i].count++
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					votes = append(votes, rowVote{entry: entry.Clone(), count: 1})
+				}
+				rv.rows[ts] = votes
+			}
+			rv.tsrs = append(rv.tsrs, rs.TSR)
+		}
+	}
+	out := make([]wire.RegState, 0, len(regs))
+	for name, rv := range regs {
+		st := wire.RegState{Reg: name, History: make(types.History)}
+		for ts, votes := range rv.rows {
+			for _, v := range votes {
+				if v.count >= vouchers {
+					st.History[ts] = v.entry
+					if ts > st.TS {
+						st.TS = ts
+					}
+					break
+				}
+			}
+		}
+		if len(st.History) == 0 {
+			continue // no vouched row at all: the register stays unborn
+		}
+		// Per-reader vouched maximum: the vouchers-th largest value —
+		// the highest timestamp at least vouchers donors reach, so a
+		// single liar can neither inflate nor (with honest donors in the
+		// majority) deflate it below something b+1 donors have seen.
+		width := 0
+		for _, v := range rv.tsrs {
+			if len(v) > width {
+				width = len(v)
+			}
+		}
+		if width > 0 {
+			st.TSR = types.NewTSRVector(width)
+			column := make([]types.ReaderTS, 0, len(rv.tsrs))
+			for j := 0; j < width; j++ {
+				column = column[:0]
+				for _, v := range rv.tsrs {
+					if j < len(v) {
+						column = append(column, v[j])
+					}
+				}
+				sort.Slice(column, func(a, b int) bool { return column[a] > column[b] })
+				if len(column) >= vouchers {
+					st.TSR[j] = column[vouchers-1]
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Reg < out[b].Reg })
+	return out
+}
+
 // Manager drives one object's catch-ups: it owns the object's recovery
 // endpoint (transport.Recovery(id)) and, on every Guard wake, runs the
 // state-transfer protocol to completion. Create with NewManager, stop
-// with Close.
+// with Close. The donor set is updatable (SetSiblings) so a
+// reconfiguration can retarget catch-up at the members of a new
+// configuration.
 type Manager struct {
-	guard    *Guard
-	conn     transport.Conn
+	guard  *Guard
+	conn   transport.Conn
+	policy Policy
+
+	smu      sync.Mutex
 	siblings []transport.NodeID
-	policy   Policy
 
 	seq                           atomic.Int64
 	catchUps, regsRestored, stale atomic.Int64
@@ -291,8 +450,10 @@ type Manager struct {
 
 // NewManager starts the catch-up loop for guard. conn must be a client
 // endpoint of the object's network (conventionally
-// transport.Recovery(guard.ID())); siblings are the shard's other base
-// objects. The policy should already carry deployment defaults
+// transport.Recovery(guard.ID())); siblings are the transport addresses
+// of the objects that donate state — the shard's other base objects,
+// or, for a replacement object, the members of the configuration being
+// superseded. The policy should already carry deployment defaults
 // (Policy.WithDefaults).
 func NewManager(guard *Guard, conn transport.Conn, siblings []transport.NodeID, policy Policy) *Manager {
 	m := &Manager{
@@ -305,6 +466,26 @@ func NewManager(guard *Guard, conn transport.Conn, siblings []transport.NodeID, 
 	}
 	go m.run()
 	return m
+}
+
+// SetSiblings replaces the donor set — how a reconfiguration retargets
+// future catch-ups at the members of the new configuration (an evicted
+// address would never answer, and at small deployments the remaining
+// old members alone cannot reach the quorum). A catch-up already in
+// flight re-broadcasts to the new set on its next retry; donations
+// already collected stay counted, which is safe — they were genuine
+// member state when donated.
+func (m *Manager) SetSiblings(siblings []transport.NodeID) {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	m.siblings = append([]transport.NodeID(nil), siblings...)
+}
+
+// siblingSet snapshots the donor set.
+func (m *Manager) siblingSet() []transport.NodeID {
+	m.smu.Lock()
+	defer m.smu.Unlock()
+	return append([]transport.NodeID(nil), m.siblings...)
 }
 
 // Stats returns this manager's counters.
@@ -355,13 +536,20 @@ func (m *Manager) catchUp() bool {
 	inc := m.guard.Incarnation()
 	seq := m.seq.Add(1)
 	req := wire.StateReq{Seq: seq, Requester: m.guard.ID()}
-	got := make(map[types.ObjectID]wire.StateResp)
+	// Donors are deduplicated by transport endpoint, not by claimed
+	// object index: after a reconfiguration, distinct members may live
+	// at addresses that no longer equal their logical slots, and a lying
+	// donor must not be able to impersonate a second one by forging the
+	// ObjectID field of its response.
+	got := make(map[transport.NodeID]wire.StateResp)
 	// Each (re-)broadcast queries only the siblings still missing from
 	// the quorum: an already-counted donor would just re-snapshot and
-	// re-ship its whole registry for the dedup map to discard.
+	// re-ship its whole registry for the dedup map to discard. The donor
+	// set is re-read every time so a reconfiguration mid-collection
+	// retargets the remaining queries.
 	broadcast := func() {
-		for _, sib := range m.siblings {
-			if _, answered := got[types.ObjectID(sib.Index)]; !answered {
+		for _, sib := range m.siblingSet() {
+			if _, answered := got[sib]; !answered {
 				m.conn.Send(sib, req)
 			}
 		}
@@ -386,13 +574,18 @@ func (m *Manager) catchUp() bool {
 		if !ok || resp.Seq != seq {
 			continue // stale attempt, duplicate, or foreign traffic
 		}
-		got[resp.ObjectID] = resp
+		got[msg.From] = resp
 	}
 	resps := make([]wire.StateResp, 0, len(got))
 	for _, resp := range got {
 		resps = append(resps, resp)
 	}
-	merged := Dominant(resps)
+	var merged []wire.RegState
+	if m.policy.CrossValidate {
+		merged = Validated(resps, m.policy.Vouchers)
+	} else {
+		merged = Dominant(resps)
+	}
 	installed := m.guard.Install(merged, inc, func() {
 		m.catchUps.Add(1)
 		m.regsRestored.Add(int64(len(merged)))

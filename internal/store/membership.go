@@ -1,0 +1,261 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/recovery"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// shardMembership is one shard's reconfiguration state: the current
+// view, the per-slot config gates, and the address allocator for
+// replacement objects. Replacements serialize on mu; client muxes hold
+// their own view copies and learn of flips through redirects.
+type shardMembership struct {
+	counters *membership.Counters
+
+	// mu serializes Replace and guards gates and the address allocator.
+	// The view has its own narrow mutex so read-only introspection
+	// (MemberView) never blocks behind an in-flight state transfer.
+	mu       sync.Mutex
+	gates    map[int]*membership.Gate
+	nextAddr int // next fresh physical index; addresses are never reused
+
+	vmu  sync.Mutex
+	view membership.View
+}
+
+// newShardMembership starts shard index at the identity view (slot i at
+// address i) with fresh addresses allocated from S upward.
+func newShardMembership(index, s int) *shardMembership {
+	return &shardMembership{
+		counters: &membership.Counters{},
+		view:     membership.Identity(index, s),
+		gates:    make(map[int]*membership.Gate),
+		nextAddr: s,
+	}
+}
+
+// replaceWaitDefault bounds the state-transfer wait when the caller's
+// context has no deadline of its own.
+const replaceWaitDefault = 30 * time.Second
+
+// MemberView returns shard's current configuration view (epoch and the
+// physical address of every logical slot), or false when the store runs
+// without membership or the shard index is out of range.
+func (s *Store) MemberView(shard int) (membership.View, bool) {
+	if shard < 0 || shard >= len(s.shards) || s.shards[shard].members == nil {
+		return membership.View{}, false
+	}
+	sm := s.shards[shard].members
+	sm.vmu.Lock()
+	defer sm.vmu.Unlock()
+	return sm.view.Clone(), true
+}
+
+// ShardMembershipStats returns one shard's reconfiguration counters,
+// or false when the store runs without membership or the shard index
+// is out of range — the per-shard view of MembershipStats, so a soak
+// can assert that EVERY shard's clients healed, not just some.
+func (s *Store) ShardMembershipStats(shard int) (membership.Stats, bool) {
+	if shard < 0 || shard >= len(s.shards) || s.shards[shard].members == nil {
+		return membership.Stats{}, false
+	}
+	return s.shards[shard].members.counters.Snapshot(), true
+}
+
+// MembershipStats aggregates the reconfiguration counters across all
+// shards (zero without a membership policy).
+func (s *Store) MembershipStats() membership.Stats {
+	var total membership.Stats
+	for _, sh := range s.shards {
+		if sh.members != nil {
+			total = total.Add(sh.members.counters.Snapshot())
+		}
+	}
+	return total
+}
+
+// Replace swaps logical slot's base object in shard for a fresh,
+// honest one at a new transport address, while reads and writes
+// continue — the administrative cure for a permanently dead or
+// Byzantine member, restoring the fault budget t it was consuming.
+// newAddr is the physical object index the replacement is served at;
+// pass 0 (or any non-positive value) to auto-allocate the next fresh
+// address. Explicit addresses must be fresh: at least S and never used
+// by this shard before (evicted addresses are not reusable — clients
+// identify evicted members by address).
+//
+// The sequence, per the reconfiguration-epoch design (package
+// membership): the member being replaced is RETIRED first (it answers
+// nothing from then on, so replacing even a live, healthy member is
+// safe — no write can slip into a quorum the transfer won't dominate;
+// its slot consumes the fault budget until the flip), the replacement
+// is served FENCED at the new address, rebuilds every register via
+// recovery's state transfer from t+b+1 members of the OLD
+// configuration (so any write completed in the old epoch is dominated
+// by the installed merge — the old and new quorums intersect across
+// the flip), and only then does the shard flip: every
+// surviving member's gate advances to the successor epoch, after which
+// stale-epoch ops are answered with the signed ConfigUpdate redirect
+// and lagging clients self-heal in one extra round-trip. Finally the
+// replaced object is evicted: its endpoint is released for good, and
+// fault-plan operations still aimed at it become recorded no-ops
+// (fault.Stats.StaleTargets).
+//
+// Replace blocks until the state transfer completes (bounded by ctx,
+// or 30s when ctx has no deadline) and serializes with other Replace
+// calls on the same shard. On error the configuration is unchanged.
+func (s *Store) Replace(ctx context.Context, shard int, slot types.ObjectID, newAddr int) (membership.View, error) {
+	if s.opts.Membership == nil {
+		return membership.View{}, fmt.Errorf("store: Replace requires Options.Membership")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return membership.View{}, fmt.Errorf("store: Replace: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	if int(slot) < 0 || int(slot) >= s.cfg.S {
+		return membership.View{}, fmt.Errorf("store: Replace: slot %d out of range [0,%d)", slot, s.cfg.S)
+	}
+	sh := s.shards[shard]
+	sm := sh.members
+
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.vmu.Lock()
+	old := sm.view.Clone()
+	sm.vmu.Unlock()
+	switch {
+	case newAddr <= 0:
+		newAddr = sm.nextAddr
+	case newAddr < sm.nextAddr:
+		return membership.View{}, fmt.Errorf("store: Replace: address %d is not fresh (next free is %d; evicted addresses are never reused)", newAddr, sm.nextAddr)
+	}
+	next := old.Replace(int(slot), newAddr)
+	redirect := s.memAuth.SignedUpdate(next)
+
+	// 0. Retire the member being replaced: from here on it answers
+	// nothing, so no write still in flight can count it toward a quorum
+	// the state transfer below won't dominate (a typical victim is
+	// already dead — retirement makes the invariant hold for live ones
+	// too, e.g. proactive rotation of a healthy member). Its slot
+	// consumes the fault budget until the flip — the budget the
+	// replacement restores.
+	oldGate := sm.gates[int(slot)]
+	oldGate.Retire()
+
+	// 1. Build the replacement: an honest register automaton registry
+	// behind a recovery guard (fenced — it is born with amnesia and must
+	// not serve before catching up) behind a config gate already living
+	// in the successor epoch, served at the fresh address. Serving it
+	// now is safe: the fence answers nothing, and no client addresses
+	// the new endpoint until it adopts the successor view.
+	reg := newRegistry(s.registerFactory(slot, false))
+	guard := recovery.NewGuard(slot, reg, reg)
+	guard.Forget() // fence + incarnation 1: a replacement is an amnesia recovery at a new address
+	gate := membership.NewGate(guard, sm.counters, next.Epoch)
+	gate.Advance(next.Epoch, redirect)
+	addr := transport.NodeID{Kind: transport.KindObject, Index: newAddr}
+	if err := sh.net.Serve(addr, gate); err != nil {
+		oldGate.Unretire()
+		return membership.View{}, fmt.Errorf("store: Replace: serve replacement at %v: %w", addr, err)
+	}
+	sm.nextAddr = newAddr + 1
+
+	// 2. State transfer from the OLD configuration: the donors are the
+	// surviving members at their current addresses — the replaced slot,
+	// which may be dead or Byzantine, is excluded, and t+b+1 of the
+	// remaining 2t+b members are always reachable within the fault
+	// budget. The manager speaks through its own recovery endpoint at
+	// the new address and keeps retrying until the quorum donates.
+	donors := make([]transport.NodeID, 0, s.cfg.S-1)
+	for i := 0; i < s.cfg.S; i++ {
+		if i != int(slot) {
+			donors = append(donors, old.Addr(i))
+		}
+	}
+	rconn, err := sh.net.Register(transport.Recovery(types.ObjectID(newAddr)))
+	if err != nil {
+		sh.net.Evict(addr)
+		oldGate.Unretire()
+		return membership.View{}, fmt.Errorf("store: Replace: recovery endpoint for %v: %w", addr, err)
+	}
+	policy := s.opts.Recovery.WithDefaults(s.cfg.T, s.cfg.B)
+	mgr := recovery.NewManager(guard, rconn, donors, policy)
+
+	wait := ctx
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		wait, cancel = context.WithTimeout(ctx, replaceWaitDefault)
+		defer cancel()
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for guard.Fenced() {
+		select {
+		case <-wait.Done():
+			mgr.Close()
+			sh.net.Evict(addr)
+			oldGate.Unretire()
+			return membership.View{}, fmt.Errorf("store: Replace: state transfer from the old configuration did not complete: %w", wait.Err())
+		case <-tick.C:
+		}
+	}
+
+	// 3. Flip: advance every surviving gate to the successor epoch (from
+	// here on, stale-epoch ops are redirected and lagging clients
+	// self-heal), commit the view, swap the slot's observable surfaces,
+	// and retarget every catch-up manager's donor set at the new member
+	// list — an evicted address would never answer, and at small
+	// deployments the surviving old members alone cannot reach the
+	// catch-up quorum.
+	for i, g := range sm.gates {
+		if i != int(slot) {
+			g.Advance(next.Epoch, redirect)
+		}
+	}
+	sm.gates[int(slot)] = gate
+	sm.vmu.Lock()
+	sm.view = next
+	sm.vmu.Unlock()
+
+	// Close the retired slot's manager BEFORE folding its counters into
+	// the retired total: Close waits the catch-up loop out, so the stats
+	// are final — and the manager stays in the map until the fold, so
+	// the aggregate RecoveryStats never dips.
+	sh.mmu.Lock()
+	oldMgr := sh.managers[int(slot)]
+	sh.mmu.Unlock()
+	if oldMgr != nil {
+		oldMgr.Close()
+	}
+	sh.mmu.Lock()
+	if oldMgr != nil {
+		sh.retired = sh.retired.Add(oldMgr.Stats())
+	}
+	sh.managers[int(slot)] = mgr
+	sh.objs[int(slot)] = reg
+	for i, m := range sh.managers {
+		siblings := make([]transport.NodeID, 0, s.cfg.S-1)
+		for j := 0; j < s.cfg.S; j++ {
+			if j != i {
+				siblings = append(siblings, next.Addr(j))
+			}
+		}
+		m.SetSiblings(siblings)
+	}
+	sh.mmu.Unlock()
+
+	// 4. Evict the replaced endpoint: the network releases it for good
+	// (listener/queue torn down), the fault layer records any further
+	// plan activity against it as stale-target no-ops, and the client
+	// member-list check keeps any still-in-flight reply of its from
+	// counting toward a quorum.
+	sh.net.Evict(old.Addr(int(slot)))
+	sm.counters.Replacements.Add(1)
+	return next.Clone(), nil
+}

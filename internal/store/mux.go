@@ -3,9 +3,12 @@ package store
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/membership"
 	"repro/internal/object"
 	"repro/internal/transport"
+	"repro/internal/types"
 	"repro/internal/wire"
 )
 
@@ -16,6 +19,16 @@ import (
 // the owning register's inbox. Sharing the physical endpoint is what
 // lets the transport batching layer coalesce ops from different
 // registers into one frame.
+//
+// With membership enabled, the mux is also the client side of the
+// reconfiguration protocol: protocol clients keep addressing LOGICAL
+// object slots 0..S−1 while the mux translates them to the current
+// view's physical addresses, stamps every request with the
+// configuration epoch, adopts signed ConfigUpdate redirects (replaying
+// each register's in-flight op to the new member list, so a lagging
+// client self-heals in one extra round-trip), and admits replies only
+// from addresses in the current view — a zombie reply from an evicted
+// member can never count toward a quorum.
 type mux struct {
 	conn transport.Conn
 
@@ -28,8 +41,22 @@ type mux struct {
 	// every reply with their incarnation (wire.Epoch); a reply from an
 	// earlier incarnation was minted before the sender's amnesia crash,
 	// reflects state the sender no longer holds, and must not count
-	// toward a quorum.
+	// toward a quorum. Keys are physical endpoints: a replacement member
+	// restarts the incarnation clock at its fresh address.
 	inc map[transport.NodeID]int64
+
+	// members is the reconfiguration state (nil when the deployment runs
+	// without membership) — an atomic pointer so the non-membership hot
+	// path stays lock-free. The view inside is guarded by mu.
+	members atomic.Pointer[muxMembership]
+}
+
+// muxMembership is one client endpoint's view of its shard's
+// configuration.
+type muxMembership struct {
+	auth     *membership.Auth
+	counters *membership.Counters
+	view     membership.View // guarded by mux.mu
 }
 
 // newMux wraps conn and starts the dispatch loop.
@@ -37,6 +64,13 @@ func newMux(conn transport.Conn) *mux {
 	m := &mux{conn: conn, regs: make(map[string]*regConn), inc: make(map[transport.NodeID]int64)}
 	go m.dispatch()
 	return m
+}
+
+// enableMembership turns on config-epoch stamping and redirect handling
+// with the given starting view. Call it right after newMux, before any
+// register traffic.
+func (m *mux) enableMembership(auth *membership.Auth, counters *membership.Counters, view membership.View) {
+	m.members.Store(&muxMembership{auth: auth, counters: counters, view: view})
 }
 
 // register returns the virtual endpoint of the named register, creating
@@ -76,23 +110,110 @@ func (m *mux) dispatch() {
 			return
 		}
 		payload := msg.Payload
+		from := msg.From
+		ms := m.members.Load()
+		if ms != nil {
+			if cu, isUpdate := payload.(wire.ConfigUpdate); isUpdate {
+				m.adopt(ms, cu)
+				continue
+			}
+			if ce, isCfg := payload.(wire.ConfigEpoch); isCfg {
+				// The stamped epoch is informational: whether the reply
+				// may count is decided by the member-list check below.
+				// A surviving member's register state is continuous
+				// across a flip, so its pre-flip replies stay valid.
+				payload = ce.Msg
+			}
+		}
 		if ep, isEpoch := payload.(wire.Epoch); isEpoch {
-			if ep.Inc < m.inc[msg.From] {
+			if ep.Inc < m.inc[from] {
 				continue // stale incarnation: a zombie reply from a pre-amnesia life
 			}
-			m.inc[msg.From] = ep.Inc
+			m.inc[from] = ep.Inc
 			payload = ep.Msg
 		}
 		op, ok := payload.(wire.RegOp)
 		if !ok {
 			continue
 		}
+		// One lock hold covers the member-list admission check (replies
+		// only count from addresses in the current view, translated back
+		// to the logical slot protocol clients validate) and the
+		// register lookup.
+		var rc *regConn
+		stale := false
 		m.mu.Lock()
-		rc := m.regs[op.Reg]
-		m.mu.Unlock()
-		if rc != nil {
-			rc.push(transport.Message{From: msg.From, Payload: op.Msg})
+		if ms != nil && from.Kind == transport.KindObject {
+			if slot, member := ms.view.Slot(from.Index); member {
+				from = transport.Object(types.ObjectID(slot))
+			} else {
+				// The sender's address is not in the current view: a
+				// reply from an endpoint evicted by reconfiguration.
+				stale = true
+			}
 		}
+		if !stale {
+			rc = m.regs[op.Reg]
+		}
+		m.mu.Unlock()
+		if stale {
+			ms.counters.StaleReplies.Add(1)
+			continue
+		}
+		if rc != nil {
+			rc.push(transport.Message{From: from, Payload: op.Msg})
+		}
+	}
+}
+
+// adopt installs the view a redirect carries — if its signature
+// verifies and it is newer than the current one — and re-broadcasts
+// every register's last outgoing op to the new member list, stamped
+// with the new epoch. The replay is what makes the self-heal one
+// round-trip: the op the redirect interrupted reaches the full current
+// membership (including the replacement object) without waiting for
+// the protocol client to time out. Replayed ops are duplicates to
+// members that already served them, which every protocol here already
+// tolerates (objects guard by timestamp, clients dedupe by responder —
+// the fault layer's duplication dice exercise the same path).
+func (m *mux) adopt(ms *muxMembership, cu wire.ConfigUpdate) {
+	view, authentic := ms.auth.VerifyUpdate(cu)
+	if !authentic {
+		ms.counters.BadUpdates.Add(1)
+		return
+	}
+	m.mu.Lock()
+	if view.Shard != ms.view.Shard {
+		// The deployment key is shared across shards; the signed Shard
+		// field is what stops a shard-A update from rerouting shard-B
+		// clients onto foreign addresses. Enforce it.
+		m.mu.Unlock()
+		ms.counters.BadUpdates.Add(1)
+		return
+	}
+	if view.Epoch <= ms.view.Epoch {
+		m.mu.Unlock()
+		return // already there (every surviving member redirects; one wins)
+	}
+	ms.view = view
+	replays := make([]wire.Msg, 0, len(m.regs))
+	for _, rc := range m.regs {
+		if rc.lastOut != nil {
+			replays = append(replays, rc.lastOut)
+		}
+	}
+	addrs := make([]transport.NodeID, len(view.Members))
+	for slot := range view.Members {
+		addrs[slot] = view.Addr(slot)
+	}
+	epoch := view.Epoch
+	m.mu.Unlock()
+	ms.counters.Adoptions.Add(1)
+	for _, op := range replays {
+		for _, to := range addrs {
+			m.conn.Send(to, wire.ConfigEpoch{Epoch: epoch, Msg: op})
+		}
+		ms.counters.Replays.Add(1)
 	}
 }
 
@@ -106,6 +227,13 @@ type regConn struct {
 	mux   *mux
 	reg   string
 	inbox *transport.Inbox
+
+	// lastOut is the register's latest outgoing op (guarded by mux.mu),
+	// kept for replay after a configuration adoption. One message
+	// suffices: the protocols are lockstep per register — each round
+	// broadcasts one identical message to every slot before the client
+	// waits on replies.
+	lastOut wire.Msg
 }
 
 var _ transport.Conn = (*regConn)(nil)
@@ -114,9 +242,26 @@ var _ transport.Conn = (*regConn)(nil)
 func (c *regConn) ID() transport.NodeID { return c.mux.conn.ID() }
 
 // Send wraps payload in the register envelope and ships it over the
-// shared endpoint.
+// shared endpoint. With membership enabled, the logical destination
+// slot is translated to the current view's physical address and the
+// frame is stamped with the configuration epoch.
 func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
-	c.mux.conn.Send(to, wire.RegOp{Reg: c.reg, Msg: payload})
+	op := wire.RegOp{Reg: c.reg, Msg: payload}
+	m := c.mux
+	ms := m.members.Load()
+	if ms == nil {
+		m.conn.Send(to, op) // lock-free: the pre-membership hot path, unchanged
+		return
+	}
+	m.mu.Lock()
+	c.lastOut = op
+	epoch := ms.view.Epoch
+	addr := to
+	if to.Kind == transport.KindObject && to.Index >= 0 && to.Index < len(ms.view.Members) {
+		addr = ms.view.Addr(to.Index)
+	}
+	m.mu.Unlock()
+	m.conn.Send(addr, wire.ConfigEpoch{Epoch: epoch, Msg: op})
 }
 
 // Recv returns the next message addressed to this register.

@@ -47,10 +47,90 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 	return r, nil
 }
 
-// Shards returns the shard count.
+// Shards returns the number of members owning ranges on the ring. For
+// a freshly built ring the members are labeled 0..Shards()-1 and
+// Shard() is always a valid index into an array of that length; a ring
+// produced by Replace or Remove may own NON-CONTIGUOUS labels (see
+// Members()), so callers of reconfigured rings must route by label,
+// not by dense index.
 func (r *Ring) Shards() int { return r.shards }
 
-// Shard returns the shard owning key.
+// Members returns the distinct member labels currently owning ring
+// ranges, sorted. A freshly built ring owns labels 0..shards−1;
+// Replace and Remove produce rings whose label set differs.
+func (r *Ring) Members() []int {
+	seen := make(map[int]bool)
+	for _, p := range r.points {
+		seen[p.shard] = true
+	}
+	out := make([]int, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Replace returns a ring in which every range owned by member old is
+// owned by member new instead — and nothing else changes. The circle
+// positions are preserved, so the ONLY keys that move are the replaced
+// member's: they all transfer to the replacement, and no key moves
+// between surviving members. This is the routing-layer counterpart of
+// the membership subsystem's live object replacement (continuity of
+// ownership) and the building block of shard-level elasticity. The
+// receiver is unmodified; rings are immutable values.
+func (r *Ring) Replace(old, new int) (*Ring, error) {
+	if old == new {
+		return nil, fmt.Errorf("store: ring replace: member %d cannot replace itself", old)
+	}
+	found := false
+	for _, p := range r.points {
+		if p.shard == old {
+			found = true
+		}
+		if p.shard == new {
+			return nil, fmt.Errorf("store: ring replace: member %d already owns ranges", new)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: ring replace: member %d not on the ring", old)
+	}
+	next := &Ring{shards: r.shards, points: make([]ringPoint, len(r.points))}
+	copy(next.points, r.points)
+	for i := range next.points {
+		if next.points[i].shard == old {
+			next.points[i].shard = new
+		}
+	}
+	return next, nil
+}
+
+// Remove returns a ring without member: its points leave the circle, so
+// its keys redistribute to the clockwise successors — and ONLY its
+// keys; every key owned by a surviving member keeps its owner. Removing
+// the last member is an error (a ring must route every key somewhere).
+func (r *Ring) Remove(member int) (*Ring, error) {
+	points := make([]ringPoint, 0, len(r.points))
+	removed := 0
+	for _, p := range r.points {
+		if p.shard == member {
+			removed++
+			continue
+		}
+		points = append(points, p)
+	}
+	if removed == 0 {
+		return nil, fmt.Errorf("store: ring remove: member %d not on the ring", member)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("store: ring remove: member %d is the last member", member)
+	}
+	return &Ring{shards: r.shards - 1, points: points}, nil
+}
+
+// Shard returns the member label owning key: a dense 0..Shards()-1
+// index on a freshly built ring, an arbitrary member label (see
+// Members) on a ring reconfigured with Replace or Remove.
 func (r *Ring) Shard(key string) int {
 	h := hash64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })

@@ -147,6 +147,154 @@ func TestRingWrapAround(t *testing.T) {
 	}
 }
 
+// TestRingReplaceMovesOnlyReplacedRanges: relabeling a member moves
+// exactly its keys — all of them to the replacement — and not one key
+// between surviving members: the routing-layer continuity property a
+// live replacement relies on.
+func TestRingReplaceMovesOnlyReplacedRanges(t *testing.T) {
+	const members, keys = 8, 20000
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const old, fresh = 3, 100
+	next, err := r.Replace(old, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("replace-key-%d", i)
+		was, is := r.Shard(key), next.Shard(key)
+		switch {
+		case was == old:
+			moved++
+			if is != fresh {
+				t.Fatalf("key %q owned by the replaced member routed to %d, want the replacement %d", key, is, fresh)
+			}
+		case was != is:
+			t.Fatalf("key %q moved between surviving members: %d → %d", key, was, is)
+		}
+	}
+	// Exactly the replaced member's ranges move: about 1/members of the
+	// keyspace, never more than its skew-bounded share.
+	if fair := float64(keys) / members; float64(moved) > 1.6*fair || float64(moved) < 0.4*fair {
+		t.Fatalf("%d of %d keys moved — outside the replaced member's bounded share (fair %0.f)", moved, keys, fair)
+	}
+	// Receiver untouched; member sets updated.
+	if got := r.Members(); len(got) != members || got[old] != old {
+		t.Fatalf("Replace mutated the receiver: members %v", got)
+	}
+	want := []int{0, 1, 2, 4, 5, 6, 7, 100}
+	got := next.Members()
+	if len(got) != len(want) {
+		t.Fatalf("successor members %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("successor members %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRingReplaceKeepsSkewBound: ownership shares are untouched by a
+// replacement (the circle positions are preserved), so the ≤1.6× skew
+// bound holds for the replacement exactly as it did for the member it
+// supersedes.
+func TestRingReplaceKeepsSkewBound(t *testing.T) {
+	const members, keys = 8, 20000
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := r.Replace(5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for i := 0; i < keys; i++ {
+		counts[next.Shard(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := float64(keys) / members
+	for _, m := range next.Members() {
+		if ratio := float64(counts[m]) / fair; ratio > 1.6 || ratio < 0.4 {
+			t.Fatalf("member %d owns %.2f× its fair share after replacement", m, ratio)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyRemovedRanges: removing a member redistributes
+// exactly its keys to the survivors; every other key keeps its owner,
+// and the survivors stay within the skew bound at their new fair share.
+func TestRingRemoveMovesOnlyRemovedRanges(t *testing.T) {
+	const members, keys = 8, 20000
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gone = 2
+	next, err := r.Remove(gone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("remove-key-%d", i)
+		was, is := r.Shard(key), next.Shard(key)
+		if was == gone {
+			moved++
+			if is == gone {
+				t.Fatalf("key %q still routed to the removed member", key)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved between surviving members: %d → %d", key, was, is)
+		}
+	}
+	if fair := float64(keys) / members; float64(moved) > 1.6*fair || float64(moved) < 0.4*fair {
+		t.Fatalf("%d of %d keys moved — outside the removed member's bounded share", moved, keys)
+	}
+	counts := make(map[int]int)
+	for i := 0; i < keys; i++ {
+		counts[next.Shard(fmt.Sprintf("key-%d", i))]++
+	}
+	newFair := float64(keys) / (members - 1)
+	for _, m := range next.Members() {
+		if ratio := float64(counts[m]) / newFair; ratio > 1.6 || ratio < 0.4 {
+			t.Fatalf("member %d owns %.2f× its fair share after removal", m, ratio)
+		}
+	}
+}
+
+// TestRingReplaceRemoveRejectBadMembers: degenerate reconfigurations
+// are errors, not silent misroutes.
+func TestRingReplaceRemoveRejectBadMembers(t *testing.T) {
+	r, err := NewRing(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Replace(0, 0); err == nil {
+		t.Fatal("self-replacement accepted")
+	}
+	if _, err := r.Replace(9, 10); err == nil {
+		t.Fatal("replacing an absent member accepted")
+	}
+	if _, err := r.Replace(0, 1); err == nil {
+		t.Fatal("replacing onto an existing member accepted")
+	}
+	if _, err := r.Remove(9); err == nil {
+		t.Fatal("removing an absent member accepted")
+	}
+	single, err := NewRing(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Remove(0); err == nil {
+		t.Fatal("removing the last member accepted")
+	}
+}
+
 // TestRingSkewBound pins the load-balance quality the avalanche
 // finalizer buys: across shard counts and key shapes (sequential,
 // path-like, fixed-prefix — the adversarial patterns for plain FNV),

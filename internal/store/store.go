@@ -24,6 +24,7 @@ package store
 
 import (
 	"context"
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/byzantine"
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/object"
 	"repro/internal/quorum"
 	"repro/internal/recovery"
@@ -105,6 +107,17 @@ type Options struct {
 	// wiped object that cannot catch up is gone for good and silently
 	// eats the whole t budget.
 	Recovery *recovery.Policy
+	// Membership, when non-nil, enables the reconfiguration subsystem
+	// (internal/membership): every request and reply carries a
+	// configuration epoch, base objects answer stale-epoch requests with
+	// a signed ConfigUpdate redirect, and Store.Replace swaps a faulty
+	// base object for a fresh one at a new transport address while
+	// reads and writes continue — restoring the fault budget t a
+	// permanently dead or Byzantine member would otherwise consume
+	// forever. Requires Recovery (the replacement rebuilds its registers
+	// via the amnesia catch-up protocol, from the members of the
+	// configuration being superseded).
+	Membership *membership.Policy
 }
 
 // withDefaults normalizes opts.
@@ -158,6 +171,17 @@ func (o Options) withDefaults() (Options, error) {
 			return o, fmt.Errorf("store: recovery quorum %d exceeds the %d honest siblings a recovering object has (S=%d, %d Byzantine) — catch-up could never complete",
 				q, donors, s, o.ByzPerShard)
 		}
+		// Cross-validation needs the agreement threshold to be
+		// collectible, or every row is unvouchable and a catch-up would
+		// install EMPTY state behind a lifted fence — the silent quorum
+		// erosion the fence exists to prevent.
+		if p := o.Recovery.WithDefaults(o.T, o.B); p.CrossValidate && p.Vouchers > p.Quorum {
+			return o, fmt.Errorf("store: recovery donor-validation threshold %d exceeds the catch-up quorum %d — no entry could ever gather enough vouchers",
+				p.Vouchers, p.Quorum)
+		}
+	}
+	if o.Membership != nil && o.Recovery == nil {
+		return o, fmt.Errorf("store: membership requires a recovery policy — a replacement object rebuilds its registers through the amnesia catch-up protocol before it joins quorums")
 	}
 	return o, nil
 }
@@ -186,10 +210,13 @@ func (m Metrics) RoundsPerWrite() float64 {
 	return float64(m.WriteRounds) / float64(m.Writes)
 }
 
-// network is the slice of memnet.Net / tcpnet.Net the store needs.
+// network is the slice of memnet.Net / tcpnet.Net (or their
+// fault-wrapped form) the store needs. Evict is the membership
+// subsystem's release of a replaced object's endpoint.
 type network interface {
 	transport.Network
 	AddTap(transport.Tap)
+	Evict(transport.NodeID)
 	Close() error
 }
 
@@ -199,6 +226,10 @@ type Store struct {
 	cfg    quorum.Config
 	ring   *Ring
 	shards []*shard
+
+	// memAuth signs and verifies configuration views (nil without
+	// membership); all shards share the deployment key.
+	memAuth *membership.Auth
 
 	writes, writeRounds atomic.Int64
 	reads, readRounds   atomic.Int64
@@ -216,8 +247,15 @@ type shard struct {
 
 	slots    chan *readerSlot
 	allSlots []*readerSlot
+
+	members *shardMembership // nil without a membership policy
+
+	// mmu guards the mutable per-slot object surfaces below, which
+	// Replace swaps while accessors iterate.
+	mmu      sync.Mutex
 	objs     []*registry
-	managers []*recovery.Manager // per honest object, nil slice without a recovery policy
+	managers map[int]*recovery.Manager // per honest slot; empty without a recovery policy
+	retired  recovery.Stats            // counters of managers closed by Replace
 }
 
 // regWriter serializes the single writer of one register.
@@ -255,6 +293,16 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{opts: opts, cfg: cfg, ring: ring}
+	if opts.Membership != nil {
+		key := opts.Membership.Key
+		if len(key) == 0 {
+			key = make([]byte, 32)
+			if _, err := rand.Read(key); err != nil {
+				return nil, fmt.Errorf("store: membership key generation: %w", err)
+			}
+		}
+		s.memAuth = membership.NewAuth(key)
+	}
 	for i := 0; i < opts.Shards; i++ {
 		sh, err := s.buildShard(i)
 		if err != nil {
@@ -288,12 +336,15 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		}
 		nw = n
 	}
-	sh := &shard{cfg: s.cfg, net: nw, writers: make(map[string]*regWriter)}
+	sh := &shard{cfg: s.cfg, net: nw, writers: make(map[string]*regWriter), managers: make(map[int]*recovery.Manager)}
 	if s.opts.Faults != nil {
 		plan := s.opts.Faults.WithSeed(s.opts.Faults.Seed + int64(index)*faultSeedStride)
 		sh.faults = fault.Wrap(nw, plan)
 		nw = sh.faults
 		sh.net = nw
+	}
+	if s.opts.Membership != nil {
+		sh.members = newShardMembership(index, s.cfg.S)
 	}
 
 	// With a recovery policy, every honest object is served behind a
@@ -301,7 +352,10 @@ func (s *Store) buildShard(index int) (*shard, error) {
 	// and StateReq donation. Byzantine objects stay unguarded — a real
 	// adversary would not run the honest recovery automaton (it stays
 	// silent on StateReq and its replies carry no epoch), and it never
-	// crashes anyway: the faulty and Byzantine sets are disjoint.
+	// crashes anyway: the faulty and Byzantine sets are disjoint. With
+	// membership, EVERY object (Byzantine included) sits behind a config
+	// gate: the worst-case adversary speaks the current configuration,
+	// keeping its forged protocol replies in play across flips.
 	guards := make([]*recovery.Guard, s.cfg.S)
 	for i := 0; i < s.cfg.S; i++ {
 		id := types.ObjectID(i)
@@ -311,6 +365,11 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		if s.opts.Recovery != nil && !byz {
 			guards[i] = recovery.NewGuard(id, reg, reg)
 			h = guards[i]
+		}
+		if sh.members != nil {
+			gate := membership.NewGate(h, sh.members.counters, 0)
+			sh.members.gates[i] = gate
+			h = gate
 		}
 		if err := nw.Serve(transport.Object(id), h); err != nil {
 			nw.Close()
@@ -325,6 +384,9 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		return nil, err
 	}
 	sh.writerMux = newMux(wconn)
+	if sh.members != nil {
+		sh.writerMux.enableMembership(s.memAuth, sh.members.counters, sh.members.view.Clone())
+	}
 
 	sh.slots = make(chan *readerSlot, s.cfg.R)
 	for j := 0; j < s.cfg.R; j++ {
@@ -334,6 +396,9 @@ func (s *Store) buildShard(index int) (*shard, error) {
 			return nil, err
 		}
 		slot := &readerSlot{id: types.ReaderID(j), mux: newMux(rconn), readers: make(map[string]readerClient)}
+		if sh.members != nil {
+			slot.mux.enableMembership(s.memAuth, sh.members.counters, sh.members.view.Clone())
+		}
 		sh.allSlots = append(sh.allSlots, slot)
 		sh.slots <- slot
 	}
@@ -363,7 +428,7 @@ func (s *Store) buildShard(index int) (*shard, error) {
 					siblings = append(siblings, transport.Object(types.ObjectID(j)))
 				}
 			}
-			sh.managers = append(sh.managers, recovery.NewManager(guard, rconn, siblings, policy))
+			sh.managers[i] = recovery.NewManager(guard, rconn, siblings, policy)
 		}
 	}
 	return sh, nil
@@ -439,11 +504,13 @@ func (s *Store) FaultStats() fault.Stats {
 func (s *Store) RecoveringCount() int {
 	n := 0
 	for _, sh := range s.shards {
+		sh.mmu.Lock()
 		for _, mgr := range sh.managers {
 			if mgr.Recovering() {
 				n++
 			}
 		}
+		sh.mmu.Unlock()
 	}
 	return n
 }
@@ -453,9 +520,12 @@ func (s *Store) RecoveringCount() int {
 func (s *Store) RecoveryStats() recovery.Stats {
 	var total recovery.Stats
 	for _, sh := range s.shards {
+		sh.mmu.Lock()
+		total = total.Add(sh.retired)
 		for _, mgr := range sh.managers {
 			total = total.Add(mgr.Stats())
 		}
+		sh.mmu.Unlock()
 	}
 	return total
 }
@@ -570,7 +640,13 @@ func (sh *shard) readerFor(slot *readerSlot, key string, sem Semantics) (readerC
 func (s *Store) Close() error {
 	var errs []error
 	for _, sh := range s.shards {
+		sh.mmu.Lock()
+		managers := make([]*recovery.Manager, 0, len(sh.managers))
 		for _, mgr := range sh.managers {
+			managers = append(managers, mgr)
+		}
+		sh.mmu.Unlock()
+		for _, mgr := range managers {
 			errs = append(errs, mgr.Close())
 		}
 		sh.writerMux.close()

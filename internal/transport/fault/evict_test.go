@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/memnet"
+	"repro/internal/wire"
+)
+
+// TestEvictedTargetsAreRecordedNoOps: every manual fault operation
+// aimed at an evicted endpoint — crash, restart (stable or amnesiac),
+// partition, heal — is a no-op counted in Stats.StaleTargets, never a
+// panic or a ghost restart, and the evicted endpoint stays dark while a
+// surviving object keeps serving.
+func TestEvictedTargetsAreRecordedNoOps(t *testing.T) {
+	inner := memnet.New()
+	n := Wrap(inner, Plan{})
+	defer n.Close()
+
+	echo := transport.HandlerFunc(func(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+		return req, true
+	})
+	old := transport.Object(0)
+	if err := n.Serve(old, echo); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Serve(transport.Object(1), echo); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.Evict(old)
+	if !n.Evicted(old) {
+		t.Fatal("Evicted not recorded")
+	}
+	if n.Down(old) {
+		t.Fatal("evicted endpoint reported down — schedules would spin on healing it")
+	}
+
+	n.CrashObject(old)
+	n.RestartObject(old)
+	n.RestartObjectAmnesia(old)
+	n.PartitionObject(old)
+	n.HealObject(old)
+	st := n.Stats()
+	if st.StaleTargets != 5 {
+		t.Fatalf("StaleTargets = %d, want 5 (one per stale operation)", st.StaleTargets)
+	}
+	if st.Crashes != 0 || st.Restarts != 0 || st.Partitions != 0 {
+		t.Fatalf("stale operations leaked into the live counters: %v", st)
+	}
+	if n.Down(old) {
+		t.Fatal("stale operations left the evicted endpoint in a down window")
+	}
+
+	// Traffic to the evicted endpoint drops; the survivor still answers.
+	conn.Send(old, wire.BaselineReadReq{Attempt: 1})
+	conn.Send(transport.Object(1), wire.BaselineReadReq{Attempt: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msg, err := conn.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != transport.Object(1) {
+		t.Fatalf("reply from %v, want the surviving object1", msg.From)
+	}
+	short, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if extra, err := conn.Recv(short); err == nil {
+		t.Fatalf("evicted endpoint answered: %v", extra)
+	}
+	if n.Stats().Dropped == 0 {
+		t.Fatal("traffic to the evicted endpoint was not counted dropped")
+	}
+}
+
+// TestScheduledWindowsNoOpAfterEvict: a seeded crash schedule that
+// keeps targeting an ID after its eviction completes without ghost
+// restarts — every remaining window is recorded as a stale target and
+// the schedule terminates (no heal-retry spin on an endpoint that can
+// never come back).
+func TestScheduledWindowsNoOpAfterEvict(t *testing.T) {
+	inner := memnet.New()
+	n := Wrap(inner, Plan{
+		Seed:   3,
+		Faulty: 1,
+		Crash: CrashPlan{
+			Cycles: 4,
+			UpMin:  5 * time.Millisecond, UpMax: 10 * time.Millisecond,
+			DownMin: 5 * time.Millisecond, DownMax: 10 * time.Millisecond,
+		},
+	})
+	defer n.Close()
+	echo := transport.HandlerFunc(func(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+		return req, true
+	})
+	target := transport.Object(0)
+	if err := n.Serve(target, echo); err != nil {
+		t.Fatal(err) // starts the seeded crash loop for the faulty object
+	}
+	n.Evict(target) // replaced before (most of) the schedule fires
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := n.Stats()
+		if st.StaleTargets >= 4 { // at least the 4 takeDowns recorded
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedule did not no-op through the evicted target: %v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := n.Stats(); st.Restarts != 0 {
+		t.Fatalf("ghost restart of an evicted endpoint: %v", st)
+	}
+}

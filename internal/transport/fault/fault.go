@@ -167,26 +167,34 @@ type Stats struct {
 	Amnesias   int64
 	Partitions int64 // partition windows opened (scheduled or manual)
 	Heals      int64 // partition windows healed
+	// StaleTargets counts crash/restart/partition operations — manual or
+	// scheduled — aimed at an endpoint that has been evicted by a
+	// membership replacement. Such operations are recorded no-ops: a
+	// fault plan written against the original member list keeps running
+	// safely after a reconfiguration instead of panicking or ghost-
+	// restarting a released endpoint.
+	StaleTargets int64
 }
 
 // Add returns the fieldwise sum (aggregating across shards).
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Dropped:    s.Dropped + o.Dropped,
-		Delayed:    s.Delayed + o.Delayed,
-		Duplicated: s.Duplicated + o.Duplicated,
-		Crashes:    s.Crashes + o.Crashes,
-		Restarts:   s.Restarts + o.Restarts,
-		Amnesias:   s.Amnesias + o.Amnesias,
-		Partitions: s.Partitions + o.Partitions,
-		Heals:      s.Heals + o.Heals,
+		Dropped:      s.Dropped + o.Dropped,
+		Delayed:      s.Delayed + o.Delayed,
+		Duplicated:   s.Duplicated + o.Duplicated,
+		Crashes:      s.Crashes + o.Crashes,
+		Restarts:     s.Restarts + o.Restarts,
+		Amnesias:     s.Amnesias + o.Amnesias,
+		Partitions:   s.Partitions + o.Partitions,
+		Heals:        s.Heals + o.Heals,
+		StaleTargets: s.StaleTargets + o.StaleTargets,
 	}
 }
 
 // String renders the counters compactly for reports.
 func (s Stats) String() string {
-	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d amnesias=%d partitions=%d heals=%d",
-		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Amnesias, s.Partitions, s.Heals)
+	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d amnesias=%d partitions=%d heals=%d stale_targets=%d",
+		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Amnesias, s.Partitions, s.Heals, s.StaleTargets)
 }
 
 // crashRestarter is the optional deeper-integration surface of a wrapped
@@ -204,6 +212,11 @@ type amnesiaRestarter interface {
 	RestartAmnesia(id transport.NodeID) error
 }
 
+// evictor lets Evict cascade into wrapped networks that can release an
+// endpoint for good (memnet drops the object's queue, tcpnet closes its
+// listener and forgets its address).
+type evictor interface{ Evict(id transport.NodeID) }
+
 // tapper lets the wrapper forward AddTap to networks that support it.
 type tapper interface{ AddTap(transport.Tap) }
 
@@ -220,10 +233,11 @@ type Net struct {
 	inner transport.Network
 	plan  Plan
 
-	mu   sync.Mutex
-	rng  *rand.Rand
-	down map[transport.NodeID]downMode // objects in a down window
-	cut  map[linkKey]bool              // partitioned directed links
+	mu      sync.Mutex
+	rng     *rand.Rand
+	down    map[transport.NodeID]downMode // objects in a down window
+	cut     map[linkKey]bool              // partitioned directed links
+	evicted map[transport.NodeID]bool     // endpoints released by membership replacement
 
 	// held queues the traffic of partition windows and cut links, in
 	// link order: a partition keeps messages "in transit" (the paper's
@@ -237,6 +251,7 @@ type Net struct {
 	dropped, delayed, duplicated atomic.Int64
 	crashes, restarts, amnesias  atomic.Int64
 	partitions, heals            atomic.Int64
+	staleTargets                 atomic.Int64
 }
 
 // downMode distinguishes the kinds of down window.
@@ -274,13 +289,14 @@ func Wrap(inner transport.Network, plan Plan) *Net {
 		panic(err)
 	}
 	return &Net{
-		inner: inner,
-		plan:  plan,
-		rng:   rand.New(rand.NewSource(plan.Seed)),
-		down:  make(map[transport.NodeID]downMode),
-		cut:   make(map[linkKey]bool),
-		held:  make(map[holdKey][]heldMsg),
-		done:  make(chan struct{}),
+		inner:   inner,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		down:    make(map[transport.NodeID]downMode),
+		cut:     make(map[linkKey]bool),
+		evicted: make(map[transport.NodeID]bool),
+		held:    make(map[holdKey][]heldMsg),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -292,14 +308,15 @@ func (n *Net) Plan() Plan { return n.plan }
 // Stats returns the fault counters so far.
 func (n *Net) Stats() Stats {
 	return Stats{
-		Dropped:    n.dropped.Load(),
-		Delayed:    n.delayed.Load(),
-		Duplicated: n.duplicated.Load(),
-		Crashes:    n.crashes.Load(),
-		Restarts:   n.restarts.Load(),
-		Amnesias:   n.amnesias.Load(),
-		Partitions: n.partitions.Load(),
-		Heals:      n.heals.Load(),
+		Dropped:      n.dropped.Load(),
+		Delayed:      n.delayed.Load(),
+		Duplicated:   n.duplicated.Load(),
+		Crashes:      n.crashes.Load(),
+		Restarts:     n.restarts.Load(),
+		Amnesias:     n.amnesias.Load(),
+		Partitions:   n.partitions.Load(),
+		Heals:        n.heals.Load(),
+		StaleTargets: n.staleTargets.Load(),
 	}
 }
 
@@ -377,6 +394,37 @@ func (n *Net) Close() error {
 	}
 	n.wg.Wait()
 	return err
+}
+
+// Evict releases an endpoint replaced by the membership subsystem: the
+// eviction is forwarded to the wrapped network (listener/queue torn
+// down for good), any open down window and held traffic for the
+// endpoint are discarded, and from here on every crash, restart,
+// partition, or heal aimed at the ID — manual or from the seeded
+// schedule — is a recorded no-op (Stats.StaleTargets) rather than a
+// panic or a ghost restart. Traffic to or from the evicted endpoint
+// drops silently, like traffic to a crashed object.
+func (n *Net) Evict(id transport.NodeID) {
+	n.mu.Lock()
+	if n.evicted[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.evicted[id] = true
+	delete(n.down, id)
+	held := n.takeHeldLocked(holdKey{node: id})
+	n.mu.Unlock()
+	n.dropped.Add(int64(len(held))) // an evicted endpoint's held traffic dies with it
+	if ev, ok := n.inner.(evictor); ok {
+		ev.Evict(id)
+	}
+}
+
+// Evicted reports whether id has been released by Evict.
+func (n *Net) Evicted(id transport.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.evicted[id]
 }
 
 // CrashObject opens a manual crash window for id: its in-flight traffic
@@ -459,6 +507,11 @@ func (n *Net) Down(id transport.NodeID) bool {
 // differ at heal time) also fires the inner teardown when supported.
 func (n *Net) takeDown(id transport.NodeID, mode downMode) {
 	n.mu.Lock()
+	if n.evicted[id] {
+		n.mu.Unlock()
+		n.staleTargets.Add(1)
+		return
+	}
 	if n.down[id] != 0 {
 		n.mu.Unlock()
 		return
@@ -487,6 +540,11 @@ func (n *Net) takeDown(id transport.NodeID, mode downMode) {
 // instead of pretending the object recovered.
 func (n *Net) bringUp(id transport.NodeID) {
 	n.mu.Lock()
+	if n.evicted[id] {
+		n.mu.Unlock()
+		n.staleTargets.Add(1)
+		return
+	}
 	mode := n.down[id]
 	if mode == 0 {
 		n.mu.Unlock()
@@ -662,7 +720,7 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 		n.dropped.Add(1)
 		return
 	}
-	if n.down[from].isCrash() || n.down[to].isCrash() {
+	if n.down[from].isCrash() || n.down[to].isCrash() || n.evicted[from] || n.evicted[to] {
 		n.mu.Unlock()
 		n.dropped.Add(1)
 		return

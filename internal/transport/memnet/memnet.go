@@ -236,6 +236,23 @@ func (n *Net) RestartAmnesia(id transport.NodeID) error {
 	return n.Restart(id)
 }
 
+// Evict permanently removes a served base object: its goroutine exits,
+// queued requests are discarded, and all future traffic to it drops
+// silently (an unknown destination, forever "in transit") — the
+// membership subsystem's release of a replaced object's endpoint. The
+// address is not reusable; replacements are served at fresh addresses.
+// Evicting an unknown ID is a no-op.
+func (n *Net) Evict(id transport.NodeID) {
+	n.mu.Lock()
+	srv := n.objects[id]
+	delete(n.objects, id)
+	delete(n.crashed, id)
+	n.mu.Unlock()
+	if srv != nil {
+		srv.stop()
+	}
+}
+
 // Crashed reports whether id has been crashed.
 func (n *Net) Crashed(id transport.NodeID) bool {
 	n.mu.Lock()

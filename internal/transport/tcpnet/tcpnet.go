@@ -280,6 +280,31 @@ func (n *Net) Crash(id transport.NodeID) {
 	}
 }
 
+// Evict permanently removes a served object: its listener closes, every
+// established connection to it is severed, and its address is forgotten
+// so later dials fail — the membership subsystem's release of a
+// replaced object's endpoint. Unlike Crash, there is no way back: the
+// handler and address registrations are dropped, Restart on the ID is a
+// no-op, and replacements are served at fresh addresses. Evicting an
+// unknown ID is a no-op.
+func (n *Net) Evict(id transport.NodeID) {
+	n.mu.Lock()
+	ln := n.listeners[id]
+	conns := n.srvConns[id]
+	delete(n.listeners, id)
+	delete(n.srvConns, id)
+	delete(n.addrs, id)
+	delete(n.handlers, id)
+	delete(n.crashed, id)
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for c := range conns {
+		c.Close()
+	}
+}
+
 // Crashed reports whether id is currently crashed.
 func (n *Net) Crashed(id transport.NodeID) bool {
 	n.mu.Lock()

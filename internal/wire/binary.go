@@ -42,6 +42,8 @@ const (
 	tagEpoch
 	tagStateReq
 	tagStateResp
+	tagConfigEpoch
+	tagConfigUpdate
 )
 
 // enc is a little append-only writer with varint packing.
@@ -385,18 +387,36 @@ func EncodeCompact(m Msg) ([]byte, error) {
 			e.history(rs.History)
 			e.tsrVector(rs.TSR)
 		}
+	case ConfigEpoch:
+		e.buf.WriteByte(tagConfigEpoch)
+		e.i(v.Epoch)
+		sub, err := EncodeCompact(v.Msg)
+		if err != nil {
+			return nil, err
+		}
+		e.bytes(sub)
+	case ConfigUpdate:
+		e.buf.WriteByte(tagConfigUpdate)
+		e.i(v.Shard)
+		e.i(v.Epoch)
+		e.u(uint64(len(v.Members)))
+		for _, m := range v.Members {
+			e.i(m)
+		}
+		e.bytes(v.Sig)
 	default:
 		return nil, fmt.Errorf("wire: compact codec: unknown message %T", m)
 	}
 	return e.buf.Bytes(), nil
 }
 
-// maxNest caps RegOp/Batch/Epoch nesting during decode. Legitimate
-// frames nest at most three levels (a Batch of Epoch-stamped RegOps on
-// the recovery-enabled reply path); without a cap, a Byzantine peer
-// could craft a deeply self-nested frame whose recursive decode
-// exhausts the stack — a fatal, unrecoverable runtime error.
-const maxNest = 4
+// maxNest caps RegOp/Batch/Epoch/ConfigEpoch nesting during decode.
+// Legitimate frames nest at most four levels (a Batch of
+// ConfigEpoch-stamped, Epoch-stamped RegOps on the membership- and
+// recovery-enabled reply path); without a cap, a Byzantine peer could
+// craft a deeply self-nested frame whose recursive decode exhausts the
+// stack — a fatal, unrecoverable runtime error.
+const maxNest = 5
 
 // DecodeCompact deserializes a message produced by EncodeCompact.
 func DecodeCompact(data []byte) (Msg, error) {
@@ -484,6 +504,33 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 			}
 			m = Epoch{Inc: inc, Msg: inner}
 		}
+	case tagConfigEpoch:
+		epoch := d.i()
+		sub := d.bytesN()
+		if d.err == nil {
+			inner, err := decodeCompact(sub, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("wire: compact codec: config epoch payload: %w", err)
+			}
+			m = ConfigEpoch{Epoch: epoch, Msg: inner}
+		}
+	case tagConfigUpdate:
+		cu := ConfigUpdate{Shard: d.i(), Epoch: d.i()}
+		n := d.u()
+		// Each member is at least one varint byte; a count above the
+		// remaining frame is provably bogus — reject before allocating.
+		if d.err == nil && (n > maxLen || int64(n) > int64(d.r.Len())) {
+			d.err = fmt.Errorf("wire: member list length %d", n)
+		}
+		if d.err != nil {
+			n = 0
+		}
+		cu.Members = make([]int64, 0, min(int(n), 1024))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			cu.Members = append(cu.Members, d.i())
+		}
+		cu.Sig = d.bytesN()
+		m = cu
 	case tagStateReq:
 		m = StateReq{Seq: d.i(), Requester: types.ObjectID(d.i())}
 	case tagStateResp:

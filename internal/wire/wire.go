@@ -210,6 +210,48 @@ func (rs RegState) Clone() RegState {
 	return RegState{Reg: rs.Reg, TS: rs.TS, History: rs.History.Clone(), TSR: rs.TSR.Clone()}
 }
 
+// Membership (reconfiguration) messages -----------------------------------
+
+// ConfigEpoch wraps a request or reply with the sender's configuration
+// epoch — the monotonically increasing version of the shard's member
+// list (which logical object slot lives at which transport address).
+// It composes with the incarnation envelope: a recovery- and
+// membership-enabled reply travels as ConfigEpoch{Epoch{RegOp{...}}}.
+// Base objects reject requests from stale configurations with a
+// ConfigUpdate redirect instead of serving them, so a lagging client
+// self-heals in one extra round-trip; clients use the member list (not
+// the stamped epoch) to decide which replies may count toward quorums —
+// a reply from an address evicted by reconfiguration never does.
+type ConfigEpoch struct {
+	Epoch int64
+	Msg   Msg
+}
+
+// ConfigUpdate is the redirect frame of the reconfiguration protocol: a
+// member of configuration Epoch answers a request stamped with an older
+// epoch with the signed-off member list of the current one. Members[i]
+// is the physical transport index (transport.Object(Members[i])) of
+// logical slot i; Sig authenticates the (Shard, Epoch, Members) triple
+// under the deployment's membership key, so a Byzantine object cannot
+// hijack clients onto a forged configuration — at worst it can replay an
+// old signed update, which the client's monotonic epoch check discards.
+type ConfigUpdate struct {
+	Shard   int64
+	Epoch   int64
+	Members []int64
+	Sig     []byte
+}
+
+// Clone deep-copies the update.
+func (cu ConfigUpdate) Clone() ConfigUpdate {
+	return ConfigUpdate{
+		Shard:   cu.Shard,
+		Epoch:   cu.Epoch,
+		Members: append([]int64(nil), cu.Members...),
+		Sig:     append([]byte(nil), cu.Sig...),
+	}
+}
+
 // Server-centric messages -------------------------------------------------
 
 // SubscribeReq is a reader's single push-model message (§6): the reader
@@ -248,6 +290,8 @@ func (Batch) isMsg()            {}
 func (Epoch) isMsg()            {}
 func (StateReq) isMsg()         {}
 func (StateResp) isMsg()        {}
+func (ConfigEpoch) isMsg()      {}
+func (ConfigUpdate) isMsg()     {}
 
 // registerAll makes every payload type known to gob, once, at package
 // load. gob.Register is idempotent for identical concrete types, and the
@@ -261,6 +305,7 @@ var _ = func() struct{} {
 		SubscribeReq{}, PushState{},
 		RegOp{}, Batch{},
 		Epoch{}, StateReq{}, StateResp{},
+		ConfigEpoch{}, ConfigUpdate{},
 	} {
 		gob.Register(m)
 	}
@@ -360,6 +405,10 @@ func Clone(m Msg) Msg {
 			regs[i] = rs.Clone()
 		}
 		return StateResp{ObjectID: v.ObjectID, Seq: v.Seq, Incarnation: v.Incarnation, Regs: regs}
+	case ConfigEpoch:
+		return ConfigEpoch{Epoch: v.Epoch, Msg: Clone(v.Msg)}
+	case ConfigUpdate:
+		return v.Clone()
 	default:
 		// Unknown payloads only arise from test doubles; pass through.
 		return m

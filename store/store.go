@@ -15,6 +15,7 @@
 package store
 
 import (
+	"repro/internal/membership"
 	"repro/internal/recovery"
 	istore "repro/internal/store"
 	"repro/internal/transport/batch"
@@ -82,6 +83,29 @@ type RecoveryPolicy = recovery.Policy
 // RecoveryStats counts completed catch-ups and transferred registers;
 // Store.RecoveryStats aggregates them across shards.
 type RecoveryStats = recovery.Stats
+
+// MembershipPolicy configures the reconfiguration subsystem
+// (internal/membership). Set it via Options.Membership (requires
+// Options.Recovery); the zero value selects a random per-deployment
+// signing key. With a policy in place, every request and reply carries
+// a configuration epoch, and Store.Replace swaps a faulty base object
+// for a fresh one at a new transport address while reads and writes
+// continue: the replacement catches up from t+b+1 members of the old
+// configuration before the shard flips, stale clients are redirected
+// by a signed ConfigUpdate frame, and the evicted member stops counting
+// against the fault budget t.
+type MembershipPolicy = membership.Policy
+
+// MemberView is one shard's member list at one configuration epoch —
+// logical object slot i served at physical transport address
+// Members[i]. Store.MemberView returns the current one; Store.Replace
+// returns the successor it installed.
+type MemberView = membership.View
+
+// MembershipStats counts reconfiguration activity (replacements,
+// redirects served, client view adoptions, replayed in-flight ops);
+// Store.MembershipStats aggregates them across shards.
+type MembershipStats = membership.Stats
 
 // Open builds and starts a store per opts.
 func Open(opts Options) (*Store, error) { return istore.Open(opts) }
