@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt fmt-check bench demo chaos chaos-recovery chaos-membership clean
+.PHONY: all build vet test race fmt fmt-check bench demo chaos chaos-recovery chaos-membership chaos-saturation clean
 
 all: build vet test
 
@@ -25,10 +25,11 @@ fmt-check:
 
 # bench runs every benchmark once as a smoke check and regenerates the
 # store perf-trajectory file BENCH_store.json (single-register vs.
-# sharded vs. batched, ops/s and rounds-per-read).
+# sharded vs. batched, ops/s and rounds-per-read, plus the saturated
+# degraded-mode row: goodput and p99 at 2x capacity under flow control).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
-	$(GO) run ./cmd/benchharness -store -out BENCH_store.json
+	$(GO) run ./cmd/benchharness -store -saturate -out BENCH_store.json
 
 demo:
 	$(GO) run ./examples/kvstore
@@ -64,6 +65,20 @@ chaos-recovery:
 chaos-membership:
 	$(GO) test -race -count=1 -run 'ChaosMembership' -v ./internal/harness
 	$(GO) run ./examples/membership
+
+# chaos-saturation runs the overload soak under the race detector on
+# memnet and tcpnet: the store is driven PAST capacity (2x the reader
+# slots, writer concurrency far above the squeezed flow budgets) while
+# every queue in the stack is bounded — object queues answer Busy, the
+# batch layer pushes back at its pending budget, the fault layer's
+# delay queues shed at their cap — and the client muxes shed slow
+# members and hedge stragglers. Per-register regularity must hold,
+# every queue depth must stay within its configured budget (asserted),
+# and FlowStats must show the overload was signaled. Then the
+# backpressure demo.
+chaos-saturation:
+	$(GO) test -race -count=1 -run 'ChaosSaturation' -v ./internal/harness
+	$(GO) run ./examples/backpressure
 
 clean:
 	rm -f BENCH_store.json

@@ -35,11 +35,12 @@ func run() int {
 	storeMode := flag.Bool("store", false, "run the sharded store experiment instead of E1–E10")
 	writers := flag.Int("writers", 64, "concurrent single-key writers in -store mode")
 	gc := flag.Bool("gc", false, "enable history garbage collection on the -store deployments")
+	saturate := flag.Bool("saturate", false, "append the saturated degraded-mode row (2x writers under flow control, goodput + p99)")
 	out := flag.String("out", "BENCH_store.json", "output file for -store results")
 	flag.Parse()
 
 	if *storeMode {
-		return runStore(*quick, *writers, *gc, *out)
+		return runStore(*quick, *writers, *gc, *saturate, *out)
 	}
 
 	want := map[string]bool{}
@@ -126,7 +127,7 @@ func maxInt(a, b int) int {
 // writer count. With gc set, every sharded deployment runs with history
 // garbage collection enabled (regular registers prune below the
 // readers' acknowledged cache timestamps).
-func runStore(quick bool, writers int, gc bool, out string) int {
+func runStore(quick bool, writers int, gc, saturate bool, out string) int {
 	// The experiment measures transport amortization, not collector
 	// behaviour: relax GC so allocation churn from 64 concurrent
 	// protocol clients doesn't dominate either side of the comparison.
@@ -153,6 +154,23 @@ func runStore(quick bool, writers int, gc bool, out string) int {
 			fmt.Fprintf(os.Stderr, "store bench: %s: %v\n", sc.Name, err)
 			return 1
 		}
+		results = append(results, res)
+	}
+
+	if saturate {
+		// The saturated row drives 2× the writer concurrency through the
+		// batched memnet deployment under squeezed flow budgets: goodput
+		// (completed ops/s) and p99 latency past capacity, with the
+		// overload signals recorded alongside.
+		spec := harness.SaturatedStoreSpec()
+		spec.GC = gc
+		res, err := harness.RunSaturatedStoreBench("sharded-mem-batched-saturated", spec, writers*2, opsPerWriter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store bench: saturated: %v\n", err)
+			return 1
+		}
+		fmt.Printf("saturated row: %.0f ops/s goodput, p99 %.2fms, %d pushbacks, %d hedges\n",
+			res.OpsPerSec, res.P99Ms, res.Pushbacks, res.Hedges)
 		results = append(results, res)
 	}
 

@@ -68,9 +68,29 @@
 // replacement per shard mid-workload on both transports under the race
 // detector.
 //
+// Finally, the paper's liveness argument assumes a responsive quorum
+// but says nothing about workloads that outrun the hardware.
+// internal/transport/flow bounds every queue in the stack: base-object
+// request queues answer wire.Busy{request} beyond their budget (total,
+// or one sender's per-link share), the batch layer refuses ops past
+// its pending budget with a synthetic Busy (coalesce-or-pushback), the
+// fault layer's delay queues shed at a seeded cap, and client reply
+// mailboxes — where a shed acknowledgement could never be re-elicited
+// — are bounded by that request admission and only instrumented.
+// The client mux treats a pushed-back member as transiently slow —
+// every round needs only S−t replies, and the proofs budget for t
+// silent members whatever silenced them — so it sheds up to t slow
+// members per round and re-drives the stragglers with backed-off
+// hedges while the round's client is still waiting. Shedding removes
+// requests, never acknowledgements, so regularity is untouched;
+// hedging restores liveness; saturation costs bounded memory and
+// produces an explicit signal (store.FlowStats) instead of silent
+// collapse. `make chaos-saturation` soaks the store at 2× capacity
+// under the race detector on both transports.
+//
 // See README.md for the map and how to run the examples and
 // benchmarks. bench_test.go in this directory regenerates every
 // experiment via `go test -bench`; BENCH_store.json records the store
-// throughput trajectory, including a degraded-mode (faulty network)
-// row.
+// throughput trajectory, including degraded-mode (faulty network) and
+// saturated (2× capacity under flow control, goodput + p99) rows.
 package repro

@@ -11,6 +11,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/fault"
+	"repro/internal/transport/flow"
 	"repro/internal/types"
 )
 
@@ -131,6 +132,72 @@ func RecoveryChaosScenario(seed int64, tcp bool) ChaosSpec {
 	return spec
 }
 
+// SaturationChaosPlan is the asynchrony-only schedule of the
+// saturation soak: jitter, duplication, and reordering on every link —
+// no lossy faults, so every stall the soak observes is attributable to
+// overload, not to the fault budget — with the fault layer's own delay
+// queues capped (overflow is shed and counted, bounding the in-flight
+// timer population).
+func SaturationChaosPlan(seed int64) *fault.Plan {
+	return &fault.Plan{
+		Seed:        seed,
+		Delay:       20 * time.Microsecond,
+		Jitter:      200 * time.Microsecond,
+		Duplicate:   0.05,
+		Reorder:     0.2,
+		QueueBudget: 64,
+	}
+}
+
+// SaturationFlow is the budget set of the saturation soak, squeezed
+// far below the workload's in-flight demand so the soak exercises
+// every pushback path: the batch layer's pending budget rejects ops
+// constantly, object queues bounce requests as Busy, and the client
+// muxes shed and hedge their way to completion.
+func SaturationFlow() *flow.Options {
+	return &flow.Options{
+		// LinkBudget below ObjectBudget, so the per-sender rejection
+		// branch is reachable before the total-queue one — the soak must
+		// drive BOTH pushback paths, not assert one vacuously.
+		LinkBudget:   4,
+		ObjectBudget: 8,
+		BatchBudget:  16,
+		HedgeDelay:   time.Millisecond,
+	}
+}
+
+// SaturationChaosScenario drives the store PAST capacity: twice as many
+// reader workers as the deployment has reader slots and a writer pool
+// far exceeding what the squeezed flow budgets admit, over a jittery,
+// duplicating network. The deployment would previously absorb this as
+// unbounded queue growth; with the flow policy it must instead stay
+// within every configured budget, signal overload (pushbacks, sheds,
+// hedges in FlowStats), and still complete the whole workload with
+// per-register regular semantics intact — shedding ≤ t slow members
+// per round never touches the S−t quorum the proofs need.
+func SaturationChaosScenario(seed int64, tcp bool) ChaosSpec {
+	return ChaosSpec{
+		Store: StoreSpec{
+			T: 2, B: 1,
+			Shards:          2,
+			ReadersPerShard: 4, // 8 slots; the 16 reader workers below are 2× that
+			Semantics:       store.RegularOpt,
+			ByzPerShard:     1,
+			TCP:             tcp,
+			Batched:         true,
+			FlushWindow:     300 * time.Microsecond,
+			MaxBatch:        16,
+			Faults:          SaturationChaosPlan(seed),
+			Flow:            SaturationFlow(),
+		},
+		Keys:          48,
+		WritesPerKey:  4,
+		ReadsPerKey:   4,
+		WriterWorkers: 16,
+		ReaderWorkers: 16,
+	}
+}
+
 // ChaosReport is the outcome of one soak.
 type ChaosReport struct {
 	Keys       int
@@ -140,6 +207,7 @@ type ChaosReport struct {
 	Faults     fault.Stats
 	Recovery   recovery.Stats   // catch-up counters (zero without a recovery policy)
 	Membership membership.Stats // reconfiguration counters (zero without a membership policy)
+	Flow       flow.Stats       // flow-control counters (zero without a flow policy)
 	Violations []string         // rendered per-register consistency violations
 }
 
@@ -156,6 +224,9 @@ func (r ChaosReport) String() string {
 	if r.Membership.Replacements > 0 {
 		rec += fmt.Sprintf(" (%d members replaced live: %d redirects, %d client adoptions)",
 			r.Membership.Replacements, r.Membership.Redirects, r.Membership.Adoptions)
+	}
+	if r.Flow.Pushbacks+r.Flow.Hedges > 0 {
+		rec += fmt.Sprintf(" (flow: %v)", r.Flow)
 	}
 	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v]%s — %s",
 		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, rec, verdict)
@@ -310,7 +381,7 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 		}
 	}
 
-	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats(), Membership: s.MembershipStats()}
+	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats(), Membership: s.MembershipStats(), Flow: s.FlowStats()}
 	m := s.Metrics()
 	report.Writes, report.Reads = m.Writes, m.Reads
 

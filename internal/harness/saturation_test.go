@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// saturationSeed pins the saturation soak schedule.
+const saturationSeed = 0x5A70A7E
+
+// runSaturationSoak drives the store past capacity under squeezed flow
+// budgets and asserts the acceptance bar of the flow-control layer:
+//
+//   - per-register regular semantics hold (zero violations);
+//   - every bounded queue stayed within its configured budget — the
+//     high watermarks are compared against the budgets, not eyeballed;
+//   - the overload was real and was SIGNALED: FlowStats shows nonzero
+//     pushback and hedge activity.
+func runSaturationSoak(t *testing.T, tcp bool) {
+	t.Helper()
+	spec := SaturationChaosScenario(saturationSeed, tcp)
+	if testing.Short() {
+		spec.Keys = 24
+		spec.WritesPerKey = 3
+		spec.ReadsPerKey = 3
+	}
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("regularity violated under saturation:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Writes == 0 || rep.Reads == 0 {
+		t.Fatalf("degenerate soak: %+v", rep)
+	}
+
+	// Overload must have been signaled, not absorbed silently.
+	if rep.Flow.Pushbacks == 0 {
+		t.Fatalf("no Busy pushback observed — the soak never saturated: %v", rep.Flow)
+	}
+	if rep.Flow.Hedges == 0 {
+		t.Fatalf("pushed-back rounds were never hedged: %v", rep.Flow)
+	}
+
+	// Every queue depth stays within its configured budget.
+	fo := *spec.Store.Flow
+	if rep.Flow.BatchHighWater > int64(fo.BatchBudget) {
+		t.Fatalf("batch backlog %d exceeded budget %d", rep.Flow.BatchHighWater, fo.BatchBudget)
+	}
+	if rep.Flow.ObjectHighWater > int64(fo.ObjectBudget) {
+		t.Fatalf("object queue depth %d exceeded budget %d", rep.Flow.ObjectHighWater, fo.ObjectBudget)
+	}
+	if rep.Flow.LinkHighWater > int64(fo.LinkBudget) {
+		t.Fatalf("per-link mailbox backlog %d exceeded budget %d", rep.Flow.LinkHighWater, fo.LinkBudget)
+	}
+	if budget := spec.Store.Faults.QueueBudget; rep.Faults.MaxDelayQueue > int64(budget) {
+		t.Fatalf("fault delay queue %d exceeded budget %d", rep.Faults.MaxDelayQueue, budget)
+	}
+}
+
+// TestChaosSaturationMemnet: the saturation soak over the in-memory
+// transport — bounded queues, Busy pushback, shedding, and hedging
+// under 2× capacity, with per-register regularity validated.
+func TestChaosSaturationMemnet(t *testing.T) {
+	runSaturationSoak(t, false)
+}
+
+// TestChaosSaturationTCPNet: the same soak over real sockets, where
+// object-side admission caps and socket buffers replace the in-memory
+// queue bound.
+func TestChaosSaturationTCPNet(t *testing.T) {
+	runSaturationSoak(t, true)
+}
+
+// TestSaturationPlanAndFlowValid keeps the stock saturation knobs
+// self-consistent.
+func TestSaturationPlanAndFlowValid(t *testing.T) {
+	if err := SaturationChaosPlan(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaturationFlow().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

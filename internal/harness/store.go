@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/fault"
+	"repro/internal/transport/flow"
 	"repro/internal/types"
 )
 
@@ -40,6 +42,10 @@ type StoreSpec struct {
 	// Membership enables the reconfiguration subsystem (config epochs,
 	// signed redirects, Store.Replace) with a random per-deployment key.
 	Membership bool
+	// Flow enables end-to-end flow control with these budgets: bounded
+	// queues at every layer, Busy pushback, and slow-object
+	// shedding/hedging at the client mux.
+	Flow *flow.Options
 }
 
 // BuildStore opens the multi-register cluster a spec describes.
@@ -54,6 +60,7 @@ func BuildStore(spec StoreSpec) (*store.Store, error) {
 		TCP:             spec.TCP,
 		GC:              spec.GC,
 		Faults:          spec.Faults,
+		Flow:            spec.Flow,
 	}
 	if spec.Batched {
 		opts.Batching = &batch.Options{FlushWindow: spec.FlushWindow, MaxBatch: spec.MaxBatch}
@@ -86,14 +93,23 @@ type StoreBenchResult struct {
 	OpsPerSec      float64 `json:"ops_per_sec"`
 	RoundsPerRead  float64 `json:"rounds_per_read"`
 	RoundsPerWrite float64 `json:"rounds_per_write"`
+	// Saturation-mode fields: the row drives the deployment past
+	// capacity under a flow policy, so goodput (OpsPerSec above — only
+	// completed ops count) is paired with the p99 op latency and the
+	// overload signals the flow layer emitted.
+	Saturated bool    `json:"saturated,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+	Pushbacks int64   `json:"pushbacks,omitempty"`
+	Hedges    int64   `json:"hedges,omitempty"`
 }
 
-// RunStoreBench drives writers concurrent single-key writers (plus one
-// read per writer at the end) against a fresh deployment and reports
-// aggregate throughput. Each writer owns its own register, so the
-// workload is exactly the multi-register hot path the batching layer
-// amortizes.
-func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
+// driveStoreBench is the shared bench driver: writers concurrent
+// single-key writers (plus one read per writer at the end) against a
+// fresh deployment. Each writer owns its own register, so the workload
+// is exactly the multi-register hot path the batching layer amortizes.
+// With p99 set, every op's latency is captured and the 99th percentile
+// returned — the saturated rows pair goodput with tail latency.
+func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99 bool) (StoreBenchResult, error) {
 	s, err := BuildStore(spec)
 	if err != nil {
 		return StoreBenchResult{}, err
@@ -104,6 +120,21 @@ func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (Stor
 
 	var wg sync.WaitGroup
 	errs := make(chan error, writers)
+	var lats [][]time.Duration
+	if p99 {
+		lats = make([][]time.Duration, writers)
+	}
+	op := func(w int, f func() error) error {
+		if !p99 {
+			return f()
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return err
+		}
+		lats[w] = append(lats[w], time.Since(t0))
+		return nil
+	}
 	start := time.Now()
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -111,12 +142,13 @@ func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (Stor
 			defer wg.Done()
 			key := fmt.Sprintf("bench/%d", w)
 			for i := 0; i < opsPerWriter; i++ {
-				if err := s.Write(ctx, key, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+				val := types.Value(fmt.Sprintf("v%d", i))
+				if err := op(w, func() error { return s.Write(ctx, key, val) }); err != nil {
 					errs <- fmt.Errorf("writer %d: %w", w, err)
 					return
 				}
 			}
-			if _, err := s.Read(ctx, key); err != nil {
+			if err := op(w, func() error { _, err := s.Read(ctx, key); return err }); err != nil {
 				errs <- fmt.Errorf("reader %d: %w", w, err)
 			}
 		}(w)
@@ -139,7 +171,7 @@ func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (Stor
 		sem = store.RegularOpt
 	}
 	fs := s.FaultStats()
-	return StoreBenchResult{
+	res := StoreBenchResult{
 		Name:           name,
 		Transport:      transport,
 		Batched:        spec.Batched,
@@ -156,7 +188,59 @@ func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (Stor
 		OpsPerSec:      float64(ops) / elapsed.Seconds(),
 		RoundsPerRead:  m.RoundsPerRead(),
 		RoundsPerWrite: m.RoundsPerWrite(),
-	}, nil
+	}
+	if p99 {
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		if len(all) > 0 {
+			res.P99Ms = float64(all[len(all)*99/100]) / float64(time.Millisecond)
+		}
+		flows := s.FlowStats()
+		res.Saturated = true
+		res.Pushbacks = flows.Pushbacks
+		res.Hedges = flows.Hedges
+	}
+	return res, nil
+}
+
+// RunStoreBench runs the shared driver without latency capture.
+func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
+	return driveStoreBench(name, spec, writers, opsPerWriter, false)
+}
+
+// SaturatedStoreSpec is the degraded-mode saturation deployment: the
+// batched memnet scenario under a production-shaped flow policy —
+// budgets sized so the 2× workload genuinely overflows them (pushback
+// and hedging engage) without collapsing goodput to the hedge pace.
+// The chaos soak uses the far more starved SaturationFlow budgets to
+// exercise every pushback path; this row prices what a sanely
+// provisioned deployment pays for staying bounded past capacity.
+func SaturatedStoreSpec() StoreSpec {
+	return StoreSpec{
+		T: 1, B: 1,
+		Shards:          4,
+		ReadersPerShard: 4,
+		Semantics:       store.RegularOpt,
+		Batched:         true,
+		Flow: &flow.Options{
+			LinkBudget:   32,
+			ObjectBudget: 64,
+			BatchBudget:  128,
+			HedgeDelay:   5 * time.Millisecond,
+		},
+	}
+}
+
+// RunSaturatedStoreBench is RunStoreBench with per-op latency capture:
+// the saturated row tracks not just goodput (completed ops/s — the
+// flow layer refuses work it cannot queue, so only completions count)
+// but the p99 latency the hedged, shed, pushed-back workload actually
+// observed, and the overload signals the flow layer emitted.
+func RunSaturatedStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
+	return driveStoreBench(name, spec, writers, opsPerWriter, true)
 }
 
 // RunSingleRegisterBench is the baseline row: the seed's one-register

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport/batch"
+	"repro/internal/transport/flow"
+	"repro/internal/types"
+)
+
+// TestFlowControlledStoreCompletesUnderTinyBudgets: with every budget
+// squeezed far below the workload's in-flight demand, the batch layer
+// pushes back constantly — yet every op still completes (hedging
+// re-drives what the budgets refused) and every queue stays within its
+// configured bound.
+func TestFlowControlledStoreCompletesUnderTinyBudgets(t *testing.T) {
+	fo := &flow.Options{
+		LinkBudget:   8,
+		ObjectBudget: 4,
+		BatchBudget:  4,
+		HedgeDelay:   500 * time.Microsecond,
+	}
+	s, err := Open(Options{
+		T: 1, B: 1,
+		Shards:          1,
+		ReadersPerShard: 4,
+		Batching:        &batch.Options{FlushWindow: 200 * time.Microsecond, MaxBatch: 16},
+		Flow:            fo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	const workers, ops = 12, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("flow/%d", w)
+			for i := 0; i < ops; i++ {
+				if err := s.Write(ctx, key, types.Value(fmt.Sprintf("v%d", i))); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+			tv, err := s.Read(ctx, key)
+			if err != nil {
+				errs <- fmt.Errorf("reader %d: %w", w, err)
+				return
+			}
+			if string(tv.Val) != fmt.Sprintf("v%d", ops-1) {
+				errs <- fmt.Errorf("reader %d: read %q", w, tv.Val)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	fs := s.FlowStats()
+	t.Logf("flow stats: %v", fs)
+	if fs.BatchPushbacks == 0 {
+		t.Fatalf("a 4-op pending budget under 12 concurrent writers must push back: %v", fs)
+	}
+	if fs.BatchHighWater > int64(fo.BatchBudget) {
+		t.Fatalf("batch backlog %d exceeded budget %d", fs.BatchHighWater, fo.BatchBudget)
+	}
+	if fs.ObjectHighWater > int64(fo.ObjectBudget) {
+		t.Fatalf("object backlog %d exceeded budget %d", fs.ObjectHighWater, fo.ObjectBudget)
+	}
+	if fs.LinkHighWater > int64(fo.LinkBudget) {
+		t.Fatalf("per-link backlog %d exceeded budget %d", fs.LinkHighWater, fo.LinkBudget)
+	}
+	if fs.Hedges == 0 {
+		t.Fatalf("pushed-back rounds must be hedged: %v", fs)
+	}
+}
+
+// TestFlowOptionsValidated: a negative budget is refused at Open.
+func TestFlowOptionsValidated(t *testing.T) {
+	_, err := Open(Options{Flow: &flow.Options{LinkBudget: -1}})
+	if err == nil {
+		t.Fatal("negative flow budget accepted")
+	}
+}
+
+// TestFlowStatsZeroWithoutPolicy: the accessor is safe and zero on a
+// deployment opened without flow control.
+func TestFlowStatsZeroWithoutPolicy(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if fs := s.FlowStats(); fs != (flow.Stats{}) {
+		t.Fatalf("FlowStats = %+v without a policy", fs)
+	}
+}

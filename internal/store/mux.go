@@ -4,10 +4,12 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/membership"
 	"repro/internal/object"
 	"repro/internal/transport"
+	"repro/internal/transport/flow"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -49,7 +51,42 @@ type mux struct {
 	// without membership) — an atomic pointer so the non-membership hot
 	// path stays lock-free. The view inside is guarded by mu.
 	members atomic.Pointer[muxMembership]
+
+	// flow is the slow-object handling state (nil when the deployment
+	// runs without flow control) — an atomic pointer for the same
+	// reason. The busy map inside is guarded by mu.
+	flow atomic.Pointer[muxFlow]
 }
+
+// muxFlow is one client endpoint's slow-object state. The protocols
+// need only S−t replies per round, so a member that pushed back with
+// wire.Busy (or whose link budget was exhausted) is treated as
+// transiently slow: the mux sheds it from up to shed (= t) broadcast
+// sends per round and re-drives the round's unanswered members with
+// delayed, exponentially backed-off hedges instead of blocking. A shed
+// or bounced request is therefore never lost — the hedge is timer-
+// driven, so even a silently dropped reply or Busy is eventually
+// re-driven, which is what keeps bounded queues from costing liveness.
+type muxFlow struct {
+	opts flow.Options
+	ctrs *flow.Counters
+	s    int // logical member slots per shard
+	shed int // max members shed per round: the t the quorum can spare
+
+	busyUntil map[int]time.Time // slot → busy-mark expiry, guarded by mux.mu
+}
+
+// busyLocked reports whether a slot is inside its busy cooldown.
+func (fl *muxFlow) busyLocked(slot int) bool {
+	until, ok := fl.busyUntil[slot]
+	return ok && time.Now().Before(until)
+}
+
+// fullDriveAfter is the hedge volley count after which a still-stuck
+// round is re-driven at FULL membership instead of its apparent
+// stragglers — the replied map can be partially poisoned by stale
+// previous-round replies, and only a full volley is immune to that.
+const fullDriveAfter = 2
 
 // muxMembership is one client endpoint's view of its shard's
 // configuration.
@@ -73,6 +110,16 @@ func (m *mux) enableMembership(auth *membership.Auth, counters *membership.Count
 	m.members.Store(&muxMembership{auth: auth, counters: counters, view: view})
 }
 
+// enableFlow turns on slow-object handling: Busy pushbacks mark members
+// busy, broadcasts shed up to shedBudget busy members per round, and a
+// per-register hedge timer re-sends the round to unanswered members.
+// Register inboxes created afterwards report their depth into the
+// shared counters. Call it right after newMux, before any register
+// traffic.
+func (m *mux) enableFlow(opts flow.Options, ctrs *flow.Counters, s, shedBudget int) {
+	m.flow.Store(&muxFlow{opts: opts.WithDefaults(), ctrs: ctrs, s: s, shed: shedBudget, busyUntil: make(map[int]time.Time)})
+}
+
 // register returns the virtual endpoint of the named register, creating
 // it on first use.
 func (m *mux) register(reg string) *regConn {
@@ -80,9 +127,17 @@ func (m *mux) register(reg string) *regConn {
 	defer m.mu.Unlock()
 	rc := m.regs[reg]
 	if rc == nil {
-		rc = &regConn{mux: m, reg: reg, inbox: transport.NewInbox()}
+		inbox := transport.NewInbox()
+		if fl := m.flow.Load(); fl != nil {
+			// Instrumented, not enforced: a queued reply can never be
+			// re-elicited (objects do not re-ack served duplicates), so
+			// reply backlog is bounded by request admission upstream —
+			// the object and batch budgets — never by local shedding.
+			inbox = transport.NewBoundedInbox(0, fl.ctrs)
+		}
+		rc = &regConn{mux: m, reg: reg, inbox: inbox, lastDest: -1}
 		if m.closed {
-			rc.close()
+			rc.closeLocked()
 		}
 		m.regs[reg] = rc
 	}
@@ -112,6 +167,17 @@ func (m *mux) dispatch() {
 		payload := msg.Payload
 		from := msg.From
 		ms := m.members.Load()
+		if bz, isBusy := payload.(wire.Busy); isBusy {
+			// Overload pushback from a base object (or synthesized by the
+			// batch layer at its pending budget): mark the sender busy so
+			// subsequent broadcasts shed it, and let the hedge timers
+			// re-drive the bounced ops. Never forwarded to protocol
+			// clients — to them the object is merely slow.
+			if fl := m.flow.Load(); fl != nil {
+				m.handleBusy(ms, fl, from, bz)
+			}
+			continue
+		}
 		if ms != nil {
 			if cu, isUpdate := payload.(wire.ConfigUpdate); isUpdate {
 				m.adopt(ms, cu)
@@ -154,6 +220,16 @@ func (m *mux) dispatch() {
 		}
 		if !stale {
 			rc = m.regs[op.Reg]
+		}
+		if fl := m.flow.Load(); fl != nil && !stale && rc != nil &&
+			from.Kind == transport.KindObject && from.Index >= 0 && from.Index < fl.s {
+			// A protocol reply proves the member is serving again: clear
+			// its busy mark and record it answered this register's round,
+			// so hedges stop re-driving it.
+			delete(fl.busyUntil, from.Index)
+			if rc.replied != nil {
+				rc.replied[from.Index] = true
+			}
 		}
 		m.mu.Unlock()
 		if stale {
@@ -217,6 +293,58 @@ func (m *mux) adopt(ms *muxMembership, cu wire.ConfigUpdate) {
 	}
 }
 
+// handleBusy processes one overload pushback: the sender (translated to
+// its logical slot under membership) is marked busy for a hedge-delay
+// cooldown, and one pushback is counted per protocol op the echo
+// carries (a bounced Batch frame rejects every op inside). The bounced
+// ops themselves need no bookkeeping: each op's register armed its
+// hedge timer when the round was sent, and the member's missing reply
+// keeps it on the straggler list the hedge re-drives.
+func (m *mux) handleBusy(ms *muxMembership, fl *muxFlow, from transport.NodeID, bz wire.Busy) {
+	if from.Kind != transport.KindObject {
+		return
+	}
+	slot := from.Index
+	m.mu.Lock()
+	if ms != nil {
+		s, member := ms.view.Slot(from.Index)
+		if !member {
+			m.mu.Unlock()
+			ms.counters.StaleReplies.Add(1)
+			return
+		}
+		slot = s
+	}
+	if slot < 0 || slot >= fl.s {
+		m.mu.Unlock()
+		return
+	}
+	fl.busyUntil[slot] = time.Now().Add(fl.opts.HedgeDelay)
+	m.mu.Unlock()
+	for i := countOps(bz.Msg); i > 0; i-- {
+		fl.ctrs.AddPushback()
+	}
+}
+
+// countOps counts the protocol ops a bounced request echo carries,
+// unwrapping the envelopes a request can travel in.
+func countOps(msg wire.Msg) int {
+	switch v := msg.(type) {
+	case wire.Batch:
+		n := 0
+		for _, op := range v.Ops {
+			n += countOps(op)
+		}
+		return n
+	case wire.ConfigEpoch:
+		return countOps(v.Msg)
+	case wire.Epoch:
+		return countOps(v.Msg)
+	default:
+		return 1
+	}
+}
+
 // close shuts the physical endpoint down; dispatch then closes every
 // register inbox.
 func (m *mux) close() error { return m.conn.Close() }
@@ -229,11 +357,22 @@ type regConn struct {
 	inbox *transport.Inbox
 
 	// lastOut is the register's latest outgoing op (guarded by mux.mu),
-	// kept for replay after a configuration adoption. One message
-	// suffices: the protocols are lockstep per register — each round
-	// broadcasts one identical message to every slot before the client
-	// waits on replies.
+	// kept for replay after a configuration adoption and for hedging.
+	// One message suffices: the protocols are lockstep per register —
+	// each round broadcasts one identical message to every slot before
+	// the client waits on replies.
 	lastOut wire.Msg
+
+	// Flow-control round state, guarded by mux.mu. The protocols
+	// broadcast each round to slots 0..S−1 in ascending order, so a send
+	// to a slot ≤ the previous one marks a new round.
+	lastDest   int          // destination slot of the previous send (−1 before any)
+	replied    map[int]bool // slots heard from since the round began
+	shedCount  int          // busy members skipped this round (≤ the shed budget)
+	hedges     int          // hedge volleys fired this round (drives the backoff)
+	idleFires  int          // consecutive no-waiter timer fires (drives the idle backoff)
+	hedgeTimer *time.Timer
+	closed     bool
 }
 
 var _ transport.Conn = (*regConn)(nil)
@@ -244,24 +383,184 @@ func (c *regConn) ID() transport.NodeID { return c.mux.conn.ID() }
 // Send wraps payload in the register envelope and ships it over the
 // shared endpoint. With membership enabled, the logical destination
 // slot is translated to the current view's physical address and the
-// frame is stamped with the configuration epoch.
+// frame is stamped with the configuration epoch. With flow control
+// enabled, a send that begins a new round resets the round state and
+// arms the hedge timer, and up to t busy members per round are shed —
+// skipped now, re-driven by the hedge — because the protocol above
+// needs only S−t replies anyway.
 func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
 	op := wire.RegOp{Reg: c.reg, Msg: payload}
 	m := c.mux
 	ms := m.members.Load()
-	if ms == nil {
-		m.conn.Send(to, op) // lock-free: the pre-membership hot path, unchanged
+	fl := m.flow.Load()
+	if ms == nil && fl == nil {
+		m.conn.Send(to, op) // lock-free: the plain hot path, unchanged
 		return
 	}
 	m.mu.Lock()
+	shed := false
+	if fl != nil && to.Kind == transport.KindObject && !c.closed {
+		if to.Index <= c.lastDest || c.replied == nil {
+			c.beginRoundLocked(fl)
+		}
+		c.lastDest = to.Index
+		if c.shedCount < fl.shed && fl.busyLocked(to.Index) {
+			c.shedCount++
+			shed = true
+		}
+	}
 	c.lastOut = op
-	epoch := ms.view.Epoch
+	var epoch int64
 	addr := to
-	if to.Kind == transport.KindObject && to.Index >= 0 && to.Index < len(ms.view.Members) {
-		addr = ms.view.Addr(to.Index)
+	if ms != nil {
+		epoch = ms.view.Epoch
+		if to.Kind == transport.KindObject && to.Index >= 0 && to.Index < len(ms.view.Members) {
+			addr = ms.view.Addr(to.Index)
+		}
 	}
 	m.mu.Unlock()
+	if shed {
+		fl.ctrs.AddShed()
+		return // the busy member stays a straggler; the hedge reaches it
+	}
+	if ms == nil {
+		m.conn.Send(addr, op)
+		return
+	}
 	m.conn.Send(addr, wire.ConfigEpoch{Epoch: epoch, Msg: op})
+}
+
+// beginRoundLocked resets the per-round flow state and arms the hedge
+// timer at its base delay.
+func (c *regConn) beginRoundLocked(fl *muxFlow) {
+	c.replied = make(map[int]bool, fl.s)
+	c.shedCount = 0
+	c.hedges = 0
+	c.idleFires = 0
+	c.armHedgeLocked(fl.opts.HedgeDelay)
+}
+
+// armHedgeLocked (re)schedules the hedge volley, reusing one timer per
+// register — rounds are per-op hot-path events and must not churn the
+// timer heap.
+func (c *regConn) armHedgeLocked(d time.Duration) {
+	if c.hedgeTimer == nil {
+		c.hedgeTimer = time.AfterFunc(d, func() { c.mux.hedge(c) })
+		return
+	}
+	c.hedgeTimer.Stop()
+	c.hedgeTimer.Reset(d)
+}
+
+// hedge is the liveness backstop that lets every queue in the stack
+// stay bounded: it re-drives a round whose protocol client is still
+// waiting. The ground truth for "still waiting" is the register inbox's
+// waiter count — a protocol client parks in Recv exactly while its
+// round is incomplete, so:
+//
+//   - nobody is parked: the round completed (or the client is mid-
+//     processing); send nothing and re-check later at the capped delay.
+//   - a receiver is parked: re-send the round to the members that have
+//     not answered since it began; if every member has seemingly
+//     answered yet the client still waits (late replies from the
+//     PREVIOUS round can mark a member answered without it ever seeing
+//     the current request), fall back to re-sending to ALL members.
+//
+// Re-sends are duplicates to members that already served the op, which
+// every protocol here tolerates: objects guard by timestamp (a served
+// duplicate elicits nothing new) and clients dedupe by responder. The
+// volley re-arms itself with exponential backoff capped at
+// MaxHedgeBackoff × HedgeDelay, so a stuck round is re-driven at a
+// bounded rate and a quiet register costs one no-op timer tick.
+func (m *mux) hedge(c *regConn) {
+	fl := m.flow.Load()
+	if fl == nil {
+		return
+	}
+	ms := m.members.Load()
+	m.mu.Lock()
+	if m.closed || c.closed || c.lastOut == nil || c.replied == nil {
+		m.mu.Unlock()
+		return
+	}
+	maxB := fl.opts.HedgeDelay * flow.MaxHedgeBackoff
+	if c.inbox.Waiters() == 0 {
+		// Nothing is waiting on this register right now — usually the
+		// round is over (a finished round commonly leaves up to t members
+		// unanswered forever, so an incomplete replied set proves
+		// nothing). But the fire may also have landed in a microsecond
+		// processing gap between the client's Recvs, and a stuck round
+		// must not see its liveness backstop postponed to the capped
+		// interval by that race: re-check on the idle counter's own
+		// backoff — base delay for the first fires, converging to the cap
+		// — without consuming hedge budget or resetting the volley
+		// backoff. A client that re-parks is caught within a base delay.
+		idle := fl.opts.HedgeDelay << uint(min(c.idleFires, 10))
+		if idle > maxB || idle <= 0 {
+			idle = maxB
+		}
+		c.idleFires++
+		c.armHedgeLocked(idle)
+		m.mu.Unlock()
+		return
+	}
+	c.idleFires = 0
+	if fl.opts.HedgeMax > 0 && c.hedges >= fl.opts.HedgeMax {
+		c.armHedgeLocked(maxB) // out of hedges; keep watching only
+		m.mu.Unlock()
+		return
+	}
+	straggler := func(slot int) bool { return !c.replied[slot] }
+	anyStraggler := false
+	for slot := 0; slot < fl.s; slot++ {
+		if straggler(slot) {
+			anyStraggler = true
+			break
+		}
+	}
+	if !anyStraggler || c.hedges >= fullDriveAfter {
+		// Re-drive everyone, not just the apparent stragglers. Either
+		// every member seems to have answered while the client still
+		// waits (some "answers" were stale traffic), or targeted volleys
+		// have not completed the round — and the replied map may be
+		// PARTIALLY poisoned: a delayed previous-round reply can mark a
+		// member answered that never saw the current request, starving
+		// it behind a straggler that never answers (a silent Byzantine
+		// member, say). A stuck round is rare and the volleys are
+		// backoff-paced, so the duplicate volume is bounded.
+		straggler = func(int) bool { return true }
+	}
+	var targets []transport.NodeID
+	for slot := 0; slot < fl.s; slot++ {
+		if !straggler(slot) {
+			continue
+		}
+		addr := transport.Object(types.ObjectID(slot))
+		if ms != nil && slot < len(ms.view.Members) {
+			addr = ms.view.Addr(slot)
+		}
+		targets = append(targets, addr)
+	}
+	out := c.lastOut
+	var epoch int64
+	if ms != nil {
+		epoch = ms.view.Epoch
+	}
+	c.hedges++
+	backoff := fl.opts.HedgeDelay << uint(min(c.hedges, 10))
+	if backoff > maxB || backoff <= 0 {
+		backoff = maxB
+	}
+	c.armHedgeLocked(backoff)
+	m.mu.Unlock()
+	for _, addr := range targets {
+		fl.ctrs.AddHedge()
+		if ms != nil {
+			m.conn.Send(addr, wire.ConfigEpoch{Epoch: epoch, Msg: out})
+		} else {
+			m.conn.Send(addr, out)
+		}
+	}
 }
 
 // Recv returns the next message addressed to this register.
@@ -278,6 +577,19 @@ func (c *regConn) push(m transport.Message) {
 }
 
 func (c *regConn) close() {
+	c.mux.mu.Lock()
+	c.closeLocked()
+	c.mux.mu.Unlock()
+}
+
+// closeLocked silences the register: the hedge timer is disarmed so no
+// volley fires into a closed endpoint.
+func (c *regConn) closeLocked() {
+	c.closed = true
+	if c.hedgeTimer != nil {
+		c.hedgeTimer.Stop()
+		c.hedgeTimer = nil
+	}
 	c.inbox.Close()
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/fault"
+	"repro/internal/transport/flow"
 	"repro/internal/transport/memnet"
 	"repro/internal/transport/tcpnet"
 	"repro/internal/types"
@@ -107,6 +108,20 @@ type Options struct {
 	// wiped object that cannot catch up is gone for good and silently
 	// eats the whole t budget.
 	Recovery *recovery.Policy
+	// Flow, when non-nil, enables end-to-end flow control
+	// (internal/transport/flow): every queue in the stack is bounded —
+	// base-object request queues, in total and per sender (wire.Busy
+	// pushback beyond them), the batch layer's pending ops (synthetic
+	// Busy at the budget), the fault layer's delay queues (seeded
+	// shedding at the cap), and client reply mailboxes bounded by that
+	// admission (instrumented, never shed) — and the
+	// client mux treats a pushed-back or budget-exhausted member as a
+	// transiently slow object: since every round needs only S−t replies,
+	// up to t slow members are shed per round and the stragglers are
+	// hedged with delayed re-sends instead of blocking. Saturation then
+	// costs bounded memory and signals overload (FlowStats) instead of
+	// collapsing silently.
+	Flow *flow.Options
 	// Membership, when non-nil, enables the reconfiguration subsystem
 	// (internal/membership): every request and reply carries a
 	// configuration epoch, base objects answer stale-epoch requests with
@@ -180,6 +195,11 @@ func (o Options) withDefaults() (Options, error) {
 				p.Vouchers, p.Quorum)
 		}
 	}
+	if o.Flow != nil {
+		if err := o.Flow.Validate(); err != nil {
+			return o, err
+		}
+	}
 	if o.Membership != nil && o.Recovery == nil {
 		return o, fmt.Errorf("store: membership requires a recovery policy — a replacement object rebuilds its registers through the amnesia catch-up protocol before it joins quorums")
 	}
@@ -230,6 +250,10 @@ type Store struct {
 	// memAuth signs and verifies configuration views (nil without
 	// membership); all shards share the deployment key.
 	memAuth *membership.Auth
+
+	// flowCtrs aggregates flow-control activity across every layer of
+	// every shard (nil without a flow policy).
+	flowCtrs *flow.Counters
 
 	writes, writeRounds atomic.Int64
 	reads, readRounds   atomic.Int64
@@ -293,6 +317,9 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{opts: opts, cfg: cfg, ring: ring}
+	if opts.Flow != nil {
+		s.flowCtrs = &flow.Counters{}
+	}
 	if opts.Membership != nil {
 		key := opts.Membership.Key
 		if len(key) == 0 {
@@ -322,24 +349,51 @@ const faultSeedStride = 0x5DEECE66D
 // set), S multi-register objects (the last ByzPerShard of them
 // Byzantine), a shared writer endpoint, and the reader-slot pool.
 func (s *Store) buildShard(index int) (*shard, error) {
+	// With flow control, the batching knobs gain the pending budget and
+	// the shared counters, and both transports bound their queues.
+	var batching *batch.Options
+	if s.opts.Batching != nil {
+		b := *s.opts.Batching
+		if s.opts.Flow != nil {
+			fo := s.opts.Flow.WithDefaults()
+			b.PendingBudget = fo.BatchBudget
+			b.Counters = s.flowCtrs
+		}
+		batching = &b
+	}
 	var nw network
 	if s.opts.TCP {
 		n := tcpnet.New()
-		if s.opts.Batching != nil {
-			n.EnableBatching(*s.opts.Batching)
+		if s.opts.Flow != nil {
+			n.SetFlow(*s.opts.Flow, s.flowCtrs)
+		}
+		if batching != nil {
+			n.EnableBatching(*batching)
 		}
 		nw = n
 	} else {
 		n := memnet.New()
-		if s.opts.Batching != nil {
-			n.EnableBatching(*s.opts.Batching)
+		if s.opts.Flow != nil {
+			n.SetFlow(*s.opts.Flow, s.flowCtrs)
+		}
+		if batching != nil {
+			n.EnableBatching(*batching)
 		}
 		nw = n
 	}
 	sh := &shard{cfg: s.cfg, net: nw, writers: make(map[string]*regWriter), managers: make(map[int]*recovery.Manager)}
 	if s.opts.Faults != nil {
 		plan := s.opts.Faults.WithSeed(s.opts.Faults.Seed + int64(index)*faultSeedStride)
+		if s.opts.Flow != nil && plan.QueueBudget == 0 {
+			// A flow-controlled deployment bounds the fault layer's delay
+			// queues too; an explicit plan cap wins, otherwise the
+			// object budget is a per-link cap of matching magnitude.
+			plan.QueueBudget = s.opts.Flow.WithDefaults().ObjectBudget
+		}
 		sh.faults = fault.Wrap(nw, plan)
+		if s.opts.Flow != nil {
+			sh.faults.SetFlow(*s.opts.Flow, s.flowCtrs)
+		}
 		nw = sh.faults
 		sh.net = nw
 	}
@@ -387,6 +441,11 @@ func (s *Store) buildShard(index int) (*shard, error) {
 	if sh.members != nil {
 		sh.writerMux.enableMembership(s.memAuth, sh.members.counters, sh.members.view.Clone())
 	}
+	if s.opts.Flow != nil {
+		// Up to t members per round may be shed: the round quorum is S−t,
+		// so t silent members — whatever silenced them — cost nothing.
+		sh.writerMux.enableFlow(*s.opts.Flow, s.flowCtrs, s.cfg.S, s.cfg.T)
+	}
 
 	sh.slots = make(chan *readerSlot, s.cfg.R)
 	for j := 0; j < s.cfg.R; j++ {
@@ -398,6 +457,9 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		slot := &readerSlot{id: types.ReaderID(j), mux: newMux(rconn), readers: make(map[string]readerClient)}
 		if sh.members != nil {
 			slot.mux.enableMembership(s.memAuth, sh.members.counters, sh.members.view.Clone())
+		}
+		if s.opts.Flow != nil {
+			slot.mux.enableFlow(*s.opts.Flow, s.flowCtrs, s.cfg.S, s.cfg.T)
 		}
 		sh.allSlots = append(sh.allSlots, slot)
 		sh.slots <- slot
@@ -496,6 +558,14 @@ func (s *Store) FaultStats() fault.Stats {
 	}
 	return total
 }
+
+// FlowStats returns the flow-control activity across every layer and
+// shard: Busy pushbacks observed, batch-budget rejections, sends shed
+// at busy members, straggler hedges fired, bounded-mailbox sheds, and
+// the queue-depth high watermarks (zero without a flow policy). With a
+// flow policy, every watermark is bounded by its configured budget —
+// that is the point.
+func (s *Store) FlowStats() flow.Stats { return s.flowCtrs.Snapshot() }
 
 // RecoveringCount returns how many base objects are currently fenced
 // pending amnesia catch-up, across all shards (zero without a recovery

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/transport/flow"
 	"repro/internal/wire"
 )
 
@@ -42,6 +43,17 @@ type Options struct {
 	// MaxBatch flushes a destination's batch as soon as it reaches this
 	// many ops. Zero selects the default.
 	MaxBatch int
+	// PendingBudget caps the TOTAL ops coalescing (accepted but not yet
+	// shipped) across all destinations of one endpoint: coalesce-or-
+	// pushback. An op that would exceed it is refused with a synthetic
+	// wire.Busy{op} delivered locally to Recv, exactly as if the
+	// destination itself had pushed back — the client's slow-object
+	// handling deals with both identically. 0 = unbounded (the
+	// pre-flow-control behaviour).
+	PendingBudget int
+	// Counters, when non-nil, receives the pushback counts and pending
+	// high watermarks (see internal/transport/flow).
+	Counters *flow.Counters
 }
 
 // withDefaults fills zero knobs.
@@ -64,14 +76,16 @@ type Conn struct {
 	inner transport.Conn
 	opts  Options
 
-	mu     sync.Mutex
-	pend   map[transport.NodeID]*destQueue
-	closed bool
+	mu      sync.Mutex
+	pend    map[transport.NodeID]*destQueue
+	pending int // total unshipped ops across destinations
+	closed  bool
 
-	rmu     sync.Mutex
-	rqueue  []transport.Message
-	rwait   chan struct{} // broadcast: rqueue grew or the inner reader slot freed
-	reading bool          // a receiver is inside inner.Recv (single-flight)
+	rmu        sync.Mutex
+	rqueue     []transport.Message
+	rwait      chan struct{}      // broadcast: rqueue grew or the inner reader slot freed
+	reading    bool               // a receiver is inside inner.Recv (single-flight)
+	readCancel context.CancelFunc // nudges the parked single-flight reader (pushLocal)
 }
 
 // destQueue accumulates the in-flight ops for one destination.
@@ -110,12 +124,24 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 		// The model treats sends after close as forever in transit.
 		return
 	}
+	if c.opts.PendingBudget > 0 && c.pending >= c.opts.PendingBudget {
+		// Coalesce-or-pushback: the endpoint's pending budget is
+		// exhausted, so the op is refused with a synthetic Busy from its
+		// destination instead of growing the queue — indistinguishable,
+		// to the client above, from the object itself pushing back.
+		c.mu.Unlock()
+		c.opts.Counters.AddBatchPushback()
+		c.pushLocal(transport.Message{From: to, Payload: wire.Busy{Msg: payload}})
+		return
+	}
 	q := c.pend[to]
 	if q == nil {
 		q = &destQueue{}
 		c.pend[to] = q
 	}
 	q.ops = append(q.ops, payload)
+	c.pending++
+	c.opts.Counters.RecordBatch(c.pending)
 	if len(q.ops) >= c.opts.MaxBatch {
 		ops := c.takeLocked(q)
 		c.mu.Unlock()
@@ -140,7 +166,26 @@ func (c *Conn) takeLocked(q *destQueue) []wire.Msg {
 		q.timer.Stop()
 		q.timer = nil
 	}
+	c.pending -= len(ops) // the budget frees as soon as the ops ship
 	return ops
+}
+
+// pushLocal delivers a locally synthesized message (the pushback path)
+// to Recv: it wakes every queued receiver AND interrupts a receiver
+// parked inside the single-flight inner read — without the nudge, a
+// lone receiver blocked on an idle socket would not observe the locally
+// queued pushback until unrelated traffic arrived.
+func (c *Conn) pushLocal(m transport.Message) {
+	c.rmu.Lock()
+	c.rqueue = append(c.rqueue, m)
+	wake := c.rwait
+	c.rwait = make(chan struct{})
+	close(wake)
+	cancel := c.readCancel
+	c.rmu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }
 
 // flushDest ships the pending batch for one destination if the flush
@@ -208,10 +253,21 @@ func (c *Conn) Recv(ctx context.Context) (transport.Message, error) {
 		}
 		if !c.reading {
 			c.reading = true
+			// With a pending budget, the inner read runs under a nested
+			// context so pushLocal can interrupt it when a synthetic
+			// pushback lands in rqueue. Without one, pushLocal is
+			// unreachable and the hot path skips the context allocation.
+			readCtx := ctx
+			var cancel context.CancelFunc
+			if c.opts.PendingBudget > 0 {
+				readCtx, cancel = context.WithCancel(ctx)
+				c.readCancel = cancel
+			}
 			c.rmu.Unlock()
-			m, err := c.inner.Recv(ctx)
+			m, err := c.inner.Recv(readCtx)
 			c.rmu.Lock()
 			c.reading = false
+			c.readCancel = nil
 			// Wake every queued receiver: either the queue is about to
 			// grow, or the reader slot just freed (including on error, so
 			// a waiter with a live context can take over the read).
@@ -219,8 +275,18 @@ func (c *Conn) Recv(ctx context.Context) (transport.Message, error) {
 			c.rwait = make(chan struct{})
 			close(wake)
 			if err != nil {
+				nudged := readCtx.Err() != nil && ctx.Err() == nil
 				c.rmu.Unlock()
+				if cancel != nil {
+					cancel()
+				}
+				if nudged {
+					continue // pushLocal interrupted the read: re-check rqueue
+				}
 				return transport.Message{}, err
+			}
+			if cancel != nil {
+				cancel()
 			}
 			b, ok := m.Payload.(wire.Batch)
 			if !ok {

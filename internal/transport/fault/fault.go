@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/transport/flow"
 	"repro/internal/wire"
 )
 
@@ -88,6 +89,24 @@ type Plan struct {
 	// Crash, when Cycles > 0, schedules crash/restart (or partition/heal)
 	// windows for every faulty object.
 	Crash CrashPlan
+
+	// QueueBudget caps the delay/duplication queue per directed REQUEST
+	// link (client→object): at most this many deliveries may sit
+	// waiting on their Delay/Jitter/Reorder timers for one link at a
+	// time. A request whose link is at the cap is shed (Stats.Sheds)
+	// instead of queued — the fault layer contains its own overload
+	// locally rather than accumulating unbounded in-flight timers.
+	// Only requests are ever shed: a shed REPLY could never be
+	// re-elicited (objects do not re-acknowledge served duplicates), so
+	// reply links pass uncapped and stay bounded by request admission
+	// upstream. Shedding is legal in the model (a shed request is
+	// indistinguishable from one delayed forever) and deterministic
+	// from the seed: the dice stream fixes which messages pay delays,
+	// so the same plan sheds the same messages — but a deployment
+	// without the flow layer's hedging has no retry for a shed request
+	// on a correct link, so pair a nonzero cap with store.Options.Flow.
+	// 0 = unbounded (the pre-flow-control behaviour).
+	QueueBudget int
 }
 
 // CrashPlan schedules down-windows for the faulty set. Each cycle is an
@@ -132,6 +151,9 @@ func (p Plan) Validate() error {
 	if p.Reorder > 0 && p.Jitter <= 0 {
 		return fmt.Errorf("fault: Reorder = %v needs Jitter > 0 (jitter is the reordering mechanism)", p.Reorder)
 	}
+	if p.QueueBudget < 0 {
+		return fmt.Errorf("fault: negative QueueBudget %d", p.QueueBudget)
+	}
 	c := p.Crash
 	if c.Cycles < 0 {
 		return fmt.Errorf("fault: negative crash cycles %d", c.Cycles)
@@ -174,27 +196,36 @@ type Stats struct {
 	// safely after a reconfiguration instead of panicking or ghost-
 	// restarting a released endpoint.
 	StaleTargets int64
+	// Sheds counts messages discarded at a link's QueueBudget: the
+	// delay/duplication queue was full, so the message was shed instead
+	// of accumulating another in-flight timer (Plan.QueueBudget).
+	Sheds int64
+	// MaxDelayQueue is the deepest per-link delay/duplication queue
+	// observed — with a QueueBudget it can never exceed the budget.
+	MaxDelayQueue int64
 }
 
 // Add returns the fieldwise sum (aggregating across shards).
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Dropped:      s.Dropped + o.Dropped,
-		Delayed:      s.Delayed + o.Delayed,
-		Duplicated:   s.Duplicated + o.Duplicated,
-		Crashes:      s.Crashes + o.Crashes,
-		Restarts:     s.Restarts + o.Restarts,
-		Amnesias:     s.Amnesias + o.Amnesias,
-		Partitions:   s.Partitions + o.Partitions,
-		Heals:        s.Heals + o.Heals,
-		StaleTargets: s.StaleTargets + o.StaleTargets,
+		Dropped:       s.Dropped + o.Dropped,
+		Delayed:       s.Delayed + o.Delayed,
+		Duplicated:    s.Duplicated + o.Duplicated,
+		Crashes:       s.Crashes + o.Crashes,
+		Restarts:      s.Restarts + o.Restarts,
+		Amnesias:      s.Amnesias + o.Amnesias,
+		Partitions:    s.Partitions + o.Partitions,
+		Heals:         s.Heals + o.Heals,
+		StaleTargets:  s.StaleTargets + o.StaleTargets,
+		Sheds:         s.Sheds + o.Sheds,
+		MaxDelayQueue: max(s.MaxDelayQueue, o.MaxDelayQueue),
 	}
 }
 
 // String renders the counters compactly for reports.
 func (s Stats) String() string {
-	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d amnesias=%d partitions=%d heals=%d stale_targets=%d",
-		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Amnesias, s.Partitions, s.Heals, s.StaleTargets)
+	return fmt.Sprintf("dropped=%d delayed=%d duplicated=%d crashes=%d restarts=%d amnesias=%d partitions=%d heals=%d stale_targets=%d sheds=%d max_delay_queue=%d",
+		s.Dropped, s.Delayed, s.Duplicated, s.Crashes, s.Restarts, s.Amnesias, s.Partitions, s.Heals, s.StaleTargets, s.Sheds, s.MaxDelayQueue)
 }
 
 // crashRestarter is the optional deeper-integration surface of a wrapped
@@ -244,6 +275,15 @@ type Net struct {
 	// asynchrony) and a heal releases them, whereas a crash discards.
 	held map[holdKey][]heldMsg
 
+	// delayQ counts the deliveries waiting on delay/jitter timers per
+	// directed link, bounded by Plan.QueueBudget.
+	delayQ map[linkKey]int
+
+	// flowOpts/flowCtrs bound the inboxes of subsequently registered
+	// endpoints (nil = unbounded).
+	flowOpts *flow.Options
+	flowCtrs *flow.Counters
+
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup // schedulers, pumps, delayed deliveries
@@ -252,6 +292,7 @@ type Net struct {
 	crashes, restarts, amnesias  atomic.Int64
 	partitions, heals            atomic.Int64
 	staleTargets                 atomic.Int64
+	sheds, maxDelayQ             atomic.Int64
 }
 
 // downMode distinguishes the kinds of down window.
@@ -296,8 +337,22 @@ func Wrap(inner transport.Network, plan Plan) *Net {
 		cut:     make(map[linkKey]bool),
 		evicted: make(map[transport.NodeID]bool),
 		held:    make(map[holdKey][]heldMsg),
+		delayQ:  make(map[linkKey]int),
 		done:    make(chan struct{}),
 	}
+}
+
+// SetFlow instruments the inboxes of subsequently registered endpoints,
+// reporting their depth into ctrs. Like the transports' client inboxes,
+// they are not enforced — a shed reply cannot be re-elicited, so reply
+// queues are bounded by the admission budgets upstream (see
+// memnet.SetFlow). Call it before registering endpoints.
+func (n *Net) SetFlow(opts flow.Options, ctrs *flow.Counters) {
+	opts = opts.WithDefaults()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flowOpts = &opts
+	n.flowCtrs = ctrs
 }
 
 var _ transport.Network = (*Net)(nil)
@@ -308,15 +363,17 @@ func (n *Net) Plan() Plan { return n.plan }
 // Stats returns the fault counters so far.
 func (n *Net) Stats() Stats {
 	return Stats{
-		Dropped:      n.dropped.Load(),
-		Delayed:      n.delayed.Load(),
-		Duplicated:   n.duplicated.Load(),
-		Crashes:      n.crashes.Load(),
-		Restarts:     n.restarts.Load(),
-		Amnesias:     n.amnesias.Load(),
-		Partitions:   n.partitions.Load(),
-		Heals:        n.heals.Load(),
-		StaleTargets: n.staleTargets.Load(),
+		Dropped:       n.dropped.Load(),
+		Delayed:       n.delayed.Load(),
+		Duplicated:    n.duplicated.Load(),
+		Crashes:       n.crashes.Load(),
+		Restarts:      n.restarts.Load(),
+		Amnesias:      n.amnesias.Load(),
+		Partitions:    n.partitions.Load(),
+		Heals:         n.heals.Load(),
+		StaleTargets:  n.staleTargets.Load(),
+		Sheds:         n.sheds.Load(),
+		MaxDelayQueue: n.maxDelayQ.Load(),
 	}
 }
 
@@ -333,7 +390,13 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &conn{net: n, inner: inner, id: id, inbox: transport.NewInbox()}
+	n.mu.Lock()
+	inbox := transport.NewInbox()
+	if n.flowOpts != nil {
+		inbox = transport.NewBoundedInbox(0, n.flowCtrs) // instrumented; bounded by admission
+	}
+	n.mu.Unlock()
+	c := &conn{net: n, inner: inner, id: id, inbox: inbox}
 	// wg.Add under the lock that vouches for !closed, so Close cannot
 	// start waiting between the check and the Add (see inject).
 	n.mu.Lock()
@@ -743,36 +806,95 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 			// in either order, or the duplicate may itself be dropped.
 			d = n.judgeLocked(from, to)
 		}
+		// admit claims a delay-queue slot for one timed REQUEST delivery
+		// on this link, shedding at the QueueBudget cap; claimed reports
+		// whether a slot must be released when the timer fires.
+		// Immediate and dropped deliveries queue no timer, and replies
+		// (object→client) always pass: a shed reply could never be
+		// re-elicited, whereas a shed request is re-driven by the
+		// client's hedge. The dice were already drawn above, so shedding
+		// never perturbs the seeded stream — the same plan sheds the
+		// same messages.
+		lk := linkKey{from, to}
+		request := to.Kind == transport.KindObject
+		admit := func(vd verdict) (ok, claimed bool) {
+			if vd.drop || vd.delay <= 0 || !request || n.plan.QueueBudget <= 0 {
+				return true, false
+			}
+			if n.delayQ[lk] >= n.plan.QueueBudget {
+				return false, false
+			}
+			n.delayQ[lk]++
+			if depth := int64(n.delayQ[lk]); depth > n.maxDelayQ.Load() {
+				n.maxDelayQ.Store(depth) // safe: only mutated under n.mu
+			}
+			return true, true
+		}
+		primaryOK, primaryClaimed := admit(v)
+		dupOK, dupClaimed := false, false
+		if v.dup {
+			dupOK, dupClaimed = admit(d)
+		}
 		// Register the deliveries with wg while still holding the lock
 		// that vouched for !closed: Close flips closed under the same
 		// lock before it starts waiting, so it cannot observe a zero
 		// counter between this check and the Add.
 		deliveries := 0
-		if !v.drop {
+		if primaryOK && !v.drop {
 			deliveries++
 		}
-		if v.dup && !d.drop {
+		if dupOK && !d.drop {
 			deliveries++
 		}
 		n.wg.Add(deliveries)
 		n.mu.Unlock()
-		if v.drop {
+		switch {
+		case !primaryOK:
+			n.sheds.Add(1)
+		case v.drop:
 			n.dropped.Add(1)
-			return
+		case primaryClaimed:
+			n.scheduleQueued(lk, v.delay, deliver)
+		default:
+			n.schedule(v.delay, deliver)
 		}
-		n.schedule(v.delay, deliver)
 		if v.dup {
-			if d.drop {
+			switch {
+			case !dupOK:
+				n.sheds.Add(1)
+			case d.drop:
 				n.dropped.Add(1)
-			} else {
+			default:
 				n.duplicated.Add(1)
-				n.schedule(d.delay, deliver)
+				if dupClaimed {
+					n.scheduleQueued(lk, d.delay, deliver)
+				} else {
+					n.schedule(d.delay, deliver)
+				}
 			}
 		}
 		return
 	}
 	n.held[hk] = append(n.held[hk], heldMsg{from: from, to: to, deliver: deliver})
 	n.mu.Unlock()
+}
+
+// scheduleQueued runs deliver after d, releasing the link's delay-queue
+// slot (claimed by admit, under n.mu) when the timer fires; immediate
+// deliveries pass straight through.
+func (n *Net) scheduleQueued(lk linkKey, d time.Duration, deliver func()) {
+	if d <= 0 {
+		n.schedule(d, deliver)
+		return
+	}
+	n.schedule(d, func() {
+		n.mu.Lock()
+		if n.delayQ[lk]--; n.delayQ[lk] <= 0 {
+			delete(n.delayQ, lk)
+		}
+		n.mu.Unlock()
+		deliver()
+	})
 }
 
 // schedule runs deliver now or after d (counting it as delayed when

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/flow"
+	"repro/internal/transport/memnet"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// shedRun drives one seeded plan with a bounded delay queue: a client
+// bursts requests at one base object faster than their fixed delay
+// lets them drain, so the request link's queue fills to its cap and
+// the overflow is shed. Replies travel the uncapped object→client
+// direction and all arrive.
+func shedRun(t *testing.T, seed int64, msgs int) Stats {
+	t.Helper()
+	n := Wrap(memnet.New(), Plan{
+		Seed:        seed,
+		Delay:       60 * time.Millisecond,
+		QueueBudget: 4,
+	})
+	defer n.Close()
+	obj := transport.Object(0)
+	if err := n.Serve(obj, transport.HandlerFunc(func(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+		return wire.WAck{ObjectID: 0, TS: req.(wire.WReq).TS}, true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 1; ts <= msgs; ts++ {
+		a.Send(obj, wire.WReq{TS: types.TS(ts)})
+	}
+	// Drain the acks of the admitted requests: each pays the 60 ms delay
+	// on the request link (within budget) and again on the reply link
+	// (uncapped — replies are never shed).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if _, err := a.Recv(ctx); err != nil {
+			t.Fatalf("ack %d never arrived: %v", i, err)
+		}
+	}
+	return n.Stats()
+}
+
+// TestDelayQueueCap: with QueueBudget 4 and a 60 ms fixed delay, a
+// burst of 10 sends admits exactly 4 timed deliveries and sheds the
+// other 6; the observed queue depth never exceeds the budget.
+func TestDelayQueueCap(t *testing.T) {
+	st := shedRun(t, 7, 10)
+	if st.Sheds != 6 {
+		t.Fatalf("Sheds = %d, want 6 (10 sends, budget 4)", st.Sheds)
+	}
+	if st.MaxDelayQueue > 4 {
+		t.Fatalf("MaxDelayQueue = %d exceeds budget 4", st.MaxDelayQueue)
+	}
+	if st.MaxDelayQueue == 0 {
+		t.Fatal("queue depth never recorded")
+	}
+}
+
+// TestShedDeterminism: the dice stream is a pure function of the seed
+// and the shed decision never perturbs it, so the same plan sheds the
+// same messages run after run.
+func TestShedDeterminism(t *testing.T) {
+	first := shedRun(t, 99, 12)
+	second := shedRun(t, 99, 12)
+	if first.Sheds != second.Sheds {
+		t.Fatalf("same seed, different sheds: %d vs %d", first.Sheds, second.Sheds)
+	}
+	if first.Sheds != 8 {
+		t.Fatalf("Sheds = %d, want 8 (12 sends, budget 4)", first.Sheds)
+	}
+}
+
+// TestQueueBudgetValidated: a negative cap is a plan error.
+func TestQueueBudgetValidated(t *testing.T) {
+	if err := (Plan{QueueBudget: -1}).Validate(); err == nil {
+		t.Fatal("negative QueueBudget accepted")
+	}
+	if err := (Plan{QueueBudget: 16}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultInboxInstrumented: with SetFlow, the fault layer's own
+// receive mailboxes report their depth into the shared counters but
+// never shed — a reply cannot be re-elicited once dropped, so client-
+// side reply queues are bounded by the admission budgets upstream, not
+// by local shedding.
+func TestFaultInboxInstrumented(t *testing.T) {
+	ctrs := &flow.Counters{}
+	n := Wrap(memnet.New(), Plan{Seed: 1})
+	defer n.Close()
+	n.SetFlow(flow.Options{LinkBudget: 2}, ctrs)
+	a, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 1; ts <= 6; ts++ {
+		a.Send(b.ID(), wire.WAck{TS: types.TS(ts)})
+	}
+	// Deliveries are synchronous without delays: all six must survive,
+	// in order, and the backlog must have been recorded.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for want := 1; want <= 6; want++ {
+		got, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts := got.Payload.(wire.WAck).TS; int(ts) != want {
+			t.Fatalf("delivery %d = ts %d; an instrumented inbox must not shed", want, ts)
+		}
+	}
+	s := ctrs.Snapshot()
+	if s.InboxSheds != 0 {
+		t.Fatalf("InboxSheds = %d, want 0 (instrumented, not enforced)", s.InboxSheds)
+	}
+	if s.InboxHighWater == 0 {
+		t.Fatal("inbox depth never recorded")
+	}
+	if s.LinkHighWater != 0 {
+		t.Fatalf("LinkHighWater = %d; unenforced mailboxes must not report into the ≤-budget watermark", s.LinkHighWater)
+	}
+}

@@ -1,0 +1,191 @@
+package flow
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMailboxFIFOAndClose(t *testing.T) {
+	mb := NewMailbox[int, string](0, nil)
+	if !mb.Push(1, "a") || !mb.Push(2, "b") {
+		t.Fatal("push on open mailbox must succeed")
+	}
+	ctx := context.Background()
+	for _, want := range []string{"a", "b"} {
+		got, err := mb.Recv(ctx)
+		if err != nil || got != want {
+			t.Fatalf("Recv = %q, %v; want %q", got, err, want)
+		}
+	}
+	mb.Push(1, "c")
+	mb.Close()
+	if mb.Push(1, "d") {
+		t.Fatal("push after close must report false")
+	}
+	// Pre-close deliveries drain before ErrClosed.
+	if got, err := mb.Recv(ctx); err != nil || got != "c" {
+		t.Fatalf("Recv = %q, %v; want queued pre-close item", got, err)
+	}
+	if _, err := mb.Recv(ctx); err != ErrClosed {
+		t.Fatalf("Recv after drain = %v, want ErrClosed", err)
+	}
+}
+
+func TestMailboxContext(t *testing.T) {
+	mb := NewMailbox[int, int](0, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := mb.Recv(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Recv = %v, want deadline", err)
+	}
+}
+
+// TestMailboxPerLinkShedding: a link at its budget sheds its OLDEST
+// queued item — the newest delivery per sender always survives — while
+// other links are untouched.
+func TestMailboxPerLinkShedding(t *testing.T) {
+	ctrs := &Counters{}
+	mb := NewMailbox[string, int](2, ctrs)
+	mb.Push("x", 1)
+	mb.Push("y", 10)
+	mb.Push("x", 2)
+	mb.Push("x", 3) // sheds x:1
+	if got := mb.Sheds(); got != 1 {
+		t.Fatalf("Sheds = %d, want 1", got)
+	}
+	ctx := context.Background()
+	var got []int
+	for i := 0; i < 3; i++ {
+		v, err := mb.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	want := []int{10, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v (oldest of the saturated link shed)", got, want)
+		}
+	}
+	if mb.Depth() != 0 {
+		t.Fatalf("depth = %d after drain", mb.Depth())
+	}
+	if hw := mb.LinkHighWater(); hw != 2 {
+		t.Fatalf("link high water = %d, want 2 (budget enforced)", hw)
+	}
+	s := ctrs.Snapshot()
+	if s.InboxSheds != 1 || s.LinkHighWater != 2 || s.InboxHighWater != 3 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+// TestMailboxBudgetEnforced: the per-link depth can never exceed the
+// budget, under concurrency.
+func TestMailboxBudgetEnforced(t *testing.T) {
+	mb := NewMailbox[int, int](4, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				mb.Push(g%2, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if hw := mb.LinkHighWater(); hw > 4 {
+		t.Fatalf("link high water %d exceeds budget 4", hw)
+	}
+	if d := mb.Depth(); d > 8 {
+		t.Fatalf("total depth %d exceeds links×budget", d)
+	}
+}
+
+// TestMailboxWakeup: a parked receiver is woken by a push that follows
+// a drain (the re-armed token regression from the Inbox lineage).
+func TestMailboxWakeup(t *testing.T) {
+	mb := NewMailbox[int, int](0, nil)
+	ctx := context.Background()
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			v, err := mb.Recv(ctx)
+			if err == nil {
+				done <- v
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	mb.Push(0, 1)
+	mb.Push(0, 2)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("receiver stranded on a non-empty mailbox")
+		}
+	}
+}
+
+func TestCredits(t *testing.T) {
+	c := NewCredits(2)
+	if !c.TryAcquire() || !c.TryAcquire() {
+		t.Fatal("budget not grantable")
+	}
+	if c.TryAcquire() {
+		t.Fatal("acquire beyond budget must fail")
+	}
+	c.Release(1)
+	if !c.TryAcquire() {
+		t.Fatal("released credit not re-grantable")
+	}
+	if hw := c.HighWater(); hw != 2 {
+		t.Fatalf("high water = %d, want 2", hw)
+	}
+	c.Release(5) // over-release clamps rather than wedging
+	if c.InUse() != 0 {
+		t.Fatalf("InUse = %d after over-release", c.InUse())
+	}
+	u := NewCredits(0)
+	for i := 0; i < 100; i++ {
+		if !u.TryAcquire() {
+			t.Fatal("unlimited credits must always grant")
+		}
+	}
+}
+
+func TestOptionsDefaultsAndValidate(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.LinkBudget != DefaultLinkBudget || o.ObjectBudget != DefaultObjectBudget ||
+		o.BatchBudget != DefaultBatchBudget || o.HedgeDelay != DefaultHedgeDelay {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Options{LinkBudget: -1}).Validate(); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := (Options{HedgeDelay: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative hedge delay accepted")
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{Pushbacks: 1, Sheds: 2, LinkHighWater: 3, ObjectHighWater: 9}
+	b := Stats{Pushbacks: 4, Hedges: 5, LinkHighWater: 7, ObjectHighWater: 2}
+	sum := a.Add(b)
+	if sum.Pushbacks != 5 || sum.Sheds != 2 || sum.Hedges != 5 {
+		t.Fatalf("additive fields wrong: %+v", sum)
+	}
+	if sum.LinkHighWater != 7 || sum.ObjectHighWater != 9 {
+		t.Fatalf("high watermarks must aggregate by max: %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -2,90 +2,78 @@ package transport
 
 import (
 	"context"
-	"sync"
+
+	"repro/internal/transport/flow"
 )
 
-// Inbox is the unbounded receive mailbox shared by transport endpoints
-// (memnet conns, the fault layer's conns, the store's per-register
-// virtual conns): Push appends a delivered message and Recv blocks for
-// the next one, the context, or Close. It is written for correctness
-// under concurrent receivers — the wakeup token is re-armed whenever
-// messages remain, so back-to-back pushes cannot strand a parked
-// receiver on a non-empty queue — and consumed slots are zeroed (the
-// backing array released once drained) so the queue never pins
-// delivered payloads.
+// Inbox is the receive mailbox shared by transport endpoints (memnet
+// conns, the fault layer's conns, the store's per-register virtual
+// conns), built on the flow-control core's per-link bounded Mailbox:
+// Push appends a delivered message and Recv blocks for the next one,
+// the context, or Close.
+//
+// NewInbox keeps the historical unbounded semantics. NewBoundedInbox
+// with budget > 0 caps how many messages from one SENDER may sit
+// queued, shedding the oldest message of that link beyond the budget —
+// use it only where a shed message is recoverable (requests, which
+// hedging re-drives; advisory traffic). With budget 0 the inbox is
+// instrumented: depth is reported into the counters but nothing is
+// ever shed — the right mode for client REPLY mailboxes, where a shed
+// acknowledgement could never be re-elicited (objects deliberately do
+// not re-acknowledge served duplicates) and boundedness comes from
+// request admission upstream instead.
+//
+// It is written for correctness under concurrent receivers — the wakeup
+// token is re-armed whenever messages remain, so back-to-back pushes
+// cannot strand a parked receiver on a non-empty queue — and consumed
+// slots are zeroed so the queue never pins delivered payloads.
 type Inbox struct {
-	mu       sync.Mutex
-	queue    []Message
-	notify   chan struct{}
-	closedCh chan struct{}
-	closed   bool
+	mb *flow.Mailbox[NodeID, Message]
 }
 
-// NewInbox returns an empty, open inbox.
+// NewInbox returns an empty, open, unbounded inbox.
 func NewInbox() *Inbox {
-	return &Inbox{notify: make(chan struct{}, 1), closedCh: make(chan struct{})}
+	return &Inbox{mb: flow.NewMailbox[NodeID, Message](0, nil)}
+}
+
+// NewBoundedInbox returns an inbox holding at most budget messages per
+// sender (budget ≤ 0 = unbounded), reporting sheds and high watermarks
+// into ctrs (which may be nil).
+func NewBoundedInbox(budget int, ctrs *flow.Counters) *Inbox {
+	return &Inbox{mb: flow.NewMailbox[NodeID, Message](budget, ctrs)}
 }
 
 // Push enqueues m for delivery; after Close it reports false and drops
-// the message (forever "in transit").
-func (b *Inbox) Push(m Message) bool {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return false
-	}
-	b.queue = append(b.queue, m)
-	b.mu.Unlock()
-	select {
-	case b.notify <- struct{}{}:
-	default:
-	}
-	return true
-}
+// the message (forever "in transit"). A bounded inbox sheds the OLDEST
+// queued message of m's sender beyond the per-link budget; the new
+// message is still accepted.
+func (b *Inbox) Push(m Message) bool { return b.mb.Push(m.From, m) }
 
 // Recv returns the next queued message, draining what was delivered
 // before Close and then returning ErrClosed.
 func (b *Inbox) Recv(ctx context.Context) (Message, error) {
-	for {
-		b.mu.Lock()
-		if len(b.queue) > 0 {
-			m := b.queue[0]
-			b.queue[0] = Message{}
-			b.queue = b.queue[1:]
-			if len(b.queue) == 0 {
-				b.queue = nil
-			} else {
-				// Re-arm the wakeup token for any other parked receiver.
-				select {
-				case b.notify <- struct{}{}:
-				default:
-				}
-			}
-			b.mu.Unlock()
-			return m, nil
-		}
-		if b.closed {
-			b.mu.Unlock()
-			return Message{}, ErrClosed
-		}
-		b.mu.Unlock()
-		select {
-		case <-b.notify:
-		case <-ctx.Done():
-			return Message{}, ctx.Err()
-		case <-b.closedCh:
-			return Message{}, ErrClosed
-		}
+	m, err := b.mb.Recv(ctx)
+	if err == flow.ErrClosed {
+		return Message{}, ErrClosed
 	}
+	return m, err
 }
 
 // Close wakes every pending Recv; it is idempotent.
-func (b *Inbox) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if !b.closed {
-		b.closed = true
-		close(b.closedCh)
-	}
-}
+func (b *Inbox) Close() { b.mb.Close() }
+
+// Depth returns the queued message count.
+func (b *Inbox) Depth() int { return b.mb.Depth() }
+
+// Sheds returns how many messages this inbox dropped at its budget.
+func (b *Inbox) Sheds() int64 { return b.mb.Sheds() }
+
+// LinkHighWater returns the deepest per-sender backlog observed.
+func (b *Inbox) LinkHighWater() int { return b.mb.LinkHighWater() }
+
+// HighWater returns the deepest total backlog observed.
+func (b *Inbox) HighWater() int { return b.mb.HighWater() }
+
+// Waiters returns how many receivers are parked in Recv on an empty
+// queue (see flow.Mailbox.Waiters).
+func (b *Inbox) Waiters() int { return b.mb.Waiters() }

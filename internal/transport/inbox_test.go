@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/types"
 	"repro/internal/wire"
 )
 
@@ -60,6 +61,42 @@ func TestInboxDrainsBeforeClose(t *testing.T) {
 	}
 	if b.Push(Message{Payload: wire.WAck{TS: 8}}) {
 		t.Fatal("push after close must report false")
+	}
+}
+
+// TestBoundedInboxShedsOldestPerLink: a sender at its budget sheds its
+// oldest queued message — the newest delivery per link survives, and
+// other links are untouched.
+func TestBoundedInboxShedsOldestPerLink(t *testing.T) {
+	b := NewBoundedInbox(2, nil)
+	slow, other := Object(3), Object(5)
+	for ts := 1; ts <= 4; ts++ {
+		b.Push(Message{From: slow, Payload: wire.WAck{TS: types.TS(ts)}})
+	}
+	b.Push(Message{From: other, Payload: wire.WAck{TS: 9}})
+	if got := b.Sheds(); got != 2 {
+		t.Fatalf("Sheds = %d, want 2", got)
+	}
+	if hw := b.LinkHighWater(); hw != 2 {
+		t.Fatalf("per-link high water = %d exceeds budget 2", hw)
+	}
+	ctx := context.Background()
+	var got []int
+	for i := 0; i < 3; i++ {
+		m, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, int(m.Payload.(wire.WAck).TS))
+	}
+	want := []int{3, 4, 9} // the slow link's two NEWEST messages survive
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	if b.Depth() != 0 {
+		t.Fatalf("depth = %d after drain", b.Depth())
 	}
 }
 

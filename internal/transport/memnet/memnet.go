@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
+	"repro/internal/transport/flow"
 	"repro/internal/wire"
 )
 
@@ -34,6 +35,8 @@ type Net struct {
 	taps     []transport.Tap
 	delayFn  func(from, to transport.NodeID) time.Duration
 	batching *batch.Options
+	flow     *flow.Options
+	flowCtrs *flow.Counters
 	closed   bool
 	delivery sync.WaitGroup // tracks delayed deliveries
 }
@@ -73,6 +76,25 @@ func (n *Net) EnableBatching(opts batch.Options) {
 	n.batching = &opts
 }
 
+// SetFlow bounds the queues of subsequently created endpoints per opts
+// (see internal/transport/flow): base-object request queues cap at
+// ObjectBudget in total and at LinkBudget per sender, answering
+// wire.Busy{request} beyond either. Client inboxes
+// are instrumented (depth reported into ctrs) but not enforced: a
+// protocol reply cannot be re-elicited once shed — objects deliberately
+// do not re-acknowledge duplicate requests (Figs. 3/5) — so reply
+// queues are bounded by ADMISSION upstream (the object budgets and the
+// batch pending budget bound the in-flight volume that can ever land
+// in them), which is what credit-based flow control means. Call it
+// before registering endpoints.
+func (n *Net) SetFlow(opts flow.Options, ctrs *flow.Counters) {
+	opts = opts.WithDefaults()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flow = &opts
+	n.flowCtrs = ctrs
+}
+
 // Register creates the endpoint of an active node.
 func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	n.mu.Lock()
@@ -83,7 +105,11 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	if _, dup := n.conns[id]; dup {
 		return nil, fmt.Errorf("memnet: %v already registered", id)
 	}
-	c := &conn{net: n, id: id, inbox: transport.NewInbox()}
+	inbox := transport.NewInbox()
+	if n.flow != nil {
+		inbox = transport.NewBoundedInbox(0, n.flowCtrs) // instrumented; bounded by admission
+	}
+	c := &conn{net: n, id: id, inbox: inbox}
 	n.conns[id] = c
 	if n.batching != nil {
 		return batch.NewConn(c, *n.batching), nil
@@ -106,6 +132,12 @@ func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
 		h = batch.WrapHandler(h)
 	}
 	srv := &objectServer{net: n, id: id, handler: h}
+	if n.flow != nil {
+		srv.budget = n.flow.ObjectBudget
+		srv.linkBudget = n.flow.LinkBudget
+		srv.perSender = make(map[transport.NodeID]int)
+		srv.ctrs = n.flowCtrs
+	}
 	srv.cond = sync.NewCond(&srv.mu)
 	n.objects[id] = srv
 	go srv.run()
@@ -376,7 +408,14 @@ func (n *Net) route(from, to transport.NodeID, payload wire.Msg) {
 	srv := n.objects[to]
 	n.mu.Unlock()
 	if srv != nil {
-		srv.enqueue(from, wire.Clone(payload))
+		clone := wire.Clone(payload)
+		if !srv.enqueue(from, clone) {
+			// The object's bounded request queue is full: overload becomes
+			// an explicit signal — the rejected request travels back as a
+			// Busy echo instead of growing the queue without bound. The
+			// pushback pays the normal send-path dice (taps, delays).
+			n.send(to, from, wire.Busy{Msg: clone})
+		}
 	}
 }
 
@@ -413,9 +452,13 @@ func (c *conn) push(m transport.Message) {
 
 // objectServer serializes handler invocations for one base object.
 type objectServer struct {
-	net     *Net
-	id      transport.NodeID
-	handler transport.Handler
+	net        *Net
+	id         transport.NodeID
+	handler    transport.Handler
+	budget     int                      // pending-request cap; 0 = unbounded
+	linkBudget int                      // per-sender share of the queue; 0 = unbounded
+	perSender  map[transport.NodeID]int // queued requests per sender (nil without flow)
+	ctrs       *flow.Counters
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -429,14 +472,35 @@ type objectReq struct {
 	payload wire.Msg
 }
 
-func (s *objectServer) enqueue(from transport.NodeID, payload wire.Msg) {
+// enqueue queues one request for the serialized handler; false means
+// the bounded queue (total, or this sender's per-link share of it) is
+// full and the caller must push back. Shedding REQUESTS is always safe
+// — the client's hedge re-sends them — which is why the per-link
+// budget is enforced here and not on reply mailboxes, where a shed
+// acknowledgement could never be re-elicited. The per-sender share
+// also keeps one flooding client from monopolizing the whole queue.
+// Requests to a crashed or stopped object are silently discarded
+// (true: the message is "in transit forever", not an overload signal).
+func (s *objectServer) enqueue(from transport.NodeID, payload wire.Msg) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped || s.crashed {
-		return
+		return true
+	}
+	if s.budget > 0 && len(s.queue) >= s.budget {
+		return false
+	}
+	if s.linkBudget > 0 && s.perSender[from] >= s.linkBudget {
+		return false
 	}
 	s.queue = append(s.queue, objectReq{from, payload})
+	if s.perSender != nil {
+		s.perSender[from]++
+		s.ctrs.RecordLink(s.perSender[from])
+	}
+	s.ctrs.RecordObject(len(s.queue))
 	s.cond.Signal()
+	return true
 }
 
 func (s *objectServer) crash() {
@@ -444,6 +508,9 @@ func (s *objectServer) crash() {
 	defer s.mu.Unlock()
 	s.crashed = true
 	s.queue = nil // in-flight requests die with the crash
+	if s.perSender != nil {
+		s.perSender = make(map[transport.NodeID]int)
+	}
 	s.cond.Broadcast()
 }
 
@@ -476,6 +543,11 @@ func (s *objectServer) run() {
 		}
 		req := s.queue[0]
 		s.queue = s.queue[1:]
+		if s.perSender != nil {
+			if s.perSender[req.from]--; s.perSender[req.from] <= 0 {
+				delete(s.perSender, req.from)
+			}
+		}
 		s.mu.Unlock()
 
 		reply, ok := s.handler.Handle(req.from, req.payload)

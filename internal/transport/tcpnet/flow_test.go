@@ -1,0 +1,77 @@
+package tcpnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/flow"
+	"repro/internal/wire"
+)
+
+// TestAdmissionBusyPushback: a served object at its admission budget
+// answers wire.Busy{request} on the wire instead of queueing the
+// request behind the ones in service.
+func TestAdmissionBusyPushback(t *testing.T) {
+	n := New()
+	defer n.Close()
+	ctrs := &flow.Counters{}
+	n.SetFlow(flow.Options{ObjectBudget: 1, LinkBudget: 64}, ctrs)
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	obj := transport.Object(0)
+	err := n.Serve(obj, transport.HandlerFunc(func(from transport.NodeID, req wire.Msg) (wire.Msg, bool) {
+		entered <- struct{}{}
+		<-release
+		return wire.WAck{ObjectID: 0, TS: req.(wire.WReq).TS}, true
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	holder, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounced, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	holder.Send(obj, wire.WReq{TS: 1})
+	<-entered // the only admission credit is now held
+	bounced.Send(obj, wire.WReq{TS: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	m, err := bounced.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, ok := m.Payload.(wire.Busy)
+	if !ok {
+		t.Fatalf("reply = %T, want Busy pushback", m.Payload)
+	}
+	if ts := busy.Msg.(wire.WReq).TS; ts != 2 {
+		t.Fatalf("Busy echoes ts %d, want the rejected request 2", ts)
+	}
+	if m.From != obj {
+		t.Fatalf("Busy from %v, want %v", m.From, obj)
+	}
+
+	close(release)
+	if m, err := holder.Recv(ctx); err != nil || m.Payload.(wire.WAck).TS != 1 {
+		t.Fatalf("admitted request not served: %v %v", m, err)
+	}
+	// The freed credit admits the retry.
+	bounced.Send(obj, wire.WReq{TS: 3})
+	<-entered
+	if m, err := bounced.Recv(ctx); err != nil || m.Payload.(wire.WAck).TS != 3 {
+		t.Fatalf("retry after pushback not served: %v %v", m, err)
+	}
+	if hw := ctrs.Snapshot().ObjectHighWater; hw > 1 {
+		t.Fatalf("admission high water %d exceeds budget 1", hw)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
+	"repro/internal/transport/flow"
 	"repro/internal/wire"
 )
 
@@ -102,6 +103,9 @@ type Net struct {
 	conns     []*conn
 	taps      []transport.Tap
 	batching  *batch.Options
+	flow      *flow.Options
+	flowCtrs  *flow.Counters
+	admission map[transport.NodeID]*flow.Credits
 	closed    bool
 	wg        sync.WaitGroup
 }
@@ -114,7 +118,29 @@ func New() *Net {
 		handlers:  make(map[transport.NodeID]transport.Handler),
 		srvConns:  make(map[transport.NodeID]map[net.Conn]struct{}),
 		crashed:   make(map[transport.NodeID]bool),
+		admission: make(map[transport.NodeID]*flow.Credits),
 	}
+}
+
+// SetFlow bounds the queues of subsequently created endpoints per opts
+// (see internal/transport/flow): each served object admits at most
+// ObjectBudget requests concurrently across its connections — beyond
+// that a request is answered with a wire.Busy{request} echo instead of
+// being processed (the socket buffers below stay OS-bounded either
+// way; the admission cap is what turns saturation into an explicit,
+// immediate signal). LinkBudget needs no enforcement here: a
+// connection serves one request at a time and a client dials one
+// connection per object, so a sender's in-service share is
+// structurally 1. Client inboxes are instrumented (depth reported
+// into ctrs) but not enforced — a shed reply cannot be re-elicited, so
+// reply queues are bounded by the admission budgets upstream instead
+// (see memnet.SetFlow). Call it before registering endpoints.
+func (n *Net) SetFlow(opts flow.Options, ctrs *flow.Counters) {
+	opts = opts.WithDefaults()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flow = &opts
+	n.flowCtrs = ctrs
 }
 
 // AddTap registers a message observer (applied on the client side to
@@ -175,6 +201,9 @@ func (n *Net) Serve(id transport.NodeID, h transport.Handler) error {
 	n.addrs[id] = ln.Addr().String()
 	n.listeners[id] = ln
 	n.handlers[id] = h
+	if n.flow != nil {
+		n.admission[id] = flow.NewCredits(n.flow.ObjectBudget)
+	}
 	// Register the accept loop with wg while still holding the lock
 	// that vouched for !closed: Close flips closed under the same lock
 	// before waiting, so it cannot observe a zero counter in between.
@@ -235,6 +264,10 @@ func (n *Net) untrackServerConn(id transport.NodeID, c net.Conn) {
 
 func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
 	defer c.Close()
+	n.mu.Lock()
+	admission := n.admission[id]
+	ctrs := n.flowCtrs
+	n.mu.Unlock()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 	for {
@@ -242,7 +275,20 @@ func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
 		if err != nil {
 			return // EOF, peer gone, or malformed frame
 		}
+		if admission != nil && !admission.TryAcquire() {
+			// The object is at its admission budget across connections:
+			// push back with a Busy echo instead of queueing behind the
+			// other requests — overload must signal, not stall.
+			if err := writeFrame(w, id, wire.Busy{Msg: payload}); err != nil {
+				return
+			}
+			continue
+		}
 		reply, send := h.Handle(from, payload)
+		if admission != nil {
+			ctrs.RecordObject(admission.HighWater())
+			admission.Release(1)
+		}
 		if !send {
 			continue
 		}
@@ -296,6 +342,7 @@ func (n *Net) Evict(id transport.NodeID) {
 	delete(n.addrs, id)
 	delete(n.handlers, id)
 	delete(n.crashed, id)
+	delete(n.admission, id)
 	n.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -393,11 +440,15 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 	if n.closed {
 		return nil, transport.ErrClosed
 	}
+	inbox := transport.NewInbox()
+	if n.flow != nil {
+		inbox = transport.NewBoundedInbox(0, n.flowCtrs) // instrumented; bounded by admission
+	}
 	c := &conn{
 		net:   n,
 		id:    id,
 		peers: make(map[transport.NodeID]*peer),
-		inbox: transport.NewInbox(),
+		inbox: inbox,
 	}
 	n.conns = append(n.conns, c)
 	if n.batching != nil {

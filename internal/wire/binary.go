@@ -44,6 +44,7 @@ const (
 	tagStateResp
 	tagConfigEpoch
 	tagConfigUpdate
+	tagBusy
 )
 
 // enc is a little append-only writer with varint packing.
@@ -395,6 +396,13 @@ func EncodeCompact(m Msg) ([]byte, error) {
 			return nil, err
 		}
 		e.bytes(sub)
+	case Busy:
+		e.buf.WriteByte(tagBusy)
+		sub, err := EncodeCompact(v.Msg)
+		if err != nil {
+			return nil, err
+		}
+		e.bytes(sub)
 	case ConfigUpdate:
 		e.buf.WriteByte(tagConfigUpdate)
 		e.i(v.Shard)
@@ -410,13 +418,13 @@ func EncodeCompact(m Msg) ([]byte, error) {
 	return e.buf.Bytes(), nil
 }
 
-// maxNest caps RegOp/Batch/Epoch/ConfigEpoch nesting during decode.
-// Legitimate frames nest at most four levels (a Batch of
-// ConfigEpoch-stamped, Epoch-stamped RegOps on the membership- and
-// recovery-enabled reply path); without a cap, a Byzantine peer could
-// craft a deeply self-nested frame whose recursive decode exhausts the
-// stack — a fatal, unrecoverable runtime error.
-const maxNest = 5
+// maxNest caps RegOp/Batch/Epoch/ConfigEpoch/Busy nesting during
+// decode. Legitimate frames nest at most five levels (a Busy echo of a
+// Batch of ConfigEpoch-stamped, Epoch-stamped RegOps on the flow-,
+// membership- and recovery-enabled path); without a cap, a Byzantine
+// peer could craft a deeply self-nested frame whose recursive decode
+// exhausts the stack — a fatal, unrecoverable runtime error.
+const maxNest = 6
 
 // DecodeCompact deserializes a message produced by EncodeCompact.
 func DecodeCompact(data []byte) (Msg, error) {
@@ -531,6 +539,15 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		}
 		cu.Sig = d.bytesN()
 		m = cu
+	case tagBusy:
+		sub := d.bytesN()
+		if d.err == nil {
+			inner, err := decodeCompact(sub, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("wire: compact codec: busy payload: %w", err)
+			}
+			m = Busy{Msg: inner}
+		}
 	case tagStateReq:
 		m = StateReq{Seq: d.i(), Requester: types.ObjectID(d.i())}
 	case tagStateResp:

@@ -87,6 +87,9 @@ func msgEqual(a, b Msg) bool {
 	case Epoch:
 		y, ok := b.(Epoch)
 		return ok && x.Inc == y.Inc && msgEqual(x.Msg, y.Msg)
+	case Busy:
+		y, ok := b.(Busy)
+		return ok && msgEqual(x.Msg, y.Msg)
 	case StateReq:
 		y, ok := b.(StateReq)
 		return ok && x == y

@@ -210,6 +210,23 @@ func (rs RegState) Clone() RegState {
 	return RegState{Reg: rs.Reg, TS: rs.TS, History: rs.History.Clone(), TSR: rs.TSR.Clone()}
 }
 
+// Flow control (overload pushback) messages --------------------------------
+
+// Busy is the pushback frame of the flow-control layer: an overloaded
+// hop — a base object whose bounded request queue is full, or the
+// client-side batch layer at its pending budget — answers a request
+// with Busy{request} instead of queueing it without bound. The echoed
+// request tells the client exactly which op was rejected (it may be a
+// whole Batch). The client mux treats the sender as a transiently slow
+// object: the protocols need only S−t replies per round, so the mux
+// sheds the slow member from subsequent broadcasts and re-drives the
+// rejected op with a delayed hedge instead of blocking. Busy is
+// advisory — losing one costs nothing, because the straggler hedge is
+// timer-driven.
+type Busy struct {
+	Msg Msg
+}
+
 // Membership (reconfiguration) messages -----------------------------------
 
 // ConfigEpoch wraps a request or reply with the sender's configuration
@@ -292,6 +309,7 @@ func (StateReq) isMsg()         {}
 func (StateResp) isMsg()        {}
 func (ConfigEpoch) isMsg()      {}
 func (ConfigUpdate) isMsg()     {}
+func (Busy) isMsg()             {}
 
 // registerAll makes every payload type known to gob, once, at package
 // load. gob.Register is idempotent for identical concrete types, and the
@@ -306,6 +324,7 @@ var _ = func() struct{} {
 		RegOp{}, Batch{},
 		Epoch{}, StateReq{}, StateResp{},
 		ConfigEpoch{}, ConfigUpdate{},
+		Busy{},
 	} {
 		gob.Register(m)
 	}
@@ -409,6 +428,8 @@ func Clone(m Msg) Msg {
 		return ConfigEpoch{Epoch: v.Epoch, Msg: Clone(v.Msg)}
 	case ConfigUpdate:
 		return v.Clone()
+	case Busy:
+		return Busy{Msg: Clone(v.Msg)}
 	default:
 		// Unknown payloads only arise from test doubles; pass through.
 		return m

@@ -39,6 +39,10 @@ func sampleMsgs() []Msg {
 			WAck{ObjectID: 1, TS: 7},
 		}},
 		Epoch{Inc: 3, Msg: RegOp{Reg: "users/42", Msg: WAck{ObjectID: 1, TS: 7}}},
+		Busy{Msg: Batch{Ops: []Msg{
+			RegOp{Reg: "a", Msg: PWReq{TS: 7, PW: w.TSVal, W: w}},
+			RegOp{Reg: "b", Msg: ReadReq{Round: Round1, Reader: 1, TSR: 9}},
+		}}},
 		StateReq{Seq: 12, Requester: 2},
 		StateResp{ObjectID: 3, Seq: 12, Incarnation: 2, Regs: []RegState{
 			{Reg: "users/42", TS: 7, History: h, TSR: types.TSRVector{1, 0}},

@@ -20,6 +20,7 @@ import (
 	istore "repro/internal/store"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/fault"
+	"repro/internal/transport/flow"
 )
 
 // Store is a sharded multi-register robust keyspace.
@@ -69,6 +70,23 @@ type FaultStats = fault.Stats
 // FaultNet is one shard's fault-injection layer, exposed by
 // Store.FaultNet for manual fault control in tests and demos.
 type FaultNet = fault.Net
+
+// FlowOptions are the end-to-end flow-control knobs
+// (internal/transport/flow). Set them via Options.Flow; the zero value
+// selects every default. With a policy in place, every queue in the
+// stack is bounded (object request queues in total and per sender,
+// batch pending budgets, fault-layer delay queues — and reply
+// mailboxes by that admission), overloaded hops push back with a
+// wire.Busy echo instead of queueing, and the client treats
+// pushed-back members as transiently slow: it sheds up to t of them
+// per round (the quorum needs only S−t replies) and hedges the
+// stragglers with delayed re-sends instead of blocking.
+type FlowOptions = flow.Options
+
+// FlowStats counts flow-control activity (pushbacks, sheds, hedges,
+// bounded-queue high watermarks); Store.FlowStats aggregates them
+// across shards and layers.
+type FlowStats = flow.Stats
 
 // RecoveryPolicy configures the amnesia catch-up subsystem
 // (internal/recovery). Set it via Options.Recovery; the zero value
