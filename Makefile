@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt fmt-check bench demo chaos chaos-recovery chaos-membership chaos-saturation clean
+.PHONY: all build vet test race fmt fmt-check bench bench-gate demo chaos chaos-recovery chaos-membership chaos-saturation clean
 
 all: build vet test
 
@@ -25,11 +25,21 @@ fmt-check:
 
 # bench runs every benchmark once as a smoke check and regenerates the
 # store perf-trajectory file BENCH_store.json (single-register vs.
-# sharded vs. batched, ops/s and rounds-per-read, plus the saturated
-# degraded-mode row: goodput and p99 at 2x capacity under flow control).
+# sharded vs. batched; every row carries ops/s, p50/p99 latency and
+# allocs/op, plus the saturated degraded-mode row at 2x capacity under
+# flow control). BENCH_store.json is the committed regression baseline
+# cmd/benchgate gates CI against — rerun this target to refresh it when
+# a legitimate perf change lands.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	$(GO) run ./cmd/benchharness -store -saturate -out BENCH_store.json
+
+# bench-gate mirrors the CI perf gate: generate a fresh grid into
+# BENCH_current.json (never clobbering the committed baseline) and diff
+# it against BENCH_store.json with the default noise bands.
+bench-gate:
+	$(GO) run ./cmd/benchharness -store -saturate -out BENCH_current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_store.json -current BENCH_current.json
 
 demo:
 	$(GO) run ./examples/kvstore
@@ -80,5 +90,8 @@ chaos-saturation:
 	$(GO) test -race -count=1 -run 'ChaosSaturation' -v ./internal/harness
 	$(GO) run ./examples/backpressure
 
+# BENCH_store.json is deliberately NOT cleaned: it is the committed
+# perf-regression baseline, not a build product. BENCH_current.json is
+# the throwaway grid bench-gate generates.
 clean:
-	rm -f BENCH_store.json
+	rm -f BENCH_current.json

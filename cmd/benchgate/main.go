@@ -1,0 +1,167 @@
+// Command benchgate is the CI perf-regression gate: it diffs a fresh
+// bench run (cmd/benchharness -store) against the committed baseline
+// grid (BENCH_store.json) and exits nonzero when any row regresses
+// beyond its noise band — a goodput floor, a p99 latency ceiling, and
+// an allocs/op ceiling per row.
+//
+// Only rows present in BOTH files are compared, so adding or removing
+// a scenario never breaks the gate; comparing zero rows is itself a
+// failure (the gate must never pass vacuously). The bands default to
+// ±10% on goodput, +50% on p99 (tail latency on shared CI runners is
+// far noisier than throughput), and +30% on allocs/op; tune with
+// -noise, -p99-band, and -allocs-band.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_store.json -current BENCH_current.json [-noise 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// gateConfig holds the per-metric tolerance bands.
+type gateConfig struct {
+	Noise      float64 // goodput may drop at most this fraction
+	P99Band    float64 // p99 latency may grow at most this fraction
+	AllocsBand float64 // allocs/op may grow at most this fraction
+}
+
+// rowVerdict is the gate's judgement of one scenario row.
+type rowVerdict struct {
+	Name     string
+	OK       bool
+	Detail   string
+	Failures []string
+}
+
+// compare gates current against baseline row by row (matched by name).
+// It returns one verdict per compared row; ok is false when any row
+// fails or no rows were compared at all.
+func compare(baseline, current []harness.StoreBenchResult, cfg gateConfig) (verdicts []rowVerdict, ok bool) {
+	cur := make(map[string]harness.StoreBenchResult, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	ok = true
+	for _, base := range baseline {
+		now, found := cur[base.Name]
+		if !found {
+			continue // rows are only gated when present in both files
+		}
+		v := rowVerdict{Name: base.Name, OK: true}
+		v.Detail = fmt.Sprintf("ops/s %.0f→%.0f, p99 %.2f→%.2fms, allocs/op %.0f→%.0f",
+			base.OpsPerSec, now.OpsPerSec, base.P99Ms, now.P99Ms, base.AllocsPerOp, now.AllocsPerOp)
+		if base.OpsPerSec > 0 {
+			floor := base.OpsPerSec * (1 - cfg.Noise)
+			if now.OpsPerSec < floor {
+				v.Failures = append(v.Failures, fmt.Sprintf(
+					"goodput %.0f ops/s below floor %.0f (baseline %.0f, noise %.0f%%)",
+					now.OpsPerSec, floor, base.OpsPerSec, cfg.Noise*100))
+			}
+		}
+		// Latency and alloc ceilings are skipped when the baseline lacks
+		// the column (a pre-gate baseline file) — the goodput floor
+		// still applies.
+		if base.P99Ms > 0 {
+			ceiling := base.P99Ms * (1 + cfg.P99Band)
+			if now.P99Ms > ceiling {
+				v.Failures = append(v.Failures, fmt.Sprintf(
+					"p99 %.2fms above ceiling %.2fms (baseline %.2fms, band +%.0f%%)",
+					now.P99Ms, ceiling, base.P99Ms, cfg.P99Band*100))
+			}
+		}
+		if base.AllocsPerOp > 0 {
+			ceiling := base.AllocsPerOp * (1 + cfg.AllocsBand)
+			if now.AllocsPerOp > ceiling {
+				v.Failures = append(v.Failures, fmt.Sprintf(
+					"allocs/op %.0f above ceiling %.0f (baseline %.0f, band +%.0f%%)",
+					now.AllocsPerOp, ceiling, base.AllocsPerOp, cfg.AllocsBand*100))
+			}
+		}
+		if len(v.Failures) > 0 {
+			v.OK = false
+			ok = false
+		}
+		verdicts = append(verdicts, v)
+	}
+	if len(verdicts) == 0 {
+		ok = false // a gate that compared nothing must not pass
+	}
+	return verdicts, ok
+}
+
+func loadRows(path string) ([]harness.StoreBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []harness.StoreBenchResult
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baselinePath := flag.String("baseline", "BENCH_store.json", "committed baseline grid")
+	currentPath := flag.String("current", "BENCH_current.json", "freshly generated grid to gate")
+	noise := flag.Float64("noise", 0.10, "tolerated fractional goodput drop per row")
+	p99Band := flag.Float64("p99-band", 0.50, "tolerated fractional p99 latency growth per row")
+	allocsBand := flag.Float64("allocs-band", 0.30, "tolerated fractional allocs/op growth per row")
+	flag.Parse()
+
+	baseline, err := loadRows(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		return 1
+	}
+	current, err := loadRows(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		return 1
+	}
+
+	verdicts, ok := compare(baseline, current, gateConfig{
+		Noise: *noise, P99Band: *p99Band, AllocsBand: *allocsBand,
+	})
+	for _, v := range verdicts {
+		status := "ok  "
+		if !v.OK {
+			status = "FAIL"
+		}
+		fmt.Printf("%s %-32s %s\n", status, v.Name, v.Detail)
+		for _, f := range v.Failures {
+			fmt.Printf("       ↳ %s\n", f)
+		}
+	}
+	if len(verdicts) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no rows present in both files — nothing compared, refusing to pass")
+		return 1
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d rows regressed beyond their bands\n", countFailed(verdicts), len(verdicts))
+		return 1
+	}
+	fmt.Printf("benchgate: %d rows within bands\n", len(verdicts))
+	return 0
+}
+
+func countFailed(verdicts []rowVerdict) int {
+	n := 0
+	for _, v := range verdicts {
+		if !v.OK {
+			n++
+		}
+	}
+	return n
+}

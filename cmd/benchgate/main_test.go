@@ -1,0 +1,99 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func row(name string, opsPerSec, p99, allocs float64) harness.StoreBenchResult {
+	return harness.StoreBenchResult{Name: name, OpsPerSec: opsPerSec, P99Ms: p99, AllocsPerOp: allocs}
+}
+
+var cfg = gateConfig{Noise: 0.10, P99Band: 0.50, AllocsBand: 0.30}
+
+func TestGatePassesWithinBands(t *testing.T) {
+	baseline := []harness.StoreBenchResult{
+		row("a", 10000, 2.0, 500),
+		row("b", 5000, 4.0, 900),
+	}
+	current := []harness.StoreBenchResult{
+		row("a", 9500, 2.5, 550),  // -5% goodput, +25% p99, +10% allocs: all within bands
+		row("b", 5200, 3.8, 1000), // improved goodput and p99
+	}
+	verdicts, ok := compare(baseline, current, cfg)
+	if !ok {
+		t.Fatalf("within-band run must pass: %+v", verdicts)
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("want 2 verdicts, got %d", len(verdicts))
+	}
+}
+
+func TestGateFailsOnGoodputRegression(t *testing.T) {
+	baseline := []harness.StoreBenchResult{row("a", 10000, 2.0, 500)}
+	current := []harness.StoreBenchResult{row("a", 8000, 2.0, 500)} // -20% < floor
+	verdicts, ok := compare(baseline, current, cfg)
+	if ok {
+		t.Fatal("a 20% goodput drop must fail the gate")
+	}
+	if len(verdicts) != 1 || verdicts[0].OK || len(verdicts[0].Failures) != 1 {
+		t.Fatalf("want exactly one goodput failure, got %+v", verdicts)
+	}
+}
+
+func TestGateFailsOnTailLatencyRegression(t *testing.T) {
+	baseline := []harness.StoreBenchResult{row("a", 10000, 2.0, 500)}
+	current := []harness.StoreBenchResult{row("a", 10000, 3.5, 500)} // +75% p99 > +50% band
+	if _, ok := compare(baseline, current, cfg); ok {
+		t.Fatal("a 75% p99 regression must fail the gate")
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	baseline := []harness.StoreBenchResult{row("a", 10000, 2.0, 500)}
+	current := []harness.StoreBenchResult{row("a", 10000, 2.0, 800)} // +60% allocs > +30% band
+	if _, ok := compare(baseline, current, cfg); ok {
+		t.Fatal("a 60% allocs/op regression must fail the gate")
+	}
+}
+
+func TestGateComparesOnlySharedRows(t *testing.T) {
+	baseline := []harness.StoreBenchResult{
+		row("kept", 10000, 2.0, 500),
+		row("removed-scenario", 1, 1, 1), // absent from current: must not fail the gate
+	}
+	current := []harness.StoreBenchResult{
+		row("kept", 9800, 2.0, 500),
+		row("new-scenario", 1, 1, 1), // absent from baseline: not gated yet
+	}
+	verdicts, ok := compare(baseline, current, cfg)
+	if !ok {
+		t.Fatalf("disjoint rows must be ignored: %+v", verdicts)
+	}
+	if len(verdicts) != 1 || verdicts[0].Name != "kept" {
+		t.Fatalf("want only the shared row compared, got %+v", verdicts)
+	}
+}
+
+func TestGateRefusesToPassVacuously(t *testing.T) {
+	baseline := []harness.StoreBenchResult{row("a", 10000, 2.0, 500)}
+	current := []harness.StoreBenchResult{row("b", 10000, 2.0, 500)}
+	if _, ok := compare(baseline, current, cfg); ok {
+		t.Fatal("zero compared rows must fail, never pass vacuously")
+	}
+}
+
+func TestGateSkipsMissingBaselineColumns(t *testing.T) {
+	// A pre-gate baseline row (no latency/alloc columns) still gets the
+	// goodput floor, but not the undefined ceilings.
+	baseline := []harness.StoreBenchResult{row("a", 10000, 0, 0)}
+	current := []harness.StoreBenchResult{row("a", 9800, 99, 1e6)}
+	if _, ok := compare(baseline, current, cfg); !ok {
+		t.Fatal("zero-valued baseline columns must not produce ceilings")
+	}
+	current[0].OpsPerSec = 5000
+	if _, ok := compare(baseline, current, cfg); ok {
+		t.Fatal("the goodput floor must still apply")
+	}
+}

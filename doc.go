@@ -88,6 +88,18 @@
 // collapse. `make chaos-saturation` soaks the store at 2× capacity
 // under the race detector on both transports.
 //
+// The hot path itself is kept honest by construction: the compact
+// codec encodes into pooled buffers (wire.AppendCompact for zero-copy
+// callers), the TCP framer reuses pooled frame buffers on both sides
+// of the socket, and the batch layer is adaptive — a destination stays
+// in pass-through (zero added latency, no timers) until sends
+// demonstrably contend, and reverts when coalescing stops amortizing.
+// Every row of BENCH_store.json carries goodput, p50/p99 latency, and
+// allocs/op, and cmd/benchgate is the CI perf-regression gate: it
+// diffs a fresh benchharness run against the committed baseline
+// row-by-row and fails the build when goodput drops, or tail latency
+// or allocations grow, beyond the configured noise bands.
+//
 // See README.md for the map and how to run the examples and
 // benchmarks. bench_test.go in this directory regenerates every
 // experiment via `go test -bench`; BENCH_store.json records the store

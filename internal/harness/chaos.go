@@ -187,8 +187,12 @@ func SaturationChaosScenario(seed int64, tcp bool) ChaosSpec {
 			Batched:         true,
 			FlushWindow:     300 * time.Microsecond,
 			MaxBatch:        16,
-			Faults:          SaturationChaosPlan(seed),
-			Flow:            SaturationFlow(),
+			// The soak asserts the batch layer's pending-budget pushback
+			// engages; pin unconditional coalescing so the adaptive
+			// pass-through mode cannot route ops around that budget.
+			AlwaysCoalesce: true,
+			Faults:         SaturationChaosPlan(seed),
+			Flow:           SaturationFlow(),
 		},
 		Keys:          48,
 		WritesPerKey:  4,

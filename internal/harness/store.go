@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -30,8 +31,14 @@ type StoreSpec struct {
 	Batched         bool
 	FlushWindow     time.Duration
 	MaxBatch        int
-	GC              bool
-	Faults          *fault.Plan
+	// AlwaysCoalesce pins the batch layer's pre-adaptive behaviour
+	// (every op coalesces, batch.AlwaysCoalesce): the saturation
+	// scenarios set it so the pending-budget pushback paths stay
+	// exercised regardless of how the adaptive heuristic would mode the
+	// links.
+	AlwaysCoalesce bool
+	GC             bool
+	Faults         *fault.Plan
 	// Recovery enables the amnesia catch-up subsystem with default
 	// policy — required when Faults schedules amnesia crash windows.
 	Recovery bool
@@ -64,6 +71,9 @@ func BuildStore(spec StoreSpec) (*store.Store, error) {
 	}
 	if spec.Batched {
 		opts.Batching = &batch.Options{FlushWindow: spec.FlushWindow, MaxBatch: spec.MaxBatch}
+		if spec.AlwaysCoalesce {
+			opts.Batching.ActivationOps = batch.AlwaysCoalesce
+		}
 	}
 	if spec.Recovery {
 		opts.Recovery = &recovery.Policy{CrossValidate: spec.DonorValidation}
@@ -93,23 +103,44 @@ type StoreBenchResult struct {
 	OpsPerSec      float64 `json:"ops_per_sec"`
 	RoundsPerRead  float64 `json:"rounds_per_read"`
 	RoundsPerWrite float64 `json:"rounds_per_write"`
+	// Latency and allocation columns, captured for every row: goodput
+	// alone hides tail regressions (a coalescing window that doubles op
+	// latency can leave ops/s flat) and allocation churn (the GC tax
+	// that only shows up at scale). cmd/benchgate enforces ceilings on
+	// these alongside the goodput floor.
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Saturation-mode fields: the row drives the deployment past
 	// capacity under a flow policy, so goodput (OpsPerSec above — only
-	// completed ops count) is paired with the p99 op latency and the
-	// overload signals the flow layer emitted.
-	Saturated bool    `json:"saturated,omitempty"`
-	P99Ms     float64 `json:"p99_ms,omitempty"`
-	Pushbacks int64   `json:"pushbacks,omitempty"`
-	Hedges    int64   `json:"hedges,omitempty"`
+	// completed ops count) is paired with the overload signals the flow
+	// layer emitted.
+	Saturated bool  `json:"saturated,omitempty"`
+	Pushbacks int64 `json:"pushbacks,omitempty"`
+	Hedges    int64 `json:"hedges,omitempty"`
+}
+
+// percentile returns the p-th percentile (0 < p < 1) of sorted
+// latencies, in milliseconds; zero when empty.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)) * p)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
 // driveStoreBench is the shared bench driver: writers concurrent
 // single-key writers (plus one read per writer at the end) against a
 // fresh deployment. Each writer owns its own register, so the workload
 // is exactly the multi-register hot path the batching layer amortizes.
-// With p99 set, every op's latency is captured and the 99th percentile
-// returned — the saturated rows pair goodput with tail latency.
-func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99 bool) (StoreBenchResult, error) {
+// Every op's latency is captured (p50/p99 columns) along with the
+// process-wide allocation count per completed op; saturated mode
+// additionally snapshots the flow layer's overload signals.
+func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, saturated bool) (StoreBenchResult, error) {
 	s, err := BuildStore(spec)
 	if err != nil {
 		return StoreBenchResult{}, err
@@ -120,14 +151,11 @@ func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99
 
 	var wg sync.WaitGroup
 	errs := make(chan error, writers)
-	var lats [][]time.Duration
-	if p99 {
-		lats = make([][]time.Duration, writers)
+	lats := make([][]time.Duration, writers)
+	for w := range lats {
+		lats[w] = make([]time.Duration, 0, opsPerWriter+1)
 	}
 	op := func(w int, f func() error) error {
-		if !p99 {
-			return f()
-		}
 		t0 := time.Now()
 		if err := f(); err != nil {
 			return err
@@ -135,6 +163,8 @@ func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99
 		lats[w] = append(lats[w], time.Since(t0))
 		return nil
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -155,6 +185,8 @@ func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(errs)
 	for err := range errs {
 		return StoreBenchResult{}, err
@@ -189,15 +221,21 @@ func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99
 		RoundsPerRead:  m.RoundsPerRead(),
 		RoundsPerWrite: m.RoundsPerWrite(),
 	}
-	if p99 {
-		var all []time.Duration
-		for _, l := range lats {
-			all = append(all, l...)
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		if len(all) > 0 {
-			res.P99Ms = float64(all[len(all)*99/100]) / float64(time.Millisecond)
-		}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50Ms = percentile(all, 0.50)
+	res.P99Ms = percentile(all, 0.99)
+	if ops > 0 {
+		// Process-wide allocation count over the window divided by
+		// completed ops: an approximation (the harness's own bookkeeping
+		// is included), but a stable one — churn regressions in the
+		// codec or batch layer move it by integer multiples.
+		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(ops)
+	}
+	if saturated {
 		flows := s.FlowStats()
 		res.Saturated = true
 		res.Pushbacks = flows.Pushbacks
@@ -206,7 +244,8 @@ func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, p99
 	return res, nil
 }
 
-// RunStoreBench runs the shared driver without latency capture.
+// RunStoreBench runs the shared driver: goodput plus the universal
+// latency/alloc columns.
 func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
 	return driveStoreBench(name, spec, writers, opsPerWriter, false)
 }
@@ -225,6 +264,7 @@ func SaturatedStoreSpec() StoreSpec {
 		ReadersPerShard: 4,
 		Semantics:       store.RegularOpt,
 		Batched:         true,
+		AlwaysCoalesce:  true, // the row prices coalesce-or-pushback, not the adaptive bypass
 		Flow: &flow.Options{
 			LinkBudget:   32,
 			ObjectBudget: 64,
@@ -234,11 +274,11 @@ func SaturatedStoreSpec() StoreSpec {
 	}
 }
 
-// RunSaturatedStoreBench is RunStoreBench with per-op latency capture:
+// RunSaturatedStoreBench is RunStoreBench plus the overload snapshot:
 // the saturated row tracks not just goodput (completed ops/s — the
 // flow layer refuses work it cannot queue, so only completions count)
-// but the p99 latency the hedged, shed, pushed-back workload actually
-// observed, and the overload signals the flow layer emitted.
+// and the latency the hedged, shed, pushed-back workload actually
+// observed, but also the overload signals the flow layer emitted.
 func RunSaturatedStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
 	return driveStoreBench(name, spec, writers, opsPerWriter, true)
 }
@@ -255,20 +295,30 @@ func RunSingleRegisterBench(t, b, ops int) (StoreBenchResult, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
+	lats := make([]time.Duration, 0, ops+1)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	var rounds int
 	for i := 0; i < ops; i++ {
+		t0 := time.Now()
 		if err := cl.Writer().Write(ctx, types.Value(fmt.Sprintf("v%d", i))); err != nil {
 			return StoreBenchResult{}, err
 		}
+		lats = append(lats, time.Since(t0))
 		rounds += cl.Writer().LastStats().Rounds
 	}
+	t0 := time.Now()
 	if _, err := cl.Reader(0).Read(ctx); err != nil {
 		return StoreBenchResult{}, err
 	}
+	lats = append(lats, time.Since(t0))
 	readRounds := cl.Reader(0).LastStats().Rounds
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	total := int64(ops + 1)
 	return StoreBenchResult{
 		Name:           "single-register",
@@ -283,6 +333,9 @@ func RunSingleRegisterBench(t, b, ops int) (StoreBenchResult, error) {
 		OpsPerSec:      float64(total) / elapsed.Seconds(),
 		RoundsPerRead:  float64(readRounds),
 		RoundsPerWrite: float64(rounds) / float64(ops),
+		P50Ms:          percentile(lats, 0.50),
+		P99Ms:          percentile(lats, 0.99),
+		AllocsPerOp:    float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
 	}, nil
 }
 

@@ -28,7 +28,7 @@ func TestFlowControlledStoreCompletesUnderTinyBudgets(t *testing.T) {
 		T: 1, B: 1,
 		Shards:          1,
 		ReadersPerShard: 4,
-		Batching:        &batch.Options{FlushWindow: 200 * time.Microsecond, MaxBatch: 16},
+		Batching:        &batch.Options{FlushWindow: 200 * time.Microsecond, MaxBatch: 16, ActivationOps: batch.AlwaysCoalesce},
 		Flow:            fo,
 	})
 	if err != nil {

@@ -265,7 +265,7 @@ func TestBatchingReducesRequestFrames(t *testing.T) {
 	run := func(batched bool) (frames int, ops int64) {
 		opts := Options{Shards: 1, ReadersPerShard: 2}
 		if batched {
-			opts.Batching = &batch.Options{FlushWindow: 500 * time.Microsecond, MaxBatch: 64}
+			opts.Batching = &batch.Options{FlushWindow: 500 * time.Microsecond, MaxBatch: 64, ActivationOps: batch.AlwaysCoalesce}
 		}
 		s, err := Open(opts)
 		if err != nil {

@@ -1,0 +1,273 @@
+package batch
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/flow"
+	"repro/internal/wire"
+)
+
+// slowConn blocks each Send until released, so concurrent sends
+// provably overlap (contend) in a test-controlled way.
+type slowConn struct {
+	fakeConn
+	gate chan struct{} // each Send consumes one token
+}
+
+func newSlowConn() *slowConn {
+	return &slowConn{
+		fakeConn: fakeConn{id: transport.Reader(0), inbox: make(chan transport.Message, 64)},
+		gate:     make(chan struct{}, 1024),
+	}
+}
+
+func (s *slowConn) Send(to transport.NodeID, payload wire.Msg) {
+	<-s.gate
+	s.fakeConn.Send(to, payload)
+}
+
+// TestAdaptivePassThroughBelowThreshold pins the lightly loaded path: a
+// sequential stream of ops to one destination never contends, so every
+// op ships immediately and bare — no coalescing envelope, no flush
+// timers, zero added latency.
+func TestAdaptivePassThroughBelowThreshold(t *testing.T) {
+	inner := newFakeConn()
+	ctrs := &flow.Counters{}
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64, Counters: ctrs})
+	obj := transport.Object(0)
+	const n = 32
+	for i := 0; i < n; i++ {
+		c.Send(obj, wire.BaselineReadReq{Attempt: i})
+	}
+	frames := inner.frames()
+	if len(frames) != n {
+		t.Fatalf("sequential sends must pass through 1:1, got %d frames for %d ops", len(frames), n)
+	}
+	for i, f := range frames {
+		if _, isBatch := f.payload.(wire.Batch); isBatch {
+			t.Fatalf("frame %d: pass-through op must not pay the batch envelope", i)
+		}
+	}
+	st := ctrs.Snapshot()
+	if st.PassThrough != n || st.Coalesced != 0 {
+		t.Fatalf("want %d pass-through / 0 coalesced, got %d / %d", n, st.PassThrough, st.Coalesced)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q := c.pend[obj]; q != nil && (q.coalescing || q.timer != nil) {
+		t.Fatal("uncontended destination must stay in pass-through with no timer armed")
+	}
+}
+
+// TestAdaptiveCoalesceAboveThreshold pins activation: once ActivationOps
+// sends contend within the window, the destination switches to
+// coalescing and subsequent concurrent ops ship as Batch frames.
+func TestAdaptiveCoalesceAboveThreshold(t *testing.T) {
+	inner := newSlowConn()
+	ctrs := &flow.Counters{}
+	c := NewConn(inner, Options{
+		FlushWindow:   5 * time.Millisecond,
+		MaxBatch:      64,
+		ActivationOps: 3,
+		RateWindow:    time.Hour, // hits never expire in this test
+		Counters:      ctrs,
+	})
+	obj := transport.Object(0)
+
+	// Phase 1: pile up contended sends. The first send enters
+	// inner.Send and blocks on the gate; each subsequent overlapping
+	// send counts one contention hit, and the 4th..6th flip the mode.
+	const overlapping = 6
+	var wg sync.WaitGroup
+	for i := 0; i < overlapping; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Send(obj, wire.BaselineReadReq{Attempt: i})
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		q := c.pend[obj]
+		activated := q != nil && q.coalescing
+		c.mu.Unlock()
+		if activated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("contended destination never activated coalescing")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Release the pass-through sends that are parked in inner.Send and
+	// let the coalesced stragglers flush.
+	for i := 0; i < 1024; i++ {
+		select {
+		case inner.gate <- struct{}{}:
+		default:
+		}
+	}
+	wg.Wait()
+	c.Flush()
+
+	// Phase 2: the destination is in coalescing mode, so a burst of
+	// sends (now unblocked instantly by the full gate) coalesces into
+	// one Batch frame instead of shipping 1:1.
+	before := len(inner.frames())
+	const burst = 8
+	for i := 0; i < burst; i++ {
+		c.Send(obj, wire.BaselineReadReq{Attempt: 100 + i})
+	}
+	c.Flush()
+	frames := inner.frames()[before:]
+	if len(frames) != 1 {
+		t.Fatalf("coalescing destination must ship the burst as 1 frame, got %d", len(frames))
+	}
+	b, ok := frames[0].payload.(wire.Batch)
+	if !ok {
+		t.Fatalf("frame is %T, want wire.Batch", frames[0].payload)
+	}
+	if len(b.Ops) != burst {
+		t.Fatalf("batch carries %d ops, want %d", len(b.Ops), burst)
+	}
+	if st := ctrs.Snapshot(); st.Coalesced == 0 {
+		t.Fatal("coalesced counter must record the held ops")
+	}
+}
+
+// TestAdaptiveRevertsOnIdleWindows pins deactivation with its
+// hysteresis: a coalescing destination reverts to pass-through only
+// after deactivationFlushes CONSECUTIVE windows each elapsing with a
+// lone op — coalescing was buying latency without amortizing.
+func TestAdaptiveRevertsOnIdleWindows(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{FlushWindow: time.Millisecond, MaxBatch: 64, ActivationOps: 1})
+	obj := transport.Object(0)
+	c.mu.Lock()
+	c.pend[obj] = &destQueue{coalescing: true} // as if contention activated it
+	c.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	sent := 0
+	for {
+		c.mu.Lock()
+		reverted := !c.pend[obj].coalescing
+		idle := len(c.pend[obj].ops) == 0
+		c.mu.Unlock()
+		if reverted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("repeated idle windows never reverted the destination to pass-through")
+		}
+		if idle && sent < deactivationFlushes {
+			c.Send(obj, wire.BaselineReadReq{Attempt: sent}) // coalesced, lone
+			sent++
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if sent != deactivationFlushes {
+		t.Fatalf("reverted after %d lone windows, want %d", sent, deactivationFlushes)
+	}
+	if frames := inner.frames(); len(frames) != deactivationFlushes {
+		t.Fatalf("every lone op must still ship, got %d frames", len(frames))
+	}
+	// The next op passes straight through again.
+	before := len(inner.frames())
+	c.Send(obj, wire.BaselineReadReq{Attempt: 1})
+	if frames := inner.frames(); len(frames) != before+1 {
+		t.Fatal("reverted destination must pass ops through immediately")
+	}
+}
+
+// TestAlwaysCoalesceDisablesAdaptivity pins the escape hatch used by
+// the saturation soaks: with ActivationOps = AlwaysCoalesce, even a
+// lone sequential op is held for the flush window.
+func TestAlwaysCoalesceDisablesAdaptivity(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64, ActivationOps: AlwaysCoalesce})
+	c.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 0})
+	if frames := inner.frames(); len(frames) != 0 {
+		t.Fatal("AlwaysCoalesce must hold even uncontended ops for the window")
+	}
+	c.Flush()
+	if frames := inner.frames(); len(frames) != 1 {
+		t.Fatal("Flush must ship the held op")
+	}
+}
+
+// TestTakeReusesAccumulatorBacking pins the slice-reuse contract: the
+// accumulator backing survives a flush (no re-growth from nil) while
+// the shipped Batch owns an independent copy.
+func TestTakeReusesAccumulatorBacking(t *testing.T) {
+	inner := newFakeConn()
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64, ActivationOps: AlwaysCoalesce})
+	obj := transport.Object(0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			c.Send(obj, wire.BaselineReadReq{Attempt: round*8 + i})
+		}
+		c.Flush()
+	}
+	c.mu.Lock()
+	q := c.pend[obj]
+	reusedCap := cap(q.ops)
+	c.mu.Unlock()
+	if reusedCap < 8 {
+		t.Fatalf("accumulator backing not retained across flushes: cap=%d", reusedCap)
+	}
+	frames := inner.frames()
+	if len(frames) != 3 {
+		t.Fatalf("want 3 frames, got %d", len(frames))
+	}
+	// Each shipped batch must be an independent copy: mutating the
+	// accumulator after the fact must not reach shipped frames.
+	first := frames[0].payload.(wire.Batch)
+	if first.Ops[0].(wire.BaselineReadReq).Attempt != 0 {
+		t.Fatal("first batch lost its ops to accumulator reuse")
+	}
+	last := frames[2].payload.(wire.Batch)
+	if last.Ops[7].(wire.BaselineReadReq).Attempt != 23 {
+		t.Fatal("last batch carries stale ops from a previous round")
+	}
+}
+
+// sinkConn discards sends, so benchmarks measure only the batch layer.
+type sinkConn struct{ fakeConn }
+
+func (s *sinkConn) Send(transport.NodeID, wire.Msg) {}
+
+func (s *sinkConn) Recv(ctx context.Context) (transport.Message, error) {
+	<-ctx.Done()
+	return transport.Message{}, ctx.Err()
+}
+
+// BenchmarkBatchFlush measures the coalesce-accumulate-flush cycle:
+// MaxBatch ops enqueued and shipped as one frame, steady state.
+func BenchmarkBatchFlush(b *testing.B) {
+	c := NewConn(&sinkConn{}, Options{FlushWindow: time.Hour, MaxBatch: 16, ActivationOps: AlwaysCoalesce})
+	obj := transport.Object(0)
+	op := wire.BaselineReadReq{Attempt: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Send(obj, op) // every 16th send triggers the size flush
+	}
+	c.Flush()
+}
+
+// BenchmarkBatchPassThrough measures the adaptive fast path: an
+// uncontended send shipping straight through the layer.
+func BenchmarkBatchPassThrough(b *testing.B) {
+	c := NewConn(&sinkConn{}, Options{FlushWindow: time.Hour, MaxBatch: 64})
+	obj := transport.Object(0)
+	op := wire.BaselineReadReq{Attempt: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Send(obj, op)
+	}
+}

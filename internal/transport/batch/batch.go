@@ -13,6 +13,20 @@
 // immediately), and FlushWindow caps how long a lone op waits for
 // companions before it is sent anyway.
 //
+// Coalescing is adaptive per destination: a link starts in pass-through
+// (ops ship immediately, zero added latency, no timers) and only
+// switches to coalescing once sends demonstrably contend — ActivationOps
+// sends within RateWindow each observing another send to the same
+// destination already in flight. Contention is the honest signal that
+// batching will amortize anything: on a cheap transport sends complete
+// before they can collide and the link stays pass-through, while slow
+// frame writes under concurrent load collide constantly and activate
+// coalescing within a handful of ops. A destination whose flush window
+// later elapses with no companions reverts to pass-through. Setting
+// ActivationOps to AlwaysCoalesce restores unconditional coalescing
+// (the saturation soaks pin it so budget-pushback mechanics stay
+// exercised).
+//
 // Both memnet and tcpnet integrate this package behind their
 // EnableBatching switch; protocol code is unaware of batching and runs
 // unchanged.
@@ -21,6 +35,7 @@ package batch
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -34,6 +49,18 @@ const DefaultFlushWindow = 200 * time.Microsecond
 
 // DefaultMaxBatch caps the ops coalesced into one frame.
 const DefaultMaxBatch = 64
+
+// DefaultActivationOps is the number of contended sends within
+// RateWindow that switch a destination into coalescing mode.
+const DefaultActivationOps = 3
+
+// DefaultRateWindow bounds how recent contended sends must be to count
+// toward activation.
+const DefaultRateWindow = time.Millisecond
+
+// AlwaysCoalesce, as Options.ActivationOps, disables the adaptive
+// pass-through mode: every op coalesces, as in the pre-adaptive layer.
+const AlwaysCoalesce = -1
 
 // Options are the batching knobs.
 type Options struct {
@@ -51,6 +78,15 @@ type Options struct {
 	// handling deals with both identically. 0 = unbounded (the
 	// pre-flow-control behaviour).
 	PendingBudget int
+	// ActivationOps switches a destination from pass-through to
+	// coalescing after this many contended sends (a send observing
+	// another send to the same destination already in flight) within
+	// RateWindow. Zero selects the default; AlwaysCoalesce (-1) disables
+	// adaptivity and coalesces unconditionally.
+	ActivationOps int
+	// RateWindow bounds how recent contended sends must be to count
+	// toward ActivationOps. Zero selects the default.
+	RateWindow time.Duration
 	// Counters, when non-nil, receives the pushback counts and pending
 	// high watermarks (see internal/transport/flow).
 	Counters *flow.Counters
@@ -63,6 +99,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.ActivationOps == 0 {
+		o.ActivationOps = DefaultActivationOps
+	}
+	if o.RateWindow <= 0 {
+		o.RateWindow = DefaultRateWindow
 	}
 	return o
 }
@@ -84,15 +126,25 @@ type Conn struct {
 	rmu        sync.Mutex
 	rqueue     []transport.Message
 	rwait      chan struct{}      // broadcast: rqueue grew or the inner reader slot freed
+	rwaiters   int                // receivers parked on rwait; zero skips the broadcast churn
 	reading    bool               // a receiver is inside inner.Recv (single-flight)
 	readCancel context.CancelFunc // nudges the parked single-flight reader (pushLocal)
 }
 
-// destQueue accumulates the in-flight ops for one destination.
+// destQueue accumulates the in-flight ops for one destination. Its ops
+// backing array is retained across flushes (takeLocked copies the batch
+// out exact-size), so steady-state coalescing allocates one slice per
+// shipped frame instead of re-growing the accumulator op by op.
 type destQueue struct {
 	ops   []wire.Msg
 	gen   int         // flush generation, guards stale timers
 	timer *time.Timer // pending flush timer, stopped when the batch is taken
+
+	coalescing  bool         // adaptive mode: false = pass-through
+	sending     atomic.Int32 // pass-through sends currently inside inner.Send
+	hits        int          // contended sends observed in the current window
+	windowStart time.Time    // start of the contention-counting window
+	loneFlushes int          // consecutive timer flushes that shipped a lone op
 }
 
 // NewConn wraps inner with batching per opts.
@@ -111,8 +163,10 @@ var _ transport.Conn = (*Conn)(nil)
 func (c *Conn) ID() transport.NodeID { return c.inner.ID() }
 
 // Send enqueues payload for coalescing when to is a base object, passing
-// other traffic straight through. The op is shipped when the batch fills
-// (MaxBatch) or the flush window elapses, whichever comes first.
+// other traffic straight through. A destination below its activation
+// threshold ships the op immediately (pass-through); a coalescing
+// destination holds it until the batch fills (MaxBatch) or the flush
+// window elapses, whichever comes first.
 func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 	if to.Kind != transport.KindObject {
 		c.inner.Send(to, payload)
@@ -122,6 +176,26 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 	if c.closed {
 		c.mu.Unlock()
 		// The model treats sends after close as forever in transit.
+		return
+	}
+	q := c.pend[to]
+	if q == nil {
+		q = &destQueue{}
+		c.pend[to] = q
+	}
+	if c.opts.ActivationOps != AlwaysCoalesce && !q.coalescing {
+		// Pass-through: ship now, but record whether this send collided
+		// with another already in flight to the same destination — the
+		// signal that coalescing would amortize real per-frame cost.
+		// The in-flight count is atomic so the decrement after
+		// inner.Send needs no second lock acquisition.
+		if q.sending.Add(1) > 1 {
+			c.noteContentionLocked(q)
+		}
+		c.mu.Unlock()
+		c.opts.Counters.AddPassThrough()
+		c.inner.Send(to, payload)
+		q.sending.Add(-1)
 		return
 	}
 	if c.opts.PendingBudget > 0 && c.pending >= c.opts.PendingBudget {
@@ -134,18 +208,14 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 		c.pushLocal(transport.Message{From: to, Payload: wire.Busy{Msg: payload}})
 		return
 	}
-	q := c.pend[to]
-	if q == nil {
-		q = &destQueue{}
-		c.pend[to] = q
-	}
 	q.ops = append(q.ops, payload)
 	c.pending++
+	c.opts.Counters.AddCoalesced()
 	c.opts.Counters.RecordBatch(c.pending)
 	if len(q.ops) >= c.opts.MaxBatch {
-		ops := c.takeLocked(q)
+		single, multi := c.takeLocked(q)
 		c.mu.Unlock()
-		c.ship(to, ops)
+		c.ship(to, single, multi)
 		return
 	}
 	if len(q.ops) == 1 {
@@ -155,19 +225,46 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 	c.mu.Unlock()
 }
 
+// noteContentionLocked counts one contended send and activates
+// coalescing once ActivationOps of them land within RateWindow.
+func (c *Conn) noteContentionLocked(q *destQueue) {
+	now := time.Now()
+	if now.Sub(q.windowStart) > c.opts.RateWindow {
+		q.hits = 0
+		q.windowStart = now
+	}
+	q.hits++
+	if q.hits >= c.opts.ActivationOps {
+		q.coalescing = true
+		q.hits = 0
+	}
+}
+
 // takeLocked empties q, bumps its generation so pending timers for the
 // taken ops become no-ops, and stops the flush timer (a timer that
-// already fired is neutralized by the generation bump).
-func (c *Conn) takeLocked(q *destQueue) []wire.Msg {
-	ops := q.ops
-	q.ops = nil
+// already fired is neutralized by the generation bump). A lone op is
+// returned bare; a real batch is copied out exact-size so the
+// accumulator backing can be reused for the next batch (the shipped
+// slice escapes into wire.Batch and may be retained by the transport).
+func (c *Conn) takeLocked(q *destQueue) (single wire.Msg, multi []wire.Msg) {
+	switch n := len(q.ops); n {
+	case 0:
+	case 1:
+		single = q.ops[0]
+	default:
+		multi = make([]wire.Msg, n)
+		copy(multi, q.ops)
+		q.loneFlushes = 0 // a real batch shipped: coalescing is paying
+	}
+	clear(q.ops) // drop op references so the backing array pins nothing
+	c.pending -= len(q.ops)
+	q.ops = q.ops[:0]
 	q.gen++
 	if q.timer != nil {
 		q.timer.Stop()
 		q.timer = nil
 	}
-	c.pending -= len(ops) // the budget frees as soon as the ops ship
-	return ops
+	return single, multi
 }
 
 // pushLocal delivers a locally synthesized message (the pushback path)
@@ -178,9 +275,7 @@ func (c *Conn) takeLocked(q *destQueue) []wire.Msg {
 func (c *Conn) pushLocal(m transport.Message) {
 	c.rmu.Lock()
 	c.rqueue = append(c.rqueue, m)
-	wake := c.rwait
-	c.rwait = make(chan struct{})
-	close(wake)
+	c.wakeLocked()
 	cancel := c.readCancel
 	c.rmu.Unlock()
 	if cancel != nil {
@@ -188,8 +283,32 @@ func (c *Conn) pushLocal(m transport.Message) {
 	}
 }
 
+// wakeLocked wakes every parked receiver. With no one parked (the
+// common single-receiver case) it is a no-op, skipping the per-message
+// channel allocation and broadcast.
+func (c *Conn) wakeLocked() {
+	if c.rwaiters == 0 {
+		return
+	}
+	close(c.rwait)
+	c.rwait = make(chan struct{})
+	c.rwaiters = 0
+}
+
+// deactivationFlushes is the hysteresis on reverting to pass-through:
+// this many CONSECUTIVE flush windows each elapsing with a lone op.
+// A single lone window is common in a bursty round-trip workload (the
+// timer occasionally catches the stragglers of a burst); reverting on
+// one would thrash the mode and pay pass-through frames under real
+// load.
+const deactivationFlushes = 3
+
 // flushDest ships the pending batch for one destination if the flush
-// generation still matches (i.e. no size-triggered flush beat the timer).
+// generation still matches (i.e. no size-triggered flush beat the
+// timer). Windows that repeatedly elapse with no companions mean
+// coalescing is buying latency without amortizing anything, so after
+// deactivationFlushes consecutive lone windows the destination reverts
+// to pass-through until sends contend again.
 func (c *Conn) flushDest(to transport.NodeID, gen int) {
 	c.mu.Lock()
 	q := c.pend[to]
@@ -197,40 +316,54 @@ func (c *Conn) flushDest(to transport.NodeID, gen int) {
 		c.mu.Unlock()
 		return
 	}
-	ops := c.takeLocked(q)
+	lone := len(q.ops) == 1
+	single, multi := c.takeLocked(q)
+	if c.opts.ActivationOps != AlwaysCoalesce {
+		if lone {
+			q.loneFlushes++
+			if q.loneFlushes >= deactivationFlushes {
+				q.coalescing = false
+				q.hits = 0
+				q.loneFlushes = 0
+			}
+		} else {
+			q.loneFlushes = 0
+		}
+	}
 	c.mu.Unlock()
-	c.ship(to, ops)
+	c.ship(to, single, multi)
 }
 
 // ship sends the coalesced ops as one frame; a lone op travels bare so
 // uncontended traffic pays no envelope cost.
-func (c *Conn) ship(to transport.NodeID, ops []wire.Msg) {
-	if len(ops) == 0 {
+func (c *Conn) ship(to transport.NodeID, single wire.Msg, multi []wire.Msg) {
+	if multi != nil {
+		c.inner.Send(to, wire.Batch{Ops: multi})
 		return
 	}
-	if len(ops) == 1 {
-		c.inner.Send(to, ops[0])
-		return
+	if single != nil {
+		c.inner.Send(to, single)
 	}
-	c.inner.Send(to, wire.Batch{Ops: ops})
 }
 
 // Flush ships every pending batch immediately.
 func (c *Conn) Flush() {
 	c.mu.Lock()
 	type out struct {
-		to  transport.NodeID
-		ops []wire.Msg
+		to     transport.NodeID
+		single wire.Msg
+		multi  []wire.Msg
 	}
 	var pending []out
 	for to, q := range c.pend {
 		if len(q.ops) > 0 {
-			pending = append(pending, out{to, c.takeLocked(q)})
+			single, multi := c.takeLocked(q)
+			pending = append(pending, out{to, single, multi})
 		}
 	}
 	c.mu.Unlock()
 	for _, p := range pending {
-		c.ship(p.to, p.ops)
+		c.ship(p.to, p.single, p.multi)
 	}
 }
 
@@ -271,9 +404,7 @@ func (c *Conn) Recv(ctx context.Context) (transport.Message, error) {
 			// Wake every queued receiver: either the queue is about to
 			// grow, or the reader slot just freed (including on error, so
 			// a waiter with a live context can take over the read).
-			wake := c.rwait
-			c.rwait = make(chan struct{})
-			close(wake)
+			c.wakeLocked()
 			if err != nil {
 				nudged := readCtx.Err() != nil && ctx.Err() == nil
 				c.rmu.Unlock()
@@ -299,6 +430,7 @@ func (c *Conn) Recv(ctx context.Context) (transport.Message, error) {
 			c.rmu.Unlock()
 			continue
 		}
+		c.rwaiters++
 		wait := c.rwait
 		c.rmu.Unlock()
 		select {

@@ -56,7 +56,7 @@ func (f *fakeConn) frames() []sentFrame {
 
 func TestCoalescesConcurrentOpsToOneObject(t *testing.T) {
 	inner := newFakeConn()
-	c := NewConn(inner, Options{FlushWindow: 5 * time.Millisecond, MaxBatch: 64})
+	c := NewConn(inner, Options{FlushWindow: 5 * time.Millisecond, MaxBatch: 64, ActivationOps: AlwaysCoalesce})
 	obj := transport.Object(0)
 	const n = 16
 	for i := 0; i < n; i++ {
@@ -83,7 +83,7 @@ func TestCoalescesConcurrentOpsToOneObject(t *testing.T) {
 
 func TestMaxBatchFlushesEagerly(t *testing.T) {
 	inner := newFakeConn()
-	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 4})
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 4, ActivationOps: AlwaysCoalesce})
 	obj := transport.Object(1)
 	for i := 0; i < 8; i++ {
 		c.Send(obj, wire.BaselineReadReq{Attempt: i})
@@ -210,7 +210,7 @@ func TestWrapHandlerSingleReplyTravelsBare(t *testing.T) {
 
 func TestFlushShipsPendingImmediately(t *testing.T) {
 	inner := newFakeConn()
-	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64})
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64, ActivationOps: AlwaysCoalesce})
 	c.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 0})
 	c.Send(transport.Object(1), wire.BaselineReadReq{Attempt: 1})
 	if len(inner.frames()) != 0 {

@@ -21,6 +21,7 @@ func TestPendingBudgetPushback(t *testing.T) {
 		FlushWindow:   time.Hour, // nothing ships on its own
 		MaxBatch:      64,
 		PendingBudget: 2,
+		ActivationOps: AlwaysCoalesce,
 		Counters:      ctrs,
 	})
 	obj := transport.Object(0)
@@ -74,7 +75,7 @@ func TestPendingBudgetPushback(t *testing.T) {
 // unrelated socket traffic.
 func TestPendingBudgetPushbackWakesParkedReceiver(t *testing.T) {
 	inner := &countingConn{fakeConn: newFakeConn()}
-	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64, PendingBudget: 1})
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 64, PendingBudget: 1, ActivationOps: AlwaysCoalesce})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 
@@ -112,7 +113,7 @@ func TestPendingBudgetPushbackWakesParkedReceiver(t *testing.T) {
 // Send-side state must not regress the single-flighted Recv path.
 func TestSingleFlightSurvivesBoundedRewrite(t *testing.T) {
 	inner := &countingConn{fakeConn: newFakeConn()}
-	c := NewConn(inner, Options{PendingBudget: 8})
+	c := NewConn(inner, Options{PendingBudget: 8, ActivationOps: AlwaysCoalesce})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 

@@ -116,7 +116,7 @@ func TestRecvWaiterHonorsContext(t *testing.T) {
 // firing later into a closed endpoint.
 func TestCloseStopsFlushTimers(t *testing.T) {
 	inner := newFakeConn()
-	c := NewConn(inner, Options{FlushWindow: 50 * time.Millisecond, MaxBatch: 64})
+	c := NewConn(inner, Options{FlushWindow: 50 * time.Millisecond, MaxBatch: 64, ActivationOps: AlwaysCoalesce})
 	c.Send(transport.Object(0), wire.BaselineReadReq{Attempt: 0})
 	c.Send(transport.Object(1), wire.BaselineReadReq{Attempt: 1})
 
@@ -159,7 +159,7 @@ func TestCloseStopsFlushTimers(t *testing.T) {
 // disarm the window timer it raced with.
 func TestMaxBatchFlushStopsTimer(t *testing.T) {
 	inner := newFakeConn()
-	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 2})
+	c := NewConn(inner, Options{FlushWindow: time.Hour, MaxBatch: 2, ActivationOps: AlwaysCoalesce})
 	obj := transport.Object(3)
 	c.Send(obj, wire.BaselineReadReq{Attempt: 0}) // arms the timer
 	c.Send(obj, wire.BaselineReadReq{Attempt: 1}) // size-triggered flush

@@ -125,6 +125,8 @@ type Counters struct {
 	sheds          atomic.Int64
 	hedges         atomic.Int64
 	inboxSheds     atomic.Int64
+	passThrough    atomic.Int64
+	coalesced      atomic.Int64
 
 	linkHighWater   atomic.Int64
 	inboxHighWater  atomic.Int64
@@ -179,6 +181,21 @@ func (c *Counters) AddInboxShed() {
 	}
 }
 
+// AddPassThrough counts one op the batch layer shipped immediately
+// because the link was below its coalescing activation threshold.
+func (c *Counters) AddPassThrough() {
+	if c != nil {
+		c.passThrough.Add(1)
+	}
+}
+
+// AddCoalesced counts one op the batch layer held for coalescing.
+func (c *Counters) AddCoalesced() {
+	if c != nil {
+		c.coalesced.Add(1)
+	}
+}
+
 // RecordLink tracks the deepest per-link mailbox backlog observed.
 func (c *Counters) RecordLink(depth int) {
 	if c != nil {
@@ -218,6 +235,8 @@ func (c *Counters) Snapshot() Stats {
 		Sheds:           c.sheds.Load(),
 		Hedges:          c.hedges.Load(),
 		InboxSheds:      c.inboxSheds.Load(),
+		PassThrough:     c.passThrough.Load(),
+		Coalesced:       c.coalesced.Load(),
 		LinkHighWater:   c.linkHighWater.Load(),
 		InboxHighWater:  c.inboxHighWater.Load(),
 		ObjectHighWater: c.objectHighWater.Load(),
@@ -232,6 +251,8 @@ type Stats struct {
 	Sheds          int64 // sends skipped because the member was marked slow
 	Hedges         int64 // straggler re-sends fired
 	InboxSheds     int64 // messages dropped (oldest-per-link) at bounded mailboxes
+	PassThrough    int64 // ops the batch layer shipped immediately (below activation threshold)
+	Coalesced      int64 // ops the batch layer held for coalescing
 
 	LinkHighWater   int64 // deepest per-link mailbox backlog observed
 	InboxHighWater  int64 // deepest total mailbox backlog observed
@@ -248,6 +269,8 @@ func (s Stats) Add(o Stats) Stats {
 		Sheds:           s.Sheds + o.Sheds,
 		Hedges:          s.Hedges + o.Hedges,
 		InboxSheds:      s.InboxSheds + o.InboxSheds,
+		PassThrough:     s.PassThrough + o.PassThrough,
+		Coalesced:       s.Coalesced + o.Coalesced,
 		LinkHighWater:   max(s.LinkHighWater, o.LinkHighWater),
 		InboxHighWater:  max(s.InboxHighWater, o.InboxHighWater),
 		ObjectHighWater: max(s.ObjectHighWater, o.ObjectHighWater),
@@ -257,8 +280,9 @@ func (s Stats) Add(o Stats) Stats {
 
 // String renders the counters compactly for reports.
 func (s Stats) String() string {
-	return fmt.Sprintf("pushbacks=%d batch_pushbacks=%d sheds=%d hedges=%d inbox_sheds=%d hw[link=%d inbox=%d object=%d batch=%d]",
+	return fmt.Sprintf("pushbacks=%d batch_pushbacks=%d sheds=%d hedges=%d inbox_sheds=%d pass_through=%d coalesced=%d hw[link=%d inbox=%d object=%d batch=%d]",
 		s.Pushbacks, s.BatchPushbacks, s.Sheds, s.Hedges, s.InboxSheds,
+		s.PassThrough, s.Coalesced,
 		s.LinkHighWater, s.InboxHighWater, s.ObjectHighWater, s.BatchHighWater)
 }
 

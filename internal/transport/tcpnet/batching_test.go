@@ -39,7 +39,7 @@ func (f *frameTap) OnMessage(from, to transport.NodeID, payload wire.Msg) {
 func TestBatchingCoalescesConcurrentOpsOverTCP(t *testing.T) {
 	net := tcpnet.New()
 	defer net.Close()
-	net.EnableBatching(batch.Options{FlushWindow: 2 * time.Millisecond, MaxBatch: 64})
+	net.EnableBatching(batch.Options{FlushWindow: 2 * time.Millisecond, MaxBatch: 64, ActivationOps: batch.AlwaysCoalesce})
 
 	tap := &frameTap{}
 	net.AddTap(tap)

@@ -11,7 +11,6 @@ package tcpnet
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -30,26 +29,46 @@ import (
 // make us allocate unbounded memory from a tiny prefix.
 const maxFrame = 1 << 26
 
+// frameBuf is a pooled scratch buffer for frame assembly and reads.
+// DecodeCompact copies every byte a decoded message retains, and
+// writeFrame flushes before returning, so buffers can be recycled the
+// moment either function returns.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() interface{} { return new(frameBuf) }}
+
+// maxPooledFrame bounds the capacity retained by pooled frame buffers:
+// a one-off state-transfer frame must not pin its footprint forever.
+const maxPooledFrame = 128 << 10
+
+func putFrame(fb *frameBuf) {
+	if cap(fb.b) <= maxPooledFrame {
+		framePool.Put(fb)
+	}
+}
+
 // writeFrame writes one frame: uvarint total length, then the sender's
 // node identity (two varints), then the compact-encoded message. The
-// caller serializes writes per connection.
+// header and message are assembled in a pooled buffer — zero
+// steady-state allocations per frame. The caller serializes writes per
+// connection.
 func writeFrame(w *bufio.Writer, from transport.NodeID, m wire.Msg) error {
-	body, err := wire.EncodeCompact(m)
+	fb := framePool.Get().(*frameBuf)
+	defer putFrame(fb)
+	buf := fb.b[:0]
+	buf = binary.AppendVarint(buf, int64(from.Kind))
+	buf = binary.AppendVarint(buf, int64(from.Index))
+	buf, err := wire.AppendCompact(buf, m)
+	fb.b = buf
 	if err != nil {
 		return err
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutVarint(hdr[:], int64(from.Kind))
-	n += binary.PutVarint(hdr[n:], int64(from.Index))
 	var ln [binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(ln[:], uint64(n+len(body)))
+	k := binary.PutUvarint(ln[:], uint64(len(buf)))
 	if _, err := w.Write(ln[:k]); err != nil {
 		return err
 	}
-	if _, err := w.Write(hdr[:n]); err != nil {
-		return err
-	}
-	if _, err := w.Write(body); err != nil {
+	if _, err := w.Write(buf); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -64,15 +83,32 @@ func readFrame(r *bufio.Reader) (transport.NodeID, wire.Msg, error) {
 	if n > maxFrame {
 		return transport.NodeID{}, nil, fmt.Errorf("tcpnet: frame length %d exceeds cap", n)
 	}
-	// Grow the buffer with the bytes that actually arrive rather than
-	// sizing it from the declared length: a peer announcing a huge frame
-	// and then stalling must not pin the allocation up front.
-	var body bytes.Buffer
-	body.Grow(int(min(n, 64<<10)))
-	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
-		return transport.NodeID{}, nil, err
+	// Fill a pooled buffer chunk by chunk, growing with the bytes that
+	// actually arrive rather than sizing it from the declared length: a
+	// peer announcing a huge frame and then stalling must not pin the
+	// allocation up front.
+	fb := framePool.Get().(*frameBuf)
+	defer putFrame(fb)
+	buf := fb.b[:0]
+	for remaining := int(n); remaining > 0; {
+		chunk := remaining
+		if chunk > 64<<10 {
+			chunk = 64 << 10
+		}
+		start := len(buf)
+		if need := start + chunk; cap(buf) < need {
+			grown := make([]byte, start, max(need, 2*cap(buf)))
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:start+chunk]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			fb.b = buf
+			return transport.NodeID{}, nil, err
+		}
+		remaining -= chunk
 	}
-	buf := body.Bytes()
+	fb.b = buf
 	kind, k1 := binary.Varint(buf)
 	if k1 <= 0 {
 		return transport.NodeID{}, nil, fmt.Errorf("tcpnet: bad frame header")

@@ -9,14 +9,32 @@ package wire
 // bandwidth-sensitive deployment can frame connections with
 // EncodeCompact/DecodeCompact instead of Encode/Decode — both sides of
 // every message type round-trip exactly.
+//
+// The codec is built for the batched hot path:
+//
+//   - AppendCompact encodes into a caller-supplied buffer, so a
+//     transport can reuse one scratch buffer per connection and reach
+//     zero steady-state allocations per frame (tcpnet does).
+//   - Nested messages (RegOp, Batch, Epoch, ConfigEpoch, Busy) are
+//     encoded directly into the outgoing frame: the length prefix is
+//     reserved as a fixed-width padded varint and backfilled once the
+//     payload is in place, instead of marshalling the sub-message to a
+//     temporary buffer and copying it in. A Batch of 64 RegOps is one
+//     buffer, not 129.
+//   - Decoding walks a cursor over the input and hands nested payloads
+//     to the recursive decoder as sub-slice views, copying only the
+//     leaf byte fields the decoded message must own.
+//   - EncodeCompact and CompactSize draw their scratch buffers from a
+//     sync.Pool; buffers are length-reset on reuse and never leak
+//     bytes between messages (pool_test.go pins this under -race).
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -47,34 +65,81 @@ const (
 	tagBusy
 )
 
+// subLenWidth is the fixed byte width of a nested-message length
+// prefix. Nested payloads are framed with a zero-padded uvarint of
+// exactly this width so the encoder can reserve the prefix, encode the
+// payload in place, and backfill the length — no temporary buffer, no
+// copy. binary.Uvarint accepts the non-canonical padding.
+const subLenWidth = 4
+
+// maxSubLen is the largest nested payload subLenWidth bytes can frame
+// (2^28-1, comfortably above maxLen).
+const maxSubLen = 1<<(7*subLenWidth) - 1
+
 // enc is a little append-only writer with varint packing.
-type enc struct{ buf bytes.Buffer }
+type enc struct{ b []byte }
 
-func (e *enc) u(v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	e.buf.Write(tmp[:n])
+// maxPooledBuf bounds the capacity retained by pooled encoder buffers:
+// a one-off giant state transfer must not pin its footprint forever.
+const maxPooledBuf = 1 << 16
+
+var encPool = sync.Pool{New: func() interface{} { return new(enc) }}
+
+func (e *enc) u(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+func (e *enc) i(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+func (e *enc) byte(c byte) { e.b = append(e.b, c) }
+
+func (e *enc) bytes(p []byte) {
+	e.u(uint64(len(p)))
+	e.b = append(e.b, p...)
 }
 
-func (e *enc) i(v int64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(tmp[:], v)
-	e.buf.Write(tmp[:n])
-}
-
-func (e *enc) bytes(b []byte) {
-	e.u(uint64(len(b)))
-	e.buf.Write(b)
+// str writes a length-prefixed string without converting it to []byte.
+func (e *enc) str(s string) {
+	e.u(uint64(len(s)))
+	e.b = append(e.b, s...)
 }
 
 // optBytes distinguishes nil (⊥) from empty.
-func (e *enc) optBytes(b []byte) {
-	if b == nil {
-		e.buf.WriteByte(0)
+func (e *enc) optBytes(p []byte) {
+	if p == nil {
+		e.byte(0)
 		return
 	}
-	e.buf.WriteByte(1)
-	e.bytes(b)
+	e.byte(1)
+	e.bytes(p)
+}
+
+// beginNested reserves a fixed-width length prefix for a nested message
+// and returns the payload start offset for endNested.
+func (e *enc) beginNested() int {
+	e.b = append(e.b, 0x80, 0x80, 0x80, 0x00)
+	return len(e.b)
+}
+
+// endNested backfills the reserved prefix with the padded-uvarint length
+// of everything appended since beginNested.
+func (e *enc) endNested(start int) error {
+	n := len(e.b) - start
+	if n > maxSubLen {
+		return fmt.Errorf("wire: nested payload %d bytes exceeds frame cap", n)
+	}
+	e.b[start-4] = byte(n)&0x7f | 0x80
+	e.b[start-3] = byte(n>>7)&0x7f | 0x80
+	e.b[start-2] = byte(n>>14)&0x7f | 0x80
+	e.b[start-1] = byte(n >> 21)
+	return nil
+}
+
+// nested encodes a wrapped message in place behind its length prefix.
+func (e *enc) nested(m Msg) error {
+	start := e.beginNested()
+	if err := e.msg(m); err != nil {
+		return err
+	}
+	return e.endNested(start)
 }
 
 func (e *enc) tsval(tv types.TSVal) {
@@ -84,10 +149,10 @@ func (e *enc) tsval(tv types.TSVal) {
 
 func (e *enc) tsrVector(v types.TSRVector) {
 	if v == nil {
-		e.buf.WriteByte(0)
+		e.byte(0)
 		return
 	}
-	e.buf.WriteByte(1)
+	e.byte(1)
 	e.u(uint64(len(v)))
 	for _, r := range v {
 		e.i(int64(r))
@@ -95,6 +160,10 @@ func (e *enc) tsrVector(v types.TSRVector) {
 }
 
 func (e *enc) tsrMatrix(m types.TSRMatrix) {
+	if len(m) == 0 {
+		e.u(0)
+		return
+	}
 	ids := make([]types.ObjectID, 0, len(m))
 	for id, vec := range m {
 		if vec != nil {
@@ -122,28 +191,207 @@ func (e *enc) history(h types.History) {
 		e.i(int64(ts))
 		e.tsval(entry.PW)
 		if entry.W == nil {
-			e.buf.WriteByte(0)
+			e.byte(0)
 		} else {
-			e.buf.WriteByte(1)
+			e.byte(1)
 			e.wtuple(*entry.W)
 		}
 	}
 }
 
-// dec is the matching reader; the first error sticks.
+// msg appends one tagged message.
+func (e *enc) msg(m Msg) error {
+	switch v := m.(type) {
+	case PWReq:
+		e.byte(tagPWReq)
+		e.i(int64(v.TS))
+		e.tsval(v.PW)
+		e.wtuple(v.W)
+	case PWAck:
+		e.byte(tagPWAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.TS))
+		e.tsrVector(v.TSR)
+	case WReq:
+		e.byte(tagWReq)
+		e.i(int64(v.TS))
+		e.tsval(v.PW)
+		e.wtuple(v.W)
+	case WAck:
+		e.byte(tagWAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.TS))
+	case ReadReq:
+		e.byte(tagReadReq)
+		e.i(int64(v.Round))
+		e.i(int64(v.Reader))
+		e.i(int64(v.TSR))
+		e.i(int64(v.CacheTS))
+	case ReadAck:
+		e.byte(tagReadAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Round))
+		e.i(int64(v.TSR))
+		e.tsval(v.PW)
+		e.wtuple(v.W)
+	case ReadAckHist:
+		e.byte(tagReadAckHist)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Round))
+		e.i(int64(v.TSR))
+		e.history(v.History)
+	case BaselineWriteReq:
+		e.byte(tagBaselineWriteReq)
+		e.i(int64(v.TS))
+		e.optBytes(v.Val)
+		e.bytes(v.Sig)
+	case BaselineWriteAck:
+		e.byte(tagBaselineWriteAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.TS))
+	case BaselineReadReq:
+		e.byte(tagBaselineReadReq)
+		e.i(int64(v.Attempt))
+		e.i(int64(v.Reader))
+	case BaselineReadAck:
+		e.byte(tagBaselineReadAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Attempt))
+		e.i(int64(v.TS))
+		e.optBytes(v.Val)
+		e.bytes(v.Sig)
+	case PairsReadAck:
+		e.byte(tagPairsReadAck)
+		e.i(int64(v.ObjectID))
+		e.i(int64(v.Attempt))
+		e.tsval(v.PW)
+		e.tsval(v.W)
+	case SubscribeReq:
+		e.byte(tagSubscribeReq)
+		e.i(int64(v.Reader))
+		e.i(v.Seq)
+	case PushState:
+		e.byte(tagPushState)
+		e.i(int64(v.ObjectID))
+		e.i(v.Seq)
+		e.i(int64(v.TS))
+		e.optBytes(v.Val)
+		if v.Echo {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	case RegOp:
+		e.byte(tagRegOp)
+		e.str(v.Reg)
+		return e.nested(v.Msg)
+	case Batch:
+		e.byte(tagBatch)
+		e.u(uint64(len(v.Ops)))
+		for _, op := range v.Ops {
+			if err := e.nested(op); err != nil {
+				return err
+			}
+		}
+	case Epoch:
+		e.byte(tagEpoch)
+		e.i(v.Inc)
+		return e.nested(v.Msg)
+	case StateReq:
+		e.byte(tagStateReq)
+		e.i(v.Seq)
+		e.i(int64(v.Requester))
+	case StateResp:
+		e.byte(tagStateResp)
+		e.i(int64(v.ObjectID))
+		e.i(v.Seq)
+		e.i(v.Incarnation)
+		e.u(uint64(len(v.Regs)))
+		for _, rs := range v.Regs {
+			e.str(rs.Reg)
+			e.i(int64(rs.TS))
+			e.history(rs.History)
+			e.tsrVector(rs.TSR)
+		}
+	case ConfigEpoch:
+		e.byte(tagConfigEpoch)
+		e.i(v.Epoch)
+		return e.nested(v.Msg)
+	case Busy:
+		e.byte(tagBusy)
+		return e.nested(v.Msg)
+	case ConfigUpdate:
+		e.byte(tagConfigUpdate)
+		e.i(v.Shard)
+		e.i(v.Epoch)
+		e.u(uint64(len(v.Members)))
+		for _, m := range v.Members {
+			e.i(m)
+		}
+		e.bytes(v.Sig)
+	default:
+		return fmt.Errorf("wire: compact codec: unknown message %T", m)
+	}
+	return nil
+}
+
+// AppendCompact serializes a message with the compact codec, appending
+// the encoding to dst and returning the extended buffer. Callers that
+// hold a reusable scratch buffer (one per connection, or drawn from a
+// pool) encode with zero per-frame allocations.
+func AppendCompact(dst []byte, m Msg) ([]byte, error) {
+	e := enc{b: dst}
+	if err := e.msg(m); err != nil {
+		return dst, err
+	}
+	return e.b, nil
+}
+
+// EncodeCompact serializes a message with the compact codec into a
+// fresh, caller-owned buffer. The working buffer comes from a pool, so
+// the only allocation is the exact-size result.
+func EncodeCompact(m Msg) ([]byte, error) {
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	if err := e.msg(m); err != nil {
+		putEnc(e)
+		return nil, err
+	}
+	out := make([]byte, len(e.b))
+	copy(out, e.b)
+	putEnc(e)
+	return out, nil
+}
+
+// putEnc returns an encoder to the pool unless its buffer has grown
+// past the retention cap.
+func putEnc(e *enc) {
+	if cap(e.b) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+}
+
+// dec is the matching reader: a cursor over the frame; the first error
+// sticks.
 type dec struct {
-	r   *bytes.Reader
+	b   []byte
+	off int
 	err error
 }
+
+// rem returns the bytes left in the frame.
+func (d *dec) rem() int { return len(d.b) - d.off }
 
 func (d *dec) u() uint64 {
 	if d.err != nil {
 		return 0
 	}
-	v, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		d.err = err
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("wire: bad uvarint: %w", io.ErrUnexpectedEOF)
+		return 0
 	}
+	d.off += n
 	return v
 }
 
@@ -151,10 +399,12 @@ func (d *dec) i() int64 {
 	if d.err != nil {
 		return 0
 	}
-	v, err := binary.ReadVarint(d.r)
-	if err != nil {
-		d.err = err
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("wire: bad varint: %w", io.ErrUnexpectedEOF)
+		return 0
 	}
+	d.off += n
 	return v
 }
 
@@ -162,32 +412,51 @@ func (d *dec) byte() byte {
 	if d.err != nil {
 		return 0
 	}
-	b, err := d.r.ReadByte()
-	if err != nil {
-		d.err = err
+	if d.off >= len(d.b) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
 	}
-	return b
+	c := d.b[d.off]
+	d.off++
+	return c
 }
 
 // maxLen caps length prefixes: a Byzantine peer must not make us
 // allocate unbounded memory from a tiny frame.
 const maxLen = 1 << 26
 
+// bytesN copies out a length-prefixed byte field. Decoded messages own
+// their data (the frame buffer may be pooled and reused), so leaf byte
+// fields copy; nested message payloads use view instead.
 func (d *dec) bytesN() []byte {
 	n := d.u()
 	if d.err != nil {
 		return nil
 	}
-	if n > maxLen || int64(n) > int64(d.r.Len()) {
+	if n > maxLen || int64(n) > int64(d.rem()) {
 		d.err = fmt.Errorf("wire: length %d exceeds frame", n)
 		return nil
 	}
 	out := make([]byte, n)
-	if _, err := io.ReadFull(d.r, out); err != nil {
-		d.err = err
+	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
+// view returns a length-prefixed sub-frame as a slice of the input —
+// no copy. Only the recursive decoder reads it; nothing retains it.
+func (d *dec) view() []byte {
+	n := d.u()
+	if d.err != nil {
 		return nil
 	}
-	return out
+	if n > maxLen || int64(n) > int64(d.rem()) {
+		d.err = fmt.Errorf("wire: length %d exceeds frame", n)
+		return nil
+	}
+	s := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s
 }
 
 func (d *dec) optBytes() []byte {
@@ -209,7 +478,7 @@ func (d *dec) tsrVector() types.TSRVector {
 	n := d.u()
 	// Each entry is at least one varint byte, so a count above the
 	// remaining frame is provably bogus — reject before allocating.
-	if d.err != nil || n > maxLen || int64(n) > int64(d.r.Len()) {
+	if d.err != nil || n > maxLen || int64(n) > int64(d.rem()) {
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: vector length %d", n)
 		}
@@ -224,7 +493,7 @@ func (d *dec) tsrVector() types.TSRVector {
 
 func (d *dec) tsrMatrix() types.TSRMatrix {
 	n := d.u()
-	if d.err != nil || n > maxLen || int64(n) > int64(d.r.Len()) {
+	if d.err != nil || n > maxLen || int64(n) > int64(d.rem()) {
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: matrix length %d", n)
 		}
@@ -244,7 +513,7 @@ func (d *dec) wtuple() types.WTuple {
 
 func (d *dec) history() types.History {
 	n := d.u()
-	if d.err != nil || n > maxLen || int64(n) > int64(d.r.Len()) {
+	if d.err != nil || n > maxLen || int64(n) > int64(d.rem()) {
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: history length %d", n)
 		}
@@ -263,161 +532,6 @@ func (d *dec) history() types.History {
 	return h
 }
 
-// EncodeCompact serializes a message with the compact codec.
-func EncodeCompact(m Msg) ([]byte, error) {
-	var e enc
-	switch v := m.(type) {
-	case PWReq:
-		e.buf.WriteByte(tagPWReq)
-		e.i(int64(v.TS))
-		e.tsval(v.PW)
-		e.wtuple(v.W)
-	case PWAck:
-		e.buf.WriteByte(tagPWAck)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.TS))
-		e.tsrVector(v.TSR)
-	case WReq:
-		e.buf.WriteByte(tagWReq)
-		e.i(int64(v.TS))
-		e.tsval(v.PW)
-		e.wtuple(v.W)
-	case WAck:
-		e.buf.WriteByte(tagWAck)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.TS))
-	case ReadReq:
-		e.buf.WriteByte(tagReadReq)
-		e.i(int64(v.Round))
-		e.i(int64(v.Reader))
-		e.i(int64(v.TSR))
-		e.i(int64(v.CacheTS))
-	case ReadAck:
-		e.buf.WriteByte(tagReadAck)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.Round))
-		e.i(int64(v.TSR))
-		e.tsval(v.PW)
-		e.wtuple(v.W)
-	case ReadAckHist:
-		e.buf.WriteByte(tagReadAckHist)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.Round))
-		e.i(int64(v.TSR))
-		e.history(v.History)
-	case BaselineWriteReq:
-		e.buf.WriteByte(tagBaselineWriteReq)
-		e.i(int64(v.TS))
-		e.optBytes(v.Val)
-		e.bytes(v.Sig)
-	case BaselineWriteAck:
-		e.buf.WriteByte(tagBaselineWriteAck)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.TS))
-	case BaselineReadReq:
-		e.buf.WriteByte(tagBaselineReadReq)
-		e.i(int64(v.Attempt))
-		e.i(int64(v.Reader))
-	case BaselineReadAck:
-		e.buf.WriteByte(tagBaselineReadAck)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.Attempt))
-		e.i(int64(v.TS))
-		e.optBytes(v.Val)
-		e.bytes(v.Sig)
-	case PairsReadAck:
-		e.buf.WriteByte(tagPairsReadAck)
-		e.i(int64(v.ObjectID))
-		e.i(int64(v.Attempt))
-		e.tsval(v.PW)
-		e.tsval(v.W)
-	case SubscribeReq:
-		e.buf.WriteByte(tagSubscribeReq)
-		e.i(int64(v.Reader))
-		e.i(v.Seq)
-	case PushState:
-		e.buf.WriteByte(tagPushState)
-		e.i(int64(v.ObjectID))
-		e.i(v.Seq)
-		e.i(int64(v.TS))
-		e.optBytes(v.Val)
-		if v.Echo {
-			e.buf.WriteByte(1)
-		} else {
-			e.buf.WriteByte(0)
-		}
-	case RegOp:
-		e.buf.WriteByte(tagRegOp)
-		e.bytes([]byte(v.Reg))
-		sub, err := EncodeCompact(v.Msg)
-		if err != nil {
-			return nil, err
-		}
-		e.bytes(sub)
-	case Batch:
-		e.buf.WriteByte(tagBatch)
-		e.u(uint64(len(v.Ops)))
-		for _, op := range v.Ops {
-			sub, err := EncodeCompact(op)
-			if err != nil {
-				return nil, err
-			}
-			e.bytes(sub)
-		}
-	case Epoch:
-		e.buf.WriteByte(tagEpoch)
-		e.i(v.Inc)
-		sub, err := EncodeCompact(v.Msg)
-		if err != nil {
-			return nil, err
-		}
-		e.bytes(sub)
-	case StateReq:
-		e.buf.WriteByte(tagStateReq)
-		e.i(v.Seq)
-		e.i(int64(v.Requester))
-	case StateResp:
-		e.buf.WriteByte(tagStateResp)
-		e.i(int64(v.ObjectID))
-		e.i(v.Seq)
-		e.i(v.Incarnation)
-		e.u(uint64(len(v.Regs)))
-		for _, rs := range v.Regs {
-			e.bytes([]byte(rs.Reg))
-			e.i(int64(rs.TS))
-			e.history(rs.History)
-			e.tsrVector(rs.TSR)
-		}
-	case ConfigEpoch:
-		e.buf.WriteByte(tagConfigEpoch)
-		e.i(v.Epoch)
-		sub, err := EncodeCompact(v.Msg)
-		if err != nil {
-			return nil, err
-		}
-		e.bytes(sub)
-	case Busy:
-		e.buf.WriteByte(tagBusy)
-		sub, err := EncodeCompact(v.Msg)
-		if err != nil {
-			return nil, err
-		}
-		e.bytes(sub)
-	case ConfigUpdate:
-		e.buf.WriteByte(tagConfigUpdate)
-		e.i(v.Shard)
-		e.i(v.Epoch)
-		e.u(uint64(len(v.Members)))
-		for _, m := range v.Members {
-			e.i(m)
-		}
-		e.bytes(v.Sig)
-	default:
-		return nil, fmt.Errorf("wire: compact codec: unknown message %T", m)
-	}
-	return e.buf.Bytes(), nil
-}
-
 // maxNest caps RegOp/Batch/Epoch/ConfigEpoch/Busy nesting during
 // decode. Legitimate frames nest at most five levels (a Busy echo of a
 // Batch of ConfigEpoch-stamped, Epoch-stamped RegOps on the flow-,
@@ -426,7 +540,9 @@ func EncodeCompact(m Msg) ([]byte, error) {
 // exhausts the stack — a fatal, unrecoverable runtime error.
 const maxNest = 6
 
-// DecodeCompact deserializes a message produced by EncodeCompact.
+// DecodeCompact deserializes a message produced by EncodeCompact. The
+// returned message owns all its data; data may be a pooled buffer the
+// caller reuses after the call.
 func DecodeCompact(data []byte) (Msg, error) {
 	return decodeCompact(data, 0)
 }
@@ -438,7 +554,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("wire: compact codec: empty frame")
 	}
-	d := &dec{r: bytes.NewReader(data[1:])}
+	d := dec{b: data[1:]}
 	var m Msg
 	switch data[0] {
 	case tagPWReq:
@@ -471,7 +587,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		m = PushState{ObjectID: types.ObjectID(d.i()), Seq: d.i(), TS: types.TS(d.i()), Val: d.optBytes(), Echo: d.byte() == 1}
 	case tagRegOp:
 		reg := string(d.bytesN())
-		sub := d.bytesN()
+		sub := d.view()
 		if d.err == nil {
 			inner, err := decodeCompact(sub, depth+1)
 			if err != nil {
@@ -483,7 +599,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		n := d.u()
 		// Each op costs at least one length byte; a count above the
 		// remaining frame is provably bogus.
-		if d.err == nil && (n > maxLen || int64(n) > int64(d.r.Len())) {
+		if d.err == nil && (n > maxLen || int64(n) > int64(d.rem())) {
 			d.err = fmt.Errorf("wire: batch length %d", n)
 		}
 		if d.err != nil {
@@ -491,7 +607,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		}
 		ops := make([]Msg, 0, min(int(n), 1024))
 		for i := uint64(0); i < n && d.err == nil; i++ {
-			sub := d.bytesN()
+			sub := d.view()
 			if d.err != nil {
 				break
 			}
@@ -504,7 +620,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		m = Batch{Ops: ops}
 	case tagEpoch:
 		inc := d.i()
-		sub := d.bytesN()
+		sub := d.view()
 		if d.err == nil {
 			inner, err := decodeCompact(sub, depth+1)
 			if err != nil {
@@ -514,7 +630,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		}
 	case tagConfigEpoch:
 		epoch := d.i()
-		sub := d.bytesN()
+		sub := d.view()
 		if d.err == nil {
 			inner, err := decodeCompact(sub, depth+1)
 			if err != nil {
@@ -527,7 +643,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		n := d.u()
 		// Each member is at least one varint byte; a count above the
 		// remaining frame is provably bogus — reject before allocating.
-		if d.err == nil && (n > maxLen || int64(n) > int64(d.r.Len())) {
+		if d.err == nil && (n > maxLen || int64(n) > int64(d.rem())) {
 			d.err = fmt.Errorf("wire: member list length %d", n)
 		}
 		if d.err != nil {
@@ -540,7 +656,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		cu.Sig = d.bytesN()
 		m = cu
 	case tagBusy:
-		sub := d.bytesN()
+		sub := d.view()
 		if d.err == nil {
 			inner, err := decodeCompact(sub, depth+1)
 			if err != nil {
@@ -555,7 +671,7 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		n := d.u()
 		// Each register costs at least a few bytes; a count above the
 		// remaining frame is provably bogus — reject before allocating.
-		if d.err == nil && (n > maxLen || int64(n) > int64(d.r.Len())) {
+		if d.err == nil && (n > maxLen || int64(n) > int64(d.rem())) {
 			d.err = fmt.Errorf("wire: state resp length %d", n)
 		}
 		if d.err != nil {
@@ -575,19 +691,24 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 	if d.err != nil {
 		return nil, fmt.Errorf("wire: compact codec: %w", d.err)
 	}
-	if d.r.Len() != 0 {
-		return nil, fmt.Errorf("wire: compact codec: %d trailing bytes", d.r.Len())
+	if d.rem() != 0 {
+		return nil, fmt.Errorf("wire: compact codec: %d trailing bytes", d.rem())
 	}
 	return m, nil
 }
 
 // CompactSize returns the compact-codec size of a message in bytes
 // (math.MaxInt for unencodable messages, which cannot happen for
-// well-formed payloads).
+// well-formed payloads). The measurement runs on a pooled buffer and
+// allocates nothing.
 func CompactSize(m Msg) int {
-	data, err := EncodeCompact(m)
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	err := e.msg(m)
+	n := len(e.b)
+	putEnc(e)
 	if err != nil {
 		return math.MaxInt
 	}
-	return len(data)
+	return n
 }
