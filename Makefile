@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race fmt fmt-check bench bench-gate demo chaos chaos-recovery chaos-membership chaos-saturation clean
+.PHONY: all build vet lint test race fmt fmt-check bench bench-gate demo chaos chaos-recovery chaos-membership chaos-saturation clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the vetstore suite (internal/analysis): custom analyzers that
+# mechanically enforce the repo's hand-maintained invariants — wire
+# message table exhaustiveness, sync.Pool buffer safety, transport lock
+# discipline, seeded determinism, and context threading. See the README's
+# "Static analysis" section.
+lint:
+	$(GO) build -o bin/vetstore ./cmd/vetstore
+	$(GO) vet -vettool=$(abspath bin/vetstore) ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 fmt:
 	gofmt -w .
@@ -95,3 +104,4 @@ chaos-saturation:
 # the throwaway grid bench-gate generates.
 clean:
 	rm -f BENCH_current.json
+	rm -rf bin

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestSuiteRunsCleanOverRepo is the in-tree guarantee behind `make lint`:
+// the full analyzer suite over every package in the module must report
+// nothing. Any new finding is either a real invariant violation (fix it)
+// or a sanctioned exception (annotate it with //vetstore:ignore <name>
+// and a reason).
+func TestSuiteRunsCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	diags, err := Run("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+	}
+}

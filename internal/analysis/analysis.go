@@ -1,0 +1,184 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) used by the vetstore
+// suite. The real golang.org/x/tools/go/analysis module is deliberately not
+// imported: this repo builds offline, so the framework is restricted to the
+// standard library (go/ast, go/types, go/token).
+//
+// An Analyzer inspects one package at a time. The driver (cmd/vetstore or the
+// analysistest harness) constructs a Pass with parsed files and complete type
+// information and calls Run. Findings are reported through Pass.Reportf and
+// surface as file:line:col diagnostics.
+//
+// Line-level suppression: a comment of the form
+//
+//	//vetstore:ignore <analyzer-name> <reason>
+//
+// on the flagged line, or on the line immediately above it, silences that
+// one diagnostic. Suppressions are resolved by the driver after Run returns.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is a short lowercase identifier, e.g. "poolsafe". It is used in
+	// diagnostics and in //vetstore:ignore directives.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Scoped reports whether the analyzer should run on the package with the
+	// given import path. Analyzers that enforce repo-specific invariants
+	// (e.g. poolsafe only audits the wire and tcpnet layers) use this to
+	// avoid false positives elsewhere. A nil Scoped means "run everywhere".
+	//
+	// Testdata packages are always in scope: the harness rewrites their
+	// import paths so that the first path element is the analyzer name.
+	Scoped func(importPath string) bool
+
+	// Run performs the check. Diagnostics go through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's worth of input to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ImportPath is the package path as the build system knows it (it may
+	// differ from Pkg.Path() for testdata packages).
+	ImportPath string
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position // resolved from Pos at report time
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the analyzer applies to the given import path.
+func (a *Analyzer) InScope(importPath string) bool {
+	if a.Scoped == nil {
+		return true
+	}
+	// Testdata convention: package path begins with the analyzer's own name
+	// (e.g. "poolsafe/bad"); such packages are always in scope so golden
+	// tests exercise the check regardless of its repo scoping.
+	if first, _, _ := strings.Cut(importPath, "/"); first == a.Name {
+		return true
+	}
+	return a.Scoped(importPath)
+}
+
+// RunPackage runs the analyzers that are in scope for the pass's package and
+// returns the surviving diagnostics sorted by position, with
+// //vetstore:ignore suppressions already applied.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	suppressed := collectIgnores(fset, files)
+	for _, a := range analyzers {
+		if !a.InScope(importPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			ImportPath: importPath,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, importPath, err)
+		}
+		for _, d := range pass.diagnostics {
+			if suppressed.covers(a.Name, d.Position) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ignoreSet maps file -> line -> set of analyzer names (or "*") suppressed
+// on that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive suppresses findings on its own line and the line below,
+	// so both "same line" and "line above" placements work.
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//vetstore:ignore")
+				if !ok {
+					continue
+				}
+				name := "*"
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int]map[string]bool{}
+				}
+				if set[pos.Filename][pos.Line] == nil {
+					set[pos.Filename][pos.Line] = map[string]bool{}
+				}
+				set[pos.Filename][pos.Line][name] = true
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,159 @@
+// Package analysistest is a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis/analysistest. It runs one analyzer over
+// golden packages under testdata/src/<path> and checks reported diagnostics
+// against `// want "regexp"` comments in the sources.
+//
+// Testdata packages may import only the standard library; they are
+// type-checked with the source importer so no pre-compiled artifacts are
+// needed. By convention the first element of <path> is the analyzer's name,
+// which the framework treats as always in scope.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes each testdata package and asserts the diagnostics line up
+// with the `// want` annotations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runOne(t, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, path, src)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files", pkgPath)
+	}
+
+	info := load.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", pkgPath, err)
+	}
+
+	diags, err := analysis.RunPackage(fset, files, tpkg, info, pkgPath, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", pkgPath, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Position, d.Message, d.Analyzer)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts `// want "re" ["re" ...]` annotations, attributing
+// each to the line the comment sits on.
+func parseWants(t *testing.T, path string, src []byte) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, pat := range splitQuoted(m[1]) {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+			}
+			wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+// splitQuoted pulls out the double-quoted or backquoted segments of a want
+// annotation.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}

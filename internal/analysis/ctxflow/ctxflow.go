@@ -1,0 +1,127 @@
+// Package ctxflow enforces context threading on blocking transport entry
+// points: a Recv, Send, or dial must receive the caller's context so
+// shutdown and deadlines propagate, not a raw context.Background() that
+// can never be cancelled. (The PR 5 slow-object shedding and the
+// membership-change close paths both rely on cancellation reaching
+// in-flight Recv calls.)
+//
+// The rule: a context.Background() or context.TODO() value that flows
+// RAW — directly, or via an intervening local variable — into a blocking
+// call is flagged. Deriving a real context from it first
+// (context.WithCancel, WithTimeout, ...) is legal: that is exactly how
+// lifecycle roots are built. Package main is exempt (a process entry
+// point has no caller context), and test files are excluded by the
+// driver.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require blocking transport calls to thread a real context, not a raw context.Background()",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Locals holding a raw Background/TODO value.
+	raw := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !isRawContext(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					raw[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					raw[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := blockingCallee(call)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if isRawContext(pass, arg) {
+				pass.Reportf(arg.Pos(), "raw context passed to blocking %s; thread the caller's context (or derive one with context.WithCancel)", name)
+				continue
+			}
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && raw[obj] {
+					pass.Reportf(arg.Pos(), "%s holds a raw context.Background() and is passed to blocking %s; thread the caller's context (or derive one with context.WithCancel)", id.Name, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRawContext reports whether expr is a direct context.Background() or
+// context.TODO() call.
+func isRawContext(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}
+
+// blockingCallee reports the name of a blocking transport operation being
+// called, if any.
+func blockingCallee(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return "", false
+	}
+	if name == "Recv" || name == "Send" ||
+		strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "dial") {
+		return name, true
+	}
+	return "", false
+}

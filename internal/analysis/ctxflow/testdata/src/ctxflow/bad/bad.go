@@ -1,0 +1,32 @@
+// Package bad passes raw, uncancellable contexts into blocking transport
+// calls — the shape that made the pre-fix fault pump and mux dispatch
+// unkillable.
+package bad
+
+import "context"
+
+type conn interface {
+	Recv(ctx context.Context) (int, error)
+	Send(ctx context.Context, v int) error
+}
+
+func pump(c conn) {
+	for {
+		if _, err := c.Recv(context.Background()); err != nil { // want "raw context passed to blocking Recv"
+			return
+		}
+	}
+}
+
+func dispatch(c conn) {
+	ctx := context.Background()
+	for {
+		if _, err := c.Recv(ctx); err != nil { // want "raw context.Background"
+			return
+		}
+	}
+}
+
+func fireAndForget(c conn, v int) error {
+	return c.Send(context.TODO(), v) // want "raw context passed to blocking Send"
+}

@@ -1,0 +1,33 @@
+// Package good threads the caller's context, or derives a cancellable
+// lifecycle root before blocking — both sanctioned.
+package good
+
+import (
+	"context"
+	"time"
+)
+
+type conn interface {
+	Recv(ctx context.Context) (int, error)
+	Send(ctx context.Context, v int) error
+}
+
+func pump(ctx context.Context, c conn) {
+	for {
+		if _, err := c.Recv(ctx); err != nil {
+			return
+		}
+	}
+}
+
+func lifecycleRoot(c conn) (int, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return c.Recv(ctx)
+}
+
+func boundedRetry(c conn, d time.Duration) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.Recv(ctx)
+}

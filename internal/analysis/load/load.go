@@ -1,0 +1,146 @@
+// Package load turns `go list` output into fully type-checked packages for
+// the vetstore analyzers, without golang.org/x/tools/go/packages.
+//
+// Strategy: `go list -deps -export -json <patterns>` emits the full import
+// closure with gc export data (compiled package summaries) for every
+// dependency, entirely from the local build cache — no network. Target
+// packages (DepOnly == false) are then parsed and type-checked from source,
+// with imports satisfied by a gc importer reading that export data.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matched by patterns, resolved
+// relative to dir (typically the module root).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> gc export data file
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			continue // source-level typechecking cannot see through cgo
+		}
+		p, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers rely on
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

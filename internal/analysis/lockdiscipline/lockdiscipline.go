@@ -1,0 +1,273 @@
+// Package lockdiscipline flags operations that can block, or run foreign
+// code, while a sync.Mutex/RWMutex is held in the transport layers — the
+// deadlock shape behind the PR 2 cross-receiver stall: a channel send (or
+// Recv, or dial, or user callback) made under a lock that the operation's
+// completion path also needs.
+//
+// While at least one lock is held, the analyzer reports:
+//
+//   - channel send statements, unless they are the communication of a
+//     select that has a default clause (a non-blocking send);
+//   - calls to anything named Recv or Accept, or Dial-prefixed (blocking
+//     transport operations);
+//   - callback invocations: calls through func-typed struct fields or
+//     package-level function variables, and observer methods named
+//     On<Something> (the Tap convention) — foreign code that may
+//     re-enter the locked structure.
+//
+// Lock state is tracked per function with a linear walk keyed on the
+// receiver expression (`n.mu`, `c.net.mu`, ...). Branches are analyzed
+// with a copy of the held set; `defer mu.Unlock()` keeps the lock held to
+// the end of the function. Local closures invoked under a lock (a
+// deliberate fault-injection idiom) are exempt, as is code inside nested
+// FuncLits, which runs in its own context.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag channel sends, Recv/dial calls, and callback invocations made while a mutex is held",
+	Scoped: func(importPath string) bool {
+		return strings.Contains(importPath, "internal/transport")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &walker{pass: pass}
+				w.walk(fd.Body.List, map[string]token.Pos{})
+			}
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// walk processes one statement list, mutating held as locks are taken and
+// released. Nested branch bodies get a copy: a lock taken inside a branch
+// is not assumed held after it.
+func (w *walker) walk(list []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if !w.lockEvent(s.X, held) {
+				w.checkExpr(s.X, held)
+			}
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				w.checkExpr(e, held)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, e := range vs.Values {
+							w.checkExpr(e, held)
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				w.checkExpr(e, held)
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				w.pass.Reportf(s.Arrow, "channel send while holding %s", describe(held))
+			}
+			w.checkExpr(s.Value, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function; other deferred calls run after the walk's horizon.
+		case *ast.GoStmt:
+			// New goroutine: runs in its own lock context.
+		case *ast.IfStmt:
+			if s.Init != nil {
+				w.walk([]ast.Stmt{s.Init}, held)
+			}
+			w.checkExpr(s.Cond, held)
+			w.walk(s.Body.List, copyHeld(held))
+			switch alt := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.walk(alt.List, copyHeld(held))
+			case *ast.IfStmt:
+				w.walk([]ast.Stmt{alt}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				w.checkExpr(s.Cond, held)
+			}
+			w.walk(s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			w.checkExpr(s.X, held)
+			w.walk(s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				w.checkExpr(s.Tag, held)
+			}
+			for _, cc := range s.Body.List {
+				w.walk(cc.(*ast.CaseClause).Body, copyHeld(held))
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				w.walk(cc.(*ast.CaseClause).Body, copyHeld(held))
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && len(held) > 0 && !hasDefault {
+					w.pass.Reportf(send.Arrow, "blocking select send while holding %s", describe(held))
+				}
+				w.walk(cc.Body, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			w.walk(s.List, held)
+		case *ast.LabeledStmt:
+			w.walk([]ast.Stmt{s.Stmt}, held)
+		}
+	}
+}
+
+// lockEvent updates held for mu.Lock/Unlock-style calls and reports
+// whether expr was one.
+func (w *walker) lockEvent(expr ast.Expr, held map[string]token.Pos) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		held[key] = call.Pos()
+		return true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+		return true
+	case "TryLock", "TryRLock":
+		// Conservatively ignored: treating a TryLock as held would need
+		// branch-sensitive tracking of its result.
+		return true
+	}
+	return false
+}
+
+// checkExpr flags blocking/foreign calls inside expr while locks are held.
+func (w *walker) checkExpr(expr ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.checkCall(call, held)
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, held map[string]token.Pos) {
+	info := w.pass.TypesInfo
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj := info.Uses[fun.Sel]
+		if obj == nil {
+			return
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			return // mutex ops handled by lockEvent
+		}
+		name := fun.Sel.Name
+		if isBlockingName(name) {
+			w.pass.Reportf(call.Pos(), "call to %s while holding %s", name, describe(held))
+			return
+		}
+		if isObserverName(name) {
+			w.pass.Reportf(call.Pos(), "callback %s invoked while holding %s", name, describe(held))
+			return
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.FieldVal {
+			if _, isFunc := sel.Type().Underlying().(*types.Signature); isFunc {
+				w.pass.Reportf(call.Pos(), "func-field callback %s invoked while holding %s", name, describe(held))
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[fun]
+		if obj == nil {
+			return
+		}
+		if isBlockingName(fun.Name) {
+			w.pass.Reportf(call.Pos(), "call to %s while holding %s", fun.Name, describe(held))
+			return
+		}
+		// A package-level function variable is a rebindable callback;
+		// local closures are a sanctioned idiom and stay exempt.
+		if v, ok := obj.(*types.Var); ok && v.Parent() == w.pass.Pkg.Scope() {
+			if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+				w.pass.Reportf(call.Pos(), "package-level callback %s invoked while holding %s", fun.Name, describe(held))
+			}
+		}
+	}
+}
+
+func isBlockingName(name string) bool {
+	return name == "Recv" || name == "Accept" ||
+		strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "dial")
+}
+
+// isObserverName matches the On<Event> observer-callback convention
+// (OnMessage and friends).
+func isObserverName(name string) bool {
+	return len(name) > 2 && strings.HasPrefix(name, "On") &&
+		unicode.IsUpper(rune(name[2]))
+}
+
+func describe(held map[string]token.Pos) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

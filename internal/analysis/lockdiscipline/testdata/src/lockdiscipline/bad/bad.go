@@ -1,0 +1,57 @@
+// Package bad holds the deadlock shapes lockdiscipline exists to catch:
+// blocking operations and foreign code invoked with a mutex held.
+package bad
+
+import "sync"
+
+type inner interface {
+	Recv() (int, error)
+}
+
+type observer interface {
+	OnMessage(v int)
+}
+
+type conn struct {
+	mu      sync.Mutex
+	ch      chan int
+	inner   inner
+	onEvent func(int)
+	taps    []observer
+}
+
+func sendUnderLock(c *conn) {
+	c.mu.Lock()
+	c.ch <- 1 // want "channel send while holding c.mu"
+	c.mu.Unlock()
+}
+
+func recvUnderDeferredUnlock(c *conn) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Recv() // want "call to Recv while holding c.mu"
+}
+
+func observerUnderLock(c *conn) {
+	c.mu.Lock()
+	for _, t := range c.taps {
+		t.OnMessage(1) // want "callback OnMessage invoked while holding c.mu"
+	}
+	c.mu.Unlock()
+}
+
+func fieldCallbackUnderLock(c *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvent(2) // want "func-field callback onEvent invoked while holding c.mu"
+}
+
+func blockingSelectUnderLock(c *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- 1: // want "blocking select send while holding c.mu"
+	case v := <-c.ch:
+		_ = v
+	}
+}

@@ -1,0 +1,60 @@
+// Package good holds the sanctioned shapes: snapshot under the lock,
+// block outside it; non-blocking sends; local closures.
+package good
+
+import "sync"
+
+type inner interface {
+	Recv() (int, error)
+}
+
+type observer interface {
+	OnMessage(v int)
+}
+
+type conn struct {
+	mu      sync.Mutex
+	ch      chan int
+	inner   inner
+	onEvent func(int)
+	taps    []observer
+}
+
+func sendOutsideLock(c *conn) {
+	c.mu.Lock()
+	v := 1
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+func snapshotThenObserve(c *conn) {
+	c.mu.Lock()
+	taps := c.taps
+	c.mu.Unlock()
+	for _, t := range taps {
+		t.OnMessage(1)
+	}
+}
+
+func nonBlockingSendUnderLock(c *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- 1:
+	default:
+	}
+}
+
+func localClosureUnderLock(c *conn) bool {
+	admit := func(v int) bool { return v > 0 }
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return admit(1)
+}
+
+func recvAfterUnlock(c *conn) (int, error) {
+	c.mu.Lock()
+	in := c.inner
+	c.mu.Unlock()
+	return in.Recv()
+}

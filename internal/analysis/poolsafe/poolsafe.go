@@ -1,0 +1,380 @@
+// Package poolsafe guards the pooled zero-copy codec paths. Two failure
+// modes ended up on the PR 6 review checklist, and this analyzer makes
+// them mechanical:
+//
+//  1. Use-after-Put: a buffer obtained from a sync.Pool (directly via
+//     Get, or put back via a `put*` helper like putEnc/putFrame) must not
+//     be read after it is returned to the pool. The analysis is a linear
+//     walk per function: once a pooled variable is put on a path that
+//     falls through, any later use on that path is flagged. `defer
+//     put*(x)` is fine — the put happens at function exit.
+//
+//  2. Alias escape: the decoder's `view()` returns a sub-slice of the
+//     (possibly pooled) input frame. Views may be consumed in place —
+//     passed to a recursive decode call — but must never be returned,
+//     stored into a struct or slice, or otherwise outlive the frame;
+//     fields that persist must use the copying bytesN instead.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "flag retention of sync.Pool buffers past Put and decoded fields aliasing pooled frames",
+	Scoped: func(importPath string) bool {
+		return strings.Contains(importPath, "internal/wire") ||
+			strings.Contains(importPath, "internal/transport/tcpnet")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUseAfterPut(pass, fd.Body)
+			checkViewEscapes(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// --- rule 1: use after Put -------------------------------------------------
+
+func checkUseAfterPut(pass *analysis.Pass, body *ast.BlockStmt) {
+	pooled := map[types.Object]bool{}
+	// First sweep: variables bound to a sync.Pool Get result (possibly
+	// through a type assertion).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !isPoolGet(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					pooled[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					pooled[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	scanList(pass, body.List, pooled, map[types.Object]bool{})
+}
+
+// scanList walks one statement list linearly, carrying the set of
+// variables already returned to a pool. It returns the set of variables
+// this list puts without terminating (so callers can propagate a put made
+// inside an if-branch that falls through).
+func scanList(pass *analysis.Pass, list []ast.Stmt, pooled, put map[types.Object]bool) map[types.Object]bool {
+	leaked := map[types.Object]bool{}
+	for _, stmt := range list {
+		// Uses of already-put variables in this statement.
+		if len(put) > 0 {
+			reportUses(pass, stmt, put)
+		}
+
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			continue // runs at function exit, after all uses
+		case *ast.AssignStmt:
+			// Rebinding a put variable makes it safe again.
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil {
+						delete(put, obj)
+						delete(leaked, obj)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			for _, obj := range putTargets(pass, s.X, pooled) {
+				put[obj] = true
+				leaked[obj] = true
+			}
+		case *ast.IfStmt:
+			inner := scanList(pass, s.Body.List, pooled, copySet(put))
+			if !terminates(s.Body.List) {
+				for obj := range inner {
+					put[obj] = true
+					leaked[obj] = true
+				}
+			}
+			if alt, ok := s.Else.(*ast.BlockStmt); ok {
+				inner := scanList(pass, alt.List, pooled, copySet(put))
+				if !terminates(alt.List) {
+					for obj := range inner {
+						put[obj] = true
+						leaked[obj] = true
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			inner := scanList(pass, s.List, pooled, put)
+			for obj := range inner {
+				leaked[obj] = true
+			}
+		case *ast.ForStmt:
+			scanList(pass, s.Body.List, pooled, copySet(put))
+		case *ast.RangeStmt:
+			scanList(pass, s.Body.List, pooled, copySet(put))
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				scanList(pass, cc.(*ast.CaseClause).Body, pooled, copySet(put))
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				scanList(pass, cc.(*ast.CaseClause).Body, pooled, copySet(put))
+			}
+		}
+	}
+	return leaked
+}
+
+// reportUses flags reads of variables in put inside stmt. The put calls
+// themselves live in earlier statements, so every ident use here is a
+// genuine read-after-put.
+func reportUses(pass *analysis.Pass, stmt ast.Stmt, put map[types.Object]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are out of scope for the linear walk
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && put[obj] {
+			pass.Reportf(id.Pos(), "pooled buffer %s is used after being returned to its sync.Pool", id.Name)
+			delete(put, obj) // one report per put is enough
+		}
+		return true
+	})
+}
+
+// putTargets reports which tracked variables expr returns to a pool: a
+// direct (sync.Pool).Put(x) for any x, or a helper whose name starts with
+// "put" called on an already pool-derived variable.
+func putTargets(pass *analysis.Pass, expr ast.Expr, pooled map[types.Object]bool) []types.Object {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	direct := isPoolPut(pass, call)
+	helper := false
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		helper = strings.HasPrefix(fun.Name, "put")
+	case *ast.SelectorExpr:
+		helper = strings.HasPrefix(fun.Sel.Name, "put")
+	}
+	if !direct && !helper {
+		return nil
+	}
+	for _, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if direct || pooled[obj] {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- rule 2: view escapes --------------------------------------------------
+
+// checkViewEscapes flags results of `view()`-style aliasing accessors that
+// outlive the frame: returned, stored in composite literals, or assigned
+// to non-local destinations. Consuming a view as a call argument is the
+// sanctioned use.
+func checkViewEscapes(pass *analysis.Pass, body *ast.BlockStmt) {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	viewVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isViewCall(call) {
+			checkAliasContext(pass, call, "result of view()", parents, viewVars)
+		}
+		return true
+	})
+	if len(viewVars) == 0 {
+		return
+	}
+	// Second sweep: uses of variables holding a view.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && viewVars[obj] {
+			checkAliasContext(pass, id, "view-aliased buffer "+id.Name, parents, viewVars)
+		}
+		return true
+	})
+}
+
+func isViewCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "view"
+}
+
+// checkAliasContext climbs from an aliasing expression to its consumer and
+// reports contexts that let the alias outlive the frame.
+func checkAliasContext(pass *analysis.Pass, n ast.Node, what string, parents map[ast.Node]ast.Node, viewVars map[types.Object]bool) {
+	child := n
+	for {
+		parent := parents[child]
+		if parent == nil {
+			return
+		}
+		switch p := parent.(type) {
+		case *ast.ParenExpr, *ast.SliceExpr:
+			child = parent
+			continue
+		case *ast.ReturnStmt:
+			pass.Reportf(n.Pos(), "%s aliases a pooled frame and escapes via return; copy with bytesN instead", what)
+			return
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "%s aliases a pooled frame and is stored in a composite literal; copy with bytesN instead", what)
+			return
+		case *ast.KeyValueExpr:
+			if p.Value == child {
+				pass.Reportf(n.Pos(), "%s aliases a pooled frame and is stored in a composite literal; copy with bytesN instead", what)
+			}
+			return
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if rhs != child || i >= len(p.Lhs) {
+					continue
+				}
+				if id, ok := p.Lhs[i].(*ast.Ident); ok {
+					// Local rebinding: track the variable instead.
+					if obj := objOf(pass, id); obj != nil && !isFieldOrGlobal(pass, obj) {
+						viewVars[obj] = true
+						return
+					}
+				}
+				pass.Reportf(n.Pos(), "%s aliases a pooled frame and is assigned to a non-local destination; copy with bytesN instead", what)
+			}
+			return
+		case *ast.CallExpr:
+			return // consumed in place (recursive decode) — sanctioned
+		default:
+			return
+		}
+	}
+}
+
+// --- shared helpers --------------------------------------------------------
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isFieldOrGlobal(pass *analysis.Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return true
+	}
+	return v.IsField() || v.Parent() == pass.Pkg.Scope()
+}
+
+func copySet(s map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func isPoolGet(pass *analysis.Pass, expr ast.Expr) bool {
+	if ta, ok := expr.(*ast.TypeAssertExpr); ok {
+		expr = ta.X
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	return isSyncPool(pass.TypesInfo.Types[sel.X].Type)
+}
+
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	return isSyncPool(pass.TypesInfo.Types[sel.X].Type)
+}
+
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}

@@ -1,0 +1,53 @@
+// Package bad exercises both poolsafe failure modes: reads of a pooled
+// buffer after it went back to the pool, and decoder views that alias a
+// pooled frame escaping the decode call.
+package bad
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+func putBuf(x *buf) {
+	pool.Put(x)
+}
+
+func useAfterDirectPut() []byte {
+	x := pool.Get().(*buf)
+	pool.Put(x)
+	return x.b // want "used after being returned to its sync.Pool"
+}
+
+func useAfterHelperPut() int {
+	x := pool.Get().(*buf)
+	putBuf(x)
+	return len(x.b) // want "used after being returned to its sync.Pool"
+}
+
+func putInBranchThenUse(cond bool) []byte {
+	x := pool.Get().(*buf)
+	if cond {
+		putBuf(x)
+	}
+	return x.b // want "used after being returned to its sync.Pool"
+}
+
+type dec struct{ b []byte }
+
+func (d *dec) view() []byte { return d.b }
+
+type msg struct{ payload []byte }
+
+func returnsView(d *dec) []byte {
+	return d.view() // want "escapes via return"
+}
+
+func storesView(d *dec) msg {
+	return msg{payload: d.view()} // want "stored in a composite literal"
+}
+
+func viaLocal(d *dec) []byte {
+	s := d.view()
+	return s // want "escapes via return"
+}

@@ -1,0 +1,52 @@
+// Package good shows the sanctioned pool idioms: copy out before Put,
+// put only on terminating paths, defer the put, and consume views in
+// place.
+package good
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+func putBuf(x *buf) {
+	pool.Put(x)
+}
+
+func copyOutBeforePut(m []byte) []byte {
+	x := pool.Get().(*buf)
+	x.b = append(x.b[:0], m...)
+	out := make([]byte, len(x.b))
+	copy(out, x.b)
+	putBuf(x)
+	return out
+}
+
+func putOnErrorPath(m []byte) []byte {
+	x := pool.Get().(*buf)
+	if len(m) == 0 {
+		putBuf(x)
+		return nil
+	}
+	x.b = append(x.b[:0], m...)
+	out := make([]byte, len(x.b))
+	copy(out, x.b)
+	putBuf(x)
+	return out
+}
+
+func deferredPut(m []byte) int {
+	x := pool.Get().(*buf)
+	defer putBuf(x)
+	x.b = append(x.b[:0], m...)
+	return len(x.b)
+}
+
+type dec struct{ b []byte }
+
+func (d *dec) view() []byte { return d.b }
+
+func decodeNested(d *dec, decode func([]byte) int) int {
+	sub := d.view()
+	return decode(sub)
+}

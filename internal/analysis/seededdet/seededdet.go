@@ -1,0 +1,198 @@
+// Package seededdet protects the seed-determinism contract of the fault
+// injector, the simulated network, and the workload generator: the same
+// seed must produce the same schedule. Three leaks break that contract
+// and are flagged inside the scoped packages:
+//
+//   - package-level math/rand functions (rand.Intn, rand.Float64, ...),
+//     which draw from the unseeded global source; constructors
+//     (rand.New, rand.NewSource) are the sanctioned path and stay legal,
+//     as do methods on an explicit *rand.Rand;
+//   - time.Now and time.Since, which key behavior on the wall clock;
+//   - map iteration that selects by encounter order: a range over a map
+//     whose body returns a value derived from the loop variables, or that
+//     both stores a loop-variable-derived value outside the loop and
+//     breaks early. (Order-independent scans — count, any-match setting
+//     a boolean before breaking — are fine.)
+package seededdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededdet",
+	Doc:  "forbid global math/rand, time.Now, and map-iteration-order dependence in seed-deterministic paths",
+	Scoped: func(importPath string) bool {
+		return strings.Contains(importPath, "internal/transport/fault") ||
+			strings.Contains(importPath, "internal/transport/simnet") ||
+			strings.Contains(importPath, "internal/workload")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(), "global math/rand.%s draws from the unseeded process-wide source; use a seeded *rand.Rand", fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s keys behavior on the wall clock in a seed-deterministic path", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags range-over-map loops whose outcome depends on
+// iteration order: a return whose value mentions the loop variables, or
+// an unlabeled break belonging to this loop when the body also assigns a
+// loop-variable-derived value to storage outside the loop (first-match
+// selection). A break after setting only constants (any-match) is
+// order-independent and stays legal.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+
+	// First sweep: does the body leak a loop-variable-derived value into
+	// storage that outlives the loop? (Assignments to the loop variables
+	// themselves, or to locals declared inside the body, don't count.)
+	leaks := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		usesLoopVar := false
+		for _, r := range as.Rhs {
+			if usesAny(pass, r, loopVars) {
+				usesLoopVar = true
+			}
+		}
+		if !usesLoopVar {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil || loopVars[obj] ||
+					(obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End()) {
+					continue
+				}
+			}
+			leaks = true
+		}
+		return true
+	})
+
+	var flag func(stmts []ast.Stmt, breakable bool)
+	flag = func(stmts []ast.Stmt, breakable bool) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.BranchStmt:
+				if s.Tok == token.BREAK && s.Label == nil && breakable && leaks {
+					pass.Reportf(s.Pos(), "first-match break out of a map range depends on nondeterministic iteration order; sort the keys first")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range s.Results {
+					if usesAny(pass, r, loopVars) {
+						pass.Reportf(s.Pos(), "returning a value derived from map range variables depends on nondeterministic iteration order; sort the keys first")
+						break
+					}
+				}
+			case *ast.IfStmt:
+				flag(s.Body.List, breakable)
+				switch alt := s.Else.(type) {
+				case *ast.BlockStmt:
+					flag(alt.List, breakable)
+				case *ast.IfStmt:
+					flag([]ast.Stmt{alt}, breakable)
+				}
+			case *ast.BlockStmt:
+				flag(s.List, breakable)
+			case *ast.SwitchStmt:
+				for _, cc := range s.Body.List {
+					flag(cc.(*ast.CaseClause).Body, false)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cc := range s.Body.List {
+					flag(cc.(*ast.CaseClause).Body, false)
+				}
+			case *ast.SelectStmt:
+				for _, cc := range s.Body.List {
+					flag(cc.(*ast.CommClause).Body, false)
+				}
+			case *ast.LabeledStmt:
+				flag([]ast.Stmt{s.Stmt}, breakable)
+				// Nested loops own their breaks; returns inside them still
+				// escape this range, so keep looking for those.
+			case *ast.ForStmt:
+				flag(s.Body.List, false)
+			case *ast.RangeStmt:
+				flag(s.Body.List, false)
+			}
+		}
+	}
+	flag(rng.Body.List, true)
+}
+
+func usesAny(pass *analysis.Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

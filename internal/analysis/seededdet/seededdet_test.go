@@ -1,0 +1,12 @@
+package seededdet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededdet"
+)
+
+func TestSeededDet(t *testing.T) {
+	analysistest.Run(t, seededdet.Analyzer, "seededdet/bad", "seededdet/good")
+}

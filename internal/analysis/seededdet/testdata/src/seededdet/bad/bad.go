@@ -1,0 +1,36 @@
+// Package bad leaks nondeterminism into a seed-deterministic path three
+// ways: the global rand source, the wall clock, and map iteration order.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) // want "global math/rand.Intn"
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now keys behavior on the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since keys behavior on the wall clock"
+}
+
+func pickAny(m map[string]int) string {
+	for k := range m {
+		return k // want "nondeterministic iteration order"
+	}
+	return ""
+}
+
+func pickFirst(m map[string]int) string {
+	best := ""
+	for k := range m {
+		best = k
+		break // want "nondeterministic iteration order"
+	}
+	return best
+}

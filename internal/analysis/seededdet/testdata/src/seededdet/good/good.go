@@ -1,0 +1,52 @@
+// Package good draws from a seeded source and scans maps in
+// order-independent ways.
+package good
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func seededJitter(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+func countEven(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v%2 == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func anyBusy(m map[string]chan int) bool {
+	busy := false
+	for _, ch := range m {
+		if len(ch) > 0 {
+			busy = true
+			break
+		}
+	}
+	return busy
+}
+
+func anyNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}

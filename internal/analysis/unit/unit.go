@@ -1,0 +1,189 @@
+// Package unit implements the driver protocol that cmd/go speaks to a
+// -vettool binary, mirroring golang.org/x/tools/go/analysis/unitchecker
+// without depending on it.
+//
+// cmd/go invokes the tool three ways:
+//
+//	tool -V=full        print a version line that includes a content hash
+//	                    (used for build-cache keying)
+//	tool -flags         print the tool's flags as JSON (we expose none)
+//	tool <file>.cfg     analyze one compilation unit described by the
+//	                    JSON config; diagnostics go to stderr, exit 2
+//
+// For dependency-only units cmd/go sets VetxOnly, expecting the tool to
+// produce its fact file (VetxOutput) and nothing else. The vetstore
+// analyzers are package-local and exchange no facts, so fact files are
+// always empty placeholders.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON schema of the *.cfg file cmd/go hands the tool. Field
+// names and meanings follow unitchecker.Config.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for vettool-mode invocations. It never returns.
+func Main(analyzers []*analysis.Analyzer, args []string) {
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		diags, err := run(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Position, d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "usage: vetstore -V=full | -flags | <unit>.cfg (via go vet -vettool), or vetstore [patterns]\n")
+		os.Exit(1)
+	}
+}
+
+// IsVettoolInvocation reports whether args look like a cmd/go driver call
+// rather than a human running the binary directly.
+func IsVettoolInvocation(args []string) bool {
+	return len(args) == 1 &&
+		(args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg"))
+}
+
+// printVersion emits "<name> version <hash>" where the hash covers the
+// tool's own executable, so editing an analyzer invalidates cached vet
+// results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("vetstore version devel-%x\n", h.Sum(nil)[:12])
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Test files are exempt from the suite by design (ctxflow permits
+		// context.Background in tests; the rest enforce production-path
+		// invariants), so drop them from the unit before typechecking.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	return analysis.RunPackage(fset, files, tpkg, info, cfg.ImportPath, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

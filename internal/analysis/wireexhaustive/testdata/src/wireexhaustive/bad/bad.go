@@ -1,0 +1,66 @@
+// Package bad plants FakeProbe, a wire message missing from every
+// hand-maintained table, plus Quux, whose tag constant never reaches the
+// decode switch. This is the end-to-end guard that wireexhaustive itself
+// still catches an unplumbed message.
+package bad
+
+import "encoding/gob"
+
+type Msg interface{ isMsg() }
+
+type Ping struct{ N int }
+type Pong struct{ S string }
+type Quux struct{ B bool }
+type FakeProbe struct{ X int } // want "has no tagFakeProbe constant" "not gob-registered"
+
+func (Ping) isMsg()      {}
+func (Pong) isMsg()      {}
+func (Quux) isMsg()      {}
+func (FakeProbe) isMsg() {}
+
+const (
+	tagPing byte = iota + 1
+	tagPong
+	tagQuux // want "never used as a switch case"
+)
+
+func init() {
+	for _, m := range []interface{}{Ping{}, Pong{}, Quux{}} {
+		gob.Register(m)
+	}
+}
+
+func Clone(m Msg) Msg {
+	switch v := m.(type) { // want "missing cases for: FakeProbe"
+	case Ping:
+		return Ping{N: v.N}
+	case Pong:
+		return Pong{S: v.S}
+	case Quux:
+		return v
+	default:
+		return m
+	}
+}
+
+func Encode(m Msg) byte {
+	switch m.(type) { // want "missing cases for: FakeProbe"
+	case Ping:
+		return tagPing
+	case Pong:
+		return tagPong
+	case Quux:
+		return tagQuux
+	}
+	return 0
+}
+
+func Decode(tag byte) Msg {
+	switch tag {
+	case tagPing:
+		return Ping{}
+	case tagPong:
+		return Pong{}
+	}
+	return nil
+}

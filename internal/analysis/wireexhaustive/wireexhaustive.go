@@ -1,0 +1,292 @@
+// Package wireexhaustive enforces the four hand-maintained tables that a
+// wire message type must appear in: the Clone type switch, the compact
+// encoder's type switch, the compact decoder's tag switch, and gob
+// registration. Adding a concrete Msg without full plumbing fails `make
+// lint` instead of panicking during a soak.
+//
+// The analyzer is structural rather than name-bound so its golden testdata
+// exercises the same logic as the real package:
+//
+//   - a "marker interface" is a package-level interface with exactly one
+//     unexported niladic method (wire.Msg's `isMsg()` shape);
+//   - every package-level concrete type implementing it is a message;
+//   - every type switch over the marker interface must list every message
+//     (Clone and enc.msg are exactly these switches);
+//   - if the package declares tag constants (`tag<Type>`), every message
+//     needs one, and every message's tag must appear as a switch case
+//     (the compact decode table);
+//   - if the package calls gob.Register anywhere, every message must be
+//     registered (composite literals in the registering function count).
+package wireexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "check that every concrete wire.Msg is covered by Clone, the compact encode/decode tables, and gob registration",
+	Scoped: func(importPath string) bool {
+		return strings.Contains(importPath, "internal/wire")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, iface := range markerInterfaces(pass.Pkg) {
+		msgs := concreteImpls(pass.Pkg, iface)
+		if len(msgs) == 0 {
+			continue
+		}
+		checkTypeSwitches(pass, iface, msgs)
+		checkTagTable(pass, msgs)
+		checkGobRegistration(pass, msgs)
+	}
+	return nil
+}
+
+// markerInterfaces finds package-level interfaces shaped like wire.Msg: one
+// unexported method, no parameters, no results.
+func markerInterfaces(pkg *types.Package) []*types.Named {
+	var out []*types.Named
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		iface, ok := named.Underlying().(*types.Interface)
+		if !ok || iface.NumMethods() != 1 {
+			continue
+		}
+		m := iface.Method(0)
+		sig := m.Type().(*types.Signature)
+		if m.Exported() || sig.Params().Len() != 0 || sig.Results().Len() != 0 {
+			continue
+		}
+		out = append(out, named)
+	}
+	return out
+}
+
+// concreteImpls returns the package-level non-interface types whose value
+// type implements iface, sorted by name.
+func concreteImpls(pkg *types.Package, iface *types.Named) []*types.TypeName {
+	var out []*types.TypeName
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface.Underlying().(*types.Interface)) {
+			out = append(out, tn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// checkTypeSwitches requires every type switch whose subject is the marker
+// interface to list every message type explicitly; a default clause does
+// not count as coverage.
+func checkTypeSwitches(pass *analysis.Pass, iface *types.Named, msgs []*types.TypeName) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			subject := typeSwitchSubject(ts)
+			if subject == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[subject]
+			if !ok || !types.Identical(tv.Type, iface) {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, stmt := range ts.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				for _, e := range cc.List {
+					if caseTV, ok := pass.TypesInfo.Types[e]; ok && caseTV.Type != nil {
+						// Messages are value types, so pointer cases don't arise.
+						if named, ok := caseTV.Type.(*types.Named); ok {
+							covered[named.Obj().Name()] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for _, m := range msgs {
+				if !covered[m.Name()] {
+					missing = append(missing, m.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(ts.Switch, "type switch over %s is missing cases for: %s",
+					iface.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+func typeSwitchSubject(ts *ast.TypeSwitchStmt) ast.Expr {
+	switch s := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	}
+	return nil
+}
+
+// checkTagTable enforces the compact-codec naming convention: if the
+// package has integer constants named tag<Something>, then every message
+// needs a tag<Type> constant, and each such constant must appear as a case
+// in some switch (the decode table).
+func checkTagTable(pass *analysis.Pass, msgs []*types.TypeName) {
+	scope := pass.Pkg.Scope()
+	tags := map[string]*types.Const{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "tag") || len(name) <= len("tag") {
+			continue
+		}
+		if c.Val().Kind() != constant.Int {
+			continue
+		}
+		tags[name] = c
+	}
+	if len(tags) == 0 {
+		return // package has no compact tag table
+	}
+
+	// Constants referenced as case expressions in value switches.
+	inCase := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				for _, e := range stmt.(*ast.CaseClause).List {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							inCase[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, m := range msgs {
+		tagName := "tag" + m.Name()
+		c, ok := tags[tagName]
+		if !ok {
+			pass.Reportf(m.Pos(), "wire message %s has no %s constant in the compact tag table", m.Name(), tagName)
+			continue
+		}
+		if !inCase[c] {
+			pass.Reportf(c.Pos(), "tag constant %s is never used as a switch case: %s is missing from the compact decode table", tagName, m.Name())
+		}
+	}
+}
+
+// checkGobRegistration requires every message type to be gob-registered if
+// the package registers any. Registration is recognized as a composite
+// literal of the type occurring inside a function body that calls
+// gob.Register (the wire package ranges over a slice literal of zero
+// values).
+func checkGobRegistration(pass *analysis.Pass, msgs []*types.TypeName) {
+	registered := map[string]bool{}
+	sawRegister := false
+	for _, f := range pass.Files {
+		var stack []ast.Node // enclosing FuncDecl/FuncLit chain
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				stack = append(stack, n)
+				ast.Inspect(bodyOf(n), visit)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.CallExpr:
+				if isGobRegister(pass, n) && len(stack) > 0 {
+					sawRegister = true
+					// Every composite literal in the registering function
+					// counts as registered.
+					ast.Inspect(bodyOf(stack[len(stack)-1]), func(m ast.Node) bool {
+						if cl, ok := m.(*ast.CompositeLit); ok {
+							if tv, ok := pass.TypesInfo.Types[cl]; ok {
+								if named, ok := tv.Type.(*types.Named); ok {
+									registered[named.Obj().Name()] = true
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	if !sawRegister {
+		return // package does not use gob
+	}
+	for _, m := range msgs {
+		if !registered[m.Name()] {
+			pass.Reportf(m.Pos(), "wire message %s is not gob-registered", m.Name())
+		}
+	}
+}
+
+func bodyOf(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body != nil {
+			return n.Body
+		}
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return n
+}
+
+func isGobRegister(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "encoding/gob" &&
+		(obj.Name() == "Register" || obj.Name() == "RegisterName")
+}

@@ -1,0 +1,12 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireexhaustive"
+)
+
+func TestWireExhaustive(t *testing.T) {
+	analysistest.Run(t, wireexhaustive.Analyzer, "wireexhaustive/bad", "wireexhaustive/good")
+}

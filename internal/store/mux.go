@@ -34,6 +34,12 @@ import (
 type mux struct {
 	conn transport.Conn
 
+	// ctx bounds the dispatch loop's blocking Recv; close cancels it so
+	// shutdown does not depend on the transport noticing its own
+	// closure.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu     sync.Mutex
 	regs   map[string]*regConn
 	closed bool
@@ -98,7 +104,8 @@ type muxMembership struct {
 
 // newMux wraps conn and starts the dispatch loop.
 func newMux(conn transport.Conn) *mux {
-	m := &mux{conn: conn, regs: make(map[string]*regConn), inc: make(map[transport.NodeID]int64)}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &mux{conn: conn, ctx: ctx, cancel: cancel, regs: make(map[string]*regConn), inc: make(map[transport.NodeID]int64)}
 	go m.dispatch()
 	return m
 }
@@ -148,9 +155,8 @@ func (m *mux) register(reg string) *regConn {
 // physical endpoint closes; traffic without a register envelope is
 // dropped (no single-register client shares a muxed endpoint).
 func (m *mux) dispatch() {
-	ctx := context.Background()
 	for {
-		msg, err := m.conn.Recv(ctx)
+		msg, err := m.conn.Recv(m.ctx)
 		if err != nil {
 			m.mu.Lock()
 			m.closed = true
@@ -345,9 +351,12 @@ func countOps(msg wire.Msg) int {
 	}
 }
 
-// close shuts the physical endpoint down; dispatch then closes every
-// register inbox.
-func (m *mux) close() error { return m.conn.Close() }
+// close cancels dispatch's Recv and shuts the physical endpoint down;
+// dispatch then closes every register inbox.
+func (m *mux) close() error {
+	m.cancel()
+	return m.conn.Close()
+}
 
 // regConn is the virtual transport.Conn of one register: protocol
 // clients from internal/core run over it unchanged.

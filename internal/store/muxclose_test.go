@@ -1,0 +1,43 @@
+package store
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// stuckMuxConn is a physical endpoint whose Recv honors only its
+// context; Close does not wake it. Before the dispatch-context fix the
+// mux's receive loop ran on context.Background() and relied entirely on
+// the transport erroring after Close — against an endpoint like this it
+// leaked forever and register inboxes never closed.
+type stuckMuxConn struct{}
+
+func (stuckMuxConn) ID() transport.NodeID            { return transport.Writer() }
+func (stuckMuxConn) Send(transport.NodeID, wire.Msg) {}
+func (stuckMuxConn) Close() error                    { return nil }
+func (stuckMuxConn) Recv(ctx context.Context) (transport.Message, error) {
+	<-ctx.Done()
+	return transport.Message{}, ctx.Err()
+}
+
+// TestMuxCloseCancelsDispatch pins mux.close cancelling dispatch's Recv:
+// after close, dispatch must exit and close every register inbox.
+func TestMuxCloseCancelsDispatch(t *testing.T) {
+	m := newMux(stuckMuxConn{})
+	rc := m.register("r")
+	if err := m.close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := rc.Recv(ctx); err == nil {
+		t.Fatal("register Recv returned a message from a closed mux")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("dispatch did not shut down after mux.close: register inbox never closed")
+	}
+}

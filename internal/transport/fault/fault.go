@@ -396,7 +396,8 @@ func (n *Net) Register(id transport.NodeID) (transport.Conn, error) {
 		inbox = transport.NewBoundedInbox(0, n.flowCtrs) // instrumented; bounded by admission
 	}
 	n.mu.Unlock()
-	c := &conn{net: n, inner: inner, id: id, inbox: inbox}
+	pumpCtx, pumpStop := context.WithCancel(context.Background())
+	c := &conn{net: n, inner: inner, id: id, inbox: inbox, pumpCtx: pumpCtx, pumpStop: pumpStop}
 	// wg.Add under the lock that vouches for !closed, so Close cannot
 	// start waiting between the check and the Add (see inject).
 	n.mu.Lock()
@@ -920,6 +921,12 @@ type conn struct {
 	inner transport.Conn
 	id    transport.NodeID
 	inbox *transport.Inbox
+
+	// pumpCtx bounds the pump's blocking Recv on the inner endpoint;
+	// Close cancels it so shutdown does not depend on the inner
+	// transport noticing its own closure.
+	pumpCtx  context.Context
+	pumpStop context.CancelFunc
 }
 
 var _ transport.Conn = (*conn)(nil)
@@ -939,7 +946,7 @@ func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
 func (c *conn) pump() {
 	defer c.net.wg.Done()
 	for {
-		m, err := c.inner.Recv(context.Background())
+		m, err := c.inner.Recv(c.pumpCtx)
 		if err != nil {
 			c.inbox.Close()
 			return
@@ -953,9 +960,11 @@ func (c *conn) Recv(ctx context.Context) (transport.Message, error) {
 	return c.inbox.Recv(ctx)
 }
 
-// Close closes the inner endpoint; the pump then closes the inbox.
+// Close closes the inner endpoint and cancels the pump's Recv; the pump
+// then closes the inbox.
 func (c *conn) Close() error {
 	err := c.inner.Close()
+	c.pumpStop()
 	c.inbox.Close()
 	return err
 }

@@ -1,0 +1,56 @@
+package fault_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/fault"
+	"repro/internal/wire"
+)
+
+// stuckConn models an inner endpoint whose Recv honors only its context:
+// Close deliberately does not wake a blocked Recv. Before the pump-context
+// fix, fault's pump called Recv(context.Background()) on such an
+// endpoint and could never be stopped — Net.Close hung on its WaitGroup.
+type stuckConn struct{ id transport.NodeID }
+
+func (c *stuckConn) ID() transport.NodeID            { return c.id }
+func (c *stuckConn) Send(transport.NodeID, wire.Msg) {}
+func (c *stuckConn) Close() error                    { return nil }
+func (c *stuckConn) Recv(ctx context.Context) (transport.Message, error) {
+	<-ctx.Done()
+	return transport.Message{}, ctx.Err()
+}
+
+type stuckNet struct{}
+
+func (stuckNet) Register(id transport.NodeID) (transport.Conn, error) {
+	return &stuckConn{id: id}, nil
+}
+func (stuckNet) Serve(transport.NodeID, transport.Handler) error { return nil }
+
+// TestConnCloseCancelsPump pins the per-conn pump context: closing a
+// fault-injected endpoint must cancel its pump's blocking Recv even when
+// the inner transport's Close does not unblock Recv on its own.
+func TestConnCloseCancelsPump(t *testing.T) {
+	n := fault.Wrap(stuckNet{}, fault.Plan{Seed: 1})
+	c, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Close() // waits for the pump goroutine
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fault.Net.Close hung: conn.Close did not cancel the pump's Recv")
+	}
+}

@@ -357,8 +357,17 @@ func (n *Net) send(from, to transport.NodeID, payload wire.Msg) {
 		return
 	}
 	taps := n.taps
+	n.mu.Unlock()
+	// Taps run outside n.mu: they are foreign code and may call back
+	// into the network (Crashed, Block, ...) without deadlocking. The
+	// Tap contract already requires concurrency safety.
 	for _, t := range taps {
 		t.OnMessage(from, to, payload)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
 	}
 	if n.crashed[to] || n.crashed[from] {
 		n.mu.Unlock()
@@ -375,20 +384,24 @@ func (n *Net) send(from, to transport.NodeID, payload wire.Msg) {
 		n.mu.Unlock()
 		return
 	}
-	var delay time.Duration
-	if n.delayFn != nil {
-		delay = n.delayFn(from, to)
-	}
-	if delay > 0 {
-		n.delivery.Add(1)
+	delayFn := n.delayFn
+	if delayFn == nil {
 		n.mu.Unlock()
+		n.route(from, to, payload)
+		return
+	}
+	// The delay policy is user code too; account the delivery under the
+	// lock, then consult the policy outside it.
+	n.delivery.Add(1)
+	n.mu.Unlock()
+	if delay := delayFn(from, to); delay > 0 {
 		time.AfterFunc(delay, func() {
 			defer n.delivery.Done()
 			n.route(from, to, payload)
 		})
 		return
 	}
-	n.mu.Unlock()
+	n.delivery.Done()
 	n.route(from, to, payload)
 }
 

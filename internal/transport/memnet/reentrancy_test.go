@@ -1,0 +1,53 @@
+package memnet_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/memnet"
+	"repro/internal/wire"
+)
+
+// TestTapMayReenterNetwork pins the send-path lock discipline: taps and
+// the delay policy are foreign code and run outside n.mu, so one that
+// calls back into the network (Crashed, Block, ...) must not deadlock.
+// Before the fix this self-deadlocked: send invoked the tap while
+// holding the same lock Crashed takes.
+func TestTapMayReenterNetwork(t *testing.T) {
+	n := memnet.New()
+	defer n.Close()
+	conn, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tapCalls, delayCalls atomic.Int32
+	n.AddTap(transport.TapFunc(func(from, to transport.NodeID, _ wire.Msg) {
+		_ = n.Crashed(to) // re-enters the network lock
+		tapCalls.Add(1)
+	}))
+	n.SetDelay(func(from, to transport.NodeID) time.Duration {
+		_ = n.Crashed(to) // the delay policy is foreign code too
+		delayCalls.Add(1)
+		return 0
+	})
+
+	done := make(chan struct{})
+	go func() {
+		conn.Send(transport.Object(0), wire.ReadReq{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Send deadlocked on a tap/delay policy that re-enters the network")
+	}
+	if tapCalls.Load() == 0 {
+		t.Fatal("tap was not invoked")
+	}
+	if delayCalls.Load() == 0 {
+		t.Fatal("delay policy was not invoked")
+	}
+}

@@ -1,0 +1,58 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestPeerForDialRace pins the peerFor rewrite: the dial happens outside
+// c.mu (so a slow object cannot stall unrelated Sends), and concurrent
+// first Sends to the same object race to install the peer — every loser
+// must adopt the winner's connection and close its own socket, leaving
+// exactly one tracked peer.
+func TestPeerForDialRace(t *testing.T) {
+	n := New()
+	defer n.Close()
+	err := n.Serve(transport.Object(0), transport.HandlerFunc(
+		func(from transport.NodeID, req wire.Msg) (wire.Msg, bool) { return nil, false }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := n.Register(transport.Writer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cc.(*conn)
+
+	const racers = 8
+	peers := make([]*peer, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.peerFor(transport.Object(0))
+			if err != nil {
+				t.Errorf("peerFor: %v", err)
+				return
+			}
+			peers[i] = p
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < racers; i++ {
+		if peers[i] != peers[0] {
+			t.Fatalf("racer %d got a different peer than racer 0", i)
+		}
+	}
+	c.mu.Lock()
+	got := len(c.peers)
+	c.mu.Unlock()
+	if got != 1 {
+		t.Fatalf("tracked peers after dial race: %d, want 1", got)
+	}
+}

@@ -584,27 +584,46 @@ func (c *conn) dropPeer(to transport.NodeID, p *peer) {
 
 func (c *conn) peerFor(to transport.NodeID) (*peer, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, transport.ErrClosed
 	}
 	if p, ok := c.peers[to]; ok {
+		c.mu.Unlock()
 		return p, nil
 	}
+	c.mu.Unlock()
+
 	c.net.mu.Lock()
 	addr, ok := c.net.addrs[to]
 	c.net.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("tcpnet: no address for %v", to)
 	}
+	// Dial outside c.mu: an unresponsive object must not stall Sends to
+	// other peers (or Close) behind the connection lock.
 	sock, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %v: %w", to, err)
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		sock.Close()
+		return nil, transport.ErrClosed
+	}
+	if p, ok := c.peers[to]; ok {
+		// Lost a dial race; keep the peer that won and drop our socket.
+		c.mu.Unlock()
+		sock.Close()
+		return p, nil
 	}
 	p := &peer{c: sock, w: bufio.NewWriter(sock)}
 	c.peers[to] = p
 	c.wg.Add(1)
 	go c.readLoop(to, p)
+	c.mu.Unlock()
 	return p, nil
 }
 

@@ -9,6 +9,13 @@
 // extension. Messages are plain data; every payload type is registered
 // with encoding/gob so the TCP transport and the size accounting in
 // EncodedSize work on all of them.
+//
+// Adding a message type means updating four places, and the
+// wireexhaustive analyzer (internal/analysis/wireexhaustive, run by
+// `make lint`) flags any that are missed: declare the type with an
+// isMsg method, add a tag<Type> constant and codec arms in binary.go,
+// add the type to every type switch over Msg, and register it in the
+// gob.Register block below.
 package wire
 
 import (
