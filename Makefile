@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fmt fmt-check bench bench-gate demo chaos chaos-recovery chaos-membership chaos-saturation clean
+.PHONY: all build vet lint test race fmt fmt-check bench bench-gate demo chaos chaos-recovery chaos-membership chaos-saturation chaos-telemetry clean
 
 all: build vet lint test
 
@@ -98,6 +98,17 @@ chaos-membership:
 chaos-saturation:
 	$(GO) test -race -count=1 -run 'ChaosSaturation' -v ./internal/harness
 	$(GO) run ./examples/backpressure
+
+# chaos-telemetry runs the observability soak under the race detector:
+# the amnesia recovery soak at the saturation workload with telemetry
+# on, asserting the op trace captures every event class (Busy pushback,
+# hedge volleys, recovery fence wait/lift) attributed to operation IDs,
+# the registry's re-homed counters agree with the legacy stats
+# surfaces, and the per-shard flow view localizes a hot shard's
+# overload. With TELEMETRY_DIR set, each soak writes its metrics +
+# trace export there (rendered by cmd/storetop).
+chaos-telemetry:
+	$(GO) test -race -count=1 -run 'ChaosTelemetry|ShardFlowStats' -v ./internal/harness
 
 # BENCH_store.json is deliberately NOT cleaned: it is the committed
 # perf-regression baseline, not a build product. BENCH_current.json is

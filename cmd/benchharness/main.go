@@ -15,12 +15,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/store"
 )
 
 func main() {
@@ -37,10 +40,11 @@ func run() int {
 	gc := flag.Bool("gc", false, "enable history garbage collection on the -store deployments")
 	saturate := flag.Bool("saturate", false, "append the saturated degraded-mode row (2x writers under flow control, goodput + p99)")
 	out := flag.String("out", "BENCH_store.json", "output file for -store results")
+	telemetry := flag.String("telemetry", "", "in -store mode, serve live telemetry on this address (e.g. :8090): GET / is the text snapshot, GET /telemetry the JSON export; forces telemetry on every scenario row")
 	flag.Parse()
 
 	if *storeMode {
-		return runStore(*quick, *writers, *gc, *saturate, *out)
+		return runStore(*quick, *writers, *gc, *saturate, *out, *telemetry)
 	}
 
 	want := map[string]bool{}
@@ -127,7 +131,47 @@ func maxInt(a, b int) int {
 // writer count. With gc set, every sharded deployment runs with history
 // garbage collection enabled (regular registers prune below the
 // readers' acknowledged cache timestamps).
-func runStore(quick bool, writers int, gc, saturate bool, out string) int {
+// telemetryServer exposes the currently-running deployment's telemetry
+// over HTTP: the bench driver points cur at each store as it opens, so
+// a long grid run can be inspected mid-flight (curl :8090/ for the text
+// snapshot, /telemetry for the JSON export cmd/storetop renders). A
+// finished row's store stays readable until the next row replaces it.
+type telemetryServer struct {
+	cur atomic.Pointer[store.Store]
+}
+
+// serve starts the exposition endpoint; exposition failures must not
+// fail the bench, so errors are logged and dropped.
+func (ts *telemetryServer) serve(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		s := ts.cur.Load()
+		if s == nil {
+			http.Error(w, "no deployment running yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.TelemetryExport())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		s := ts.cur.Load()
+		if s == nil {
+			http.Error(w, "no deployment running yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.Telemetry().Text())
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry endpoint: %v\n", err)
+		}
+	}()
+}
+
+func runStore(quick bool, writers int, gc, saturate bool, out, telemetryAddr string) int {
 	// The experiment measures transport amortization, not collector
 	// behaviour: relax GC so allocation churn from 64 concurrent
 	// protocol clients doesn't dominate either side of the comparison.
@@ -137,6 +181,14 @@ func runStore(quick bool, writers int, gc, saturate bool, out string) int {
 	if quick {
 		opsPerWriter = 16
 		baselineOps = 128
+	}
+
+	var observe func(*store.Store)
+	if telemetryAddr != "" {
+		ts := &telemetryServer{}
+		ts.serve(telemetryAddr)
+		observe = func(s *store.Store) { ts.cur.Store(s) }
+		fmt.Printf("telemetry endpoint on %s (GET / text, /telemetry JSON)\n", telemetryAddr)
 	}
 
 	var results []harness.StoreBenchResult
@@ -149,7 +201,10 @@ func runStore(quick bool, writers int, gc, saturate bool, out string) int {
 
 	for _, sc := range harness.StoreScenarios() {
 		sc.Spec.GC = gc
-		res, err := harness.RunStoreBench(sc.Name, sc.Spec, writers, opsPerWriter)
+		if observe != nil {
+			sc.Spec.Telemetry = true
+		}
+		res, err := harness.RunStoreBenchObserved(sc.Name, sc.Spec, writers, opsPerWriter, observe)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "store bench: %s: %v\n", sc.Name, err)
 			return 1

@@ -1,0 +1,235 @@
+// Command storetop renders a store telemetry export — the JSON artifact
+// a chaos soak writes to $TELEMETRY_DIR, or the live /telemetry
+// endpoint cmd/benchharness serves — as a one-shot top-style dump: a
+// per-shard table of operation counts and latency quantiles, the
+// remaining metrics flat, and optionally the tail of the op trace or
+// one operation's full lifecycle.
+//
+// Usage:
+//
+//	storetop -file telemetry/chaos-telemetry-mem.json
+//	storetop -url http://localhost:8090/telemetry -trace 20
+//	storetop -file export.json -op 42
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	file := flag.String("file", "", "telemetry export JSON file to render")
+	url := flag.String("url", "", "telemetry endpoint to fetch (e.g. http://localhost:8090/telemetry)")
+	traceN := flag.Int("trace", 0, "also print the last N trace events")
+	opID := flag.Uint64("op", 0, "print every trace event of this operation ID and exit")
+	flag.Parse()
+
+	export, err := load(*file, *url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storetop:", err)
+		return 1
+	}
+
+	if *opID != 0 {
+		n := 0
+		for _, ev := range export.Trace {
+			if ev.Op == *opID {
+				printEvent(ev)
+				n++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "storetop: no events for op %d (ring may have evicted them)\n", *opID)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Print(shardTable(export.Metrics))
+	if rest := flatRemainder(export.Metrics); rest != "" {
+		fmt.Println()
+		fmt.Print(rest)
+	}
+	if *traceN > 0 {
+		events := export.Trace
+		if len(events) > *traceN {
+			events = events[len(events)-*traceN:]
+		}
+		fmt.Printf("\n== trace tail (%d of %d events) ==\n", len(events), len(export.Trace))
+		for _, ev := range events {
+			printEvent(ev)
+		}
+	}
+	return 0
+}
+
+// load reads the export from a file or an HTTP endpoint.
+func load(file, url string) (obs.Export, error) {
+	var export obs.Export
+	var data []byte
+	var err error
+	switch {
+	case file != "" && url != "":
+		return export, fmt.Errorf("set -file or -url, not both")
+	case file != "":
+		data, err = os.ReadFile(file)
+	case url != "":
+		var resp *http.Response
+		resp, err = http.Get(url)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return export, fmt.Errorf("GET %s: %s", url, resp.Status)
+			}
+			data, err = io.ReadAll(resp.Body)
+		}
+	default:
+		return export, fmt.Errorf("set -file or -url (try -file $TELEMETRY_DIR/chaos-telemetry-mem.json)")
+	}
+	if err != nil {
+		return export, err
+	}
+	if err := json.Unmarshal(data, &export); err != nil {
+		return export, fmt.Errorf("decode export: %w", err)
+	}
+	return export, nil
+}
+
+// shardPrefix returns the path's store/shard=N/ prefix and the rest, or
+// ok=false for paths outside the per-shard scopes.
+func shardPrefix(path string) (prefix, rest string, ok bool) {
+	if !strings.HasPrefix(path, "store/shard=") {
+		return "", "", false
+	}
+	i := strings.Index(path[len("store/shard="):], "/")
+	if i < 0 {
+		return "", "", false
+	}
+	cut := len("store/shard=") + i + 1
+	return path[:cut], path[cut:], true
+}
+
+// coreShardMetrics are the per-shard entries the table renders; the
+// flat remainder prints everything else.
+var coreShardCounters = []string{"writes", "reads", "flow/pushbacks", "flow/sheds", "flow/hedges"}
+
+// shardTable renders one row per shard: operation counts, latency
+// quantiles, and the headline flow signals.
+func shardTable(snap obs.Snapshot) string {
+	shards := map[string]bool{}
+	for path := range snap.Counters {
+		if p, _, ok := shardPrefix(path); ok {
+			shards[p] = true
+		}
+	}
+	for path := range snap.Histograms {
+		if p, _, ok := shardPrefix(path); ok {
+			shards[p] = true
+		}
+	}
+	order := make([]string, 0, len(shards))
+	for p := range shards {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+
+	tbl := stats.NewTable("store telemetry",
+		"shard", "writes", "reads", "w_p50ms", "w_p99ms", "r_p50ms", "r_p99ms", "pushbacks", "sheds", "hedges")
+	for _, p := range order {
+		name := strings.TrimSuffix(strings.TrimPrefix(p, "store/"), "/")
+		wh := snap.Histograms[p+"write_ms"]
+		rh := snap.Histograms[p+"read_ms"]
+		tbl.AddRow(name,
+			snap.Counters[p+"writes"], snap.Counters[p+"reads"],
+			wh.P50, wh.P99, rh.P50, rh.P99,
+			snap.Counters[p+"flow/pushbacks"], snap.Counters[p+"flow/sheds"], snap.Counters[p+"flow/hedges"])
+	}
+	if tbl.Rows() == 0 {
+		return "no per-shard metrics in export (telemetry off?)\n"
+	}
+	return tbl.String()
+}
+
+// flatRemainder renders every metric the shard table did not consume,
+// one sorted line each, in the registry's text format.
+func flatRemainder(snap obs.Snapshot) string {
+	consumed := func(path string) bool {
+		p, rest, ok := shardPrefix(path)
+		if !ok {
+			return false
+		}
+		_ = p
+		for _, c := range coreShardCounters {
+			if rest == c {
+				return true
+			}
+		}
+		return rest == "write_ms" || rest == "read_ms"
+	}
+	rest := obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Watermarks: map[string]int64{},
+		Histograms: map[string]obs.HistogramSnapshot{},
+	}
+	n := 0
+	for path, v := range snap.Counters {
+		if !consumed(path) {
+			rest.Counters[path] = v
+			n++
+		}
+	}
+	for path, v := range snap.Gauges {
+		rest.Gauges[path] = v
+		n++
+	}
+	for path, v := range snap.Watermarks {
+		rest.Watermarks[path] = v
+		n++
+	}
+	for path, h := range snap.Histograms {
+		if !consumed(path) {
+			rest.Histograms[path] = h
+			n++
+		}
+	}
+	if n == 0 {
+		return ""
+	}
+	return rest.Text()
+}
+
+// printEvent renders one trace event on one line.
+func printEvent(ev obs.Event) {
+	member := "quorum"
+	if ev.Member >= 0 {
+		member = fmt.Sprintf("obj=%d", ev.Member)
+	}
+	round := ""
+	if ev.Round > 0 {
+		round = fmt.Sprintf(" round=%d", ev.Round)
+	}
+	detail := ""
+	if ev.Detail != "" {
+		detail = " " + ev.Detail
+	}
+	key := ""
+	if ev.Key != "" {
+		key = " key=" + ev.Key
+	}
+	fmt.Printf("%s op=%d shard=%d %s %-14s%s%s%s\n",
+		ev.Time.Format("15:04:05.000000"), ev.Op, ev.Shard, member, ev.Kind, round, key, detail)
+}

@@ -30,7 +30,11 @@ var Analyzer = &analysis.Analyzer{
 	Scoped: func(importPath string) bool {
 		return strings.Contains(importPath, "internal/transport/fault") ||
 			strings.Contains(importPath, "internal/transport/simnet") ||
-			strings.Contains(importPath, "internal/workload")
+			strings.Contains(importPath, "internal/workload") ||
+			// The telemetry core promises that time enters only through an
+			// injectable Clock — a direct wall-clock read there would leak
+			// nondeterminism into every seeded harness that records traces.
+			strings.Contains(importPath, "internal/obs")
 	},
 	Run: run,
 }

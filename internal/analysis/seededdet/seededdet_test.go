@@ -8,5 +8,5 @@ import (
 )
 
 func TestSeededDet(t *testing.T) {
-	analysistest.Run(t, seededdet.Analyzer, "seededdet/bad", "seededdet/good")
+	analysistest.Run(t, seededdet.Analyzer, "seededdet/bad", "seededdet/good", "seededdet/telemetry")
 }

@@ -1,0 +1,55 @@
+// Package telemetry mirrors the shape of the observability core
+// (internal/obs): event recorders must stamp timestamps through an
+// injected clock, never by reading the wall clock directly — a direct
+// read would make every seeded harness's trace nondeterministic.
+package telemetry
+
+import "time"
+
+// Clock is the injectable time source, mirroring obs.Clock.
+type Clock func() time.Time
+
+type event struct {
+	at   time.Time
+	kind string
+}
+
+// badRecorder stamps events straight off the wall clock.
+type badRecorder struct {
+	events []event
+}
+
+func (r *badRecorder) record(kind string) {
+	r.events = append(r.events, event{
+		at:   time.Now(), // want "time.Now keys behavior on the wall clock"
+		kind: kind,
+	})
+}
+
+func (r *badRecorder) age(ev event) time.Duration {
+	return time.Since(ev.at) // want "time.Since keys behavior on the wall clock"
+}
+
+// goodRecorder stamps events through its injected clock. Assigning
+// time.Now as the default VALUE is the sanctioned pattern — the leak is
+// calling it at record time, not referencing it as a fallback the
+// harness overrides.
+type goodRecorder struct {
+	clock  Clock
+	events []event
+}
+
+func newGoodRecorder(clock Clock) *goodRecorder {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &goodRecorder{clock: clock}
+}
+
+func (r *goodRecorder) record(kind string) {
+	r.events = append(r.events, event{at: r.clock(), kind: kind})
+}
+
+func (r *goodRecorder) age(ev event) time.Duration {
+	return r.clock().Sub(ev.at)
+}

@@ -2,12 +2,16 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/consistency"
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/fault"
@@ -21,6 +25,11 @@ import (
 // partitions, and crash/restart windows.
 type ChaosSpec struct {
 	Store StoreSpec
+
+	// Name labels the soak (scenario constructors set it); with
+	// telemetry enabled and TELEMETRY_DIR set, RunChaos writes the run's
+	// TelemetryExport to $TELEMETRY_DIR/<Name>.json.
+	Name string
 
 	// Keys is the number of registers exercised (default 32).
 	Keys int
@@ -91,6 +100,7 @@ func DefaultChaosPlan(seed int64) *fault.Plan {
 // the paper's budget (b + crash ≤ t) — over memnet or tcpnet.
 func ChaosScenario(seed int64, tcp bool) ChaosSpec {
 	return ChaosSpec{
+		Name: "chaos-" + transportName(tcp),
 		Store: StoreSpec{
 			T: 2, B: 1,
 			Shards:          2,
@@ -102,8 +112,17 @@ func ChaosScenario(seed int64, tcp bool) ChaosSpec {
 			FlushWindow:     100 * time.Microsecond,
 			MaxBatch:        64,
 			Faults:          DefaultChaosPlan(seed),
+			Telemetry:       true,
 		},
 	}
+}
+
+// transportName labels a soak's transport for artifact filenames.
+func transportName(tcp bool) string {
+	if tcp {
+		return "tcp"
+	}
+	return "mem"
 }
 
 // RecoveryChaosPlan is DefaultChaosPlan with every crash window healing
@@ -127,6 +146,7 @@ func RecoveryChaosPlan(seed int64) *fault.Plan {
 // must complete and every register must still validate.
 func RecoveryChaosScenario(seed int64, tcp bool) ChaosSpec {
 	spec := ChaosScenario(seed, tcp)
+	spec.Name = "chaos-recovery-" + transportName(tcp)
 	spec.Store.Faults = RecoveryChaosPlan(seed)
 	spec.Store.Recovery = true
 	return spec
@@ -177,6 +197,7 @@ func SaturationFlow() *flow.Options {
 // per round never touches the S−t quorum the proofs need.
 func SaturationChaosScenario(seed int64, tcp bool) ChaosSpec {
 	return ChaosSpec{
+		Name: "chaos-saturation-" + transportName(tcp),
 		Store: StoreSpec{
 			T: 2, B: 1,
 			Shards:          2,
@@ -193,6 +214,7 @@ func SaturationChaosScenario(seed int64, tcp bool) ChaosSpec {
 			AlwaysCoalesce: true,
 			Faults:         SaturationChaosPlan(seed),
 			Flow:           SaturationFlow(),
+			Telemetry:      true,
 		},
 		Keys:          48,
 		WritesPerKey:  4,
@@ -200,6 +222,32 @@ func SaturationChaosScenario(seed int64, tcp bool) ChaosSpec {
 		WriterWorkers: 16,
 		ReaderWorkers: 16,
 	}
+}
+
+// TelemetryChaosScenario is the observability soak: the amnesia
+// recovery soak driven at the saturation workload under squeezed flow
+// budgets, so one run reliably produces every event class the trace
+// must capture — Busy pushbacks (budgets overflow constantly), hedge
+// volleys (shed members leave rounds incomplete), and recovery
+// fence-wait/fence-lift pairs (every crash window wipes an object) —
+// each attributable to an operation ID.
+func TelemetryChaosScenario(seed int64, tcp bool) ChaosSpec {
+	spec := RecoveryChaosScenario(seed, tcp)
+	spec.Name = "chaos-telemetry-" + transportName(tcp)
+	// The soak asserts on the rare fence events; size the ring well
+	// above the run's total event volume (ops + the busy/hedge flood,
+	// ~20k under the race detector) so nothing is evicted.
+	spec.Store.TraceCapacity = 1 << 17
+	spec.Store.AlwaysCoalesce = true
+	spec.Store.MaxBatch = 16
+	spec.Store.FlushWindow = 300 * time.Microsecond
+	spec.Store.Flow = SaturationFlow()
+	spec.Keys = 48
+	spec.WritesPerKey = 4
+	spec.ReadsPerKey = 4
+	spec.WriterWorkers = 16
+	spec.ReaderWorkers = 16
+	return spec
 }
 
 // ChaosReport is the outcome of one soak.
@@ -212,6 +260,8 @@ type ChaosReport struct {
 	Recovery   recovery.Stats   // catch-up counters (zero without a recovery policy)
 	Membership membership.Stats // reconfiguration counters (zero without a membership policy)
 	Flow       flow.Stats       // flow-control counters (zero without a flow policy)
+	ShardFlow  []flow.Stats     // per-shard flow counters (nil without a flow policy)
+	Telemetry  *obs.Export      // metrics + op trace (nil without telemetry)
 	Violations []string         // rendered per-register consistency violations
 }
 
@@ -234,6 +284,30 @@ func (r ChaosReport) String() string {
 	}
 	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v]%s — %s",
 		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, rec, verdict)
+}
+
+// writeTelemetryArtifact persists a soak's telemetry export to
+// $TELEMETRY_DIR/<name>.json — the artifact CI uploads per chaos run.
+// A no-op unless TELEMETRY_DIR is set.
+func writeTelemetryArtifact(name string, export obs.Export) error {
+	dir := os.Getenv("TELEMETRY_DIR")
+	if dir == "" {
+		return nil
+	}
+	if name == "" {
+		name = "chaos"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("telemetry artifact dir: %w", err)
+	}
+	data, err := json.MarshalIndent(export, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry artifact encode: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644); err != nil {
+		return fmt.Errorf("telemetry artifact write: %w", err)
+	}
+	return nil
 }
 
 // RunChaos drives the multi-register workload against a fault-injected
@@ -388,6 +462,16 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats(), Membership: s.MembershipStats(), Flow: s.FlowStats()}
 	m := s.Metrics()
 	report.Writes, report.Reads = m.Writes, m.Reads
+	if spec.Store.Flow != nil {
+		report.ShardFlow = s.ShardFlowStats()
+	}
+	if spec.Store.Telemetry {
+		export := s.TelemetryExport()
+		report.Telemetry = &export
+		if err := writeTelemetryArtifact(spec.Name, export); err != nil {
+			return ChaosReport{}, err
+		}
+	}
 
 	checkRegularity := spec.Store.Semantics != store.Safe
 	for i, h := range histories {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/store"
 	"repro/internal/transport/batch"
@@ -53,6 +54,14 @@ type StoreSpec struct {
 	// queues at every layer, Busy pushback, and slow-object
 	// shedding/hedging at the client mux.
 	Flow *flow.Options
+	// Telemetry enables the unified observability core with default
+	// options: the per-shard metrics registry and the bounded op trace.
+	Telemetry bool
+	// TraceCapacity overrides the trace ring size (0 = the obs default).
+	// Soaks that assert on rare event classes (recovery fences) size the
+	// ring above their total event volume so the busy/hedge flood cannot
+	// evict the events the assertion needs.
+	TraceCapacity int
 }
 
 // BuildStore opens the multi-register cluster a spec describes.
@@ -80,6 +89,9 @@ func BuildStore(spec StoreSpec) (*store.Store, error) {
 	}
 	if spec.Membership {
 		opts.Membership = &membership.Policy{}
+	}
+	if spec.Telemetry {
+		opts.Telemetry = &obs.Options{TraceCapacity: spec.TraceCapacity}
 	}
 	return store.Open(opts)
 }
@@ -140,12 +152,15 @@ func percentile(sorted []time.Duration, p float64) float64 {
 // Every op's latency is captured (p50/p99 columns) along with the
 // process-wide allocation count per completed op; saturated mode
 // additionally snapshots the flow layer's overload signals.
-func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, saturated bool) (StoreBenchResult, error) {
+func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, saturated bool, observe func(*store.Store)) (StoreBenchResult, error) {
 	s, err := BuildStore(spec)
 	if err != nil {
 		return StoreBenchResult{}, err
 	}
 	defer s.Close()
+	if observe != nil {
+		observe(s)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
@@ -247,7 +262,15 @@ func driveStoreBench(name string, spec StoreSpec, writers, opsPerWriter int, sat
 // RunStoreBench runs the shared driver: goodput plus the universal
 // latency/alloc columns.
 func RunStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
-	return driveStoreBench(name, spec, writers, opsPerWriter, false)
+	return driveStoreBench(name, spec, writers, opsPerWriter, false, nil)
+}
+
+// RunStoreBenchObserved is RunStoreBench with a hook that receives the
+// live deployment before the workload starts — cmd/benchharness hangs
+// its telemetry exposition endpoint on it so a running bench can be
+// inspected mid-flight.
+func RunStoreBenchObserved(name string, spec StoreSpec, writers, opsPerWriter int, observe func(*store.Store)) (StoreBenchResult, error) {
+	return driveStoreBench(name, spec, writers, opsPerWriter, false, observe)
 }
 
 // SaturatedStoreSpec is the degraded-mode saturation deployment: the
@@ -280,7 +303,7 @@ func SaturatedStoreSpec() StoreSpec {
 // and the latency the hedged, shed, pushed-back workload actually
 // observed, but also the overload signals the flow layer emitted.
 func RunSaturatedStoreBench(name string, spec StoreSpec, writers, opsPerWriter int) (StoreBenchResult, error) {
-	return driveStoreBench(name, spec, writers, opsPerWriter, true)
+	return driveStoreBench(name, spec, writers, opsPerWriter, true, nil)
 }
 
 // RunSingleRegisterBench is the baseline row: the seed's one-register
@@ -396,6 +419,13 @@ func StoreScenarios() []struct {
 	memMembership := memBatched
 	memMembership.Recovery = true
 	memMembership.Membership = true
+	// The telemetry row prices the observability core on the hot path:
+	// the batched memnet deployment with per-shard metrics and the op
+	// trace recording every operation's round structure. benchgate holds
+	// it to the same bands as every other row — telemetry that cannot
+	// stay on under load is telemetry nobody runs.
+	memTelemetry := memBatched
+	memTelemetry.Telemetry = true
 	return []struct {
 		Name string
 		Spec StoreSpec
@@ -407,5 +437,6 @@ func StoreScenarios() []struct {
 		{"sharded-mem-batched-faulty", memFaulty},
 		{"sharded-mem-batched-recovery", memRecovery},
 		{"sharded-mem-batched-membership", memMembership},
+		{"sharded-mem-batched-telemetry", memTelemetry},
 	}
 }

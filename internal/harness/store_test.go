@@ -79,8 +79,8 @@ func TestRunSingleRegisterBenchBaseline(t *testing.T) {
 
 func TestStoreScenariosShape(t *testing.T) {
 	scs := StoreScenarios()
-	if len(scs) != 7 {
-		t.Fatalf("want 7 scenarios, got %d", len(scs))
+	if len(scs) != 8 {
+		t.Fatalf("want 8 scenarios, got %d", len(scs))
 	}
 	names := map[string]StoreSpec{}
 	for _, sc := range scs {
@@ -129,5 +129,13 @@ func TestStoreScenariosShape(t *testing.T) {
 	m.Membership, m.Recovery = false, false
 	if m != base {
 		t.Fatal("membership row must differ from sharded-mem-batched only in membership + recovery")
+	}
+	tl := names["sharded-mem-batched-telemetry"]
+	if !tl.Telemetry {
+		t.Fatal("telemetry scenario must enable telemetry")
+	}
+	tl.Telemetry = false
+	if tl != names["sharded-mem-batched"] {
+		t.Fatal("telemetry row must differ from sharded-mem-batched only in telemetry")
 	}
 }

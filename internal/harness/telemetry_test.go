@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// telemetrySeed pins the observability soak schedule.
+const telemetrySeed = 0x7E1E7E1E
+
+// TestChaosTelemetrySoak: the observability acceptance bar. One soak —
+// amnesia crash windows under saturation-grade flow budgets — must
+// produce a queryable op trace containing every event class the
+// telemetry layer claims to capture: Busy pushbacks, hedge volleys, and
+// recovery fence-wait/fence-lift pairs, each attributed to an operation
+// ID whose other lifecycle events corroborate it. The metrics registry
+// must agree with the legacy stats surfaces it re-homed.
+func TestChaosTelemetrySoak(t *testing.T) {
+	spec := TelemetryChaosScenario(telemetrySeed, false)
+	if testing.Short() {
+		spec.Keys = 24
+		spec.WritesPerKey = 3
+		spec.ReadsPerKey = 3
+	}
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("regularity violated under the telemetry soak:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Telemetry == nil {
+		t.Fatal("telemetry-enabled soak returned no export")
+	}
+
+	// Group the trace by operation ID and count event classes.
+	byOp := make(map[uint64][]obs.Event)
+	kinds := make(map[obs.EventKind]int)
+	for _, ev := range rep.Telemetry.Trace {
+		kinds[ev.Kind]++
+		if ev.Op != 0 {
+			byOp[ev.Op] = append(byOp[ev.Op], ev)
+		}
+	}
+	t.Logf("trace: %d events, %d distinct ops, kinds %v", len(rep.Telemetry.Trace), len(byOp), kinds)
+
+	for _, want := range []obs.EventKind{obs.EvBusy, obs.EvHedge, obs.EvFenceWait, obs.EvFenceLift} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s event in the trace — the soak must exercise every class", want)
+		}
+	}
+
+	// Busy and hedge events must be attributable: at least one of each
+	// must carry an op ID whose group also holds other events of the
+	// same operation (begin/round/reply — whatever the bounded ring
+	// still retains).
+	for _, want := range []obs.EventKind{obs.EvBusy, obs.EvHedge} {
+		attributed := false
+		for op, evs := range byOp {
+			var has, others bool
+			for _, ev := range evs {
+				if ev.Kind == want {
+					has = true
+				} else {
+					others = true
+				}
+			}
+			if has && others {
+				attributed = true
+				_ = op
+				break
+			}
+		}
+		if !attributed {
+			t.Errorf("no %s event shares its op ID with other lifecycle events", want)
+		}
+	}
+
+	// A completed catch-up's fence lift shares its op with the fence
+	// wait that opened it.
+	liftAttributed := false
+	for _, evs := range byOp {
+		var wait, lift bool
+		for _, ev := range evs {
+			switch ev.Kind {
+			case obs.EvFenceWait:
+				wait = true
+			case obs.EvFenceLift:
+				lift = true
+			}
+		}
+		if wait && lift {
+			liftAttributed = true
+			break
+		}
+	}
+	if !liftAttributed {
+		t.Error("no fence-lift shares an op ID with its fence-wait")
+	}
+
+	// The registry's re-homed flow counters must agree with the legacy
+	// FlowStats aggregate — same instances, so exact equality.
+	var pushbacks, hedges int64
+	for path, v := range rep.Telemetry.Metrics.Counters {
+		if strings.HasSuffix(path, "/flow/pushbacks") {
+			pushbacks += v
+		}
+		if strings.HasSuffix(path, "/flow/hedges") {
+			hedges += v
+		}
+	}
+	if pushbacks != rep.Flow.Pushbacks || hedges != rep.Flow.Hedges {
+		t.Errorf("registry flow counters (pushbacks=%d hedges=%d) disagree with FlowStats (%d, %d)",
+			pushbacks, hedges, rep.Flow.Pushbacks, rep.Flow.Hedges)
+	}
+	if rep.Flow.Pushbacks == 0 || rep.Flow.Hedges == 0 {
+		t.Fatalf("soak never saturated: %v", rep.Flow)
+	}
+
+	// Latency histograms cover every completed op.
+	var histOps int64
+	for path, h := range rep.Telemetry.Metrics.Histograms {
+		if strings.HasSuffix(path, "/write_ms") || strings.HasSuffix(path, "/read_ms") {
+			histOps += h.Count
+		}
+	}
+	if histOps != rep.Writes+rep.Reads {
+		t.Errorf("latency histograms cover %d ops, report counted %d", histOps, rep.Writes+rep.Reads)
+	}
+}
+
+// TestShardFlowStatsHotCold: the per-shard flow view must localize
+// overload. All load lands on one shard of a two-shard flow-controlled
+// deployment; the hot shard's overload signals must dominate the cold
+// shard's, which serves a token trickle and must stay near-quiet.
+func TestShardFlowStatsHotCold(t *testing.T) {
+	spec := StoreSpec{
+		T: 2, B: 1,
+		Shards:          2,
+		ReadersPerShard: 4,
+		Semantics:       "regular-opt",
+		Batched:         true,
+		FlushWindow:     300 * time.Microsecond,
+		MaxBatch:        16,
+		AlwaysCoalesce:  true,
+		Faults:          SaturationChaosPlan(int64(telemetrySeed)),
+		Flow:            SaturationFlow(),
+	}
+	s, err := BuildStore(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Collect keys that route to one shard — the hot one.
+	hot := s.ShardFor("hot/0")
+	var hotKeys, coldKeys []string
+	for i := 0; len(hotKeys) < 32 || len(coldKeys) < 2; i++ {
+		k := fmt.Sprintf("hot/%d", i)
+		if s.ShardFor(k) == hot {
+			hotKeys = append(hotKeys, k)
+		} else {
+			coldKeys = append(coldKeys, k)
+		}
+	}
+	cold := s.ShardFor(coldKeys[0])
+
+	// Token trickle on the cold shard; a flood of concurrent writers and
+	// readers on the hot one (each key keeps its single writer).
+	for _, k := range coldKeys[:2] {
+		if err := s.Write(ctx, k, types.Value("cold")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(hotKeys); i += workers {
+				for v := 0; v < 6; v++ {
+					if err := s.Write(ctx, hotKeys[i], types.Value(fmt.Sprintf("v%d", v))); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(hotKeys); i += workers {
+				for n := 0; n < 6; n++ {
+					if _, err := s.Read(ctx, hotKeys[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	per := s.ShardFlowStats()
+	if len(per) != 2 {
+		t.Fatalf("ShardFlowStats returned %d shards, want 2", len(per))
+	}
+	signal := func(i int) int64 { return per[i].Pushbacks + per[i].Sheds + per[i].Hedges }
+	t.Logf("hot shard %d: %v", hot, per[hot])
+	t.Logf("cold shard %d: %v", cold, per[cold])
+	if signal(hot) == 0 {
+		t.Fatalf("hot shard shows no overload signal: %v", per[hot])
+	}
+	if signal(hot) <= 4*signal(cold) {
+		t.Errorf("hot shard's overload (%d) does not dominate the cold shard's (%d)", signal(hot), signal(cold))
+	}
+
+	// The aggregate must equal the per-shard sum — same counters.
+	agg := s.FlowStats()
+	if agg.Pushbacks != per[0].Pushbacks+per[1].Pushbacks {
+		t.Errorf("aggregate pushbacks %d ≠ per-shard sum %d", agg.Pushbacks, per[0].Pushbacks+per[1].Pushbacks)
+	}
+}

@@ -56,8 +56,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -196,13 +196,29 @@ func (a *Auth) SignedUpdate(v View) wire.ConfigUpdate {
 
 // Counters aggregates one shard's reconfiguration activity; gates and
 // client muxes share one instance so the store can report it whole.
+// The fields are obs counters (same Add/Load surface as the atomics
+// they replaced) so a telemetry-enabled store mounts the live
+// instances on its registry via Describe.
 type Counters struct {
-	Replacements atomic.Int64 // completed Replace operations
-	Redirects    atomic.Int64 // stale-epoch requests answered with a ConfigUpdate
-	Adoptions    atomic.Int64 // client views advanced by a verified redirect
-	Replays      atomic.Int64 // per-register in-flight ops re-broadcast after an adoption
-	StaleReplies atomic.Int64 // replies dropped because the sender is not in the current view
-	BadUpdates   atomic.Int64 // redirects discarded for a bad signature
+	Replacements obs.Counter // completed Replace operations
+	Redirects    obs.Counter // stale-epoch requests answered with a ConfigUpdate
+	Adoptions    obs.Counter // client views advanced by a verified redirect
+	Replays      obs.Counter // per-register in-flight ops re-broadcast after an adoption
+	StaleReplies obs.Counter // replies dropped because the sender is not in the current view
+	BadUpdates   obs.Counter // redirects discarded for a bad signature
+}
+
+// Describe mounts the counters on an obs scope (both sides nil-safe).
+func (c *Counters) Describe(s *obs.Scope) {
+	if c == nil || s == nil {
+		return
+	}
+	s.AttachCounter("replacements", &c.Replacements)
+	s.AttachCounter("redirects", &c.Redirects)
+	s.AttachCounter("adoptions", &c.Adoptions)
+	s.AttachCounter("replays", &c.Replays)
+	s.AttachCounter("stale_replies", &c.StaleReplies)
+	s.AttachCounter("bad_updates", &c.BadUpdates)
 }
 
 // Stats is a point-in-time snapshot of Counters.

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBoundsMs are the upper bounds (in milliseconds) of the
+// default latency histogram: roughly exponential from 50µs to 10s,
+// chosen to straddle the memnet sub-millisecond regime and the faulty
+// tcp tail alike.
+var DefaultLatencyBoundsMs = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free recording:
+// counts[i] holds samples ≤ bounds[i], the final bucket holds the
+// overflow. Record costs one binary search plus two atomic adds, cheap
+// enough for the store's per-op hot path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds; nil bounds select DefaultLatencyBoundsMs.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBoundsMs
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Record adds one sample. A nil receiver is a no-op.
+func (h *Histogram) Record(v float64) {
+	if h == nil {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if h.sum.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Observe records a duration in milliseconds.
+func (h *Histogram) Observe(d time.Duration) {
+	h.Record(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the total samples recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear
+// interpolation within the bucket holding the target rank. Samples in
+// the overflow bucket report the last finite bound — the histogram
+// cannot resolve beyond its range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - cum) / n
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge folds o into h; the histograms must share bounds.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bounds at %d: %v vs %v", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.total.Add(o.total.Load())
+	add := o.Sum()
+	for {
+		cur := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + add)
+		if h.sum.CompareAndSwap(cur, next) {
+			return nil
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram for JSON
+// exposition.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+}
+
+// Snapshot captures the histogram's buckets and headline quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

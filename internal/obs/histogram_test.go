@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the ≤-bound bucketing: a sample
+// exactly on a bound lands in that bound's bucket, just above it in the
+// next, and beyond the last bound in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Record(0.5)   // bucket 0 (≤1)
+	h.Record(1)     // bucket 0 (≤1, inclusive upper bound)
+	h.Record(1.001) // bucket 1
+	h.Record(10)    // bucket 1
+	h.Record(99)    // bucket 2
+	h.Record(100)   // bucket 2
+	h.Record(101)   // overflow
+	s := h.Snapshot()
+	want := []int64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count %d want 7", s.Count)
+	}
+	if math.Abs(s.Sum-(0.5+1+1.001+10+99+100+101)) > 1e-9 {
+		t.Fatalf("sum %v", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Record(0.5) // all in bucket 0
+	}
+	if p := h.Quantile(0.5); p <= 0 || p > 1 {
+		t.Fatalf("p50 %v outside bucket 0 range (0,1]", p)
+	}
+	// Push 10 samples into the overflow bucket: p99 must clamp to the
+	// last finite bound rather than invent a value.
+	for i := 0; i < 1000; i++ {
+		h.Record(100)
+	}
+	if p := h.Quantile(0.99); p != 8 {
+		t.Fatalf("overflow p99 %v, want last bound 8", p)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Fatal("nil histogram must read zero")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || math.Abs(s.Sum-3) > 1e-9 {
+		t.Fatalf("observe: count=%d sum=%v, want 1/3ms", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.Record(0.5)
+	b.Record(5)
+	b.Record(50)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if s.Count != 3 || s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("merged snapshot %+v", s)
+	}
+	if math.Abs(s.Sum-55.5) > 1e-9 {
+		t.Fatalf("merged sum %v", s.Sum)
+	}
+	c := NewHistogram([]float64{1, 2, 3})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with different bounds must fail")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count %d want %d", got, workers*per)
+	}
+	sum := 0.0
+	for _, n := range h.Snapshot().Counts {
+		sum += float64(n)
+	}
+	if int64(sum) != workers*per {
+		t.Fatalf("bucket sum %v want %d", sum, workers*per)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

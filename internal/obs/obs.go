@@ -1,0 +1,142 @@
+// Package obs is the dependency-free telemetry core shared by every
+// layer of the store: atomic counters, gauges and high-watermarks; a
+// fixed-bucket latency histogram with p50/p90/p99 extraction; a
+// hierarchical metrics Registry (paths like store/shard=3/flow/...);
+// and a bounded ring-buffer op tracer that records each register
+// operation's lifecycle as round-structured events.
+//
+// Determinism rule: nothing in this package calls time.Now (the
+// seededdet analyzer vets it). Time enters only through an injectable
+// Clock, so a deployment under the seeded simnet clock produces a trace
+// stamped in simulated time, and the replayable-schedule property of
+// the fault transport survives the instrumentation.
+//
+// The primitives are zero-value-ready and nil-receiver-safe: a layer
+// can embed a Counter (or thread an optional *Counter) and call Add
+// unconditionally, exactly like the flow-control counters always
+// worked. The Registry mounts either its own instruments or, via the
+// Attach variants, instruments owned by an existing Stats struct — the
+// re-homing path that keeps the public per-subsystem APIs unchanged.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies event timestamps. The zero Options defaults it to the
+// wall clock at the edge (a function-value reference, never a direct
+// call from recording code); deterministic harnesses inject the simnet
+// clock instead.
+type Clock func() time.Time
+
+// DefaultTraceCapacity bounds the op-trace ring when Options leaves it
+// zero: big enough to hold the full lifecycle of a few thousand ops,
+// small enough that a soak cannot grow memory without bound.
+const DefaultTraceCapacity = 8192
+
+// Options configures a deployment's telemetry.
+type Options struct {
+	// TraceCapacity bounds the op-trace ring buffer (events, not ops).
+	// 0 selects DefaultTraceCapacity; < 0 disables tracing (metrics
+	// only).
+	TraceCapacity int
+	// Clock stamps trace events. nil selects the wall clock.
+	Clock Clock
+}
+
+// WithDefaults fills zero knobs.
+func (o Options) WithDefaults() Options {
+	if o.TraceCapacity == 0 {
+		o.TraceCapacity = DefaultTraceCapacity
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready; a nil receiver is a no-op, so optional instrumentation
+// never branches.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter (taps reuse one instance across runs).
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Gauge is an atomic instantaneous value (queue depth, live objects).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Watermark tracks the maximum value ever recorded (backlog depths).
+type Watermark struct {
+	v atomic.Int64
+}
+
+// Record raises the watermark to at least v.
+func (w *Watermark) Record(v int64) {
+	if w == nil {
+		return
+	}
+	for {
+		cur := w.v.Load()
+		if v <= cur || w.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water value (0 on nil).
+func (w *Watermark) Load() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.v.Load()
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a tree of named scopes, each holding named instruments.
+// Paths join scope names with '/': store/shard=3/flow/pushbacks. A
+// scope can own its instruments (Counter/Gauge/Watermark/Histogram
+// create-or-get) or mount instruments owned elsewhere (the Attach
+// variants — how the per-subsystem Stats structs re-home onto the
+// shared registry without changing their APIs) or expose a live-read
+// view function (for values whose owner churns, like the recovery
+// managers replaced on membership changes).
+//
+// Registration is mutex-guarded and rare (deployment setup); reads of
+// the instruments themselves are lock-free.
+type Registry struct {
+	mu   sync.Mutex
+	root *Scope
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.root = &Scope{reg: r}
+	return r
+}
+
+// Root returns the top-level scope (nil-safe).
+func (r *Registry) Root() *Scope {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
+
+// Snapshot captures every instrument in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Watermarks: map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.root.collect(&s)
+	return s
+}
+
+// Scope is one node of the registry tree. All methods are safe on a
+// nil receiver (returning nil / doing nothing), so telemetry-off
+// deployments thread a nil scope through the same wiring.
+type Scope struct {
+	reg      *Registry
+	path     string // "" for root, else "a/b/c"
+	children map[string]*Scope
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	marks    map[string]*Watermark
+	hists    map[string]*Histogram
+	views    map[string]func() int64
+}
+
+// Path returns the scope's full path ("" for the root).
+func (s *Scope) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+func (s *Scope) join(name string) string {
+	if s.path == "" {
+		return name
+	}
+	return s.path + "/" + name
+}
+
+// Scope returns (creating if needed) the named child scope.
+func (s *Scope) Scope(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if c, ok := s.children[name]; ok {
+		return c
+	}
+	if s.children == nil {
+		s.children = map[string]*Scope{}
+	}
+	c := &Scope{reg: s.reg, path: s.join(name)}
+	s.children[name] = c
+	return c
+}
+
+// Counter returns (creating if needed) the named counter.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.attachCounterLocked(name, c)
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if g, ok := s.gauges[name]; ok {
+		return g
+	}
+	if s.gauges == nil {
+		s.gauges = map[string]*Gauge{}
+	}
+	g := &Gauge{}
+	s.gauges[name] = g
+	return g
+}
+
+// Watermark returns (creating if needed) the named watermark.
+func (s *Scope) Watermark(name string) *Watermark {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if w, ok := s.marks[name]; ok {
+		return w
+	}
+	w := &Watermark{}
+	s.attachWatermarkLocked(name, w)
+	return w
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// default latency buckets.
+func (s *Scope) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	if s.hists == nil {
+		s.hists = map[string]*Histogram{}
+	}
+	h := NewHistogram(nil)
+	s.hists[name] = h
+	return h
+}
+
+// AttachCounter mounts an externally owned counter at name.
+func (s *Scope) AttachCounter(name string, c *Counter) {
+	if s == nil || c == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	s.attachCounterLocked(name, c)
+}
+
+func (s *Scope) attachCounterLocked(name string, c *Counter) {
+	if s.counters == nil {
+		s.counters = map[string]*Counter{}
+	}
+	s.counters[name] = c
+}
+
+// AttachWatermark mounts an externally owned watermark at name.
+func (s *Scope) AttachWatermark(name string, w *Watermark) {
+	if s == nil || w == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	s.attachWatermarkLocked(name, w)
+}
+
+func (s *Scope) attachWatermarkLocked(name string, w *Watermark) {
+	if s.marks == nil {
+		s.marks = map[string]*Watermark{}
+	}
+	s.marks[name] = w
+}
+
+// AttachHistogram mounts an externally owned histogram at name.
+func (s *Scope) AttachHistogram(name string, h *Histogram) {
+	if s == nil || h == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if s.hists == nil {
+		s.hists = map[string]*Histogram{}
+	}
+	s.hists[name] = h
+}
+
+// View mounts a live-read function at name; snapshots report it among
+// the counters. Use it for values whose owning object is replaced over
+// the deployment's lifetime (recovery managers across membership
+// changes) so the mounted reader survives the churn.
+func (s *Scope) View(name string, fn func() int64) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	if s.views == nil {
+		s.views = map[string]func() int64{}
+	}
+	s.views[name] = fn
+}
+
+// collect folds the scope subtree into snap; caller holds reg.mu.
+func (s *Scope) collect(snap *Snapshot) {
+	for name, c := range s.counters {
+		snap.Counters[s.join(name)] = c.Load()
+	}
+	for name, fn := range s.views {
+		snap.Counters[s.join(name)] = fn()
+	}
+	for name, g := range s.gauges {
+		snap.Gauges[s.join(name)] = g.Load()
+	}
+	for name, w := range s.marks {
+		snap.Watermarks[s.join(name)] = w.Load()
+	}
+	for name, h := range s.hists {
+		snap.Histograms[s.join(name)] = h.Snapshot()
+	}
+	for _, c := range s.children {
+		c.collect(snap)
+	}
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// keyed by full path. It marshals directly to the JSON exposition
+// format.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Watermarks map[string]int64             `json:"watermarks,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Text renders the snapshot as sorted plain-text lines, one instrument
+// per line.
+func (s Snapshot) Text() string {
+	var lines []string
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Watermarks {
+		lines = append(lines, fmt.Sprintf("%s(max) %d", k, v))
+	}
+	for k, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s n=%d p50=%.3f p90=%.3f p99=%.3f", k, h.Count, h.P50, h.P90, h.P99))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Export bundles a metrics snapshot with the op trace — the artifact
+// the chaos soaks write and storetop renders.
+type Export struct {
+	Metrics Snapshot `json:"metrics"`
+	Trace   []Event  `json:"trace,omitempty"`
+}

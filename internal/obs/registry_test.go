@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryPathsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	shard := r.Root().Scope("store").Scope("shard=0")
+	shard.Counter("writes").Add(3)
+	shard.Scope("flow").Counter("pushbacks").Inc()
+	shard.Gauge("live").Set(7)
+	shard.Watermark("depth").Record(5)
+	shard.Watermark("depth").Record(2) // watermark keeps the max
+	shard.Histogram("write_ms").Record(1.5)
+	shard.View("catch_ups", func() int64 { return 42 })
+
+	s := r.Snapshot()
+	if s.Counters["store/shard=0/writes"] != 3 {
+		t.Fatalf("writes: %+v", s.Counters)
+	}
+	if s.Counters["store/shard=0/flow/pushbacks"] != 1 {
+		t.Fatalf("pushbacks: %+v", s.Counters)
+	}
+	if s.Counters["store/shard=0/catch_ups"] != 42 {
+		t.Fatalf("view: %+v", s.Counters)
+	}
+	if s.Gauges["store/shard=0/live"] != 7 {
+		t.Fatalf("gauge: %+v", s.Gauges)
+	}
+	if s.Watermarks["store/shard=0/depth"] != 5 {
+		t.Fatalf("watermark: %+v", s.Watermarks)
+	}
+	if h := s.Histograms["store/shard=0/write_ms"]; h.Count != 1 {
+		t.Fatalf("histogram: %+v", s.Histograms)
+	}
+}
+
+func TestRegistryCreateOrGet(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Root().Scope("a")
+	if sc != r.Root().Scope("a") {
+		t.Fatal("Scope must be create-or-get")
+	}
+	c := sc.Counter("n")
+	if c != sc.Counter("n") {
+		t.Fatal("Counter must be create-or-get")
+	}
+	if sc.Histogram("h") != sc.Histogram("h") {
+		t.Fatal("Histogram must be create-or-get")
+	}
+}
+
+func TestRegistryAttachSharesOwnership(t *testing.T) {
+	// The re-homing pattern: a Stats struct owns the instrument; the
+	// registry only mounts it.
+	var owned Counter
+	var mark Watermark
+	r := NewRegistry()
+	sc := r.Root().Scope("flow")
+	sc.AttachCounter("sheds", &owned)
+	sc.AttachWatermark("hw", &mark)
+	owned.Add(9)
+	mark.Record(4)
+	s := r.Snapshot()
+	if s.Counters["flow/sheds"] != 9 || s.Watermarks["flow/hw"] != 4 {
+		t.Fatalf("attached instruments not visible: %+v %+v", s.Counters, s.Watermarks)
+	}
+}
+
+func TestNilScopeIsNoOp(t *testing.T) {
+	var sc *Scope
+	sc.Counter("x").Inc()
+	sc.Gauge("y").Set(1)
+	sc.Watermark("z").Record(1)
+	sc.Histogram("h").Record(1)
+	sc.View("v", func() int64 { return 1 })
+	if sc.Scope("child") != nil || sc.Path() != "" {
+		t.Fatal("nil scope must stay nil")
+	}
+	var r *Registry
+	if r.Root() != nil {
+		t.Fatal("nil registry root must be nil")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Root().Scope("b").Counter("two").Add(2)
+	r.Root().Scope("a").Counter("one").Add(1)
+	txt := r.Snapshot().Text()
+	if !strings.Contains(txt, "a/one 1") || !strings.Contains(txt, "b/two 2") {
+		t.Fatalf("text:\n%s", txt)
+	}
+	if strings.Index(txt, "a/one") > strings.Index(txt, "b/two") {
+		t.Fatalf("text lines must be sorted:\n%s", txt)
+	}
+	raw, err := json.Marshal(Export{Metrics: r.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics.Counters["a/one"] != 1 {
+		t.Fatalf("roundtrip: %+v", back.Metrics)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind names one step of a register operation's lifecycle.
+type EventKind string
+
+// The trace vocabulary. Op-begin/round/reply/op-end come from the core
+// protocol clients (round 1 = collect/pre-write, round 2 =
+// write-back); busy/shed/hedge/stale-*/redirect-adopt from the store's
+// client mux; fence-wait/fence-lift from the recovery manager.
+const (
+	EvOpBegin    EventKind = "op-begin"
+	EvOpEnd      EventKind = "op-end"
+	EvRound      EventKind = "round"
+	EvReply      EventKind = "reply"
+	EvBusy       EventKind = "busy"
+	EvShed       EventKind = "shed"
+	EvHedge      EventKind = "hedge"
+	EvStaleEpoch EventKind = "stale-epoch"
+	EvStaleReply EventKind = "stale-reply"
+	EvAdopt      EventKind = "redirect-adopt"
+	EvFenceWait  EventKind = "fence-wait"
+	EvFenceLift  EventKind = "fence-lift"
+)
+
+// Event is one step of one operation's lifecycle. Op ties the steps of
+// a single register operation together (0 = unattributed — an event
+// observed outside any bound operation); Member is the base-object
+// index the step concerns, -1 when it concerns the whole quorum.
+type Event struct {
+	Op     uint64    `json:"op"`
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	Key    string    `json:"key,omitempty"`
+	Shard  int       `json:"shard"`
+	Member int       `json:"member"`
+	Round  int       `json:"round,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of Events. Recording past the
+// capacity evicts the oldest event, so a soak's memory stays bounded;
+// Evicted reports how many were lost. Op IDs are drawn from NewOp and
+// propagated by the caller through the layers an operation crosses.
+// All methods are nil-receiver-safe.
+type Tracer struct {
+	clock  Clock
+	nextOp atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of the oldest event
+	count   int // live events in the ring
+	evicted int64
+}
+
+// NewTracer returns a tracer holding at most capacity events, stamping
+// them with clock (nil = wall clock).
+func NewTracer(capacity int, clock Clock) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{clock: clock, ring: make([]Event, capacity)}
+}
+
+// NewOp allocates a fresh operation ID (monotonic from 1; 0 on nil).
+func (t *Tracer) NewOp() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextOp.Add(1)
+}
+
+// Record stamps e with the tracer's clock and appends it, evicting the
+// oldest event at capacity.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	e.Time = t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == len(t.ring) {
+		t.ring[t.start] = e
+		t.start = (t.start + 1) % len(t.ring)
+		t.evicted++
+		return
+	}
+	t.ring[(t.start+t.count)%len(t.ring)] = e
+	t.count++
+}
+
+// Events returns the live events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// OpEvents returns the live events of one operation, oldest first.
+func (t *Tracer) OpEvents(op uint64) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for i := 0; i < t.count; i++ {
+		if e := t.ring[(t.start+i)%len(t.ring)]; e.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the live event count.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Evicted returns how many events the ring has dropped at capacity.
+func (t *Tracer) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic clock ticking one microsecond per
+// call — telemetry tests obey the same injectable-clock rule as the
+// package itself.
+func fixedClock() Clock {
+	var mu sync.Mutex
+	n := int64(0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return time.Unix(0, n*int64(time.Microsecond))
+	}
+}
+
+func TestTracerRingOverflowEvictsOldest(t *testing.T) {
+	tr := NewTracer(4, fixedClock())
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Op: uint64(i), Kind: EvRound})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Op != want {
+			t.Fatalf("event %d has op %d, want %d (oldest must be evicted first)", i, e.Op, want)
+		}
+	}
+	if tr.Evicted() != 6 {
+		t.Fatalf("evicted %d, want 6", tr.Evicted())
+	}
+	if tr.Len() != 4 || tr.Cap() != 4 {
+		t.Fatalf("len/cap %d/%d", tr.Len(), tr.Cap())
+	}
+}
+
+func TestTracerOpEvents(t *testing.T) {
+	tr := NewTracer(16, fixedClock())
+	a, b := tr.NewOp(), tr.NewOp()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("op ids %d %d", a, b)
+	}
+	tr.Record(Event{Op: a, Kind: EvOpBegin, Key: "k1"})
+	tr.Record(Event{Op: b, Kind: EvOpBegin, Key: "k2"})
+	tr.Record(Event{Op: a, Kind: EvReply, Member: 2, Round: 1})
+	tr.Record(Event{Op: a, Kind: EvOpEnd})
+	got := tr.OpEvents(a)
+	if len(got) != 3 {
+		t.Fatalf("op %d has %d events, want 3", a, len(got))
+	}
+	if got[0].Kind != EvOpBegin || got[1].Kind != EvReply || got[2].Kind != EvOpEnd {
+		t.Fatalf("op events out of order: %+v", got)
+	}
+	if !got[0].Time.Before(got[1].Time) {
+		t.Fatal("events must carry monotonically increasing injected timestamps")
+	}
+	if evs := tr.OpEvents(999); len(evs) != 0 {
+		t.Fatalf("unknown op returned %d events", len(evs))
+	}
+}
+
+// TestTracerBoundedUnderSoak hammers the ring from many goroutines and
+// checks it never grows past capacity — the no-unbounded-growth side of
+// the chaos-soak requirement, in miniature.
+func TestTracerBoundedUnderSoak(t *testing.T) {
+	tr := NewTracer(64, fixedClock())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				op := tr.NewOp()
+				tr.Record(Event{Op: op, Kind: EvOpBegin})
+				tr.Record(Event{Op: op, Kind: EvOpEnd})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("ring len %d, want capacity 64", tr.Len())
+	}
+	if want := int64(8*2000*2 - 64); tr.Evicted() != want {
+		t.Fatalf("evicted %d, want %d", tr.Evicted(), want)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NewOp() != 0 {
+		t.Fatal("nil tracer must return op 0")
+	}
+	tr.Record(Event{Kind: EvBusy})
+	if tr.Events() != nil || tr.Len() != 0 || tr.Cap() != 0 || tr.Evicted() != 0 {
+		t.Fatal("nil tracer must read empty")
+	}
+}

@@ -60,11 +60,13 @@ package recovery
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -443,9 +445,33 @@ type Manager struct {
 	seq                           atomic.Int64
 	catchUps, regsRestored, stale atomic.Int64
 
+	// trace, when set, records fence-wait/fence-lift events on the
+	// deployment's op tracer (atomic: the store wires it after the run
+	// loop is already live).
+	trace atomic.Pointer[traceSink]
+
 	closeOnce sync.Once
 	done      chan struct{}
 	finished  chan struct{}
+}
+
+// traceSink binds a tracer to the shard coordinate the events report.
+type traceSink struct {
+	tr    *obs.Tracer
+	shard int
+}
+
+// SetTrace attaches the deployment's op tracer: every catch-up attempt
+// becomes an op with a fence-wait event when the state transfer starts
+// and a fence-lift event when the merged state installs (a superseded
+// attempt gets no lift; the next attempt is a fresh op). Safe to call
+// concurrently with a running catch-up.
+func (m *Manager) SetTrace(tr *obs.Tracer, shard int) {
+	if tr == nil {
+		m.trace.Store(nil)
+		return
+	}
+	m.trace.Store(&traceSink{tr: tr, shard: shard})
 }
 
 // NewManager starts the catch-up loop for guard. conn must be a client
@@ -535,6 +561,16 @@ func (m *Manager) run() {
 func (m *Manager) catchUp() bool {
 	inc := m.guard.Incarnation()
 	seq := m.seq.Add(1)
+	var op uint64
+	sink := m.trace.Load()
+	if sink != nil {
+		op = sink.tr.NewOp()
+		sink.tr.Record(obs.Event{
+			Op: op, Kind: obs.EvFenceWait, Shard: sink.shard,
+			Member: int(m.guard.ID()),
+			Detail: fmt.Sprintf("inc=%d quorum=%d", inc, m.policy.Quorum),
+		})
+	}
 	req := wire.StateReq{Seq: seq, Requester: m.guard.ID()}
 	// Donors are deduplicated by transport endpoint, not by claimed
 	// object index: after a reconfiguration, distinct members may live
@@ -592,6 +628,12 @@ func (m *Manager) catchUp() bool {
 	})
 	if !installed {
 		m.stale.Add(1)
+	} else if sink != nil {
+		sink.tr.Record(obs.Event{
+			Op: op, Kind: obs.EvFenceLift, Shard: sink.shard,
+			Member: int(m.guard.ID()),
+			Detail: fmt.Sprintf("regs=%d", len(merged)),
+		})
 	}
 	return true
 }

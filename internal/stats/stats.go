@@ -11,24 +11,50 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // Counter is a transport.Tap that accumulates message and byte counts,
 // optionally split per message type. Safe for concurrent use.
+//
+// It is a thin adapter over an obs scope: the totals and per-type
+// counts are obs.Counters, so a tap mounted on a deployment's registry
+// (NewCounterAt) shows up in the telemetry snapshot for free, while
+// the standalone constructor keeps the historical self-contained
+// behavior.
 type Counter struct {
+	msgs  *obs.Counter
+	bytes *obs.Counter
+
 	mu      sync.Mutex
-	msgs    int
-	bytes   int
-	byType  map[string]int
+	byScope *obs.Scope // per-type counters are created here on demand
+	byType  map[string]*obs.Counter
 	weigher func(wire.Msg) int
 }
 
 // NewCounter returns a counter that weighs messages by their gob-encoded
-// size. Pass a custom weigher to override (e.g. a constant 1).
+// size, backed by a private registry scope.
 func NewCounter() *Counter {
-	return &Counter{byType: make(map[string]int), weigher: wire.EncodedSize}
+	return NewCounterAt(obs.NewRegistry().Root().Scope("tap"))
+}
+
+// NewCounterAt returns a counter mounted on the given scope: msgs and
+// bytes counters plus a by_type child scope with one counter per wire
+// message type. A nil scope falls back to a private registry, so the
+// tap counts either way.
+func NewCounterAt(scope *obs.Scope) *Counter {
+	if scope == nil {
+		scope = obs.NewRegistry().Root().Scope("tap")
+	}
+	return &Counter{
+		msgs:    scope.Counter("msgs"),
+		bytes:   scope.Counter("bytes"),
+		byScope: scope.Scope("by_type"),
+		byType:  make(map[string]*obs.Counter),
+		weigher: wire.EncodedSize,
+	}
 }
 
 var _ transport.Tap = (*Counter)(nil)
@@ -36,33 +62,34 @@ var _ transport.Tap = (*Counter)(nil)
 // OnMessage implements transport.Tap.
 func (c *Counter) OnMessage(_, _ transport.NodeID, payload wire.Msg) {
 	size := c.weigher(payload)
+	c.msgs.Inc()
+	c.bytes.Add(int64(size))
+	name := fmt.Sprintf("%T", payload)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.msgs++
-	c.bytes += size
-	c.byType[fmt.Sprintf("%T", payload)]++
+	tc, ok := c.byType[name]
+	if !ok {
+		tc = c.byScope.Counter(name)
+		c.byType[name] = tc
+	}
+	c.mu.Unlock()
+	tc.Inc()
 }
 
 // Messages returns the message count so far.
-func (c *Counter) Messages() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.msgs
-}
+func (c *Counter) Messages() int { return int(c.msgs.Load()) }
 
 // Bytes returns the byte count so far.
-func (c *Counter) Bytes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
-}
+func (c *Counter) Bytes() int { return int(c.bytes.Load()) }
 
 // Reset zeroes all counts.
 func (c *Counter) Reset() {
+	c.msgs.Reset()
+	c.bytes.Reset()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.msgs, c.bytes = 0, 0
-	c.byType = make(map[string]int)
+	for _, tc := range c.byType {
+		tc.Reset()
+	}
 }
 
 // ByType returns a copy of the per-type message counts.
@@ -70,8 +97,8 @@ func (c *Counter) ByType() map[string]int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]int, len(c.byType))
-	for k, v := range c.byType {
-		out[k] = v
+	for k, tc := range c.byType {
+		out[k] = int(tc.Load())
 	}
 	return out
 }

@@ -186,6 +186,9 @@ func (s *Store) Replace(ctx context.Context, shard int, slot types.ObjectID, new
 	}
 	policy := s.opts.Recovery.WithDefaults(s.cfg.T, s.cfg.B)
 	mgr := recovery.NewManager(guard, rconn, donors, policy)
+	if s.tel != nil {
+		mgr.SetTrace(s.tel.tracer, sh.index)
+	}
 
 	wait := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {

@@ -2,12 +2,14 @@ package store
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/membership"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/flow"
 	"repro/internal/types"
@@ -62,6 +64,19 @@ type mux struct {
 	// runs without flow control) — an atomic pointer for the same
 	// reason. The busy map inside is guarded by mu.
 	flow atomic.Pointer[muxFlow]
+
+	// trace is the op-trace sink (nil without telemetry) — an atomic
+	// pointer so the traceless paths stay untouched. Mux-level trace
+	// events (busy, shed, hedge, stale, adopt) only arise on flow or
+	// membership paths, so the plain lock-free hot path in Send never
+	// consults it.
+	trace atomic.Pointer[muxTrace]
+}
+
+// muxTrace labels this endpoint's trace events with its shard.
+type muxTrace struct {
+	tr    *obs.Tracer
+	shard int
 }
 
 // muxFlow is one client endpoint's slow-object state. The protocols
@@ -125,6 +140,26 @@ func (m *mux) enableMembership(auth *membership.Auth, counters *membership.Count
 // traffic.
 func (m *mux) enableFlow(opts flow.Options, ctrs *flow.Counters, s, shedBudget int) {
 	m.flow.Store(&muxFlow{opts: opts.WithDefaults(), ctrs: ctrs, s: s, shed: shedBudget, busyUntil: make(map[int]time.Time)})
+}
+
+// enableTrace turns on op-trace events for this endpoint's flow and
+// membership handling (no-op when tracing is disabled). Call it right
+// after newMux, before any register traffic.
+func (m *mux) enableTrace(tr *obs.Tracer, shard int) {
+	if tr == nil {
+		return
+	}
+	m.trace.Store(&muxTrace{tr: tr, shard: shard})
+}
+
+// bindOp attributes the register's next protocol traffic to the given
+// trace operation ID: mux-level events (shed, hedge, busy, stale)
+// recorded for this register carry it until the next bind.
+func (m *mux) bindOp(reg string, op uint64) {
+	rc := m.register(reg)
+	m.mu.Lock()
+	rc.curOp = op
+	m.mu.Unlock()
 }
 
 // register returns the virtual endpoint of the named register, creating
@@ -199,7 +234,11 @@ func (m *mux) dispatch() {
 		}
 		if ep, isEpoch := payload.(wire.Epoch); isEpoch {
 			if ep.Inc < m.inc[from] {
-				continue // stale incarnation: a zombie reply from a pre-amnesia life
+				// Stale incarnation: a zombie reply from a pre-amnesia life.
+				if ro, isOp := ep.Msg.(wire.RegOp); isOp {
+					m.traceReject(obs.EvStaleEpoch, ro.Reg, from, fmt.Sprintf("inc=%d", ep.Inc))
+				}
+				continue
 			}
 			m.inc[from] = ep.Inc
 			payload = ep.Msg
@@ -240,12 +279,35 @@ func (m *mux) dispatch() {
 		m.mu.Unlock()
 		if stale {
 			ms.counters.StaleReplies.Add(1)
+			m.traceReject(obs.EvStaleReply, op.Reg, from, "evicted address")
 			continue
 		}
 		if rc != nil {
 			rc.push(transport.Message{From: from, Payload: op.Msg})
 		}
 	}
+}
+
+// traceReject records a discarded-reply event (a stale incarnation, or
+// a reply from an address evicted by reconfiguration), attributed to
+// the addressed register's in-flight op if one is bound. No-op without
+// tracing.
+func (m *mux) traceReject(kind obs.EventKind, regName string, from transport.NodeID, detail string) {
+	mt := m.trace.Load()
+	if mt == nil {
+		return
+	}
+	var op uint64
+	m.mu.Lock()
+	if rc := m.regs[regName]; rc != nil {
+		op = rc.curOp
+	}
+	m.mu.Unlock()
+	member := -1
+	if from.Kind == transport.KindObject {
+		member = from.Index
+	}
+	mt.tr.Record(obs.Event{Op: op, Kind: kind, Key: regName, Shard: mt.shard, Member: member, Detail: detail})
 }
 
 // adopt installs the view a redirect carries — if its signature
@@ -291,6 +353,10 @@ func (m *mux) adopt(ms *muxMembership, cu wire.ConfigUpdate) {
 	epoch := view.Epoch
 	m.mu.Unlock()
 	ms.counters.Adoptions.Add(1)
+	if mt := m.trace.Load(); mt != nil {
+		mt.tr.Record(obs.Event{Kind: obs.EvAdopt, Shard: mt.shard, Member: -1,
+			Detail: fmt.Sprintf("epoch=%d replays=%d", epoch, len(replays))})
+	}
 	for _, op := range replays {
 		for _, to := range addrs {
 			m.conn.Send(to, wire.ConfigEpoch{Epoch: epoch, Msg: op})
@@ -327,27 +393,48 @@ func (m *mux) handleBusy(ms *muxMembership, fl *muxFlow, from transport.NodeID, 
 	}
 	fl.busyUntil[slot] = time.Now().Add(fl.opts.HedgeDelay)
 	m.mu.Unlock()
-	for i := countOps(bz.Msg); i > 0; i-- {
+	regs := opRegs(bz.Msg, nil)
+	mt := m.trace.Load()
+	if mt == nil {
+		for range regs {
+			fl.ctrs.AddPushback()
+		}
+		return
+	}
+	// One lock hold resolves every bounced register's in-flight op ID.
+	ops := make([]uint64, len(regs))
+	m.mu.Lock()
+	for i, name := range regs {
+		if rc := m.regs[name]; rc != nil {
+			ops[i] = rc.curOp
+		}
+	}
+	m.mu.Unlock()
+	for i, name := range regs {
 		fl.ctrs.AddPushback()
+		mt.tr.Record(obs.Event{Op: ops[i], Kind: obs.EvBusy, Key: name, Shard: mt.shard, Member: slot})
 	}
 }
 
-// countOps counts the protocol ops a bounced request echo carries,
-// unwrapping the envelopes a request can travel in.
-func countOps(msg wire.Msg) int {
+// opRegs collects the register name of every protocol op a bounced
+// request echo carries — one entry per op, "" for an op without a
+// register envelope — unwrapping the envelopes a request can travel in
+// (a bounced Batch frame rejects every op inside).
+func opRegs(msg wire.Msg, acc []string) []string {
 	switch v := msg.(type) {
 	case wire.Batch:
-		n := 0
 		for _, op := range v.Ops {
-			n += countOps(op)
+			acc = opRegs(op, acc)
 		}
-		return n
+		return acc
 	case wire.ConfigEpoch:
-		return countOps(v.Msg)
+		return opRegs(v.Msg, acc)
 	case wire.Epoch:
-		return countOps(v.Msg)
+		return opRegs(v.Msg, acc)
+	case wire.RegOp:
+		return append(acc, v.Reg)
 	default:
-		return 1
+		return append(acc, "")
 	}
 }
 
@@ -371,6 +458,10 @@ type regConn struct {
 	// each round broadcasts one identical message to every slot before
 	// the client waits on replies.
 	lastOut wire.Msg
+
+	// curOp is the trace operation ID of the register's in-flight op
+	// (guarded by mux.mu; 0 without telemetry or before any bind).
+	curOp uint64
 
 	// Flow-control round state, guarded by mux.mu. The protocols
 	// broadcast each round to slots 0..S−1 in ascending order, so a send
@@ -419,6 +510,7 @@ func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
 		}
 	}
 	c.lastOut = op
+	opid := c.curOp
 	var epoch int64
 	addr := to
 	if ms != nil {
@@ -430,6 +522,9 @@ func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
 	m.mu.Unlock()
 	if shed {
 		fl.ctrs.AddShed()
+		if mt := m.trace.Load(); mt != nil {
+			mt.tr.Record(obs.Event{Op: opid, Kind: obs.EvShed, Key: c.reg, Shard: mt.shard, Member: to.Index})
+		}
 		return // the busy member stays a straggler; the hedge reaches it
 	}
 	if ms == nil {
@@ -551,17 +646,23 @@ func (m *mux) hedge(c *regConn) {
 		targets = append(targets, addr)
 	}
 	out := c.lastOut
+	opid := c.curOp
 	var epoch int64
 	if ms != nil {
 		epoch = ms.view.Epoch
 	}
 	c.hedges++
+	volley := c.hedges
 	backoff := fl.opts.HedgeDelay << uint(min(c.hedges, 10))
 	if backoff > maxB || backoff <= 0 {
 		backoff = maxB
 	}
 	c.armHedgeLocked(backoff)
 	m.mu.Unlock()
+	if mt := m.trace.Load(); mt != nil {
+		mt.tr.Record(obs.Event{Op: opid, Kind: obs.EvHedge, Key: c.reg, Shard: mt.shard, Member: -1,
+			Detail: fmt.Sprintf("targets=%d volley=%d", len(targets), volley)})
+	}
 	for _, addr := range targets {
 		fl.ctrs.AddHedge()
 		if ms != nil {

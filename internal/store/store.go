@@ -29,11 +29,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/byzantine"
 	"repro/internal/core"
 	"repro/internal/membership"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/recovery"
 	"repro/internal/transport"
@@ -122,6 +124,16 @@ type Options struct {
 	// costs bounded memory and signals overload (FlowStats) instead of
 	// collapsing silently.
 	Flow *flow.Options
+	// Telemetry, when non-nil, enables the unified observability core
+	// (internal/obs): a hierarchical metrics registry with per-shard
+	// scopes (operation counters, latency histograms, and the flow,
+	// fault, recovery, and membership instruments re-homed as live
+	// views) and a bounded ring-buffer op tracer recording every
+	// register operation's round-structured lifecycle. Snapshot with
+	// Store.Telemetry / Store.TelemetryExport, query with Store.TraceOp.
+	// The tracer stamps events with Telemetry.Clock, so deterministic
+	// harnesses inject their seeded clock.
+	Telemetry *obs.Options
 	// Membership, when non-nil, enables the reconfiguration subsystem
 	// (internal/membership): every request and reply carries a
 	// configuration epoch, base objects answer stale-epoch requests with
@@ -251,9 +263,8 @@ type Store struct {
 	// membership); all shards share the deployment key.
 	memAuth *membership.Auth
 
-	// flowCtrs aggregates flow-control activity across every layer of
-	// every shard (nil without a flow policy).
-	flowCtrs *flow.Counters
+	// tel is the observability core (nil without a telemetry option).
+	tel *telemetry
 
 	writes, writeRounds atomic.Int64
 	reads, readRounds   atomic.Int64
@@ -261,9 +272,22 @@ type Store struct {
 
 // shard is one independent base-object cluster and its client pools.
 type shard struct {
+	index  int
 	cfg    quorum.Config
 	net    network
 	faults *fault.Net // nil without a fault plan
+
+	// flowCtrs aggregates flow-control activity across every layer of
+	// THIS shard (nil without a flow policy); Store.FlowStats sums the
+	// shards, Store.ShardFlowStats exposes them individually.
+	flowCtrs *flow.Counters
+
+	// tel plus the per-shard instruments below (nil without telemetry).
+	tel      *telemetry
+	writes   *obs.Counter
+	reads    *obs.Counter
+	writeLat *obs.Histogram
+	readLat  *obs.Histogram
 
 	writerMux *mux
 	wmu       sync.Mutex
@@ -284,8 +308,9 @@ type shard struct {
 
 // regWriter serializes the single writer of one register.
 type regWriter struct {
-	mu sync.Mutex
-	w  *core.Writer
+	mu    sync.Mutex
+	w     *core.Writer
+	trace *coreTracer // nil without telemetry
 }
 
 // readerSlot is one reusable reader identity of a shard: physical conn
@@ -294,6 +319,7 @@ type readerSlot struct {
 	id      types.ReaderID
 	mux     *mux
 	readers map[string]readerClient
+	traces  map[string]*coreTracer // per-register tracer adapters (nil without telemetry)
 }
 
 // readerClient is what core's safe and regular readers have in common.
@@ -316,10 +342,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{opts: opts, cfg: cfg, ring: ring}
-	if opts.Flow != nil {
-		s.flowCtrs = &flow.Counters{}
-	}
+	s := &Store{opts: opts, cfg: cfg, ring: ring, tel: newTelemetry(opts.Telemetry)}
 	if opts.Membership != nil {
 		key := opts.Membership.Key
 		if len(key) == 0 {
@@ -349,6 +372,13 @@ const faultSeedStride = 0x5DEECE66D
 // set), S multi-register objects (the last ByzPerShard of them
 // Byzantine), a shared writer endpoint, and the reader-slot pool.
 func (s *Store) buildShard(index int) (*shard, error) {
+	// Each shard gets its own flow counters so saturation is visible
+	// per shard (ShardFlowStats); FlowStats sums them for the old
+	// aggregate view.
+	var flowCtrs *flow.Counters
+	if s.opts.Flow != nil {
+		flowCtrs = &flow.Counters{}
+	}
 	// With flow control, the batching knobs gain the pending budget and
 	// the shared counters, and both transports bound their queues.
 	var batching *batch.Options
@@ -357,7 +387,7 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		if s.opts.Flow != nil {
 			fo := s.opts.Flow.WithDefaults()
 			b.PendingBudget = fo.BatchBudget
-			b.Counters = s.flowCtrs
+			b.Counters = flowCtrs
 		}
 		batching = &b
 	}
@@ -365,7 +395,7 @@ func (s *Store) buildShard(index int) (*shard, error) {
 	if s.opts.TCP {
 		n := tcpnet.New()
 		if s.opts.Flow != nil {
-			n.SetFlow(*s.opts.Flow, s.flowCtrs)
+			n.SetFlow(*s.opts.Flow, flowCtrs)
 		}
 		if batching != nil {
 			n.EnableBatching(*batching)
@@ -374,14 +404,15 @@ func (s *Store) buildShard(index int) (*shard, error) {
 	} else {
 		n := memnet.New()
 		if s.opts.Flow != nil {
-			n.SetFlow(*s.opts.Flow, s.flowCtrs)
+			n.SetFlow(*s.opts.Flow, flowCtrs)
 		}
 		if batching != nil {
 			n.EnableBatching(*batching)
 		}
 		nw = n
 	}
-	sh := &shard{cfg: s.cfg, net: nw, writers: make(map[string]*regWriter), managers: make(map[int]*recovery.Manager)}
+	sh := &shard{index: index, cfg: s.cfg, net: nw, flowCtrs: flowCtrs, tel: s.tel,
+		writers: make(map[string]*regWriter), managers: make(map[int]*recovery.Manager)}
 	if s.opts.Faults != nil {
 		plan := s.opts.Faults.WithSeed(s.opts.Faults.Seed + int64(index)*faultSeedStride)
 		if s.opts.Flow != nil && plan.QueueBudget == 0 {
@@ -392,7 +423,7 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		}
 		sh.faults = fault.Wrap(nw, plan)
 		if s.opts.Flow != nil {
-			sh.faults.SetFlow(*s.opts.Flow, s.flowCtrs)
+			sh.faults.SetFlow(*s.opts.Flow, flowCtrs)
 		}
 		nw = sh.faults
 		sh.net = nw
@@ -444,7 +475,10 @@ func (s *Store) buildShard(index int) (*shard, error) {
 	if s.opts.Flow != nil {
 		// Up to t members per round may be shed: the round quorum is S−t,
 		// so t silent members — whatever silenced them — cost nothing.
-		sh.writerMux.enableFlow(*s.opts.Flow, s.flowCtrs, s.cfg.S, s.cfg.T)
+		sh.writerMux.enableFlow(*s.opts.Flow, flowCtrs, s.cfg.S, s.cfg.T)
+	}
+	if s.tel != nil {
+		sh.writerMux.enableTrace(s.tel.tracer, index)
 	}
 
 	sh.slots = make(chan *readerSlot, s.cfg.R)
@@ -454,12 +488,15 @@ func (s *Store) buildShard(index int) (*shard, error) {
 			nw.Close()
 			return nil, err
 		}
-		slot := &readerSlot{id: types.ReaderID(j), mux: newMux(rconn), readers: make(map[string]readerClient)}
+		slot := &readerSlot{id: types.ReaderID(j), mux: newMux(rconn), readers: make(map[string]readerClient), traces: make(map[string]*coreTracer)}
 		if sh.members != nil {
 			slot.mux.enableMembership(s.memAuth, sh.members.counters, sh.members.view.Clone())
 		}
 		if s.opts.Flow != nil {
-			slot.mux.enableFlow(*s.opts.Flow, s.flowCtrs, s.cfg.S, s.cfg.T)
+			slot.mux.enableFlow(*s.opts.Flow, flowCtrs, s.cfg.S, s.cfg.T)
+		}
+		if s.tel != nil {
+			slot.mux.enableTrace(s.tel.tracer, index)
 		}
 		sh.allSlots = append(sh.allSlots, slot)
 		sh.slots <- slot
@@ -490,10 +527,48 @@ func (s *Store) buildShard(index int) (*shard, error) {
 					siblings = append(siblings, transport.Object(types.ObjectID(j)))
 				}
 			}
-			sh.managers[i] = recovery.NewManager(guard, rconn, siblings, policy)
+			mgr := recovery.NewManager(guard, rconn, siblings, policy)
+			if s.tel != nil {
+				mgr.SetTrace(s.tel.tracer, index)
+			}
+			sh.managers[i] = mgr
 		}
 	}
+	s.mountShard(sh)
 	return sh, nil
+}
+
+// mountShard hangs the shard's instruments off the telemetry registry
+// under store/shard=N/...: operation counters and latency histograms
+// owned by the scope, the flow/fault/membership counters re-homed in
+// place (the registry mounts the very instances the subsystems already
+// write), and the recovery counters as live views — their owning
+// managers churn on Replace, so a view over the per-shard aggregation
+// is the address that survives.
+func (s *Store) mountShard(sh *shard) {
+	if s.tel == nil {
+		return
+	}
+	scope := s.tel.reg.Root().Scope("store").Scope(fmt.Sprintf("shard=%d", sh.index))
+	sh.writes = scope.Counter("writes")
+	sh.reads = scope.Counter("reads")
+	sh.writeLat = scope.Histogram("write_ms")
+	sh.readLat = scope.Histogram("read_ms")
+	if sh.flowCtrs != nil {
+		sh.flowCtrs.Describe(scope.Scope("flow"))
+	}
+	if sh.faults != nil {
+		sh.faults.Describe(scope.Scope("fault"))
+	}
+	if sh.members != nil {
+		sh.members.counters.Describe(scope.Scope("membership"))
+	}
+	if s.opts.Recovery != nil {
+		rs := scope.Scope("recovery")
+		rs.View("catch_ups", func() int64 { return sh.recoveryStats().CatchUps })
+		rs.View("regs_restored", func() int64 { return sh.recoveryStats().RegsRestored })
+		rs.View("superseded", func() int64 { return sh.recoveryStats().Superseded })
+	}
 }
 
 // registerFactory returns the per-register automaton builder for one
@@ -565,7 +640,25 @@ func (s *Store) FaultStats() fault.Stats {
 // the queue-depth high watermarks (zero without a flow policy). With a
 // flow policy, every watermark is bounded by its configured budget —
 // that is the point.
-func (s *Store) FlowStats() flow.Stats { return s.flowCtrs.Snapshot() }
+func (s *Store) FlowStats() flow.Stats {
+	var total flow.Stats
+	for _, sh := range s.shards {
+		total = total.Add(sh.flowCtrs.Snapshot())
+	}
+	return total
+}
+
+// ShardFlowStats returns each shard's flow-control activity (index i
+// is shard i; zero values without a flow policy) — the per-shard view
+// the aggregate hides: a hot shard's pushbacks and hedges stand out
+// against its cold siblings'.
+func (s *Store) ShardFlowStats() []flow.Stats {
+	out := make([]flow.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.flowCtrs.Snapshot()
+	}
+	return out
+}
 
 // RecoveringCount returns how many base objects are currently fenced
 // pending amnesia catch-up, across all shards (zero without a recovery
@@ -590,12 +683,19 @@ func (s *Store) RecoveringCount() int {
 func (s *Store) RecoveryStats() recovery.Stats {
 	var total recovery.Stats
 	for _, sh := range s.shards {
-		sh.mmu.Lock()
-		total = total.Add(sh.retired)
-		for _, mgr := range sh.managers {
-			total = total.Add(mgr.Stats())
-		}
-		sh.mmu.Unlock()
+		total = total.Add(sh.recoveryStats())
+	}
+	return total
+}
+
+// recoveryStats aggregates this shard's catch-up counters: the live
+// managers plus whatever retired ones (closed by Replace) accumulated.
+func (sh *shard) recoveryStats() recovery.Stats {
+	sh.mmu.Lock()
+	defer sh.mmu.Unlock()
+	total := sh.retired
+	for _, mgr := range sh.managers {
+		total = total.Add(mgr.Stats())
 	}
 	return total
 }
@@ -628,11 +728,23 @@ func (s *Store) WriteTS(ctx context.Context, key string, val types.Value) (types
 	}
 	rw.mu.Lock()
 	defer rw.mu.Unlock()
+	var start time.Time
+	if s.tel != nil {
+		if rw.trace != nil {
+			rw.trace.op = s.tel.tracer.NewOp()
+			sh.writerMux.bindOp(key, rw.trace.op)
+		}
+		start = s.tel.clock()
+	}
 	if err := rw.w.Write(ctx, val); err != nil {
 		return 0, fmt.Errorf("store: write %q: %w", key, err)
 	}
 	s.writes.Add(1)
 	s.writeRounds.Add(int64(rw.w.LastStats().Rounds))
+	if s.tel != nil {
+		sh.writes.Inc()
+		sh.writeLat.Observe(s.tel.clock().Sub(start))
+	}
 	return rw.w.TS(), nil
 }
 
@@ -653,12 +765,24 @@ func (s *Store) Read(ctx context.Context, key string) (types.TSVal, error) {
 	if err != nil {
 		return types.TSVal{}, err
 	}
+	var start time.Time
+	if s.tel != nil {
+		if tr := slot.traces[key]; tr != nil {
+			tr.op = s.tel.tracer.NewOp()
+			slot.mux.bindOp(key, tr.op)
+		}
+		start = s.tel.clock()
+	}
 	tv, err := r.Read(ctx)
 	if err != nil {
 		return types.TSVal{}, fmt.Errorf("store: read %q: %w", key, err)
 	}
 	s.reads.Add(1)
 	s.readRounds.Add(int64(r.LastStats().Rounds))
+	if s.tel != nil {
+		sh.reads.Inc()
+		sh.readLat.Observe(s.tel.clock().Sub(start))
+	}
 	return tv, nil
 }
 
@@ -674,6 +798,10 @@ func (sh *shard) writerFor(key string) (*regWriter, error) {
 			return nil, err
 		}
 		rw = &regWriter{w: w}
+		if sh.tel != nil && sh.tel.tracer != nil {
+			rw.trace = &coreTracer{tr: sh.tel.tracer, key: key, shard: sh.index}
+			w.SetTracer(rw.trace)
+		}
 		sh.writers[key] = rw
 	}
 	return rw, nil
@@ -701,6 +829,16 @@ func (sh *shard) readerFor(slot *readerSlot, key string, sem Semantics) (readerC
 	}
 	if err != nil {
 		return nil, err
+	}
+	if sh.tel != nil && sh.tel.tracer != nil {
+		trace := &coreTracer{tr: sh.tel.tracer, key: key, shard: sh.index}
+		switch c := r.(type) {
+		case *core.SafeReader:
+			c.SetTracer(trace)
+		case *core.RegularReader:
+			c.SetTracer(trace)
+		}
+		slot.traces[key] = trace
 	}
 	slot.readers[key] = r
 	return r, nil

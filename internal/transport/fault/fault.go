@@ -40,9 +40,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/flow"
 	"repro/internal/wire"
@@ -288,11 +288,31 @@ type Net struct {
 	done   chan struct{}
 	wg     sync.WaitGroup // schedulers, pumps, delayed deliveries
 
-	dropped, delayed, duplicated atomic.Int64
-	crashes, restarts, amnesias  atomic.Int64
-	partitions, heals            atomic.Int64
-	staleTargets                 atomic.Int64
-	sheds, maxDelayQ             atomic.Int64
+	dropped, delayed, duplicated obs.Counter
+	crashes, restarts, amnesias  obs.Counter
+	partitions, heals            obs.Counter
+	staleTargets                 obs.Counter
+	sheds                        obs.Counter
+	maxDelayQ                    obs.Watermark
+}
+
+// Describe mounts the fault counters on an obs scope (both sides
+// nil-safe), under the names Stats reports.
+func (n *Net) Describe(s *obs.Scope) {
+	if n == nil || s == nil {
+		return
+	}
+	s.AttachCounter("dropped", &n.dropped)
+	s.AttachCounter("delayed", &n.delayed)
+	s.AttachCounter("duplicated", &n.duplicated)
+	s.AttachCounter("crashes", &n.crashes)
+	s.AttachCounter("restarts", &n.restarts)
+	s.AttachCounter("amnesias", &n.amnesias)
+	s.AttachCounter("partitions", &n.partitions)
+	s.AttachCounter("heals", &n.heals)
+	s.AttachCounter("stale_targets", &n.staleTargets)
+	s.AttachCounter("sheds", &n.sheds)
+	s.AttachWatermark("max_delay_queue", &n.maxDelayQ)
 }
 
 // downMode distinguishes the kinds of down window.
@@ -826,9 +846,7 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 				return false, false
 			}
 			n.delayQ[lk]++
-			if depth := int64(n.delayQ[lk]); depth > n.maxDelayQ.Load() {
-				n.maxDelayQ.Store(depth) // safe: only mutated under n.mu
-			}
+			n.maxDelayQ.Record(int64(n.delayQ[lk]))
 			return true, true
 		}
 		primaryOK, primaryClaimed := admit(v)

@@ -25,8 +25,10 @@
 //     sheds up to t slow members per round and hedges the stragglers
 //     with delayed re-sends instead of blocking.
 //
-// The package is dependency-free so every transport layer (and the
-// store) can share one Counters instance.
+// The package depends only on the telemetry core (internal/obs) so
+// every transport layer (and the store) can share one Counters
+// instance — and a telemetry-enabled store can mount those same
+// counters on its metrics registry via Counters.Describe.
 package flow
 
 import (
@@ -34,8 +36,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by Mailbox.Recv after Close.
@@ -118,36 +121,48 @@ func (o Options) Validate() error {
 // Counters aggregates flow-control activity across every layer that
 // shares them. All methods are safe for concurrent use; a nil receiver
 // is a no-op, so layers can thread an optional *Counters without
-// branching.
+// branching. The fields are obs instruments so a telemetry-enabled
+// deployment can mount the same instances on its registry (Describe)
+// while every existing call site keeps writing through the methods
+// below.
 type Counters struct {
-	pushbacks      atomic.Int64
-	batchPushbacks atomic.Int64
-	sheds          atomic.Int64
-	hedges         atomic.Int64
-	inboxSheds     atomic.Int64
-	passThrough    atomic.Int64
-	coalesced      atomic.Int64
+	pushbacks      obs.Counter
+	batchPushbacks obs.Counter
+	sheds          obs.Counter
+	hedges         obs.Counter
+	inboxSheds     obs.Counter
+	passThrough    obs.Counter
+	coalesced      obs.Counter
 
-	linkHighWater   atomic.Int64
-	inboxHighWater  atomic.Int64
-	objectHighWater atomic.Int64
-	batchHighWater  atomic.Int64
+	linkHighWater   obs.Watermark
+	inboxHighWater  obs.Watermark
+	objectHighWater obs.Watermark
+	batchHighWater  obs.Watermark
 }
 
-// maxInt64 raises a to at least v.
-func maxInt64(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
+// Describe mounts the counters on an obs scope (both sides nil-safe),
+// under the names Snapshot/String already use.
+func (c *Counters) Describe(s *obs.Scope) {
+	if c == nil || s == nil {
+		return
 	}
+	s.AttachCounter("pushbacks", &c.pushbacks)
+	s.AttachCounter("batch_pushbacks", &c.batchPushbacks)
+	s.AttachCounter("sheds", &c.sheds)
+	s.AttachCounter("hedges", &c.hedges)
+	s.AttachCounter("inbox_sheds", &c.inboxSheds)
+	s.AttachCounter("pass_through", &c.passThrough)
+	s.AttachCounter("coalesced", &c.coalesced)
+	s.AttachWatermark("link_high_water", &c.linkHighWater)
+	s.AttachWatermark("inbox_high_water", &c.inboxHighWater)
+	s.AttachWatermark("object_high_water", &c.objectHighWater)
+	s.AttachWatermark("batch_high_water", &c.batchHighWater)
 }
 
 // AddPushback counts one wire.Busy observed by a client mux.
 func (c *Counters) AddPushback() {
 	if c != nil {
-		c.pushbacks.Add(1)
+		c.pushbacks.Inc()
 	}
 }
 
@@ -155,21 +170,21 @@ func (c *Counters) AddPushback() {
 // pending budget.
 func (c *Counters) AddBatchPushback() {
 	if c != nil {
-		c.batchPushbacks.Add(1)
+		c.batchPushbacks.Inc()
 	}
 }
 
 // AddShed counts one send skipped because the member was marked slow.
 func (c *Counters) AddShed() {
 	if c != nil {
-		c.sheds.Add(1)
+		c.sheds.Inc()
 	}
 }
 
 // AddHedge counts one straggler re-send.
 func (c *Counters) AddHedge() {
 	if c != nil {
-		c.hedges.Add(1)
+		c.hedges.Inc()
 	}
 }
 
@@ -177,7 +192,7 @@ func (c *Counters) AddHedge() {
 // bounded receive mailbox.
 func (c *Counters) AddInboxShed() {
 	if c != nil {
-		c.inboxSheds.Add(1)
+		c.inboxSheds.Inc()
 	}
 }
 
@@ -185,42 +200,42 @@ func (c *Counters) AddInboxShed() {
 // because the link was below its coalescing activation threshold.
 func (c *Counters) AddPassThrough() {
 	if c != nil {
-		c.passThrough.Add(1)
+		c.passThrough.Inc()
 	}
 }
 
 // AddCoalesced counts one op the batch layer held for coalescing.
 func (c *Counters) AddCoalesced() {
 	if c != nil {
-		c.coalesced.Add(1)
+		c.coalesced.Inc()
 	}
 }
 
 // RecordLink tracks the deepest per-link mailbox backlog observed.
 func (c *Counters) RecordLink(depth int) {
 	if c != nil {
-		maxInt64(&c.linkHighWater, int64(depth))
+		c.linkHighWater.Record(int64(depth))
 	}
 }
 
 // RecordInbox tracks the deepest total mailbox backlog observed.
 func (c *Counters) RecordInbox(depth int) {
 	if c != nil {
-		maxInt64(&c.inboxHighWater, int64(depth))
+		c.inboxHighWater.Record(int64(depth))
 	}
 }
 
 // RecordObject tracks the deepest object-side request backlog observed.
 func (c *Counters) RecordObject(depth int) {
 	if c != nil {
-		maxInt64(&c.objectHighWater, int64(depth))
+		c.objectHighWater.Record(int64(depth))
 	}
 }
 
 // RecordBatch tracks the deepest batch-layer pending backlog observed.
 func (c *Counters) RecordBatch(depth int) {
 	if c != nil {
-		maxInt64(&c.batchHighWater, int64(depth))
+		c.batchHighWater.Record(int64(depth))
 	}
 }
 

@@ -16,6 +16,7 @@ package store
 
 import (
 	"repro/internal/membership"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	istore "repro/internal/store"
 	"repro/internal/transport/batch"
@@ -124,6 +125,34 @@ type MemberView = membership.View
 // redirects served, client view adoptions, replayed in-flight ops);
 // Store.MembershipStats aggregates them across shards.
 type MembershipStats = membership.Stats
+
+// TelemetryOptions configures the unified observability core
+// (internal/obs). Set it via Options.Telemetry; the zero value selects
+// every default (8192-event trace ring, wall-clock timestamps). With it
+// in place the store mounts a hierarchical metrics registry — per-shard
+// operation counters, latency histograms, and the flow, fault,
+// recovery, and membership instruments under store/shard=N/... paths —
+// and records every register operation's round-structured lifecycle
+// (plus flow pushbacks, sheds, hedges, recovery fences, and
+// reconfiguration adoptions) into a bounded ring-buffer op trace.
+// Deterministic harnesses inject their seeded clock via
+// TelemetryOptions.Clock; TraceCapacity < 0 keeps metrics but disables
+// tracing.
+type TelemetryOptions = obs.Options
+
+// TelemetrySnapshot is a point-in-time capture of the metrics registry,
+// keyed by hierarchical path; Store.Telemetry returns one.
+type TelemetrySnapshot = obs.Snapshot
+
+// TelemetryExport bundles a metrics snapshot with the op trace — the
+// JSON artifact chaos runs persist and cmd/storetop renders.
+// Store.TelemetryExport returns one.
+type TelemetryExport = obs.Export
+
+// TraceEvent is one recorded step of an operation's lifecycle (round
+// start, per-member reply, Busy pushback, shed, hedge volley, recovery
+// fence, ...), stamped with the operation ID Store.TraceOp queries by.
+type TraceEvent = obs.Event
 
 // Open builds and starts a store per opts.
 func Open(opts Options) (*Store, error) { return istore.Open(opts) }
