@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"runtime/debug"
@@ -140,9 +142,15 @@ type telemetryServer struct {
 	cur atomic.Pointer[store.Store]
 }
 
-// serve starts the exposition endpoint; exposition failures must not
-// fail the bench, so errors are logged and dropped.
-func (ts *telemetryServer) serve(addr string) {
+// serve binds the exposition endpoint and starts serving it. Binding
+// synchronously separates the two failure classes: an unusable address
+// (already in use, bad syntax) is the operator's mistake and is
+// returned as an error before any benchmark runs, while later per-
+// connection serve failures must not fail the bench and are logged and
+// dropped. The returned stop function shuts the listener down
+// gracefully; callers invoke it when the bench completes so the
+// process doesn't exit with the socket still open.
+func (ts *telemetryServer) serve(addr string) (stop func(), err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
 		s := ts.cur.Load()
@@ -164,11 +172,23 @@ func (ts *telemetryServer) serve(addr string) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, s.Telemetry().Text())
 	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry endpoint: listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "telemetry endpoint: %v\n", err)
 		}
 	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close() // in-flight scrape outlived the grace window
+		}
+	}, nil
 }
 
 func runStore(quick bool, writers int, gc, saturate bool, out, telemetryAddr string) int {
@@ -186,7 +206,12 @@ func runStore(quick bool, writers int, gc, saturate bool, out, telemetryAddr str
 	var observe func(*store.Store)
 	if telemetryAddr != "" {
 		ts := &telemetryServer{}
-		ts.serve(telemetryAddr)
+		stop, err := ts.serve(telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "store bench:", err)
+			return 1
+		}
+		defer stop()
 		observe = func(s *store.Store) { ts.cur.Store(s) }
 		fmt.Printf("telemetry endpoint on %s (GET / text, /telemetry JSON)\n", telemetryAddr)
 	}

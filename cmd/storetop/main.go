@@ -3,13 +3,16 @@
 // endpoint cmd/benchharness serves — as a one-shot top-style dump: a
 // per-shard table of operation counts and latency quantiles, the
 // remaining metrics flat, and optionally the tail of the op trace or
-// one operation's full lifecycle.
+// one operation's full lifecycle. With -flight it instead renders an
+// anomaly flight-recorder dump as causally ordered per-op timelines
+// with one lane per member.
 //
 // Usage:
 //
 //	storetop -file telemetry/chaos-telemetry-mem.json
 //	storetop -url http://localhost:8090/telemetry -trace 20
 //	storetop -file export.json -op 42
+//	storetop -flight telemetry/chaos-telemetry-mem-flight-0.json
 package main
 
 import (
@@ -19,11 +22,8 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
-	"strings"
 
 	"repro/internal/obs"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -35,7 +35,23 @@ func run() int {
 	url := flag.String("url", "", "telemetry endpoint to fetch (e.g. http://localhost:8090/telemetry)")
 	traceN := flag.Int("trace", 0, "also print the last N trace events")
 	opID := flag.Uint64("op", 0, "print every trace event of this operation ID and exit")
+	flightFile := flag.String("flight", "", "flight-recorder dump to render as per-op timelines")
 	flag.Parse()
+
+	if *flightFile != "" {
+		data, err := os.ReadFile(*flightFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "storetop:", err)
+			return 1
+		}
+		dump, err := obs.DecodeFlightDump(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "storetop:", err)
+			return 1
+		}
+		fmt.Print(renderFlight(dump))
+		return 0
+	}
 
 	export, err := load(*file, *url)
 	if err != nil {
@@ -44,17 +60,12 @@ func run() int {
 	}
 
 	if *opID != 0 {
-		n := 0
-		for _, ev := range export.Trace {
-			if ev.Op == *opID {
-				printEvent(ev)
-				n++
-			}
-		}
-		if n == 0 {
+		out, ok := renderOpHistory(export, *opID)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "storetop: no events for op %d (ring may have evicted them)\n", *opID)
 			return 1
 		}
+		fmt.Print(out)
 		return 0
 	}
 
@@ -64,14 +75,8 @@ func run() int {
 		fmt.Print(rest)
 	}
 	if *traceN > 0 {
-		events := export.Trace
-		if len(events) > *traceN {
-			events = events[len(events)-*traceN:]
-		}
-		fmt.Printf("\n== trace tail (%d of %d events) ==\n", len(events), len(export.Trace))
-		for _, ev := range events {
-			printEvent(ev)
-		}
+		fmt.Println()
+		fmt.Print(renderTraceTail(export, *traceN))
 	}
 	return 0
 }
@@ -106,130 +111,4 @@ func load(file, url string) (obs.Export, error) {
 		return export, fmt.Errorf("decode export: %w", err)
 	}
 	return export, nil
-}
-
-// shardPrefix returns the path's store/shard=N/ prefix and the rest, or
-// ok=false for paths outside the per-shard scopes.
-func shardPrefix(path string) (prefix, rest string, ok bool) {
-	if !strings.HasPrefix(path, "store/shard=") {
-		return "", "", false
-	}
-	i := strings.Index(path[len("store/shard="):], "/")
-	if i < 0 {
-		return "", "", false
-	}
-	cut := len("store/shard=") + i + 1
-	return path[:cut], path[cut:], true
-}
-
-// coreShardMetrics are the per-shard entries the table renders; the
-// flat remainder prints everything else.
-var coreShardCounters = []string{"writes", "reads", "flow/pushbacks", "flow/sheds", "flow/hedges"}
-
-// shardTable renders one row per shard: operation counts, latency
-// quantiles, and the headline flow signals.
-func shardTable(snap obs.Snapshot) string {
-	shards := map[string]bool{}
-	for path := range snap.Counters {
-		if p, _, ok := shardPrefix(path); ok {
-			shards[p] = true
-		}
-	}
-	for path := range snap.Histograms {
-		if p, _, ok := shardPrefix(path); ok {
-			shards[p] = true
-		}
-	}
-	order := make([]string, 0, len(shards))
-	for p := range shards {
-		order = append(order, p)
-	}
-	sort.Strings(order)
-
-	tbl := stats.NewTable("store telemetry",
-		"shard", "writes", "reads", "w_p50ms", "w_p99ms", "r_p50ms", "r_p99ms", "pushbacks", "sheds", "hedges")
-	for _, p := range order {
-		name := strings.TrimSuffix(strings.TrimPrefix(p, "store/"), "/")
-		wh := snap.Histograms[p+"write_ms"]
-		rh := snap.Histograms[p+"read_ms"]
-		tbl.AddRow(name,
-			snap.Counters[p+"writes"], snap.Counters[p+"reads"],
-			wh.P50, wh.P99, rh.P50, rh.P99,
-			snap.Counters[p+"flow/pushbacks"], snap.Counters[p+"flow/sheds"], snap.Counters[p+"flow/hedges"])
-	}
-	if tbl.Rows() == 0 {
-		return "no per-shard metrics in export (telemetry off?)\n"
-	}
-	return tbl.String()
-}
-
-// flatRemainder renders every metric the shard table did not consume,
-// one sorted line each, in the registry's text format.
-func flatRemainder(snap obs.Snapshot) string {
-	consumed := func(path string) bool {
-		p, rest, ok := shardPrefix(path)
-		if !ok {
-			return false
-		}
-		_ = p
-		for _, c := range coreShardCounters {
-			if rest == c {
-				return true
-			}
-		}
-		return rest == "write_ms" || rest == "read_ms"
-	}
-	rest := obs.Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Watermarks: map[string]int64{},
-		Histograms: map[string]obs.HistogramSnapshot{},
-	}
-	n := 0
-	for path, v := range snap.Counters {
-		if !consumed(path) {
-			rest.Counters[path] = v
-			n++
-		}
-	}
-	for path, v := range snap.Gauges {
-		rest.Gauges[path] = v
-		n++
-	}
-	for path, v := range snap.Watermarks {
-		rest.Watermarks[path] = v
-		n++
-	}
-	for path, h := range snap.Histograms {
-		if !consumed(path) {
-			rest.Histograms[path] = h
-			n++
-		}
-	}
-	if n == 0 {
-		return ""
-	}
-	return rest.Text()
-}
-
-// printEvent renders one trace event on one line.
-func printEvent(ev obs.Event) {
-	member := "quorum"
-	if ev.Member >= 0 {
-		member = fmt.Sprintf("obj=%d", ev.Member)
-	}
-	round := ""
-	if ev.Round > 0 {
-		round = fmt.Sprintf(" round=%d", ev.Round)
-	}
-	detail := ""
-	if ev.Detail != "" {
-		detail = " " + ev.Detail
-	}
-	key := ""
-	if ev.Key != "" {
-		key = " key=" + ev.Key
-	}
-	fmt.Printf("%s op=%d shard=%d %s %-14s%s%s%s\n",
-		ev.Time.Format("15:04:05.000000"), ev.Op, ev.Shard, member, ev.Kind, round, key, detail)
 }

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// shardPrefix returns the path's store/shard=N/ prefix and the rest, or
+// ok=false for paths outside the per-shard scopes.
+func shardPrefix(path string) (prefix, rest string, ok bool) {
+	if !strings.HasPrefix(path, "store/shard=") {
+		return "", "", false
+	}
+	i := strings.Index(path[len("store/shard="):], "/")
+	if i < 0 {
+		return "", "", false
+	}
+	cut := len("store/shard=") + i + 1
+	return path[:cut], path[cut:], true
+}
+
+// coreShardMetrics are the per-shard entries the table renders; the
+// flat remainder prints everything else.
+var coreShardCounters = []string{"writes", "reads", "flow/pushbacks", "flow/sheds", "flow/hedges"}
+
+// shardTable renders one row per shard: operation counts, latency
+// quantiles, and the headline flow signals.
+func shardTable(snap obs.Snapshot) string {
+	shards := map[string]bool{}
+	for path := range snap.Counters {
+		if p, _, ok := shardPrefix(path); ok {
+			shards[p] = true
+		}
+	}
+	for path := range snap.Histograms {
+		if p, _, ok := shardPrefix(path); ok {
+			shards[p] = true
+		}
+	}
+	order := make([]string, 0, len(shards))
+	for p := range shards {
+		order = append(order, p)
+	}
+	sort.Strings(order)
+
+	tbl := stats.NewTable("store telemetry",
+		"shard", "writes", "reads", "w_p50ms", "w_p99ms", "r_p50ms", "r_p99ms", "pushbacks", "sheds", "hedges")
+	for _, p := range order {
+		name := strings.TrimSuffix(strings.TrimPrefix(p, "store/"), "/")
+		wh := snap.Histograms[p+"write_ms"]
+		rh := snap.Histograms[p+"read_ms"]
+		tbl.AddRow(name,
+			snap.Counters[p+"writes"], snap.Counters[p+"reads"],
+			wh.P50, wh.P99, rh.P50, rh.P99,
+			snap.Counters[p+"flow/pushbacks"], snap.Counters[p+"flow/sheds"], snap.Counters[p+"flow/hedges"])
+	}
+	if tbl.Rows() == 0 {
+		return "no per-shard metrics in export (telemetry off?)\n"
+	}
+	return tbl.String()
+}
+
+// flatRemainder renders every metric the shard table did not consume,
+// one sorted line each, in the registry's text format.
+func flatRemainder(snap obs.Snapshot) string {
+	consumed := func(path string) bool {
+		_, rest, ok := shardPrefix(path)
+		if !ok {
+			return false
+		}
+		for _, c := range coreShardCounters {
+			if rest == c {
+				return true
+			}
+		}
+		return rest == "write_ms" || rest == "read_ms"
+	}
+	rest := obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Watermarks: map[string]int64{},
+		Histograms: map[string]obs.HistogramSnapshot{},
+	}
+	n := 0
+	for path, v := range snap.Counters {
+		if !consumed(path) {
+			rest.Counters[path] = v
+			n++
+		}
+	}
+	for path, v := range snap.Gauges {
+		rest.Gauges[path] = v
+		n++
+	}
+	for path, v := range snap.Watermarks {
+		rest.Watermarks[path] = v
+		n++
+	}
+	for path, h := range snap.Histograms {
+		if !consumed(path) {
+			rest.Histograms[path] = h
+			n++
+		}
+	}
+	if n == 0 {
+		return ""
+	}
+	return rest.Text()
+}
+
+// formatEvent renders one trace event on one line (absolute wall time).
+func formatEvent(ev obs.Event) string {
+	member := "quorum"
+	if ev.Member >= 0 {
+		member = fmt.Sprintf("obj=%d", ev.Member)
+	}
+	round := ""
+	if ev.Round > 0 {
+		round = fmt.Sprintf(" round=%d", ev.Round)
+	}
+	detail := ""
+	if ev.Detail != "" {
+		detail = " " + ev.Detail
+	}
+	key := ""
+	if ev.Key != "" {
+		key = " key=" + ev.Key
+	}
+	return fmt.Sprintf("%s op=%d shard=%d %s %-14s%s%s%s\n",
+		ev.Time.Format("15:04:05.000000"), ev.Op, ev.Shard, member, ev.Kind, round, key, detail)
+}
+
+// renderOpHistory renders every event of one operation, oldest first;
+// ok=false when the trace holds none (evicted or never recorded).
+func renderOpHistory(export obs.Export, op uint64) (string, bool) {
+	var b strings.Builder
+	n := 0
+	for _, ev := range export.Trace {
+		if ev.Op == op {
+			b.WriteString(formatEvent(ev))
+			n++
+		}
+	}
+	return b.String(), n > 0
+}
+
+// renderTraceTail renders the last n trace events with a header naming
+// how much of the ring it shows.
+func renderTraceTail(export obs.Export, n int) string {
+	events := export.Trace
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== trace tail (%d of %d events) ==\n", len(events), len(export.Trace))
+	for _, ev := range events {
+		b.WriteString(formatEvent(ev))
+	}
+	return b.String()
+}
+
+// laneLabel names a timeline lane: the client/quorum side (Member −1)
+// or one replica.
+func laneLabel(member int) string {
+	if member < 0 {
+		return "client"
+	}
+	return fmt.Sprintf("obj %d", member)
+}
+
+// renderFlight renders a flight-recorder dump: the trigger header, the
+// frozen per-shard table, then a causally ordered per-op timeline —
+// operations sorted by first appearance, each event on its member lane
+// with time offsets relative to the op's first event, so the client
+// rounds and the replica serve/fault events of one operation read as a
+// single interleaved story.
+func renderFlight(d obs.FlightDump) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== flight dump: %s ==\n", d.Reason)
+	if d.Detail != "" {
+		fmt.Fprintf(&b, "detail: %s\n", d.Detail)
+	}
+	fmt.Fprintf(&b, "time:   %s\n\n", d.Time.Format(time.RFC3339Nano))
+	b.WriteString(shardTable(d.Export.Metrics))
+
+	// Group events by op, preserving ring (time) order within each.
+	byOp := map[uint64][]obs.Event{}
+	var order []uint64 // ops by first appearance — the causal order the shared clock recorded
+	untraced := 0
+	for _, ev := range d.Export.Trace {
+		if ev.Op == 0 {
+			untraced++
+			continue
+		}
+		if _, seen := byOp[ev.Op]; !seen {
+			order = append(order, ev.Op)
+		}
+		byOp[ev.Op] = append(byOp[ev.Op], ev)
+	}
+	fmt.Fprintf(&b, "\n== op timelines (%d ops, %d events", len(order), len(d.Export.Trace)-untraced)
+	if untraced > 0 {
+		fmt.Fprintf(&b, ", %d untraced skipped", untraced)
+	}
+	b.WriteString(") ==\n")
+
+	for _, op := range order {
+		evs := byOp[op]
+		key, shard := "", -1
+		lanes := map[string]bool{}
+		for _, ev := range evs {
+			if key == "" && ev.Key != "" {
+				key = ev.Key
+			}
+			if shard < 0 {
+				shard = ev.Shard
+			}
+			lanes[laneLabel(ev.Member)] = true
+		}
+		fmt.Fprintf(&b, "\n-- op=%d key=%s shard=%d (%d events, %d lanes) --\n", op, key, shard, len(evs), len(lanes))
+		start := evs[0].Time
+		for _, ev := range evs {
+			round := ""
+			if ev.Round > 0 {
+				round = fmt.Sprintf(" round=%d", ev.Round)
+			}
+			detail := ""
+			if ev.Detail != "" {
+				detail = " " + ev.Detail
+			}
+			fmt.Fprintf(&b, "  +%-11s %7s | %-14s%s%s\n",
+				fmt.Sprintf("%.6fs", ev.Time.Sub(start).Seconds()), laneLabel(ev.Member), ev.Kind, round, detail)
+		}
+	}
+	return b.String()
+}

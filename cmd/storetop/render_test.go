@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// loadFixture decodes the checked-in telemetry export the golden tests
+// render — a two-shard snapshot plus a 21-event trace holding one
+// distributed write (op 41), one read (op 42), and one untraced event.
+func loadFixture(t *testing.T) obs.Export {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "export.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var export obs.Export
+	if err := json.Unmarshal(data, &export); err != nil {
+		t.Fatal(err)
+	}
+	return export
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/storetop -update` to create goldens)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestShardTableGolden covers the headline per-shard table plus the
+// flat remainder (the member views, recovery counters, and watermarks
+// the table does not consume).
+func TestShardTableGolden(t *testing.T) {
+	export := loadFixture(t)
+	got := shardTable(export.Metrics) + "\n" + flatRemainder(export.Metrics)
+	checkGolden(t, "table", got)
+}
+
+// TestShardTableEmpty: an export with no per-shard metrics renders the
+// telemetry-off hint instead of an empty table.
+func TestShardTableEmpty(t *testing.T) {
+	got := shardTable(obs.Snapshot{})
+	if got != "no per-shard metrics in export (telemetry off?)\n" {
+		t.Errorf("empty snapshot rendered %q", got)
+	}
+}
+
+// TestTraceTailGolden: the tail header counts both the window and the
+// whole ring, and events render one per line.
+func TestTraceTailGolden(t *testing.T) {
+	export := loadFixture(t)
+	checkGolden(t, "tail", renderTraceTail(export, 6))
+}
+
+// TestTraceTailWholeRing: asking for more events than exist shows all
+// of them without slicing past the start.
+func TestTraceTailWholeRing(t *testing.T) {
+	export := loadFixture(t)
+	got := renderTraceTail(export, 10_000)
+	want := renderTraceTail(export, len(export.Trace))
+	if got != want {
+		t.Error("oversized tail window differs from exact-length window")
+	}
+}
+
+// TestOpHistoryGolden: -op rendering returns exactly the chosen
+// operation's events, oldest first — both sides of the protocol.
+func TestOpHistoryGolden(t *testing.T) {
+	export := loadFixture(t)
+	got, ok := renderOpHistory(export, 41)
+	if !ok {
+		t.Fatal("op 41 is in the fixture")
+	}
+	checkGolden(t, "op41", got)
+
+	if out, ok := renderOpHistory(export, 9999); ok || out != "" {
+		t.Errorf("unknown op rendered %q, ok=%v", out, ok)
+	}
+}
+
+// TestFlightRenderGolden: a flight dump renders the trigger header, the
+// frozen shard table, and causally ordered per-op timelines with one
+// lane per member (client lane = Member −1), untraced events counted
+// but skipped.
+func TestFlightRenderGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "flight.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := obs.DecodeFlightDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "flight", renderFlight(dump))
+}

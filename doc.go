@@ -88,6 +88,25 @@
 // collapse. `make chaos-saturation` soaks the store at 2× capacity
 // under the race detector on both transports.
 //
+// Every layer above also emits evidence, and internal/obs unifies it:
+// a hierarchical metrics registry (store.Options.Telemetry) and a
+// bounded op-trace ring with distributed propagation. The wire.RegOp
+// envelope carries an Op uint64 trace ID: the client mux stamps it on
+// every outbound request (hedges and replays keep the ID), servers
+// echo it in replies and emit member-attributed serve/batch/busy/fault
+// events under the same ID, and Store.TraceOp returns one operation's
+// whole distributed life, client and replica sides interleaved by the
+// shared injected clock. The convention is zero-when-untraced: Op == 0
+// means the envelope belongs to no traced operation — servers count it
+// but record no events, the compact codec spends one uvarint byte on
+// it, and a telemetry-off deployment pays nothing else. An anomaly
+// flight recorder (obs.FlightRecorder, armed by harness.RunChaos)
+// freezes registry and ring into a self-contained JSON dump on a
+// consistency violation, p99 watermark breach, or an overheld recovery
+// fence; cmd/storetop -flight renders the dump as per-op timelines
+// with one lane per member. `make chaos-telemetry` soaks all of it
+// under the race detector.
+//
 // The hot path itself is kept honest by construction: the compact
 // codec encodes into pooled buffers (wire.AppendCompact for zero-copy
 // callers), the TCP framer reuses pooled frame buffers on both sides

@@ -1,7 +1,8 @@
 // Package bad plants FakeProbe, a wire message missing from every
 // hand-maintained table, plus Quux, whose tag constant never reaches the
-// decode switch. This is the end-to-end guard that wireexhaustive itself
-// still catches an unplumbed message.
+// decode switch, plus Wrap, a trace envelope whose reply path forgets to
+// echo the Op field. This is the end-to-end guard that wireexhaustive
+// itself still catches an unplumbed message.
 package bad
 
 import "encoding/gob"
@@ -13,19 +14,28 @@ type Pong struct{ S string }
 type Quux struct{ B bool }
 type FakeProbe struct{ X int } // want "has no tagFakeProbe constant" "not gob-registered"
 
+// Wrap is a trace envelope: every keyed literal must set Op.
+type Wrap struct {
+	Reg string
+	Op  uint64
+	Msg Msg
+}
+
 func (Ping) isMsg()      {}
 func (Pong) isMsg()      {}
 func (Quux) isMsg()      {}
 func (FakeProbe) isMsg() {}
+func (Wrap) isMsg()      {}
 
 const (
 	tagPing byte = iota + 1
 	tagPong
 	tagQuux // want "never used as a switch case"
+	tagWrap
 )
 
 func init() {
-	for _, m := range []interface{}{Ping{}, Pong{}, Quux{}} {
+	for _, m := range []interface{}{Ping{}, Pong{}, Quux{}, Wrap{}} {
 		gob.Register(m)
 	}
 }
@@ -38,6 +48,8 @@ func Clone(m Msg) Msg {
 		return Pong{S: v.S}
 	case Quux:
 		return v
+	case Wrap:
+		return Wrap{Reg: v.Reg, Op: v.Op, Msg: Clone(v.Msg)}
 	default:
 		return m
 	}
@@ -51,8 +63,16 @@ func Encode(m Msg) byte {
 		return tagPong
 	case Quux:
 		return tagQuux
+	case Wrap:
+		return tagWrap
 	}
 	return 0
+}
+
+// Reply rebuilds the envelope around an answer but forgets the trace
+// ID — the silent drop the op-echo check exists to catch.
+func Reply(req Wrap, ans Msg) Msg {
+	return Wrap{Reg: req.Reg, Msg: ans} // want "does not set Op"
 }
 
 func Decode(tag byte) Msg {
@@ -61,6 +81,8 @@ func Decode(tag byte) Msg {
 		return Ping{}
 	case tagPong:
 		return Pong{}
+	case tagWrap:
+		return Wrap{} // empty literal: gob-style zero value, exempt from op-echo
 	}
 	return nil
 }

@@ -1,4 +1,5 @@
-// Package good plumbs every message through all four tables; the
+// Package good plumbs every message through all four tables — and
+// echoes the trace envelope's Op field in every keyed literal — so the
 // analyzer must stay silent.
 package good
 
@@ -9,16 +10,26 @@ type Msg interface{ isMsg() }
 type Ping struct{ N int }
 type Pong struct{ S string }
 
+// Wrap is a trace envelope: Op is the distributed trace ID every
+// construction must carry forward (0 = untraced, stated explicitly).
+type Wrap struct {
+	Reg string
+	Op  uint64
+	Msg Msg
+}
+
 func (Ping) isMsg() {}
 func (Pong) isMsg() {}
+func (Wrap) isMsg() {}
 
 const (
 	tagPing byte = iota + 1
 	tagPong
+	tagWrap
 )
 
 func init() {
-	for _, m := range []interface{}{Ping{}, Pong{}} {
+	for _, m := range []interface{}{Ping{}, Pong{}, Wrap{}} {
 		gob.Register(m)
 	}
 }
@@ -29,6 +40,8 @@ func Clone(m Msg) Msg {
 		return Ping{N: v.N}
 	case Pong:
 		return Pong{S: v.S}
+	case Wrap:
+		return Wrap{Reg: v.Reg, Op: v.Op, Msg: Clone(v.Msg)}
 	default:
 		return m
 	}
@@ -40,6 +53,8 @@ func Encode(m Msg) byte {
 		return tagPing
 	case Pong:
 		return tagPong
+	case Wrap:
+		return tagWrap
 	}
 	return 0
 }
@@ -50,6 +65,17 @@ func Decode(tag byte) Msg {
 		return Ping{}
 	case tagPong:
 		return Pong{}
+	case tagWrap:
+		return Wrap{Reg: "", Op: 0, Msg: nil}
 	}
 	return nil
+}
+
+// Reply rebuilds the envelope around an answer; stating Op: 0 is the
+// sanctioned way to construct a deliberately untraced envelope.
+func Reply(req Wrap, ans Msg) Msg {
+	if req.Op == 0 {
+		return Wrap{Reg: req.Reg, Op: 0, Msg: ans}
+	}
+	return Wrap{Reg: req.Reg, Op: req.Op, Msg: ans}
 }

@@ -16,7 +16,10 @@
 //     needs one, and every message's tag must appear as a switch case
 //     (the compact decode table);
 //   - if the package calls gob.Register anywhere, every message must be
-//     registered (composite literals in the registering function count).
+//     registered (composite literals in the registering function count);
+//   - a message with an `Op uint64` field is a trace envelope: every keyed
+//     composite literal of it in non-test code must set Op explicitly, so
+//     a reply path cannot silently drop the distributed trace ID.
 package wireexhaustive
 
 import (
@@ -47,8 +50,76 @@ func run(pass *analysis.Pass) error {
 		checkTypeSwitches(pass, iface, msgs)
 		checkTagTable(pass, msgs)
 		checkGobRegistration(pass, msgs)
+		checkOpEcho(pass, msgs)
 	}
 	return nil
+}
+
+// checkOpEcho enforces the trace-context convention: a message with an
+// `Op uint64` field is a trace envelope, and every keyed composite
+// literal of one must set the Op key explicitly. A server path that
+// rebuilds the envelope around its reply and forgets the key silently
+// drops the distributed trace ID — nothing breaks, the op just loses
+// its server-side life, so no functional test catches it. Empty
+// literals (gob registration zero values) and positional literals (all
+// fields present by construction) are exempt, as are _test.go files,
+// which construct deliberately untraced envelopes; production code
+// writes `Op: 0` to mark an envelope untraced on purpose.
+func checkOpEcho(pass *analysis.Pass, msgs []*types.TypeName) {
+	carriers := map[*types.TypeName]bool{}
+	for _, m := range msgs {
+		st, ok := m.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() != "Op" {
+				continue
+			}
+			if b, ok := f.Type().(*types.Basic); ok && b.Kind() == types.Uint64 {
+				carriers[m] = true
+			}
+		}
+	}
+	if len(carriers) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || len(cl.Elts) == 0 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[cl]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || !carriers[named.Obj()] {
+				return true
+			}
+			keyed, hasOp := false, false
+			for _, e := range cl.Elts {
+				kv, ok := e.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				keyed = true
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Op" {
+					hasOp = true
+				}
+			}
+			if keyed && !hasOp {
+				pass.Reportf(cl.Pos(), "%s literal does not set Op: echo the trace ID explicitly (Op: 0 marks a deliberately untraced envelope)",
+					named.Obj().Name())
+			}
+			return true
+		})
+	}
 }
 
 // markerInterfaces finds package-level interfaces shaped like wire.Msg: one

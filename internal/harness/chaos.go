@@ -3,9 +3,11 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +48,18 @@ type ChaosSpec struct {
 	// wait-free while faults stay within budget, so hitting it means a
 	// liveness bug, reported as an error.
 	Timeout time.Duration
+
+	// FenceDeadline arms the flight recorder's recovery trigger: a
+	// catch-up fence still held this long into the recovery wait fires
+	// an anomaly dump (the soak keeps waiting — the dump records the
+	// evidence, the Timeout decides the verdict). Default 30s; the soak
+	// Timeout always fires a final dump regardless.
+	FenceDeadline time.Duration
+
+	// P99LimitMs arms the flight recorder's latency trigger: any
+	// latency histogram whose p99 exceeds this many milliseconds at the
+	// end of the soak fires an anomaly dump. Zero disables the trigger.
+	P99LimitMs float64
 }
 
 // withDefaults normalizes the workload shape.
@@ -67,6 +81,9 @@ func (sp ChaosSpec) withDefaults() ChaosSpec {
 	}
 	if sp.Timeout <= 0 {
 		sp.Timeout = 2 * time.Minute
+	}
+	if sp.FenceDeadline <= 0 {
+		sp.FenceDeadline = 30 * time.Second
 	}
 	return sp
 }
@@ -262,6 +279,7 @@ type ChaosReport struct {
 	Flow       flow.Stats       // flow-control counters (zero without a flow policy)
 	ShardFlow  []flow.Stats     // per-shard flow counters (nil without a flow policy)
 	Telemetry  *obs.Export      // metrics + op trace (nil without telemetry)
+	Flight     []obs.FlightDump // anomaly flight-recorder dumps (empty when nothing fired)
 	Violations []string         // rendered per-register consistency violations
 }
 
@@ -310,6 +328,30 @@ func writeTelemetryArtifact(name string, export obs.Export) error {
 	return nil
 }
 
+// writeFlightArtifacts persists every flight-recorder dump to
+// $TELEMETRY_DIR/<name>-flight-<i>.json — the artifacts the CI chaos
+// legs upload when a job fails, each renderable offline with
+// cmd/storetop -flight. A no-op without TELEMETRY_DIR or dumps.
+func writeFlightArtifacts(name string, dumps []obs.FlightDump) error {
+	dir := os.Getenv("TELEMETRY_DIR")
+	if dir == "" || len(dumps) == 0 {
+		return nil
+	}
+	if name == "" {
+		name = "chaos"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("flight artifact dir: %w", err)
+	}
+	for i, d := range dumps {
+		path := filepath.Join(dir, fmt.Sprintf("%s-flight-%d.json", name, i))
+		if err := d.WriteFile(path); err != nil {
+			return fmt.Errorf("flight artifact: %w", err)
+		}
+	}
+	return nil
+}
+
 // RunChaos drives the multi-register workload against a fault-injected
 // deployment, recording every operation in a per-register history, and
 // validates each register against the paper's semantics: safety always,
@@ -325,6 +367,12 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 		return ChaosReport{}, err
 	}
 	defer s.Close()
+
+	// Arm the anomaly flight recorder (nil without telemetry — every
+	// method below is nil-safe). Three triggers: a recovery fence held
+	// past FenceDeadline, a p99 watermark breach, and any consistency
+	// violation the validators find.
+	flight := s.NewFlightRecorder()
 
 	ctx, cancel := context.WithTimeout(context.Background(), spec.Timeout)
 	defer cancel()
@@ -439,11 +487,26 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 	// final read per register so the validation below covers state
 	// served AFTER the last catch-up installed.
 	if spec.Store.Recovery {
+		fenceStart := time.Now()
+		fenceDumped := false
 		for s.RecoveringCount() > 0 && ctx.Err() == nil {
+			if !fenceDumped && time.Since(fenceStart) > spec.FenceDeadline {
+				// A fence held this long is already anomalous even if the
+				// soak eventually completes: snapshot the evidence once
+				// and keep waiting — the Timeout decides the verdict.
+				flight.Trigger("fence-deadline", fmt.Sprintf("%d recovery fences still held after %v", s.RecoveringCount(), spec.FenceDeadline))
+				fenceDumped = true
+			}
 			time.Sleep(time.Millisecond)
 		}
 		if err := ctx.Err(); err != nil {
-			return ChaosReport{}, fmt.Errorf("chaos drain: amnesia catch-up never completed: %w", err)
+			if !fenceDumped {
+				flight.Trigger("fence-deadline", fmt.Sprintf("%d recovery fences still held at soak timeout", s.RecoveringCount()))
+			}
+			return ChaosReport{}, errors.Join(
+				fmt.Errorf("chaos drain: amnesia catch-up never completed: %w", err),
+				writeFlightArtifacts(spec.Name, flight.Dumps()),
+			)
 		}
 		for i := 0; i < spec.Keys; i++ {
 			stamp := clock.Now()
@@ -471,6 +534,11 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 		if err := writeTelemetryArtifact(spec.Name, export); err != nil {
 			return ChaosReport{}, err
 		}
+		if spec.P99LimitMs > 0 {
+			if breaches := export.Metrics.P99Breaches(spec.P99LimitMs); len(breaches) > 0 {
+				flight.Trigger("p99-breach", fmt.Sprintf("p99 > %gms at %s", spec.P99LimitMs, strings.Join(breaches, ", ")))
+			}
+		}
 	}
 
 	checkRegularity := spec.Store.Semantics != store.Safe
@@ -484,6 +552,13 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 				report.Violations = append(report.Violations, fmt.Sprintf("%s: %v", key(i), v))
 			}
 		}
+	}
+	if len(report.Violations) > 0 {
+		flight.Trigger("consistency-violation", fmt.Sprintf("%d violations; first: %s", len(report.Violations), report.Violations[0]))
+	}
+	report.Flight = flight.Dumps()
+	if err := writeFlightArtifacts(spec.Name, report.Flight); err != nil {
+		return ChaosReport{}, err
 	}
 	return report, nil
 }

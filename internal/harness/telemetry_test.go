@@ -3,6 +3,8 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -84,6 +86,46 @@ func TestChaosTelemetrySoak(t *testing.T) {
 		}
 	}
 
+	// The tentpole acceptance bar: the trace must be DISTRIBUTED, not a
+	// client-side log. Some sampled write's op ID must appear in events
+	// from at least two distinct layers beyond the client (registry
+	// serve events, batch coalesce/flush, transport busy-emit, fault
+	// drop/delay/dup) — all sharing the op ID by construction of byOp.
+	layerOf := func(k obs.EventKind) string {
+		switch k {
+		case obs.EvServeWrite, obs.EvServeRead:
+			return "registry"
+		case obs.EvCoalesce, obs.EvFlush:
+			return "batch"
+		case obs.EvBusyEmit:
+			return "transport"
+		case obs.EvDrop, obs.EvDelay, obs.EvDup:
+			return "fault"
+		}
+		return "" // client-side lifecycle event
+	}
+	distributed := 0
+	for _, evs := range byOp {
+		isWrite := false
+		layers := make(map[string]bool)
+		for _, ev := range evs {
+			if ev.Kind == obs.EvOpBegin && ev.Detail == "WRITE" {
+				isWrite = true
+			}
+			if l := layerOf(ev.Kind); l != "" {
+				layers[l] = true
+			}
+		}
+		if isWrite && len(layers) >= 2 {
+			distributed++
+		}
+	}
+	if distributed == 0 {
+		t.Error("no write op's trace spans ≥ 2 layers beyond the client — server-side propagation is not working")
+	} else {
+		t.Logf("distributed traces: %d write ops span ≥ 2 server-side layers", distributed)
+	}
+
 	// A completed catch-up's fence lift shares its op with the fence
 	// wait that opened it.
 	liftAttributed := false
@@ -134,6 +176,56 @@ func TestChaosTelemetrySoak(t *testing.T) {
 	}
 	if histOps != rep.Writes+rep.Reads {
 		t.Errorf("latency histograms cover %d ops, report counted %d", histOps, rep.Writes+rep.Reads)
+	}
+}
+
+// TestChaosFlightRecorderP99Trigger: an armed soak whose p99 watermark
+// is set impossibly low must fire the flight recorder — the report
+// carries the dump and the artifact lands in $TELEMETRY_DIR as a
+// decodable, renderable file.
+func TestChaosFlightRecorderP99Trigger(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("TELEMETRY_DIR", dir)
+	spec := ChaosScenario(telemetrySeed, false)
+	spec.Keys = 8
+	spec.WritesPerKey = 2
+	spec.ReadsPerKey = 2
+	spec.P99LimitMs = 1e-9 // any completed op breaches
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if len(rep.Flight) == 0 {
+		t.Fatal("impossible p99 watermark fired no flight dump")
+	}
+	d := rep.Flight[0]
+	if d.Reason != "p99-breach" {
+		t.Fatalf("dump reason = %q, want p99-breach", d.Reason)
+	}
+	if !strings.Contains(d.Detail, "write_ms") && !strings.Contains(d.Detail, "read_ms") {
+		t.Errorf("dump detail names no latency histogram: %q", d.Detail)
+	}
+	if len(d.Export.Metrics.Counters) == 0 || len(d.Export.Trace) == 0 {
+		t.Error("dump export is empty — the registry/ring were not frozen in")
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, spec.Name+"-flight-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no flight artifacts in TELEMETRY_DIR (err=%v)", err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.DecodeFlightDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != d.Reason || len(got.Export.Trace) != len(d.Export.Trace) {
+		t.Error("artifact round-trip disagrees with the in-report dump")
 	}
 }
 

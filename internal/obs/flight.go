@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightDump is one anomaly snapshot: the full metrics registry and the
+// op-trace ring, frozen at the moment the trigger fired, plus what
+// fired it. It is self-contained — cmd/storetop renders a dump file
+// into a causally ordered per-op timeline with no access to the run
+// that produced it — which turns a red chaos job from "a seed to
+// rebisect" into a readable black box.
+type FlightDump struct {
+	// Reason names the anomaly class that fired the trigger (the
+	// harness uses consistency-violation, p99-breach, fence-deadline).
+	Reason string `json:"reason"`
+	// Detail carries the trigger's specifics (which register, which
+	// histogram, how late the fence was).
+	Detail string `json:"detail,omitempty"`
+	// Time is the trigger instant per the recorder's clock.
+	Time time.Time `json:"time"`
+	// Export is the frozen telemetry: metrics snapshot + trace ring.
+	Export Export `json:"export"`
+}
+
+// EncodeJSON renders the dump as indented JSON (the on-disk artifact
+// format the CI chaos legs upload).
+func (d FlightDump) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// WriteFile persists the dump at path.
+func (d FlightDump) WriteFile(path string) error {
+	data, err := d.EncodeJSON()
+	if err != nil {
+		return fmt.Errorf("obs: encode flight dump: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write flight dump: %w", err)
+	}
+	return nil
+}
+
+// DecodeFlightDump parses a dump produced by EncodeJSON/WriteFile.
+func DecodeFlightDump(data []byte) (FlightDump, error) {
+	var d FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return FlightDump{}, fmt.Errorf("obs: decode flight dump: %w", err)
+	}
+	return d, nil
+}
+
+// FlightRecorder is the anomaly flight recorder: armed over a
+// registry/tracer pair, it snapshots both into a FlightDump whenever a
+// trigger fires (harness consistency violation, p99 watermark breach,
+// a recovery fence held past its deadline — the caller decides; the
+// recorder just freezes the evidence). Multiple triggers in one run
+// accumulate; each dump is independent. All methods are nil-safe, so
+// telemetry-off deployments thread a nil recorder through unchanged.
+type FlightRecorder struct {
+	reg   *Registry
+	tr    *Tracer
+	clock Clock
+
+	mu    sync.Mutex
+	dumps []FlightDump
+}
+
+// NewFlightRecorder arms a recorder over reg and tr, stamping dumps
+// with clock (nil = wall clock). Either source may be nil; the dump
+// then carries an empty snapshot or trace.
+func NewFlightRecorder(reg *Registry, tr *Tracer, clock Clock) *FlightRecorder {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &FlightRecorder{reg: reg, tr: tr, clock: clock}
+}
+
+// Trigger fires the recorder: the registry and trace ring are frozen
+// into a new dump tagged with reason/detail, which is both retained
+// (Dumps) and returned. Nil-safe (returns a zero dump).
+func (f *FlightRecorder) Trigger(reason, detail string) FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	d := FlightDump{
+		Reason: reason,
+		Detail: detail,
+		Time:   f.clock(),
+		Export: Export{Metrics: f.reg.Snapshot(), Trace: f.tr.Events()},
+	}
+	f.mu.Lock()
+	f.dumps = append(f.dumps, d)
+	f.mu.Unlock()
+	return d
+}
+
+// Dumps returns a copy of every dump triggered so far, in order.
+func (f *FlightRecorder) Dumps() []FlightDump {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightDump, len(f.dumps))
+	copy(out, f.dumps)
+	return out
+}
+
+// P99Breaches returns the path of every histogram in the snapshot whose
+// p99 exceeds limitMs, sorted — the flight recorder's latency-anomaly
+// predicate. Histograms with no samples never breach.
+func (s Snapshot) P99Breaches(limitMs float64) []string {
+	var out []string
+	for path, h := range s.Histograms {
+		if h.Count > 0 && h.P99 > limitMs {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

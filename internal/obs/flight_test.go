@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// flightClock is a deterministic clock for dump timestamps.
+func flightClock() Clock {
+	var n int64
+	return func() time.Time {
+		n++
+		return time.Unix(0, n*int64(time.Millisecond))
+	}
+}
+
+// TestFlightRecorderTrigger: each trigger freezes the registry and the
+// trace ring at that instant — a counter bumped or an event recorded
+// AFTER the trigger must not appear in the dump — and dumps accumulate
+// in order.
+func TestFlightRecorderTrigger(t *testing.T) {
+	reg := NewRegistry()
+	clock := flightClock()
+	tr := NewTracer(64, clock)
+	f := NewFlightRecorder(reg, tr, clock)
+
+	c := reg.Root().Scope("store").Counter("writes")
+	c.Add(3)
+	tr.Record(Event{Op: 7, Kind: EvOpBegin, Key: "k"})
+
+	d1 := f.Trigger("p99-breach", "store/write_ms")
+	if d1.Reason != "p99-breach" || d1.Detail != "store/write_ms" {
+		t.Fatalf("dump tag = %q/%q", d1.Reason, d1.Detail)
+	}
+	if d1.Time.IsZero() {
+		t.Fatal("dump not stamped by the injected clock")
+	}
+	if got := d1.Export.Metrics.Counters["store/writes"]; got != 3 {
+		t.Fatalf("frozen counter = %d, want 3", got)
+	}
+	if len(d1.Export.Trace) != 1 || d1.Export.Trace[0].Op != 7 {
+		t.Fatalf("frozen trace = %+v, want the one op-7 event", d1.Export.Trace)
+	}
+
+	// Mutations after the trigger must not leak into the frozen dump.
+	c.Add(10)
+	tr.Record(Event{Op: 8, Kind: EvOpEnd})
+	if got := d1.Export.Metrics.Counters["store/writes"]; got != 3 {
+		t.Fatalf("dump counter mutated after trigger: %d", got)
+	}
+
+	d2 := f.Trigger("consistency-violation", "reg k")
+	dumps := f.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("Dumps() = %d entries, want 2", len(dumps))
+	}
+	if dumps[0].Reason != d1.Reason || dumps[1].Reason != d2.Reason {
+		t.Fatalf("dump order wrong: %q then %q", dumps[0].Reason, dumps[1].Reason)
+	}
+	if got := dumps[1].Export.Metrics.Counters["store/writes"]; got != 13 {
+		t.Fatalf("second dump counter = %d, want 13", got)
+	}
+	if len(dumps[1].Export.Trace) != 2 {
+		t.Fatalf("second dump trace has %d events, want 2", len(dumps[1].Export.Trace))
+	}
+}
+
+// TestFlightRecorderNilSafety: a nil recorder — what a telemetry-off
+// store hands the harness — absorbs every call; a recorder over nil
+// sources produces empty-but-valid dumps.
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	if d := f.Trigger("x", "y"); d.Reason != "" {
+		t.Fatalf("nil recorder returned a tagged dump: %+v", d)
+	}
+	if ds := f.Dumps(); ds != nil {
+		t.Fatalf("nil recorder has dumps: %+v", ds)
+	}
+
+	g := NewFlightRecorder(nil, nil, nil)
+	d := g.Trigger("fence-deadline", "")
+	if d.Reason != "fence-deadline" {
+		t.Fatalf("dump reason = %q", d.Reason)
+	}
+	if len(d.Export.Metrics.Counters) != 0 || len(d.Export.Trace) != 0 {
+		t.Fatalf("nil-source dump not empty: %+v", d.Export)
+	}
+}
+
+// TestFlightDumpRoundTrip: WriteFile → DecodeFlightDump preserves the
+// dump — the offline path cmd/storetop -flight depends on.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	clock := flightClock()
+	tr := NewTracer(16, clock)
+	reg.Root().Scope("store").Scope("shard=0").Counter("writes").Add(5)
+	tr.Record(Event{Op: 42, Kind: EvServeWrite, Key: "k", Shard: 0, Member: 2, Round: 1, Detail: "queue=3"})
+
+	f := NewFlightRecorder(reg, tr, clock)
+	d := f.Trigger("p99-breach", "store/shard=0/write_ms")
+
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFlightDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != d.Reason || got.Detail != d.Detail || !got.Time.Equal(d.Time) {
+		t.Fatalf("round-trip header mismatch: %+v vs %+v", got, d)
+	}
+	if got.Export.Metrics.Counters["store/shard=0/writes"] != 5 {
+		t.Fatalf("round-trip counters = %+v", got.Export.Metrics.Counters)
+	}
+	if len(got.Export.Trace) != 1 {
+		t.Fatalf("round-trip trace has %d events", len(got.Export.Trace))
+	}
+	ev := got.Export.Trace[0]
+	if ev.Op != 42 || ev.Kind != EvServeWrite || ev.Member != 2 || ev.Round != 1 || ev.Detail != "queue=3" {
+		t.Fatalf("round-trip event mismatch: %+v", ev)
+	}
+
+	if _, err := DecodeFlightDump([]byte("{nope")); err == nil {
+		t.Fatal("DecodeFlightDump accepted malformed JSON")
+	}
+}
+
+// TestP99Breaches: only histograms with samples and p99 above the limit
+// are reported, sorted by path.
+func TestP99Breaches(t *testing.T) {
+	reg := NewRegistry()
+	root := reg.Root().Scope("store")
+	slow := root.Scope("shard=1").Histogram("write_ms")
+	fast := root.Scope("shard=0").Histogram("write_ms")
+	empty := root.Scope("shard=2").Histogram("write_ms")
+	_ = empty
+	for i := 0; i < 100; i++ {
+		slow.Record(250)
+		fast.Record(0.5)
+	}
+	snap := reg.Snapshot()
+	got := snap.P99Breaches(100)
+	want := []string{"store/shard=1/write_ms"}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("P99Breaches = %v, want %v (fast and empty histograms must not breach)", got, want)
+	}
+	if br := snap.P99Breaches(1e9); br != nil {
+		t.Fatalf("impossible limit breached: %v", br)
+	}
+}

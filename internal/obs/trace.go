@@ -28,6 +28,23 @@ const (
 	EvFenceLift  EventKind = "fence-lift"
 )
 
+// The server-side trace vocabulary: events attributed to the op ID the
+// request envelope carries (wire.RegOp.Op). Serve-write/serve-read come
+// from the multi-register base objects; batch-coalesce/batch-flush from
+// the client-side batching layer; busy-emit from a transport answering
+// an admission overflow with wire.Busy; drop/delay/dup from the fault
+// layer's per-message verdicts, carrying the victim op ID.
+const (
+	EvServeWrite EventKind = "serve-write"
+	EvServeRead  EventKind = "serve-read"
+	EvCoalesce   EventKind = "batch-coalesce"
+	EvFlush      EventKind = "batch-flush"
+	EvBusyEmit   EventKind = "busy-emit"
+	EvDrop       EventKind = "drop"
+	EvDelay      EventKind = "delay"
+	EvDup        EventKind = "dup"
+)
+
 // Event is one step of one operation's lifecycle. Op ties the steps of
 // a single register operation together (0 = unattributed — an event
 // observed outside any bound operation); Member is the base-object

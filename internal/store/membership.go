@@ -155,6 +155,12 @@ func (s *Store) Replace(ctx context.Context, shard int, slot types.ObjectID, new
 	// now is safe: the fence answers nothing, and no client addresses
 	// the new endpoint until it adopts the successor view.
 	reg := newRegistry(s.registerFactory(slot, false))
+	if s.tel != nil {
+		// The replacement serves the same logical slot, so its serve
+		// events keep the member attribution; no queue-depth probe — it
+		// lives at a fresh address the builder's probes don't cover.
+		reg.EnableTrace(s.tel.tracer, sh.index, int(slot), nil)
+	}
 	guard := recovery.NewGuard(slot, reg, reg)
 	guard.Forget() // fence + incarnation 1: a replacement is an amnesia recovery at a new address
 	gate := membership.NewGate(guard, sm.counters, next.Epoch)

@@ -494,6 +494,14 @@ func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
 	ms := m.members.Load()
 	fl := m.flow.Load()
 	if ms == nil && fl == nil {
+		if m.trace.Load() != nil {
+			// Traced deployment: stamp the envelope with the in-flight
+			// op's trace ID so the server side can attribute its events.
+			// The untraced hot path never takes the lock.
+			m.mu.Lock()
+			op.Op = c.curOp
+			m.mu.Unlock()
+		}
 		m.conn.Send(to, op) // lock-free: the plain hot path, unchanged
 		return
 	}
@@ -509,6 +517,9 @@ func (c *regConn) Send(to transport.NodeID, payload wire.Msg) {
 			shed = true
 		}
 	}
+	// Stamp before recording lastOut, so hedge volleys and adoption
+	// replays of this op keep its trace ID on the wire.
+	op.Op = c.curOp
 	c.lastOut = op
 	opid := c.curOp
 	var epoch int64
@@ -716,6 +727,18 @@ type registry struct {
 
 	mu   sync.Mutex
 	regs map[string]transport.Handler
+
+	// Server-side telemetry (zero without EnableTrace): every served
+	// protocol op counts into the per-member serve counters, and — when
+	// the request envelope carries a trace ID — emits a member-attributed
+	// serve-write/serve-read event with the object's current queue depth.
+	tr     *obs.Tracer
+	shard  int
+	member int
+	depth  func() int // transport queue-depth probe (nil = unknown)
+
+	servedWrites obs.Counter
+	servedReads  obs.Counter
 }
 
 var _ transport.Handler = (*registry)(nil)
@@ -723,6 +746,17 @@ var _ transport.Handler = (*registry)(nil)
 // newRegistry returns a multi-register object backed by factory.
 func newRegistry(factory func(reg string) transport.Handler) *registry {
 	return &registry{factory: factory, regs: make(map[string]transport.Handler)}
+}
+
+// EnableTrace turns on server-side op tracing for this object: served
+// protocol ops emit serve events into tr attributed to (shard, member),
+// with depth (optional) probing the transport's pending-request queue.
+// Call it before the object starts serving.
+func (g *registry) EnableTrace(tr *obs.Tracer, shard, member int, depth func() int) {
+	g.tr = tr
+	g.shard = shard
+	g.member = member
+	g.depth = depth
 }
 
 // Handle implements transport.Handler.
@@ -739,10 +773,47 @@ func (g *registry) Handle(from transport.NodeID, req wire.Msg) (wire.Msg, bool) 
 	}
 	g.mu.Unlock()
 	reply, send := h.Handle(from, op.Msg)
+	g.traceServe(op)
 	if !send {
 		return nil, false
 	}
-	return wire.RegOp{Reg: op.Reg, Msg: reply}, true
+	return wire.RegOp{Reg: op.Reg, Op: op.Op, Msg: reply}, true
+}
+
+// traceServe counts one served protocol op and, when the envelope is
+// traced, records the member-attributed serve event. Round-2 write
+// messages (WReq) count as writes alongside the pre-write; both read
+// rounds share the read kind, distinguished by the event's Round field.
+func (g *registry) traceServe(op wire.RegOp) {
+	var kind obs.EventKind
+	round := 0
+	switch msg := op.Msg.(type) {
+	case wire.PWReq:
+		kind, round = obs.EvServeWrite, 1
+		g.servedWrites.Add(1)
+	case wire.WReq:
+		kind, round = obs.EvServeWrite, 2
+		g.servedWrites.Add(1)
+	case wire.ReadReq:
+		kind, round = obs.EvServeRead, int(msg.Round)
+		g.servedReads.Add(1)
+	case wire.BaselineWriteReq:
+		kind = obs.EvServeWrite
+		g.servedWrites.Add(1)
+	case wire.BaselineReadReq:
+		kind = obs.EvServeRead
+		g.servedReads.Add(1)
+	default:
+		return // recovery/subscription traffic is not a register op
+	}
+	if g.tr == nil || op.Op == 0 {
+		return
+	}
+	detail := ""
+	if g.depth != nil {
+		detail = fmt.Sprintf("queue=%d", g.depth())
+	}
+	g.tr.Record(obs.Event{Op: op.Op, Kind: kind, Key: op.Reg, Shard: g.shard, Member: g.member, Round: round, Detail: detail})
 }
 
 // Registers returns the number of materialized registers (tests and

@@ -389,9 +389,17 @@ func (s *Store) buildShard(index int) (*shard, error) {
 			b.PendingBudget = fo.BatchBudget
 			b.Counters = flowCtrs
 		}
+		if s.tel != nil {
+			// The batch layer emits coalesce/flush/pushback events into
+			// the shared tracer, interleaving with the client and server
+			// sides of every traced op.
+			b.Trace = s.tel.tracer
+			b.TraceShard = index
+		}
 		batching = &b
 	}
 	var nw network
+	var memNet *memnet.Net // non-nil on the in-memory transport: its queue-depth probe feeds serve events
 	if s.opts.TCP {
 		n := tcpnet.New()
 		if s.opts.Flow != nil {
@@ -399,6 +407,9 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		}
 		if batching != nil {
 			n.EnableBatching(*batching)
+		}
+		if s.tel != nil {
+			n.SetTrace(s.tel.tracer, index)
 		}
 		nw = n
 	} else {
@@ -409,6 +420,10 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		if batching != nil {
 			n.EnableBatching(*batching)
 		}
+		if s.tel != nil {
+			n.SetTrace(s.tel.tracer, index)
+		}
+		memNet = n
 		nw = n
 	}
 	sh := &shard{index: index, cfg: s.cfg, net: nw, flowCtrs: flowCtrs, tel: s.tel,
@@ -424,6 +439,9 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		sh.faults = fault.Wrap(nw, plan)
 		if s.opts.Flow != nil {
 			sh.faults.SetFlow(*s.opts.Flow, flowCtrs)
+		}
+		if s.tel != nil {
+			sh.faults.SetTrace(s.tel.tracer, index)
 		}
 		nw = sh.faults
 		sh.net = nw
@@ -446,6 +464,14 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		id := types.ObjectID(i)
 		byz := i >= s.cfg.S-s.opts.ByzPerShard
 		reg := newRegistry(s.registerFactory(id, byz))
+		if s.tel != nil {
+			var depth func() int
+			if memNet != nil {
+				oid := transport.Object(id)
+				depth = func() int { return memNet.QueueDepth(oid) }
+			}
+			reg.EnableTrace(s.tel.tracer, index, i, depth)
+		}
 		var h transport.Handler = reg
 		if s.opts.Recovery != nil && !byz {
 			guards[i] = recovery.NewGuard(id, reg, reg)
@@ -554,6 +580,23 @@ func (s *Store) mountShard(sh *shard) {
 	sh.reads = scope.Counter("reads")
 	sh.writeLat = scope.Histogram("write_ms")
 	sh.readLat = scope.Histogram("read_ms")
+	// Per-member serve counters as live views: Replace swaps the slot's
+	// registry, so the view over the current sh.objs entry is the address
+	// that survives (like the recovery views below).
+	for i := range sh.objs {
+		idx := i
+		ms := scope.Scope(fmt.Sprintf("member=%d", idx))
+		ms.View("served_writes", func() int64 {
+			sh.mmu.Lock()
+			defer sh.mmu.Unlock()
+			return sh.objs[idx].servedWrites.Load()
+		})
+		ms.View("served_reads", func() int64 {
+			sh.mmu.Lock()
+			defer sh.mmu.Unlock()
+			return sh.objs[idx].servedReads.Load()
+		})
+	}
 	if sh.flowCtrs != nil {
 		sh.flowCtrs.Describe(scope.Scope("flow"))
 	}

@@ -72,6 +72,18 @@ func (s *Store) TelemetryExport() obs.Export {
 	return obs.Export{Metrics: s.Telemetry(), Trace: s.Trace()}
 }
 
+// NewFlightRecorder arms an anomaly flight recorder over the store's
+// metrics registry and op tracer (nil without telemetry — every
+// recorder method is nil-safe, so callers thread it unconditionally).
+// Each Trigger freezes the registry and trace ring into a
+// self-contained dump that cmd/storetop -flight renders offline.
+func (s *Store) NewFlightRecorder() *obs.FlightRecorder {
+	if s.tel == nil {
+		return nil
+	}
+	return obs.NewFlightRecorder(s.tel.reg, s.tel.tracer, s.tel.clock)
+}
+
 // coreTracer adapts one register client's core.Tracer callbacks onto
 // the shared obs tracer, labeling every event with the operation ID the
 // store bound before starting the op. The op field is written only by

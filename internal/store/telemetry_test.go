@@ -130,6 +130,73 @@ func TestTelemetryMetricsAndTrace(t *testing.T) {
 	}
 }
 
+// TestTraceDistributedPropagation: the wire envelope carries the op ID
+// across the transport, so a single write's trace interleaves both
+// sides of the protocol — the client's round events (Member = −1) and
+// member-attributed serve-write events from at least S−t distinct
+// members, the quorum the write round cannot complete without. The
+// per-member serve counters must corroborate the events.
+func TestTraceDistributedPropagation(t *testing.T) {
+	clock := newTestClock()
+	s, err := Open(Options{Telemetry: &obs.Options{Clock: clock.Now}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+	if err := s.Write(ctx, "prop-key", types.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	var op uint64
+	for _, ev := range s.Trace() {
+		if ev.Kind == obs.EvOpBegin && ev.Detail == "WRITE" {
+			op = ev.Op
+		}
+	}
+	if op == 0 {
+		t.Fatal("no traced write op in the ring")
+	}
+
+	evs := s.TraceOp(op)
+	clientRounds := 0
+	served := make(map[int]bool) // distinct members that emitted serve-write for this op
+	for _, ev := range evs {
+		switch ev.Kind {
+		case obs.EvRound:
+			if ev.Member != -1 {
+				t.Errorf("client round event attributed to member %d, want -1", ev.Member)
+			}
+			clientRounds++
+		case obs.EvServeWrite:
+			if ev.Member < 0 {
+				t.Errorf("serve-write event without member attribution: %+v", ev)
+			}
+			if ev.Round != 1 && ev.Round != 2 {
+				t.Errorf("serve-write round = %d, want 1 (pre-write) or 2 (write-back)", ev.Round)
+			}
+			served[ev.Member] = true
+		}
+	}
+	if clientRounds < 2 {
+		t.Errorf("write op %d has %d client round events, want ≥ 2 (pre-write + write-back)", op, clientRounds)
+	}
+	quorum := s.cfg.S - s.cfg.T
+	if len(served) < quorum {
+		t.Errorf("op %d served by %d distinct members, want ≥ S−t = %d (members: %v)", op, len(served), quorum, served)
+	}
+
+	// The per-member registry views must agree: every member that
+	// emitted a serve-write for this op counts ≥ 1 served write.
+	snap := s.Telemetry()
+	for m := range served {
+		path := fmt.Sprintf("store/shard=0/member=%d/served_writes", m)
+		if got := snap.Counters[path]; got < 1 {
+			t.Errorf("%s = %d, want ≥ 1 (member emitted a serve-write event)", path, got)
+		}
+	}
+}
+
 // TestTelemetryTraceDisabled: TraceCapacity < 0 keeps the metrics
 // registry but records no events.
 func TestTelemetryTraceDisabled(t *testing.T) {

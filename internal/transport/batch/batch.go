@@ -34,10 +34,12 @@ package batch
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/flow"
 	"repro/internal/wire"
@@ -90,6 +92,14 @@ type Options struct {
 	// Counters, when non-nil, receives the pushback counts and pending
 	// high watermarks (see internal/transport/flow).
 	Counters *flow.Counters
+	// Trace, when non-nil, receives a batch-coalesce event as each
+	// traced op joins a destination queue, a batch-flush event as its
+	// frame ships, and a busy-emit event when the pending budget refuses
+	// it — all attributed to TraceShard and the destination's member
+	// index by the op ID the request envelope carries (wire.RegOp.Op).
+	Trace *obs.Tracer
+	// TraceShard stamps the shard field of emitted trace events.
+	TraceShard int
 }
 
 // withDefaults fills zero knobs.
@@ -205,6 +215,9 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 		// to the client above, from the object itself pushing back.
 		c.mu.Unlock()
 		c.opts.Counters.AddBatchPushback()
+		if c.opts.Trace != nil {
+			c.traceEmit(obs.EvBusyEmit, to, "pending-budget", payload)
+		}
 		c.pushLocal(transport.Message{From: to, Payload: wire.Busy{Msg: payload}})
 		return
 	}
@@ -212,6 +225,9 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 	c.pending++
 	c.opts.Counters.AddCoalesced()
 	c.opts.Counters.RecordBatch(c.pending)
+	if c.opts.Trace != nil {
+		c.traceEmit(obs.EvCoalesce, to, fmt.Sprintf("pending=%d", c.pending), payload)
+	}
 	if len(q.ops) >= c.opts.MaxBatch {
 		single, multi := c.takeLocked(q)
 		c.mu.Unlock()
@@ -334,14 +350,34 @@ func (c *Conn) flushDest(to transport.NodeID, gen int) {
 	c.ship(to, single, multi)
 }
 
+// traceEmit records one event of the given kind per traced op inside
+// msgs (op IDs extracted through the envelope nesting by wire.OpIDs).
+// Callers guard on c.opts.Trace != nil so the untraced hot path pays
+// neither the variadic slice nor the detail formatting.
+func (c *Conn) traceEmit(kind obs.EventKind, to transport.NodeID, detail string, msgs ...wire.Msg) {
+	var ids []uint64
+	for _, m := range msgs {
+		ids = wire.OpIDs(m, ids)
+	}
+	for _, op := range ids {
+		c.opts.Trace.Record(obs.Event{Op: op, Kind: kind, Shard: c.opts.TraceShard, Member: to.Index, Detail: detail})
+	}
+}
+
 // ship sends the coalesced ops as one frame; a lone op travels bare so
 // uncontended traffic pays no envelope cost.
 func (c *Conn) ship(to transport.NodeID, single wire.Msg, multi []wire.Msg) {
 	if multi != nil {
+		if c.opts.Trace != nil {
+			c.traceEmit(obs.EvFlush, to, fmt.Sprintf("ops=%d", len(multi)), multi...)
+		}
 		c.inner.Send(to, wire.Batch{Ops: multi})
 		return
 	}
 	if single != nil {
+		if c.opts.Trace != nil {
+			c.traceEmit(obs.EvFlush, to, "ops=1", single)
+		}
 		c.inner.Send(to, single)
 	}
 }

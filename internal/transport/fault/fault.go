@@ -284,6 +284,10 @@ type Net struct {
 	flowOpts *flow.Options
 	flowCtrs *flow.Counters
 
+	// trace/trShard make injected faults visible per victim op (SetTrace).
+	trace   *obs.Tracer
+	trShard int
+
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup // schedulers, pumps, delayed deliveries
@@ -336,9 +340,12 @@ type holdKey struct {
 }
 
 // heldMsg is one delivery waiting out a partition; on release it is
-// re-injected, so a still-standing second obstacle re-holds it.
+// re-injected, so a still-standing second obstacle re-holds it. The
+// payload rides along so the re-injection can attribute its fault
+// events to the victim ops.
 type heldMsg struct {
 	from, to transport.NodeID
+	payload  wire.Msg
 	deliver  func()
 }
 
@@ -373,6 +380,40 @@ func (n *Net) SetFlow(opts flow.Options, ctrs *flow.Counters) {
 	defer n.mu.Unlock()
 	n.flowOpts = &opts
 	n.flowCtrs = ctrs
+}
+
+// SetTrace makes the injector emit a drop, delay, or dup trace event —
+// attributed to shard, to the object-side endpoint of the link, and to
+// the victim op IDs the message envelope carries (wire.RegOp.Op) — for
+// every fault it actually injects. The dice stream is untouched: events
+// are recorded after judging, so a traced and an untraced run of the
+// same plan inject the same faults. Like SetFlow, call it before
+// registering endpoints.
+func (n *Net) SetTrace(tr *obs.Tracer, shard int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = tr
+	n.trShard = shard
+}
+
+// traceVictims records one event of the given kind per traced op inside
+// payload. Member attribution picks the object-side endpoint of the
+// directed link (faults on a client↔object link concern that member);
+// a link with no object side attributes to -1.
+func (n *Net) traceVictims(tr *obs.Tracer, shard int, kind obs.EventKind, from, to transport.NodeID, payload wire.Msg, detail string) {
+	if tr == nil {
+		return
+	}
+	member := -1
+	switch {
+	case to.Kind == transport.KindObject:
+		member = to.Index
+	case from.Kind == transport.KindObject:
+		member = from.Index
+	}
+	for _, op := range wire.OpIDs(payload, nil) {
+		tr.Record(obs.Event{Op: op, Kind: kind, Shard: shard, Member: member, Detail: detail})
+	}
 }
 
 var _ transport.Network = (*Net)(nil)
@@ -680,7 +721,7 @@ func (n *Net) takeHeldLocked(k holdKey) []heldMsg {
 // roll the normal dice.
 func (n *Net) reinject(held []heldMsg) {
 	for _, h := range held {
-		n.inject(h.from, h.to, h.deliver)
+		n.inject(h.from, h.to, h.payload, h.deliver)
 	}
 }
 
@@ -796,9 +837,12 @@ func (n *Net) judgeLocked(from, to transport.NodeID) verdict {
 // inject routes one directed delivery through the fault model. Crash
 // windows discard it; partition windows and cut links hold it in
 // transit (released on heal); otherwise the dice decide drop, delay,
-// and duplication, and deliver runs accordingly.
-func (n *Net) inject(from, to transport.NodeID, deliver func()) {
+// and duplication, and deliver runs accordingly. The payload is never
+// inspected for routing — it rides along purely so injected faults can
+// be attributed to the victim op IDs its envelope carries.
+func (n *Net) inject(from, to transport.NodeID, payload wire.Msg, deliver func()) {
 	n.mu.Lock()
+	tr, shard := n.trace, n.trShard
 	if n.closed {
 		n.mu.Unlock()
 		n.dropped.Add(1)
@@ -807,6 +851,7 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 	if n.down[from].isCrash() || n.down[to].isCrash() || n.evicted[from] || n.evicted[to] {
 		n.mu.Unlock()
 		n.dropped.Add(1)
+		n.traceVictims(tr, shard, obs.EvDrop, from, to, payload, "crash-window")
 		return
 	}
 	// Hold on the first obstacle; release re-injects, so a message
@@ -870,21 +915,32 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 		switch {
 		case !primaryOK:
 			n.sheds.Add(1)
+			n.traceVictims(tr, shard, obs.EvDrop, from, to, payload, "shed")
 		case v.drop:
 			n.dropped.Add(1)
+			n.traceVictims(tr, shard, obs.EvDrop, from, to, payload, "dice")
 		case primaryClaimed:
+			if v.delay > 0 {
+				n.traceVictims(tr, shard, obs.EvDelay, from, to, payload, v.delay.String())
+			}
 			n.scheduleQueued(lk, v.delay, deliver)
 		default:
+			if v.delay > 0 {
+				n.traceVictims(tr, shard, obs.EvDelay, from, to, payload, v.delay.String())
+			}
 			n.schedule(v.delay, deliver)
 		}
 		if v.dup {
 			switch {
 			case !dupOK:
 				n.sheds.Add(1)
+				n.traceVictims(tr, shard, obs.EvDrop, from, to, payload, "shed")
 			case d.drop:
 				n.dropped.Add(1)
+				n.traceVictims(tr, shard, obs.EvDrop, from, to, payload, "dup-dice")
 			default:
 				n.duplicated.Add(1)
+				n.traceVictims(tr, shard, obs.EvDup, from, to, payload, d.delay.String())
 				if dupClaimed {
 					n.scheduleQueued(lk, d.delay, deliver)
 				} else {
@@ -894,7 +950,7 @@ func (n *Net) inject(from, to transport.NodeID, deliver func()) {
 		}
 		return
 	}
-	n.held[hk] = append(n.held[hk], heldMsg{from: from, to: to, deliver: deliver})
+	n.held[hk] = append(n.held[hk], heldMsg{from: from, to: to, payload: payload, deliver: deliver})
 	n.mu.Unlock()
 }
 
@@ -955,7 +1011,7 @@ func (c *conn) ID() transport.NodeID { return c.id }
 // Send subjects the message to the outbound fault dice, then ships it
 // over the inner endpoint (possibly delayed, possibly twice).
 func (c *conn) Send(to transport.NodeID, payload wire.Msg) {
-	c.net.inject(c.id, to, func() { c.inner.Send(to, payload) })
+	c.net.inject(c.id, to, payload, func() { c.inner.Send(to, payload) })
 }
 
 // pump drains the inner endpoint, subjecting every delivered message to
@@ -969,7 +1025,7 @@ func (c *conn) pump() {
 			c.inbox.Close()
 			return
 		}
-		c.net.inject(m.From, c.id, func() { c.inbox.Push(m) })
+		c.net.inject(m.From, c.id, m.Payload, func() { c.inbox.Push(m) })
 	}
 }
 

@@ -1,0 +1,107 @@
+package fault_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/fault"
+	"repro/internal/transport/memnet"
+	"repro/internal/wire"
+)
+
+// TestDropEventCarriesOpID: a message the fault layer kills must leave a
+// member-attributed drop event carrying the victim operation's trace ID,
+// extracted from the wire envelope — the evidence TraceOp needs to show
+// WHY a round came up short instead of just that it did.
+func TestDropEventCarriesOpID(t *testing.T) {
+	n := fault.Wrap(memnet.New(), fault.Plan{Seed: 1, Faulty: 1, Drop: 1.0})
+	defer n.Close()
+	tr := obs.NewTracer(1024, nil)
+	n.SetTrace(tr, 3)
+
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const opID = 77
+	if askOnce2(t, conn, obj, wire.RegOp{Reg: "k", Op: opID, Msg: wire.BaselineReadReq{Attempt: 1}}, 100*time.Millisecond) {
+		t.Fatal("message to the faulty object survived Drop = 1.0")
+	}
+
+	evs := tr.OpEvents(opID)
+	if len(evs) == 0 {
+		t.Fatalf("no events recorded for dropped op %d", opID)
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.Kind != obs.EvDrop {
+			continue
+		}
+		found = true
+		if ev.Op != opID {
+			t.Errorf("drop event op = %d, want %d", ev.Op, opID)
+		}
+		if ev.Shard != 3 {
+			t.Errorf("drop event shard = %d, want 3 (SetTrace value)", ev.Shard)
+		}
+		if ev.Member != 0 {
+			t.Errorf("drop event member = %d, want 0 (the object-side endpoint)", ev.Member)
+		}
+		if ev.Detail == "" {
+			t.Error("drop event has no verdict detail (want e.g. \"dice\")")
+		}
+	}
+	if !found {
+		t.Fatalf("no drop event among %d events for op %d", len(evs), opID)
+	}
+}
+
+// TestUntracedDropRecordsNothing: an Op-less envelope through the same
+// lossy link produces no trace events — zero-when-untraced holds across
+// the fault layer too.
+func TestUntracedDropRecordsNothing(t *testing.T) {
+	n := fault.Wrap(memnet.New(), fault.Plan{Seed: 1, Faulty: 1, Drop: 1.0})
+	defer n.Close()
+	tr := obs.NewTracer(1024, nil)
+	n.SetTrace(tr, 0)
+
+	obj := transport.Object(0)
+	if err := n.Serve(obj, echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := n.Register(transport.Reader(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if askOnce2(t, conn, obj, wire.RegOp{Reg: "k", Msg: wire.BaselineReadReq{Attempt: 1}}, 100*time.Millisecond) {
+		t.Fatal("message to the faulty object survived Drop = 1.0")
+	}
+	if evs := tr.Events(); len(evs) != 0 {
+		t.Fatalf("untraced drop recorded %d events: %+v", len(evs), evs)
+	}
+}
+
+// askOnce2 sends one arbitrary payload and waits briefly for any reply.
+func askOnce2(t *testing.T, conn transport.Conn, obj transport.NodeID, payload wire.Msg, wait time.Duration) bool {
+	t.Helper()
+	conn.Send(obj, payload)
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+		short, cancel := context.WithDeadline(context.Background(), deadline)
+		_, err := conn.Recv(short)
+		cancel()
+		if err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/flow"
@@ -37,6 +38,8 @@ type Net struct {
 	batching *batch.Options
 	flow     *flow.Options
 	flowCtrs *flow.Counters
+	trace    *obs.Tracer
+	trShard  int
 	closed   bool
 	delivery sync.WaitGroup // tracks delayed deliveries
 }
@@ -93,6 +96,30 @@ func (n *Net) SetFlow(opts flow.Options, ctrs *flow.Counters) {
 	defer n.mu.Unlock()
 	n.flow = &opts
 	n.flowCtrs = ctrs
+}
+
+// SetTrace makes the network emit server-side trace events — a
+// busy-emit per traced op it pushes back with wire.Busy — into tr,
+// attributed to shard and to the overloaded object's member index.
+// Like SetFlow, call it before registering endpoints.
+func (n *Net) SetTrace(tr *obs.Tracer, shard int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = tr
+	n.trShard = shard
+}
+
+// QueueDepth reports the current request-queue depth of a served object
+// (0 for unknown IDs) — the probe behind the store's serve-event
+// queue-depth detail.
+func (n *Net) QueueDepth(id transport.NodeID) int {
+	n.mu.Lock()
+	srv := n.objects[id]
+	n.mu.Unlock()
+	if srv == nil {
+		return 0
+	}
+	return srv.depth()
 }
 
 // Register creates the endpoint of an active node.
@@ -419,6 +446,7 @@ func (n *Net) route(from, to transport.NodeID, payload wire.Msg) {
 		return
 	}
 	srv := n.objects[to]
+	tr, shard := n.trace, n.trShard
 	n.mu.Unlock()
 	if srv != nil {
 		clone := wire.Clone(payload)
@@ -427,6 +455,12 @@ func (n *Net) route(from, to transport.NodeID, payload wire.Msg) {
 			// an explicit signal — the rejected request travels back as a
 			// Busy echo instead of growing the queue without bound. The
 			// pushback pays the normal send-path dice (taps, delays).
+			if tr != nil {
+				detail := fmt.Sprintf("queue=%d", srv.depth())
+				for _, op := range wire.OpIDs(clone, nil) {
+					tr.Record(obs.Event{Op: op, Kind: obs.EvBusyEmit, Shard: shard, Member: to.Index, Detail: detail})
+				}
+			}
 			n.send(to, from, wire.Busy{Msg: clone})
 		}
 	}
@@ -514,6 +548,13 @@ func (s *objectServer) enqueue(from transport.NodeID, payload wire.Msg) bool {
 	s.ctrs.RecordObject(len(s.queue))
 	s.cond.Signal()
 	return true
+}
+
+// depth reports the current pending-request queue length.
+func (s *objectServer) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 func (s *objectServer) crash() {

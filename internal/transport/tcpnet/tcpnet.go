@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/batch"
 	"repro/internal/transport/flow"
@@ -142,6 +143,8 @@ type Net struct {
 	flow      *flow.Options
 	flowCtrs  *flow.Counters
 	admission map[transport.NodeID]*flow.Credits
+	trace     *obs.Tracer
+	trShard   int
 	closed    bool
 	wg        sync.WaitGroup
 }
@@ -177,6 +180,18 @@ func (n *Net) SetFlow(opts flow.Options, ctrs *flow.Counters) {
 	defer n.mu.Unlock()
 	n.flow = &opts
 	n.flowCtrs = ctrs
+}
+
+// SetTrace makes the network emit server-side trace events — a
+// busy-emit per traced op an admission overflow pushes back with
+// wire.Busy — into tr, attributed to shard and to the overloaded
+// object's member index. Like SetFlow, call it before registering
+// endpoints.
+func (n *Net) SetTrace(tr *obs.Tracer, shard int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = tr
+	n.trShard = shard
 }
 
 // AddTap registers a message observer (applied on the client side to
@@ -303,6 +318,7 @@ func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
 	n.mu.Lock()
 	admission := n.admission[id]
 	ctrs := n.flowCtrs
+	tr, shard := n.trace, n.trShard
 	n.mu.Unlock()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
@@ -315,6 +331,12 @@ func (n *Net) serveConn(id transport.NodeID, h transport.Handler, c net.Conn) {
 			// The object is at its admission budget across connections:
 			// push back with a Busy echo instead of queueing behind the
 			// other requests — overload must signal, not stall.
+			if tr != nil {
+				detail := fmt.Sprintf("inflight=%d", admission.HighWater())
+				for _, op := range wire.OpIDs(payload, nil) {
+					tr.Record(obs.Event{Op: op, Kind: obs.EvBusyEmit, Shard: shard, Member: id.Index, Detail: detail})
+				}
+			}
 			if err := writeFrame(w, id, wire.Busy{Msg: payload}); err != nil {
 				return
 			}

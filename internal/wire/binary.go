@@ -284,6 +284,7 @@ func (e *enc) msg(m Msg) error {
 	case RegOp:
 		e.byte(tagRegOp)
 		e.str(v.Reg)
+		e.u(v.Op)
 		return e.nested(v.Msg)
 	case Batch:
 		e.byte(tagBatch)
@@ -587,13 +588,14 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 		m = PushState{ObjectID: types.ObjectID(d.i()), Seq: d.i(), TS: types.TS(d.i()), Val: d.optBytes(), Echo: d.byte() == 1}
 	case tagRegOp:
 		reg := string(d.bytesN())
+		op := d.u()
 		sub := d.view()
 		if d.err == nil {
 			inner, err := decodeCompact(sub, depth+1)
 			if err != nil {
 				return nil, fmt.Errorf("wire: compact codec: reg op payload: %w", err)
 			}
-			m = RegOp{Reg: reg, Msg: inner}
+			m = RegOp{Reg: reg, Op: op, Msg: inner}
 		}
 	case tagBatch:
 		n := d.u()

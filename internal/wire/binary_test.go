@@ -72,7 +72,7 @@ func msgEqual(a, b Msg) bool {
 			x.Val.Equal(y.Val) && x.Echo == y.Echo
 	case RegOp:
 		y, ok := b.(RegOp)
-		return ok && x.Reg == y.Reg && msgEqual(x.Msg, y.Msg)
+		return ok && x.Reg == y.Reg && x.Op == y.Op && msgEqual(x.Msg, y.Msg)
 	case Batch:
 		y, ok := b.(Batch)
 		if !ok || len(x.Ops) != len(y.Ops) {

@@ -150,9 +150,51 @@ type PairsReadAck struct {
 // one independent register automaton per key on every base object and
 // uses RegOp as the demultiplexing envelope; the wrapped Msg is any of
 // the single-register messages above, unchanged.
+//
+// Op is the distributed trace context: the client mux stamps requests
+// with the op's trace ID (obs.Tracer.NewOp) and servers echo it on the
+// reply, so every hop — object serve, batch coalesce, fault verdict —
+// can attribute its events to the client operation that caused them.
+// Zero means untraced (telemetry off, or traffic that predates the op
+// bind); every layer treats 0 as "no trace context" and emits nothing.
 type RegOp struct {
 	Reg string
+	Op  uint64
 	Msg Msg
+}
+
+// OpIDs appends the trace operation IDs of every traced RegOp inside
+// msg to acc, unwrapping the envelopes a request can travel in (Busy
+// echoes, Batch frames, configuration and incarnation envelopes).
+// Untraced ops (Op == 0) are skipped. The fault and transport layers
+// use it to attribute a drop/delay/busy verdict to the victim ops.
+// Implemented as an assertion chain rather than a type switch: it is a
+// deliberately partial view over the message set (leaf messages carry
+// no trace context), which a type switch over Msg would misrepresent
+// to the wireexhaustive analyzer as a forgotten case list.
+func OpIDs(msg Msg, acc []uint64) []uint64 {
+	if v, ok := msg.(RegOp); ok {
+		if v.Op != 0 {
+			acc = append(acc, v.Op)
+		}
+		return acc
+	}
+	if v, ok := msg.(Batch); ok {
+		for _, op := range v.Ops {
+			acc = OpIDs(op, acc)
+		}
+		return acc
+	}
+	if v, ok := msg.(ConfigEpoch); ok {
+		return OpIDs(v.Msg, acc)
+	}
+	if v, ok := msg.(Epoch); ok {
+		return OpIDs(v.Msg, acc)
+	}
+	if v, ok := msg.(Busy); ok {
+		return OpIDs(v.Msg, acc)
+	}
+	return acc
 }
 
 // Batch is the multi-op frame of the batched transport hot path: a
@@ -414,7 +456,7 @@ func Clone(m Msg) Msg {
 	case PushState:
 		return PushState{ObjectID: v.ObjectID, Seq: v.Seq, TS: v.TS, Val: v.Val.Clone(), Echo: v.Echo}
 	case RegOp:
-		return RegOp{Reg: v.Reg, Msg: Clone(v.Msg)}
+		return RegOp{Reg: v.Reg, Op: v.Op, Msg: Clone(v.Msg)}
 	case Batch:
 		ops := make([]Msg, len(v.Ops))
 		for i, op := range v.Ops {

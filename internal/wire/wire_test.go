@@ -32,15 +32,15 @@ func sampleMsgs() []Msg {
 		PairsReadAck{ObjectID: 6, Attempt: 1, PW: w.TSVal, W: w.TSVal},
 		SubscribeReq{Reader: 0, Seq: 11},
 		PushState{ObjectID: 2, Seq: 11, TS: 7, Val: types.Value("p"), Echo: true},
-		RegOp{Reg: "users/42", Msg: WAck{ObjectID: 1, TS: 7}},
+		RegOp{Reg: "users/42", Op: 91, Msg: WAck{ObjectID: 1, TS: 7}},
 		Batch{Ops: []Msg{
-			RegOp{Reg: "a", Msg: PWReq{TS: 7, PW: w.TSVal, W: w}},
+			RegOp{Reg: "a", Op: 92, Msg: PWReq{TS: 7, PW: w.TSVal, W: w}},
 			RegOp{Reg: "b", Msg: ReadReq{Round: Round1, Reader: 1, TSR: 9}},
 			WAck{ObjectID: 1, TS: 7},
 		}},
-		Epoch{Inc: 3, Msg: RegOp{Reg: "users/42", Msg: WAck{ObjectID: 1, TS: 7}}},
+		Epoch{Inc: 3, Msg: RegOp{Reg: "users/42", Op: 93, Msg: WAck{ObjectID: 1, TS: 7}}},
 		Busy{Msg: Batch{Ops: []Msg{
-			RegOp{Reg: "a", Msg: PWReq{TS: 7, PW: w.TSVal, W: w}},
+			RegOp{Reg: "a", Op: 94, Msg: PWReq{TS: 7, PW: w.TSVal, W: w}},
 			RegOp{Reg: "b", Msg: ReadReq{Round: Round1, Reader: 1, TSR: 9}},
 		}}},
 		StateReq{Seq: 12, Requester: 2},
