@@ -1,15 +1,17 @@
 // Command benchgate is the CI perf-regression gate: it diffs a fresh
 // bench run (cmd/benchharness -store) against the committed baseline
 // grid (BENCH_store.json) and exits nonzero when any row regresses
-// beyond its noise band — a goodput floor, a p99 latency ceiling, and
-// an allocs/op ceiling per row.
+// beyond its noise band — a goodput floor, a p99 latency ceiling, an
+// allocs/op ceiling, and a rounds/read ceiling per row.
 //
 // Only rows present in BOTH files are compared, so adding or removing
 // a scenario never breaks the gate; comparing zero rows is itself a
 // failure (the gate must never pass vacuously). The bands default to
 // ±10% on goodput, +50% on p99 (tail latency on shared CI runners is
-// far noisier than throughput), and +30% on allocs/op; tune with
-// -noise, -p99-band, and -allocs-band.
+// far noisier than throughput), +30% on allocs/op, and +5% on
+// rounds/read (round complexity is protocol structure, not wall clock,
+// so its band is tight); tune with -noise, -p99-band, -allocs-band,
+// and -rounds-band.
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ type gateConfig struct {
 	Noise      float64 // goodput may drop at most this fraction
 	P99Band    float64 // p99 latency may grow at most this fraction
 	AllocsBand float64 // allocs/op may grow at most this fraction
+	RoundsBand float64 // rounds/read may grow at most this fraction
 }
 
 // rowVerdict is the gate's judgement of one scenario row.
@@ -84,6 +87,19 @@ func compare(baseline, current []harness.StoreBenchResult, cfg gateConfig) (verd
 					now.AllocsPerOp, ceiling, base.AllocsPerOp, cfg.AllocsBand*100))
 			}
 		}
+		// Round complexity is the paper's own metric and is nearly
+		// noise-free (it counts protocol structure, not wall clock), so
+		// its band is tight: a fast-path row that slides from ~1 back
+		// toward 2 rounds per read is a real protocol regression even
+		// when goodput hides it.
+		if base.RoundsPerRead > 0 {
+			ceiling := base.RoundsPerRead * (1 + cfg.RoundsBand)
+			if now.RoundsPerRead > ceiling {
+				v.Failures = append(v.Failures, fmt.Sprintf(
+					"rounds/read %.3f above ceiling %.3f (baseline %.3f, band +%.0f%%)",
+					now.RoundsPerRead, ceiling, base.RoundsPerRead, cfg.RoundsBand*100))
+			}
+		}
 		if len(v.Failures) > 0 {
 			v.OK = false
 			ok = false
@@ -118,6 +134,7 @@ func run() int {
 	noise := flag.Float64("noise", 0.10, "tolerated fractional goodput drop per row")
 	p99Band := flag.Float64("p99-band", 0.50, "tolerated fractional p99 latency growth per row")
 	allocsBand := flag.Float64("allocs-band", 0.30, "tolerated fractional allocs/op growth per row")
+	roundsBand := flag.Float64("rounds-band", 0.05, "tolerated fractional rounds/read growth per row")
 	flag.Parse()
 
 	baseline, err := loadRows(*baselinePath)
@@ -132,7 +149,7 @@ func run() int {
 	}
 
 	verdicts, ok := compare(baseline, current, gateConfig{
-		Noise: *noise, P99Band: *p99Band, AllocsBand: *allocsBand,
+		Noise: *noise, P99Band: *p99Band, AllocsBand: *allocsBand, RoundsBand: *roundsBand,
 	})
 	for _, v := range verdicts {
 		status := "ok  "

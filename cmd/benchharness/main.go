@@ -254,12 +254,12 @@ func runStore(quick bool, writers int, gc, saturate bool, out, telemetryAddr str
 		results = append(results, res)
 	}
 
-	fmt.Printf("%-30s %-8s %8s %10s %12s %9s %9s %11s %13s\n",
-		"scenario", "net", "writers", "ops", "ops/s", "p50(ms)", "p99(ms)", "allocs/op", "rounds/read")
+	fmt.Printf("%-30s %-8s %8s %10s %12s %9s %9s %11s %13s %9s\n",
+		"scenario", "net", "writers", "ops", "ops/s", "p50(ms)", "p99(ms)", "allocs/op", "rounds/read", "fast-rd%")
 	var tcpPlain, tcpBatched float64
 	for _, r := range results {
-		fmt.Printf("%-30s %-8s %8d %10d %12.0f %9.2f %9.2f %11.0f %13.2f\n",
-			r.Name, r.Transport, r.Writers, r.Ops, r.OpsPerSec, r.P50Ms, r.P99Ms, r.AllocsPerOp, r.RoundsPerRead)
+		fmt.Printf("%-30s %-8s %8d %10d %12.0f %9.2f %9.2f %11.0f %13.2f %9.1f\n",
+			r.Name, r.Transport, r.Writers, r.Ops, r.OpsPerSec, r.P50Ms, r.P99Ms, r.AllocsPerOp, r.RoundsPerRead, r.FastReadPct)
 		if r.Transport == "tcpnet" && r.Writers > 1 {
 			if r.Batched {
 				tcpBatched = r.OpsPerSec

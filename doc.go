@@ -119,6 +119,33 @@
 // row-by-row and fails the build when goodput drops, or tail latency
 // or allocations grow, beyond the configured noise bands.
 //
+// The round count itself is the paper's own metric, and its
+// lower-bound framing (Proposition 1: no safe storage with S ≤ 2t+b
+// base objects, and two rounds are required only when reads contend
+// with writes or faults manifest) leaves the common case open to a
+// fast path. store.Options.FastRead takes it: a reader decides after
+// round 1 alone when all S−t collected replies are byte-identical,
+// timestamp-dominant (pw = w at the top, so no write-back is in
+// flight), and conflict-free for this reader (no reported read
+// timestamp above its own). The predicate is safe by the S = 2t+b+1
+// intersection arithmetic: S−t identical replies contain at least
+// t+b+1 − t = b+1 honest vouchers, and any S−t read quorum intersects
+// any completed write's S−t install quorum in S−2t = b+1 objects — at
+// least one honest and up-to-date — so a unanimous quorum proves no
+// newer completed write exists and skipping round 2 cannot miss one.
+// Any divergence, in-flight pre-write, or forged conflict matrix fails
+// the predicate and the read falls back to the classic two rounds,
+// where the round-2 frame piggybacks the dominant b+1-vouched
+// candidate as a repair hint (wire.ReadReq.Repair) that heals lagging
+// replicas, converging the degraded tail back onto the fast path.
+// store.Options.PipelinedWrites halves the writer's awaited rounds the
+// same way: op N's write-back is issued unawaited and certified by op
+// N+1's pre-write acks (the pre-write frame carries op N's tuple, and
+// objects install before acking), with reads flushing a same-key
+// pending write-back first so regularity is preserved. The measured
+// rounds/read and fast-read hit rate appear in every bench row and are
+// gated by benchgate's rounds-per-read ceiling.
+//
 // See README.md for the map and how to run the examples and
 // benchmarks. bench_test.go in this directory regenerates every
 // experiment via `go test -bench`; BENCH_store.json records the store

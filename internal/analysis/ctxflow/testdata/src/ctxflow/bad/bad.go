@@ -30,3 +30,16 @@ func dispatch(c conn) {
 func fireAndForget(c conn, v int) error {
 	return c.Send(context.TODO(), v) // want "raw context passed to blocking Send"
 }
+
+// collectPipelinedAcks drains deferred write-back acks on a raw
+// context — the pipelined-collection shape that would hang shutdown if
+// the quorum never completes.
+func collectPipelinedAcks(c conn, quorum int) error {
+	for n := 0; n < quorum; {
+		if _, err := c.Recv(context.Background()); err != nil { // want "raw context passed to blocking Recv"
+			return err
+		}
+		n++
+	}
+	return nil
+}

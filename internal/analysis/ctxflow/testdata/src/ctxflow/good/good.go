@@ -31,3 +31,17 @@ func boundedRetry(c conn, d time.Duration) (int, error) {
 	defer cancel()
 	return c.Recv(ctx)
 }
+
+// collectPipelinedAcks mirrors the pipelined writer's Flush: the
+// deferred write-back acks of op N are drained with the CALLER's
+// context, so a store shutdown or deadline can cancel the collection
+// mid-drain.
+func collectPipelinedAcks(ctx context.Context, c conn, quorum int) error {
+	for n := 0; n < quorum; {
+		if _, err := c.Recv(ctx); err != nil {
+			return err
+		}
+		n++
+	}
+	return nil
+}

@@ -34,3 +34,14 @@ func pickFirst(m map[string]int) string {
 	}
 	return best
 }
+
+// retryTarget picks which pending ack to chase by map encounter order —
+// a seeded schedule replaying this collector would diverge run to run.
+func retryTarget(pending map[int]bool) int {
+	for id, waiting := range pending {
+		if waiting {
+			return id // want "nondeterministic iteration order"
+		}
+	}
+	return -1
+}

@@ -50,3 +50,15 @@ func anyNegative(m map[string]int) bool {
 	}
 	return false
 }
+
+// confirmedQuorum mirrors the pipelined writer's ack bookkeeping: a
+// pure count over the confirmation map is order-independent and legal.
+func confirmedQuorum(acked map[int]bool, quorum int) bool {
+	n := 0
+	for _, ok := range acked {
+		if ok {
+			n++
+		}
+	}
+	return n >= quorum
+}

@@ -18,18 +18,29 @@ type Wrap struct {
 	Msg Msg
 }
 
-func (Ping) isMsg() {}
-func (Pong) isMsg() {}
-func (Wrap) isMsg() {}
+// Fetch mirrors the round-2 READ frame with its optional repair hint:
+// a message carrying a pointer payload is still one message, and the
+// pointer field changes nothing about the four-table contract — Clone
+// deep-copies the hint, the codec gets one tag, gob one registration.
+type Fetch struct {
+	Round byte
+	Hint  *Pong
+}
+
+func (Ping) isMsg()  {}
+func (Pong) isMsg()  {}
+func (Wrap) isMsg()  {}
+func (Fetch) isMsg() {}
 
 const (
 	tagPing byte = iota + 1
 	tagPong
 	tagWrap
+	tagFetch
 )
 
 func init() {
-	for _, m := range []interface{}{Ping{}, Pong{}, Wrap{}} {
+	for _, m := range []interface{}{Ping{}, Pong{}, Wrap{}, Fetch{}} {
 		gob.Register(m)
 	}
 }
@@ -42,6 +53,13 @@ func Clone(m Msg) Msg {
 		return Pong{S: v.S}
 	case Wrap:
 		return Wrap{Reg: v.Reg, Op: v.Op, Msg: Clone(v.Msg)}
+	case Fetch:
+		f := Fetch{Round: v.Round}
+		if v.Hint != nil {
+			h := *v.Hint
+			f.Hint = &h
+		}
+		return f
 	default:
 		return m
 	}
@@ -55,6 +73,8 @@ func Encode(m Msg) byte {
 		return tagPong
 	case Wrap:
 		return tagWrap
+	case Fetch:
+		return tagFetch
 	}
 	return 0
 }
@@ -67,6 +87,8 @@ func Decode(tag byte) Msg {
 		return Pong{}
 	case tagWrap:
 		return Wrap{Reg: "", Op: 0, Msg: nil}
+	case tagFetch:
+		return Fetch{}
 	}
 	return nil
 }

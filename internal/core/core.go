@@ -56,6 +56,10 @@ type OpStats struct {
 	Sent     int
 	Acks     int
 	Duration time.Duration
+	// FastPath reports that a READ decided after its first round: all
+	// S−t round-1 replies were byte-identical, timestamp-dominant, and
+	// conflict-free, so round 2 was skipped (see SetFastPath).
+	FastPath bool
 }
 
 // Params bundles what every client needs: the resilience configuration

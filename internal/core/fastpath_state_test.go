@@ -1,0 +1,209 @@
+package core
+
+// White-box tests of the fast-path predicates: fastDecide and
+// repairHint evaluated directly on hand-crafted acknowledgement
+// sequences — divergence, in-flight pre-writes, forged conflict
+// matrices, and the b+1 vouching bar — for both reader state machines.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func TestSafeFastDecideUnanimousQuorum(t *testing.T) {
+	s := newState(1, 1) // S=4, quorum 3
+	w := tuple(3, "v3")
+	for i := 0; i < 3; i++ {
+		if !s.absorb(ackFrom(types.ObjectID(i), wire.Round1, 1, w.TSVal, w)) {
+			t.Fatalf("ack %d rejected", i)
+		}
+	}
+	got, ok := s.fastDecide()
+	if !ok || got.TS != 3 || !got.Val.Equal(types.Value("v3")) {
+		t.Fatalf("fastDecide = %v, %v; want ⟨3,v3⟩, true", got, ok)
+	}
+}
+
+func TestSafeFastDecideNeedsFullQuorum(t *testing.T) {
+	s := newState(1, 1)
+	w := tuple(1, "x")
+	s.absorb(ackFrom(0, wire.Round1, 1, w.TSVal, w))
+	s.absorb(ackFrom(1, wire.Round1, 1, w.TSVal, w))
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision below S−t identical replies")
+	}
+}
+
+func TestSafeFastDecideRejectsDivergence(t *testing.T) {
+	s := newState(1, 1)
+	newer, older := tuple(2, "new"), tuple(1, "old")
+	s.absorb(ackFrom(0, wire.Round1, 1, newer.TSVal, newer))
+	s.absorb(ackFrom(1, wire.Round1, 1, newer.TSVal, newer))
+	s.absorb(ackFrom(2, wire.Round1, 1, older.TSVal, older))
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision on divergent round-1 replies")
+	}
+	// The divergent round also yields the repair hint: the highest
+	// candidate with ≥ b+1 byte-identical full-tuple vouchers.
+	hint, ok := s.repairHint()
+	if !ok || !hint.Equal(newer) {
+		t.Fatalf("repairHint = %v, %v; want the 2-vouched newer tuple", hint, ok)
+	}
+}
+
+func TestSafeRepairHintNeedsVouchers(t *testing.T) {
+	s := newState(1, 1) // b+1 = 2
+	a, b, c := tuple(3, "a"), tuple(2, "b"), tuple(1, "c")
+	s.absorb(ackFrom(0, wire.Round1, 1, a.TSVal, a))
+	s.absorb(ackFrom(1, wire.Round1, 1, b.TSVal, b))
+	s.absorb(ackFrom(2, wire.Round1, 1, c.TSVal, c))
+	// Three-way divergence: no tuple clears b+1 vouchers, so no hint —
+	// a lone report may be a Byzantine forgery and must not be laundered
+	// into honest replicas through the reader.
+	if hint, ok := s.repairHint(); ok {
+		t.Fatalf("repairHint = %v despite no b+1-vouched candidate", hint)
+	}
+}
+
+func TestSafeRepairHintSkipsUnanimousRound(t *testing.T) {
+	s := newState(1, 1)
+	w := tuple(1, "x")
+	for i := 0; i < 3; i++ {
+		s.absorb(ackFrom(types.ObjectID(i), wire.Round1, 1, w.TSVal, w))
+	}
+	if hint, ok := s.repairHint(); ok {
+		t.Fatalf("repairHint = %v on a unanimous round: nothing to repair", hint)
+	}
+}
+
+func TestSafeFastDecideRejectsInFlightPreWrite(t *testing.T) {
+	s := newState(1, 1)
+	w := tuple(1, "committed")
+	inflight := types.TSVal{TS: 2, Val: types.Value("inflight")}
+	for i := 0; i < 3; i++ {
+		s.absorb(ackFrom(types.ObjectID(i), wire.Round1, 1, inflight, w))
+	}
+	// Unanimous replies, but every responder observed a newer pre-write:
+	// the write-back may be incomplete, so dominance is not established.
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision with a pre-write in flight")
+	}
+}
+
+func TestSafeFastDecideRejectsForgedConflictMatrix(t *testing.T) {
+	s := newState(1, 1) // reader j=0, tsrFR=1
+	w := tuple(1, "x")
+	vec := types.NewTSRVector(s.cfg.R)
+	vec[0] = 99 // claims reader 0 already issued tsr 99 > tsrFR
+	w.TSR[3] = vec
+	for i := 0; i < 3; i++ {
+		s.absorb(ackFrom(types.ObjectID(i), wire.Round1, 1, w.TSVal, w))
+	}
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision on a matrix conflicting with this reader")
+	}
+}
+
+// ---- regular state machine ----
+
+func histAckFrom(id types.ObjectID, round wire.Round, tsr types.ReaderTS, h types.History) transport.Message {
+	return transport.Message{
+		From:    transport.Object(id),
+		Payload: wire.ReadAckHist{ObjectID: id, Round: round, TSR: tsr, History: h},
+	}
+}
+
+func newRegState(t, b int) *regularReadState {
+	s := newRegularReadState(quorum.Optimal(t, b, 1), 0)
+	s.fast = true
+	s.tsrFR = 1
+	return s
+}
+
+// completeHist builds the history of n settled writes: every entry has
+// its complete tuple and the matching pw pair.
+func completeHist(n types.TS) types.History {
+	h := types.History{}
+	for ts := types.TS(1); ts <= n; ts++ {
+		w := tuple(ts, fmt.Sprintf("v%d", ts))
+		h[ts] = types.HistEntry{PW: w.TSVal.Clone(), W: &w}
+	}
+	return h
+}
+
+func TestRegularFastDecideUnanimousQuorum(t *testing.T) {
+	s := newRegState(1, 1)
+	for i := 0; i < 3; i++ {
+		if !s.absorb(histAckFrom(types.ObjectID(i), wire.Round1, 1, completeHist(3))) {
+			t.Fatalf("ack %d rejected", i)
+		}
+	}
+	got, ok := s.fastDecide()
+	if !ok || got.TS != 3 || !got.Val.Equal(types.Value("v3")) {
+		t.Fatalf("fastDecide = %v, %v; want ⟨3,v3⟩, true", got, ok)
+	}
+}
+
+func TestRegularFastDecideRejectsIncompleteTop(t *testing.T) {
+	s := newRegState(1, 1)
+	h := completeHist(2)
+	// A pre-write above the last complete entry: some write is in
+	// flight, so the top candidate's write-back is not certified.
+	h[3] = types.HistEntry{PW: types.TSVal{TS: 3, Val: types.Value("inflight")}}
+	for i := 0; i < 3; i++ {
+		s.absorb(histAckFrom(types.ObjectID(i), wire.Round1, 1, h.Clone()))
+	}
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision with an incomplete top entry")
+	}
+}
+
+func TestRegularFastDecideRejectsDivergence(t *testing.T) {
+	s := newRegState(1, 1)
+	s.absorb(histAckFrom(0, wire.Round1, 1, completeHist(2)))
+	s.absorb(histAckFrom(1, wire.Round1, 1, completeHist(2)))
+	s.absorb(histAckFrom(2, wire.Round1, 1, completeHist(1))) // lagging replica
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision on divergent round-1 histories")
+	}
+	hint, ok := s.repairHint()
+	if !ok || hint.TSVal.TS != 2 {
+		t.Fatalf("repairHint = %v, %v; want the 2-vouched ts=2 tuple", hint, ok)
+	}
+}
+
+func TestRegularFastDecideRejectsForgedConflictMatrix(t *testing.T) {
+	s := newRegState(1, 1)
+	h := completeHist(2)
+	vec := types.NewTSRVector(s.cfg.R)
+	vec[0] = 99
+	h[1].W.TSR[2] = vec // even a non-top entry's forged matrix disqualifies
+	for i := 0; i < 3; i++ {
+		s.absorb(histAckFrom(types.ObjectID(i), wire.Round1, 1, h.Clone()))
+	}
+	if _, ok := s.fastDecide(); ok {
+		t.Fatal("fast decision on a history with a conflicting matrix")
+	}
+}
+
+func TestRegularRepairHintNeedsCompleteVouchedEntry(t *testing.T) {
+	s := newRegState(1, 1)
+	// Two replicas agree only up to ts=1; the ts=2 entry is complete at
+	// one replica and a bare pre-write at another: one full-tuple voucher
+	// is below b+1, so the hint falls back to the settled ts=1 tuple.
+	h2 := completeHist(2)
+	h2pw := completeHist(1)
+	h2pw[2] = types.HistEntry{PW: h2[2].PW.Clone()}
+	s.absorb(histAckFrom(0, wire.Round1, 1, h2))
+	s.absorb(histAckFrom(1, wire.Round1, 1, h2pw))
+	s.absorb(histAckFrom(2, wire.Round1, 1, completeHist(1)))
+	hint, ok := s.repairHint()
+	if !ok || hint.TSVal.TS != 1 {
+		t.Fatalf("repairHint = %v, %v; want the settled ts=1 tuple", hint, ok)
+	}
+}

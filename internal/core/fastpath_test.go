@@ -1,0 +1,319 @@
+package core_test
+
+// End-to-end tests of the single-round fast path, the round-2 read
+// repair, and the pipelined writer, over real memnet clusters.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/byzantine"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestSafeFastPathSingleRound pins the contention-free case: with the
+// one object outside every write quorum silenced, all S−t round-1
+// replies are byte-identical and each READ decides in a single round.
+func TestSafeFastPathSingleRound(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 1, nil)
+	c.net.Crash(transport.Object(3))
+	w := c.writer()
+	r := c.safeReader(0)
+	r.SetFastPath(true)
+	for i := 1; i <= 5; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx(t), val); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := r.Read(ctx(t))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.TS != types.TS(i) || !got.Val.Equal(val) {
+			t.Fatalf("read %d: got %v, want ⟨%d,%q⟩", i, got, i, val)
+		}
+		st := r.LastStats()
+		if st.Rounds != 1 || !st.FastPath {
+			t.Fatalf("read %d: rounds=%d fastPath=%v, want 1/true", i, st.Rounds, st.FastPath)
+		}
+	}
+}
+
+// TestRegularFastPathSingleRound is the regular-protocol analogue, for
+// both the plain and the §5.1-optimized reader.
+func TestRegularFastPathSingleRound(t *testing.T) {
+	for _, optimized := range []bool{false, true} {
+		t.Run(fmt.Sprintf("optimized=%v", optimized), func(t *testing.T) {
+			c := newRegularCluster(t, 1, 1, 1, nil, false)
+			c.net.Crash(transport.Object(3))
+			w := c.writer()
+			r := c.regularReader(0, optimized)
+			r.SetFastPath(true)
+			for i := 1; i <= 5; i++ {
+				val := types.Value(fmt.Sprintf("v%d", i))
+				if err := w.Write(ctx(t), val); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				got, err := r.Read(ctx(t))
+				if err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if got.TS != types.TS(i) || !got.Val.Equal(val) {
+					t.Fatalf("read %d: got %v, want ⟨%d,%q⟩", i, got, i, val)
+				}
+				st := r.LastStats()
+				if st.Rounds != 1 || !st.FastPath {
+					t.Fatalf("read %d: rounds=%d fastPath=%v, want 1/true", i, st.Rounds, st.FastPath)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathOffStaysTwoRounds guards the default: without SetFastPath
+// the reader runs the classic two-round protocol even in runs where the
+// fast predicate would hold.
+func TestFastPathOffStaysTwoRounds(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 1, nil)
+	c.net.Crash(transport.Object(3))
+	w := c.writer()
+	r := c.safeReader(0)
+	if err := w.Write(ctx(t), types.Value("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := r.Read(ctx(t)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if st := r.LastStats(); st.Rounds != 2 || st.FastPath {
+		t.Fatalf("rounds=%d fastPath=%v, want 2/false", st.Rounds, st.FastPath)
+	}
+}
+
+// TestSafeFastPathFallsBackUnderByzantineMismatch forces a liar into
+// every quorum: the stale Byzantine object's divergent reply must push
+// the READ onto the slow path, which still returns the written value.
+func TestSafeFastPathFallsBackUnderByzantineMismatch(t *testing.T) {
+	byz := map[int]transport.Handler{0: byzantine.NewSafeStale(0, 1)}
+	c := newSafeCluster(t, 1, 1, 1, byz)
+	c.net.Crash(transport.Object(3)) // every quorum now includes the liar
+	w := c.writer()
+	r := c.safeReader(0)
+	r.SetFastPath(true)
+	for i := 1; i <= 3; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx(t), val); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := r.Read(ctx(t))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !got.Val.Equal(val) {
+			t.Fatalf("read %d: got %v, want %q", i, got, val)
+		}
+		st := r.LastStats()
+		if st.Rounds != 2 || st.FastPath {
+			t.Fatalf("read %d: rounds=%d fastPath=%v, want the slow path", i, st.Rounds, st.FastPath)
+		}
+	}
+}
+
+// TestRegularFastPathFallsBackUnderByzantineMismatch is the regular
+// analogue with a stale-history liar in every quorum.
+func TestRegularFastPathFallsBackUnderByzantineMismatch(t *testing.T) {
+	byz := map[int]transport.Handler{0: byzantine.NewRegularStale(0, 1)}
+	c := newRegularCluster(t, 1, 1, 1, byz, false)
+	c.net.Crash(transport.Object(3))
+	w := c.writer()
+	r := c.regularReader(0, false)
+	r.SetFastPath(true)
+	for i := 1; i <= 3; i++ {
+		val := types.Value(fmt.Sprintf("v%d", i))
+		if err := w.Write(ctx(t), val); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := r.Read(ctx(t))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !got.Val.Equal(val) {
+			t.Fatalf("read %d: got %v, want %q", i, got, val)
+		}
+		st := r.LastStats()
+		if st.Rounds != 2 || st.FastPath {
+			t.Fatalf("read %d: rounds=%d fastPath=%v, want the slow path", i, st.Rounds, st.FastPath)
+		}
+	}
+}
+
+// TestSafeRepairConvergesLaggingReplica stages the degraded tail the
+// repair hint exists for: one replica misses every write (its link from
+// the writer is cut) and the reader cannot see one up-to-date object.
+// The first READ diverges (slow path) and its round 2 piggybacks the
+// dominant tuple into the straggler; the SECOND read then finds a
+// unanimous quorum and takes the fast path.
+func TestSafeRepairConvergesLaggingReplica(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 1, nil)
+	c.net.Block(transport.Writer(), transport.Object(0))  // 0 misses all writes
+	c.net.Block(transport.Reader(0), transport.Object(3)) // reads must use {0,1,2}
+	w := c.writer()
+	r := c.safeReader(0)
+	r.SetFastPath(true)
+	if err := w.Write(ctx(t), types.Value("repaired")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if !got.Val.Equal(types.Value("repaired")) {
+		t.Fatalf("read 1: got %v", got)
+	}
+	if st := r.LastStats(); st.Rounds != 2 || st.FastPath {
+		t.Fatalf("read 1 must take the slow path, got rounds=%d fast=%v", st.Rounds, st.FastPath)
+	}
+	got, err = r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read 2: %v", err)
+	}
+	if !got.Val.Equal(types.Value("repaired")) {
+		t.Fatalf("read 2: got %v", got)
+	}
+	if st := r.LastStats(); st.Rounds != 1 || !st.FastPath {
+		t.Fatalf("read 2 should ride the repaired fast path, got rounds=%d fast=%v", st.Rounds, st.FastPath)
+	}
+}
+
+// TestRegularRepairConvergesLaggingReplica is the regular analogue: the
+// round-2 hint installs the complete top entry into the straggler's
+// history, and the next read's quorum is byte-identical.
+func TestRegularRepairConvergesLaggingReplica(t *testing.T) {
+	c := newRegularCluster(t, 1, 1, 1, nil, false)
+	c.net.Block(transport.Writer(), transport.Object(0))
+	c.net.Block(transport.Reader(0), transport.Object(3))
+	w := c.writer()
+	r := c.regularReader(0, false)
+	r.SetFastPath(true)
+	if err := w.Write(ctx(t), types.Value("repaired")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if !got.Val.Equal(types.Value("repaired")) {
+		t.Fatalf("read 1: got %v", got)
+	}
+	if st := r.LastStats(); st.Rounds != 2 || st.FastPath {
+		t.Fatalf("read 1 must take the slow path, got rounds=%d fast=%v", st.Rounds, st.FastPath)
+	}
+	got, err = r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read 2: %v", err)
+	}
+	if !got.Val.Equal(types.Value("repaired")) {
+		t.Fatalf("read 2: got %v", got)
+	}
+	if st := r.LastStats(); st.Rounds != 1 || !st.FastPath {
+		t.Fatalf("read 2 should ride the repaired fast path, got rounds=%d fast=%v", st.Rounds, st.FastPath)
+	}
+}
+
+// TestPipelinedWritesSingleAwaitedRound pins the pipelined steady
+// state: every Write awaits exactly one round-trip, per-writer
+// timestamps stay strictly increasing, and after Flush a reader
+// observes the last write.
+func TestPipelinedWritesSingleAwaitedRound(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 1, nil)
+	w := c.writer()
+	w.SetPipelined(true)
+	last := types.TS(0)
+	for i := 1; i <= 10; i++ {
+		if err := w.Write(ctx(t), types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if w.TS() <= last {
+			t.Fatalf("write %d committed ts %d ≤ predecessor's %d", i, w.TS(), last)
+		}
+		last = w.TS()
+		if st := w.LastStats(); st.Rounds != 1 {
+			t.Fatalf("write %d awaited %d rounds, want 1", i, st.Rounds)
+		}
+	}
+	if w.Pending() == 0 {
+		t.Fatal("last write-back should still be pending before Flush")
+	}
+	if err := w.Flush(ctx(t)); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("pending = %d after Flush, want 0", w.Pending())
+	}
+	r := c.safeReader(0)
+	got, err := r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.TS != 10 || !got.Val.Equal(types.Value("v10")) {
+		t.Fatalf("read after flush = %v, want ⟨10,v10⟩", got)
+	}
+}
+
+// TestPipelinedWritesRegularHistory drives the pipelined writer against
+// regular objects: PW(N) must complete history entry N−1 before the
+// object acks, so a post-flush read sees every write settled.
+func TestPipelinedWritesRegularHistory(t *testing.T) {
+	c := newRegularCluster(t, 1, 1, 1, nil, false)
+	w := c.writer()
+	w.SetPipelined(true)
+	for i := 1; i <= 10; i++ {
+		if err := w.Write(ctx(t), types.Value(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(ctx(t)); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	r := c.regularReader(0, false)
+	got, err := r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.TS != 10 || !got.Val.Equal(types.Value("v10")) {
+		t.Fatalf("read after flush = %v, want ⟨10,v10⟩", got)
+	}
+}
+
+// TestPipelinedModeSwitchClearsPending: a plain Write after disabling
+// pipelining certifies the pending write-back through its own PW round,
+// so Flush becomes a no-op and nothing hangs.
+func TestPipelinedModeSwitchClearsPending(t *testing.T) {
+	c := newSafeCluster(t, 1, 1, 1, nil)
+	w := c.writer()
+	w.SetPipelined(true)
+	if err := w.Write(ctx(t), types.Value("v1")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if w.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", w.Pending())
+	}
+	w.SetPipelined(false)
+	if err := w.Write(ctx(t), types.Value("v2")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("plain write left pending = %d", w.Pending())
+	}
+	if err := w.Flush(ctx(t)); err != nil {
+		t.Fatalf("flush must be a no-op: %v", err)
+	}
+	r := c.safeReader(0)
+	got, err := r.Read(ctx(t))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.TS != 2 || !got.Val.Equal(types.Value("v2")) {
+		t.Fatalf("read = %v, want ⟨2,v2⟩", got)
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -27,6 +29,7 @@ type RegularReader struct {
 
 	tsr       types.ReaderTS
 	optimized bool
+	fastPath  bool
 	cache     types.TSVal // last returned pair (⟨0,⊥⟩ initially)
 	stats     OpStats
 	trace     Tracer
@@ -54,11 +57,18 @@ func (r *RegularReader) LastStats() OpStats { return r.stats }
 // Cache returns the reader's cached pair (§5.1).
 func (r *RegularReader) Cache() types.TSVal { return r.cache.Clone() }
 
+// SetFastPath enables the contention-free single-round fast path and,
+// on the slow path, round-2 read repair. Off by default (the classic
+// Fig. 6 two-round protocol). See regularReadState.fastDecide for the
+// decision predicate and its safety argument.
+func (r *RegularReader) SetFastPath(on bool) { r.fastPath = on }
+
 // Read performs one READ and returns the selected timestamp-value pair.
 func (r *RegularReader) Read(ctx context.Context) (types.TSVal, error) {
 	start := time.Now()
 	st := OpStats{Kind: OpRead}
 	state := newRegularReadState(r.params.Cfg, r.id)
+	state.fast = r.fastPath
 
 	cacheTS := types.TS(0)
 	if r.optimized {
@@ -89,11 +99,39 @@ func (r *RegularReader) Read(ctx context.Context) (types.TSVal, error) {
 		}
 	}
 
-	// Round 2.
+	// Fast path: with all S−t round-1 histories byte-identical and a
+	// complete, conflict-free top entry, decide now and skip round 2
+	// (predicate argued at fastDecide).
+	if r.fastPath {
+		if ret, ok := state.fastDecide(); ok {
+			traceExt(r.trace, OpRead, EvFastRead, "")
+			st.FastPath = true
+			if ret.TS > r.cache.TS {
+				r.cache = ret.Clone()
+			} else if r.optimized {
+				ret = r.cache.Clone()
+			}
+			st.Duration = time.Since(start)
+			r.stats = st
+			r.trace.Decided(OpRead, ret.TS)
+			return ret, nil
+		}
+	}
+
+	// Round 2. On the slow path, piggyback the dominant b+1-vouched
+	// tuple (if round 1 revealed divergence) so lagging replicas
+	// converge: read repair.
 	r.tsr++
 	r.trace.RoundStart(OpRead, 2)
 	state.tsrSR = r.tsr
-	req2 := wire.ReadReq{Round: wire.Round2, Reader: r.id, TSR: state.tsrSR, CacheTS: cacheTS}
+	var repair *types.WTuple
+	if r.fastPath {
+		if hint, ok := state.repairHint(); ok {
+			repair = &hint
+			traceExt(r.trace, OpRead, EvRepair, fmt.Sprintf("ts=%d", hint.TSVal.TS))
+		}
+	}
+	req2 := wire.ReadReq{Round: wire.Round2, Reader: r.id, TSR: state.tsrSR, CacheTS: cacheTS, Repair: repair}
 	for _, id := range r.params.objectIDs() {
 		r.conn.Send(transport.Object(id), req2)
 		st.Sent++
@@ -153,6 +191,15 @@ type regularReadState struct {
 
 	respFirst objSet
 	resp2     objSet
+
+	// Fast-path bookkeeping (populated only with fast set): the
+	// canonical key of the first round-1 history, the history itself,
+	// and whether every later round-1 reply matched byte-for-byte.
+	fast        bool
+	r1Seen      bool
+	r1Key       string
+	r1Hist      types.History
+	r1Unanimous bool
 }
 
 func newRegularReadState(cfg quorum.Config, j types.ReaderID) *regularReadState {
@@ -164,10 +211,39 @@ func newRegularReadState(cfg quorum.Config, j types.ReaderID) *regularReadState 
 			wire.Round1: make(map[types.ObjectID]types.History),
 			wire.Round2: make(map[types.ObjectID]types.History),
 		},
-		candidates: make(map[string]types.WTuple),
-		respFirst:  make(objSet),
-		resp2:      make(objSet),
+		candidates:  make(map[string]types.WTuple),
+		respFirst:   make(objSet),
+		resp2:       make(objSet),
+		r1Unanimous: true,
 	}
+}
+
+// historyKey canonically encodes a history for byte-identity
+// comparison: sorted timestamps, each with its pw pair and (when
+// present) the complete tuple's canonical key, all length-prefixed so
+// distinct histories cannot collide by re-splitting.
+func historyKey(h types.History) string {
+	var buf bytes.Buffer
+	var tmp [8]byte
+	for _, ts := range h.Timestamps() {
+		e := h[ts]
+		binary.BigEndian.PutUint64(tmp[:], uint64(ts))
+		buf.Write(tmp[:])
+		pk := tsvalKey(e.PW)
+		binary.BigEndian.PutUint64(tmp[:], uint64(len(pk)))
+		buf.Write(tmp[:])
+		buf.WriteString(pk)
+		if e.W == nil {
+			buf.WriteByte(0)
+			continue
+		}
+		buf.WriteByte(1)
+		wk := e.W.Key()
+		binary.BigEndian.PutUint64(tmp[:], uint64(len(wk)))
+		buf.Write(tmp[:])
+		buf.WriteString(wk)
+	}
+	return buf.String()
 }
 
 // absorb processes one delivered message; true when it was a fresh,
@@ -203,10 +279,97 @@ func (s *regularReadState) absorb(msg transport.Message) bool {
 				s.candidates[e.W.Key()] = e.W.Clone()
 			}
 		}
+		if s.fast {
+			hk := historyKey(h)
+			if !s.r1Seen {
+				s.r1Seen, s.r1Key, s.r1Hist = true, hk, h
+			} else if hk != s.r1Key {
+				s.r1Unanimous = false
+			}
+		}
 	} else {
 		s.resp2.add(ack.ObjectID)
 	}
 	return true
+}
+
+// fastDecide evaluates the single-round fast-path predicate after the
+// round-1 loop: return the top complete entry of the unanimous
+// round-1 history iff
+//
+//  1. ≥ S−t round-1 replies arrived, ALL carrying byte-identical
+//     histories (same timestamps, pw pairs, and complete tuples);
+//  2. the highest-timestamp entry is COMPLETE and dominant: its w is
+//     non-nil and its pw equals w.tsval — so no responder observed a
+//     pre-write newer than the returned write;
+//  3. every tuple in the history is conflict-free for this reader
+//     (no tsr row above tsrFR, Fig. 6 line 1).
+//
+// The safety argument mirrors the safe reader's (see
+// safeReadState.fastDecide), with history entries as the evidence:
+// t+b+1 identical replies leave ≥ t+1 ≥ b+1 honest objects storing the
+// exact top entry, so safe(c) of Fig. 6 line 3 holds with round-1
+// evidence alone and c is genuine; quorum intersection (|P ∩ Q| ≥
+// S−2t = b+1 with any completed write's install set Q) puts an honest
+// monotone object in both, so the unanimous top timestamp dominates
+// every write completed before the READ began. Note the §5.1 suffix
+// optimization never hides the top entry: objects always ship history
+// at or above the reader's own cached timestamp, and GC retains the
+// newest entry.
+func (s *regularReadState) fastDecide() (types.TSVal, bool) {
+	if !s.fast || !s.r1Unanimous || !s.r1Seen || len(s.respFirst) < s.cfg.RoundQuorum() {
+		return types.TSVal{}, false
+	}
+	h := s.r1Hist
+	top, ok := h[h.MaxTS()]
+	if !ok || top.W == nil || !top.PW.Equal(top.W.TSVal) {
+		return types.TSVal{}, false // empty suffix, or a write in flight
+	}
+	for _, e := range h {
+		if e.W == nil {
+			continue
+		}
+		for _, vec := range e.W.TSR {
+			if vec.Get(s.j) > s.tsrFR {
+				return types.TSVal{}, false // forged matrix conflicts with us
+			}
+		}
+	}
+	return top.W.TSVal.Clone(), true
+}
+
+// repairHint picks the tuple the slow-path round 2 piggybacks: the
+// highest-timestamp candidate whose exact complete entry (w AND the
+// matching pw) appears in ≥ b+1 round-1 histories — at least one
+// honest object durably stores it, so the hint is genuine and cannot
+// launder a forged tuple into honest replicas.
+func (s *regularReadState) repairHint() (types.WTuple, bool) {
+	if !s.fast || s.r1Unanimous {
+		return types.WTuple{}, false
+	}
+	bestKey, found := "", false
+	var best types.WTuple
+	for k, c := range s.candidates {
+		n := 0
+		for _, h := range s.hist[wire.Round1] {
+			e, ok := h[c.TSVal.TS]
+			if ok && e.W != nil && e.W.Equal(c) && e.PW.Equal(c.TSVal) {
+				n++
+			}
+		}
+		if n < s.cfg.SafeThreshold() {
+			continue
+		}
+		// Deterministic tie-break on the canonical key.
+		if !found || c.TSVal.TS > best.TSVal.TS ||
+			(c.TSVal.TS == best.TSVal.TS && k > bestKey) {
+			best, bestKey, found = c, k, true
+		}
+	}
+	if !found {
+		return types.WTuple{}, false
+	}
+	return best.Clone(), true
 }
 
 // entryMismatch reports whether history h contradicts candidate c at

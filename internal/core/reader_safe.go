@@ -30,9 +30,10 @@ type SafeReader struct {
 	conn   transport.Conn
 	id     types.ReaderID
 
-	tsr   types.ReaderTS // tsr′_j, persists across READs
-	stats OpStats
-	trace Tracer
+	tsr      types.ReaderTS // tsr′_j, persists across READs
+	fastPath bool
+	stats    OpStats
+	trace    Tracer
 }
 
 // NewSafeReader returns the reader client with identity id.
@@ -49,6 +50,12 @@ func NewSafeReader(cfg quorum.Config, conn transport.Conn, id types.ReaderID) (*
 
 // LastStats returns the complexity record of the last completed READ.
 func (r *SafeReader) LastStats() OpStats { return r.stats }
+
+// SetFastPath enables the contention-free single-round fast path and,
+// on the slow path, round-2 read repair. Off by default (the classic
+// Fig. 4 two-round protocol). See safeReadState.fastDecide for the
+// decision predicate and its quorum-intersection safety argument.
+func (r *SafeReader) SetFastPath(on bool) { r.fastPath = on }
 
 // Read performs one READ and returns the timestamp-value pair it
 // selected (⟨0,⊥⟩ when the candidate set emptied under concurrency).
@@ -82,11 +89,34 @@ func (r *SafeReader) Read(ctx context.Context) (types.TSVal, error) {
 		}
 	}
 
-	// Round 2: inc(tsr′_j); send READ2⟨tsr′_j⟩ to all objects.
+	// Fast path: with all S−t round-1 replies byte-identical,
+	// timestamp-dominant, and conflict-free, decide now and skip
+	// round 2 entirely (predicate argued at fastDecide).
+	if r.fastPath {
+		if ret, ok := state.fastDecide(); ok {
+			traceExt(r.trace, OpRead, EvFastRead, "")
+			st.FastPath = true
+			st.Duration = time.Since(start)
+			r.stats = st
+			r.trace.Decided(OpRead, ret.TS)
+			return ret, nil
+		}
+	}
+
+	// Round 2: inc(tsr′_j); send READ2⟨tsr′_j⟩ to all objects. On the
+	// slow path, piggyback the dominant b+1-vouched tuple (if round 1
+	// revealed divergence) so lagging replicas converge: read repair.
 	r.tsr++
 	r.trace.RoundStart(OpRead, 2)
 	state.tsrSR = r.tsr
-	req2 := wire.ReadReq{Round: wire.Round2, Reader: r.id, TSR: state.tsrSR}
+	var repair *types.WTuple
+	if r.fastPath {
+		if hint, ok := state.repairHint(); ok {
+			repair = &hint
+			traceExt(r.trace, OpRead, EvRepair, fmt.Sprintf("ts=%d", hint.TSVal.TS))
+		}
+	}
+	req2 := wire.ReadReq{Round: wire.Round2, Reader: r.id, TSR: state.tsrSR, Repair: repair}
 	for _, id := range r.params.objectIDs() {
 		r.conn.Send(transport.Object(id), req2)
 		st.Sent++
@@ -161,6 +191,13 @@ type safeReadState struct {
 	respFirst objSet                  // Resp1
 	seen      map[seenKey]bool        // processed (object, round) acks
 	reported  map[types.ObjectID]objS // per-object reported tuple keys (for RespondedWO)
+
+	// Fast-path bookkeeping: the (w, pw) keys of the first round-1
+	// reply, and whether every later round-1 reply matched both
+	// byte-for-byte. Divergence is permanent for the READ.
+	r1Seen      bool
+	r1WK, r1PK  string
+	r1Unanimous bool
 }
 
 // objSetByKey maps a canonical tuple/pair key to its witness set.
@@ -184,17 +221,18 @@ type seenKey struct {
 
 func newSafeReadState(cfg quorum.Config, j types.ReaderID) *safeReadState {
 	return &safeReadState{
-		cfg:        cfg,
-		j:          j,
-		tuples:     make(map[string]types.WTuple),
-		pairs:      make(map[string]types.TSVal),
-		candidates: make(objSetByKey),
-		firstRW:    make(objSetByKey),
-		rw:         make(objSetByKey),
-		rpw:        make(objSetByKey),
-		respFirst:  make(objSet),
-		seen:       make(map[seenKey]bool),
-		reported:   make(map[types.ObjectID]objS),
+		cfg:         cfg,
+		j:           j,
+		tuples:      make(map[string]types.WTuple),
+		pairs:       make(map[string]types.TSVal),
+		candidates:  make(objSetByKey),
+		firstRW:     make(objSetByKey),
+		rw:          make(objSetByKey),
+		rpw:         make(objSetByKey),
+		respFirst:   make(objSet),
+		seen:        make(map[seenKey]bool),
+		reported:    make(map[types.ObjectID]objS),
+		r1Unanimous: true,
 	}
 }
 
@@ -240,8 +278,95 @@ func (s *safeReadState) absorb(msg transport.Message) bool {
 		s.firstRW.at(wk).add(ack.ObjectID)
 		s.candidates.at(wk).add(ack.ObjectID)
 		s.respFirst.add(ack.ObjectID)
+		if !s.r1Seen {
+			s.r1Seen, s.r1WK, s.r1PK = true, wk, pk
+		} else if wk != s.r1WK || pk != s.r1PK {
+			s.r1Unanimous = false
+		}
 	}
 	return true
+}
+
+// fastDecide evaluates the single-round fast-path predicate after the
+// round-1 loop: return the unanimous candidate's pair iff
+//
+//  1. ≥ S−t round-1 replies arrived, ALL byte-identical in both the w
+//     and pw fields (a single candidate c with pw = c.tsval);
+//  2. pw equals c.tsval — timestamp dominance: no object observed a
+//     pre-write newer than c, i.e. no write was in progress at any
+//     responder when it replied;
+//  3. c's tsr matrix is conflict-free for this reader: no row claims a
+//     control timestamp above tsrFR (Fig. 4 line 1).
+//
+// Safety, from S = 2t+b+1 (so S−t = t+b+1 and S−2t = b+1):
+//
+//   - Genuineness: of the t+b+1 identical replies at most b come from
+//     Byzantine objects, so ≥ t+1 ≥ b+1 honest objects stored exactly
+//     c — c was really written (or is the initial tuple), and safe(c)
+//     of Fig. 4 line 3 already holds with round-1 evidence alone.
+//   - Dominance: let W* be the last write completed before this READ
+//     began. Its W round installed tuple(W*) at some set Q of S−t
+//     objects before the READ began; our responder set P also has S−t
+//     objects, and |P ∩ Q| ≥ 2(S−t) − S = S−2t = b+1, so P ∩ Q holds
+//     an honest object o. o's w field is timestamp-monotone and held
+//     tuple(W*) before the READ began, yet o reported c — hence
+//     c.ts ≥ ts(W*), and by (2) no newer write was in flight, so
+//     returning c.tsval satisfies safe (and regular) semantics
+//     exactly as the two-round decision would.
+//   - Conflict: a genuine matrix cannot accuse this reader of a
+//     timestamp above tsrFR (the reader just minted it), so (3) can
+//     only fail on a forged tuple — which unanimity plus t+1 honest
+//     vouchers already excludes; the check is kept as cheap defense
+//     in depth, mirroring Fig. 4's round-1 completion rule.
+//
+// Any divergence, in-progress write, or conflict falls back to the
+// two-round protocol — the paper's Proposition 1 shows rounds can
+// only be saved in exactly these contention- and fault-free runs.
+func (s *safeReadState) fastDecide() (types.TSVal, bool) {
+	if !s.r1Unanimous || !s.r1Seen || len(s.respFirst) < s.cfg.RoundQuorum() {
+		return types.TSVal{}, false
+	}
+	c := s.tuples[s.r1WK]
+	pw := s.pairs[s.r1PK]
+	if !pw.Equal(c.TSVal) {
+		return types.TSVal{}, false // a pre-write is in flight somewhere
+	}
+	for _, vec := range c.TSR {
+		if vec.Get(s.j) > s.tsrFR {
+			return types.TSVal{}, false // forged matrix conflicts with us
+		}
+	}
+	return c.TSVal.Clone(), true
+}
+
+// repairHint picks the tuple the slow-path round 2 piggybacks: the
+// highest-timestamp candidate whose exact tuple was reported by ≥ b+1
+// objects in round 1. b+1 byte-identical full-tuple reports mean at
+// least one honest object durably stores c, so c is genuine and a
+// Byzantine object cannot launder a forged tuple through this reader
+// into honest replicas. Returns false when round 1 was unanimous
+// (nothing to repair) or no candidate clears the vouching bar.
+func (s *safeReadState) repairHint() (types.WTuple, bool) {
+	if s.r1Unanimous {
+		return types.WTuple{}, false
+	}
+	bestKey, found := "", false
+	var best types.WTuple
+	for ck, set := range s.firstRW {
+		if len(set) < s.cfg.SafeThreshold() {
+			continue
+		}
+		c := s.tuples[ck]
+		// Deterministic tie-break on the canonical key.
+		if !found || c.TSVal.TS > best.TSVal.TS ||
+			(c.TSVal.TS == best.TSVal.TS && ck > bestKey) {
+			best, bestKey, found = c, ck, true
+		}
+	}
+	if !found {
+		return types.WTuple{}, false
+	}
+	return best.Clone(), true
 }
 
 // respondedWO counts the objects that reported some tuple other than c

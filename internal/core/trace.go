@@ -28,6 +28,50 @@ type Tracer interface {
 	Decided(kind OpKind, ts types.TS)
 }
 
+// ExtEvent labels a protocol event introduced by the fast-path and
+// pipelining optimizations, outside the four Fig. 2–6 callbacks.
+type ExtEvent int
+
+// Extended events.
+const (
+	// EvFastRead: a READ decided after round 1 and skipped round 2.
+	EvFastRead ExtEvent = iota + 1
+	// EvPipelinedAck: an acknowledgement absorbed during op N's PW
+	// round confirmed the write-back of the still-pending op N−1.
+	EvPipelinedAck
+	// EvRepair: a slow-path round-2 READ broadcast piggybacked a
+	// repair hint (the dominant complete tuple from round 1).
+	EvRepair
+)
+
+// String renders the extended event.
+func (e ExtEvent) String() string {
+	switch e {
+	case EvFastRead:
+		return "fast-read"
+	case EvPipelinedAck:
+		return "pipelined-ack"
+	case EvRepair:
+		return "repair"
+	}
+	return "ext?"
+}
+
+// ExtTracer is an optional extension of Tracer: implementations that
+// also provide Ext receive the fast-path/pipelining/repair events.
+// Kept as a separate interface so existing Tracer implementations stay
+// source-compatible; clients discover it with a type assertion.
+type ExtTracer interface {
+	Ext(kind OpKind, ev ExtEvent, detail string)
+}
+
+// traceExt forwards an extended event when t implements ExtTracer.
+func traceExt(t Tracer, kind OpKind, ev ExtEvent, detail string) {
+	if x, ok := t.(ExtTracer); ok {
+		x.Ext(kind, ev, detail)
+	}
+}
+
 // nopTracer is the default.
 type nopTracer struct{}
 
@@ -91,6 +135,15 @@ func (tr *TraceRecorder) AckAccepted(kind OpKind, round int, from types.ObjectID
 // Decided records the event.
 func (tr *TraceRecorder) Decided(kind OpKind, ts types.TS) {
 	tr.add(fmt.Sprintf("%s/decided@%d", kind, ts))
+}
+
+// Ext records an extended (fast-path/pipelining/repair) event.
+func (tr *TraceRecorder) Ext(kind OpKind, ev ExtEvent, detail string) {
+	if detail == "" {
+		tr.add(fmt.Sprintf("%s/%s", kind, ev))
+		return
+	}
+	tr.add(fmt.Sprintf("%s/%s/%s", kind, ev, detail))
 }
 
 // Events returns a copy of the recorded event strings.

@@ -33,6 +33,12 @@ type Writer struct {
 	ts   types.TS
 	last types.WTuple // the complete tuple of the previous write ("last copy of w′")
 
+	// Pipelining state (SetPipelined): pending is the timestamp of the
+	// write whose W (write-back) round has been broadcast but not yet
+	// confirmed by S−t objects; 0 when no write-back is outstanding.
+	pipelined bool
+	pending   types.TS
+
 	stats OpStats
 	trace Tracer
 }
@@ -52,11 +58,69 @@ func (w *Writer) TS() types.TS { return w.ts }
 // LastStats returns the complexity record of the last completed WRITE.
 func (w *Writer) LastStats() OpStats { return w.stats }
 
+// SetPipelined toggles write-round pipelining. When on, Write issues
+// op N's write-back (W) broadcast without awaiting its acks: they are
+// collected alongside op N+1's pre-write (PW) round, so the steady
+// state awaits ONE round-trip per write instead of two.
+//
+// Why this is safe: PW⟨ts′, pw′, w′⟩ of op N+1 carries w′ = the
+// complete tuple of op N, and both object types install w′ before
+// acknowledging (Fig. 3 adopts w; Fig. 5 fills history[ts′−1]). A
+// PW_ACK for op N+1 therefore certifies that the sender durably holds
+// op N's write-back state — it is equivalent to a W_ACK for op N — so
+// Write(N+1) returns only after op N's tuple is installed at S−t
+// objects, exactly the postcondition of the unpipelined W round. The
+// hedging layer preserves liveness for free: a straggler re-driven
+// with PW(N+1) confirms N and contributes to N+1 with one reply.
+//
+// The one write that has no successor is completed by Flush; embedding
+// stores must flush a register's pending write before serving a READ
+// of the same register, or a read could miss a write that already
+// returned (per-writer timestamp order is preserved regardless, since
+// ts increments before each broadcast).
+func (w *Writer) SetPipelined(on bool) { w.pipelined = on }
+
+// Pending returns the timestamp of the pipelined write whose
+// write-back round is still unconfirmed (0 when none).
+func (w *Writer) Pending() types.TS { return w.pending }
+
+// Flush awaits W_ACKs from S−t objects for the pending pipelined
+// write, completing its write-back round. No-op when nothing pends.
+func (w *Writer) Flush(ctx context.Context) error {
+	if w.pending == 0 {
+		return nil
+	}
+	cfg := w.params.Cfg
+	acked := make(map[types.ObjectID]bool, cfg.RoundQuorum())
+	for len(acked) < cfg.RoundQuorum() {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("core: WRITE ts=%d flush: %w", w.pending, err)
+		}
+		ack, ok := msg.Payload.(wire.WAck)
+		if !ok || ack.TS != w.pending {
+			continue
+		}
+		if msg.From.Kind != transport.KindObject || types.ObjectID(msg.From.Index) != ack.ObjectID {
+			continue
+		}
+		if !w.params.validObject(ack.ObjectID) || acked[ack.ObjectID] {
+			continue
+		}
+		acked[ack.ObjectID] = true
+	}
+	w.pending = 0
+	return nil
+}
+
 // Write stores v in the register. It blocks until both rounds complete
 // (wait-free given S−t correct objects) or ctx is cancelled.
 func (w *Writer) Write(ctx context.Context, v types.Value) error {
 	if v.IsBottom() {
 		return fmt.Errorf("core: ⊥ is not a valid input value for WRITE")
+	}
+	if w.pipelined {
+		return w.writePipelined(ctx, v)
 	}
 	start := time.Now()
 	st := OpStats{Kind: OpWrite}
@@ -101,6 +165,10 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 		w.trace.AckAccepted(OpWrite, 1, ack.ObjectID)
 		current[ack.ObjectID] = ack.TSR.Clone()
 	}
+	// A completed PW round also certifies any write-back left pending
+	// by an earlier pipelined phase: the PW message carried that tuple
+	// and S−t objects installed it before acking.
+	w.pending = 0
 
 	// Round W: w := ⟨pw, currenttsrarray⟩; send W⟨ts, pw, w⟩ to all.
 	w.trace.RoundStart(OpWrite, 2)
@@ -132,6 +200,103 @@ func (w *Writer) Write(ctx context.Context, v types.Value) error {
 		w.trace.AckAccepted(OpWrite, 2, ack.ObjectID)
 		acked[ack.ObjectID] = true
 	}
+
+	w.trace.Decided(OpWrite, w.ts)
+	w.last = tuple.Clone()
+	st.Duration = time.Since(start)
+	w.stats = st
+	return nil
+}
+
+// writePipelined is the one-awaited-round WRITE (SetPipelined). It
+// broadcasts PW(N), then in a single collect loop absorbs PW_ACKs for
+// N (building the tsr matrix) while also counting confirmations of the
+// still-pending op N−1 — a W_ACK(N−1), or equivalently a PW_ACK(N),
+// which certifies the sender installed tuple(N−1) before acking. Once
+// the matrix holds exactly S−t rows (the snapshot Lemmas 3 and 6 rely
+// on) and N−1 is confirmed by S−t objects, it broadcasts W(N) WITHOUT
+// awaiting its acks and returns; op N+1 (or Flush) collects them.
+//
+// Naive early return after broadcasting W(N) alone would be unsafe: a
+// read starting after Write(N) returned could find tuple(N) installed
+// nowhere. Here Write(N) returns only after PW(N) completed at S−t
+// objects — each of which durably holds pw(N) — and tuple(N−1) is
+// installed at S−t objects, so the unpipelined postcondition holds one
+// op late, and the embedding store's flush-before-read closes the last
+// gap for the most recent write.
+func (w *Writer) writePipelined(ctx context.Context, v types.Value) error {
+	start := time.Now()
+	st := OpStats{Kind: OpWrite}
+	cfg := w.params.Cfg
+	w.trace.OpStart(OpWrite)
+
+	// Round PW: inc(ts); pw := ⟨ts, v⟩; send PW⟨ts, pw, w⟩ to all.
+	w.ts++
+	w.trace.RoundStart(OpWrite, 1)
+	pw := types.TSVal{TS: w.ts, Val: v.Clone()}
+	req := wire.PWReq{TS: w.ts, PW: pw, W: w.last}
+	for _, id := range w.params.objectIDs() {
+		w.conn.Send(transport.Object(id), req)
+		st.Sent++
+	}
+	st.Rounds++ // the only awaited round-trip of a pipelined WRITE
+
+	current := types.NewTSRMatrix()
+	confirmed := make(map[types.ObjectID]bool, cfg.RoundQuorum())
+	need := func() bool {
+		if len(current) < cfg.RoundQuorum() {
+			return true
+		}
+		return w.pending != 0 && len(confirmed) < cfg.RoundQuorum()
+	}
+	for need() {
+		msg, err := w.conn.Recv(ctx)
+		if err != nil {
+			return fmt.Errorf("core: WRITE ts=%d pipelined PW round: %w", w.ts, err)
+		}
+		if msg.From.Kind != transport.KindObject {
+			continue
+		}
+		switch ack := msg.Payload.(type) {
+		case wire.PWAck:
+			if ack.TS != w.ts || types.ObjectID(msg.From.Index) != ack.ObjectID || !w.params.validObject(ack.ObjectID) {
+				continue
+			}
+			// PW_ACK(N) doubles as the object's W_ACK(N−1): PW(N)
+			// carried tuple(N−1) and the object installed it first.
+			if w.pending != 0 && !confirmed[ack.ObjectID] {
+				confirmed[ack.ObjectID] = true
+				traceExt(w.trace, OpWrite, EvPipelinedAck, fmt.Sprintf("obj%d@pw", ack.ObjectID))
+			}
+			if _, dup := current[ack.ObjectID]; dup || len(current) >= cfg.RoundQuorum() {
+				continue // snapshot the matrix at exactly S−t rows
+			}
+			st.Acks++
+			w.trace.AckAccepted(OpWrite, 1, ack.ObjectID)
+			current[ack.ObjectID] = ack.TSR.Clone()
+		case wire.WAck:
+			if w.pending == 0 || ack.TS != w.pending || types.ObjectID(msg.From.Index) != ack.ObjectID {
+				continue
+			}
+			if !w.params.validObject(ack.ObjectID) || confirmed[ack.ObjectID] {
+				continue
+			}
+			st.Acks++
+			confirmed[ack.ObjectID] = true
+			traceExt(w.trace, OpWrite, EvPipelinedAck, fmt.Sprintf("obj%d@w", ack.ObjectID))
+		}
+	}
+
+	// Round W: broadcast ⟨pw, currenttsrarray⟩ but do not await the
+	// acks — the next Write's PW round (or Flush) collects them.
+	w.trace.RoundStart(OpWrite, 2)
+	tuple := types.WTuple{TSVal: pw.Clone(), TSR: current}
+	wreq := wire.WReq{TS: w.ts, PW: pw, W: tuple}
+	for _, id := range w.params.objectIDs() {
+		w.conn.Send(transport.Object(id), wreq)
+		st.Sent++
+	}
+	w.pending = w.ts
 
 	w.trace.Decided(OpWrite, w.ts)
 	w.last = tuple.Clone()

@@ -272,6 +272,7 @@ type ChaosReport struct {
 	Keys       int
 	Writes     int64
 	Reads      int64
+	FastReads  int64 // reads decided in a single round (zero without FastRead)
 	Elapsed    time.Duration
 	Faults     fault.Stats
 	Recovery   recovery.Stats   // catch-up counters (zero without a recovery policy)
@@ -299,6 +300,9 @@ func (r ChaosReport) String() string {
 	}
 	if r.Flow.Pushbacks+r.Flow.Hedges > 0 {
 		rec += fmt.Sprintf(" (flow: %v)", r.Flow)
+	}
+	if r.FastReads > 0 {
+		rec += fmt.Sprintf(" (%d/%d reads fast-path)", r.FastReads, r.Reads)
 	}
 	return fmt.Sprintf("chaos soak: %d writes + %d reads over %d registers in %v under [%v]%s — %s",
 		r.Writes, r.Reads, r.Keys, r.Elapsed.Round(time.Millisecond), r.Faults, rec, verdict)
@@ -524,7 +528,7 @@ func RunChaos(spec ChaosSpec) (ChaosReport, error) {
 
 	report := ChaosReport{Keys: spec.Keys, Elapsed: time.Since(start), Faults: s.FaultStats(), Recovery: s.RecoveryStats(), Membership: s.MembershipStats(), Flow: s.FlowStats()}
 	m := s.Metrics()
-	report.Writes, report.Reads = m.Writes, m.Reads
+	report.Writes, report.Reads, report.FastReads = m.Writes, m.Reads, m.FastReads
 	if spec.Store.Flow != nil {
 		report.ShardFlow = s.ShardFlowStats()
 	}

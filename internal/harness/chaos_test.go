@@ -136,3 +136,35 @@ func TestDefaultChaosPlanValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChaosFastPathSoak: the fast path and write pipelining survive the
+// full fault gauntlet — drops, jitter, duplication, reordering, crash
+// and partition windows, plus a Byzantine object per shard — with zero
+// consistency violations. Some reads must still land on the fast path
+// (calm stretches between fault windows), proving the predicate isn't
+// vacuously disabled under chaos.
+func TestChaosFastPathSoak(t *testing.T) {
+	spec := ChaosScenario(chaosSeed, false)
+	spec.Name = "chaos-mem-fastpath"
+	spec.Store.FastRead = true
+	spec.Store.PipelinedWrites = true
+	if testing.Short() {
+		spec.Keys = 16
+		spec.WritesPerKey = 3
+		spec.ReadsPerKey = 3
+	}
+	rep, err := RunChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if len(rep.Violations) > 0 {
+		t.Fatalf("consistency violated with fast path on:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.FastReads == 0 {
+		t.Fatal("no read ever took the fast path — the predicate never fired")
+	}
+	if rep.Faults.Dropped == 0 || rep.Faults.Crashes+rep.Faults.Partitions == 0 {
+		t.Fatalf("fault layer injected nothing: %v", rep.Faults)
+	}
+}

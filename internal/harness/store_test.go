@@ -79,8 +79,8 @@ func TestRunSingleRegisterBenchBaseline(t *testing.T) {
 
 func TestStoreScenariosShape(t *testing.T) {
 	scs := StoreScenarios()
-	if len(scs) != 8 {
-		t.Fatalf("want 8 scenarios, got %d", len(scs))
+	if len(scs) != 9 {
+		t.Fatalf("want 9 scenarios, got %d", len(scs))
 	}
 	names := map[string]StoreSpec{}
 	for _, sc := range scs {
@@ -101,10 +101,25 @@ func TestStoreScenariosShape(t *testing.T) {
 	if f.Faults.Faulty+f.ByzPerShard > f.T {
 		t.Fatalf("faulty scenario exceeds the fault budget: %d faulty + %d byz > t=%d", f.Faults.Faulty, f.ByzPerShard, f.T)
 	}
+	if !f.FastRead || !f.PipelinedWrites {
+		t.Fatal("faulty scenario must run the fast path so read-repair prices the degraded tail")
+	}
 	g := f
 	g.Faults = names["sharded-mem-batched"].Faults
+	g.FastRead, g.PipelinedWrites, g.BenchReads = false, false, 0
 	if g != names["sharded-mem-batched"] {
-		t.Fatal("faulty row must differ from sharded-mem-batched only in the fault plan")
+		t.Fatal("faulty row must differ from sharded-mem-batched only in the fault plan and fast path")
+	}
+	fp := names["sharded-mem-fastpath"]
+	if !fp.FastRead || !fp.PipelinedWrites {
+		t.Fatal("fastpath scenario must enable FastRead and PipelinedWrites")
+	}
+	if fp.BenchReads < 2 {
+		t.Fatal("fastpath scenario needs repeated reads so rounds/read reflects the repaired steady state")
+	}
+	fp.FastRead, fp.PipelinedWrites, fp.BenchReads = false, false, 0
+	if fp != names["sharded-mem"] {
+		t.Fatal("fastpath row must differ from sharded-mem only in the fast-path knobs")
 	}
 	r := names["sharded-mem-batched-recovery"]
 	if !r.Recovery {

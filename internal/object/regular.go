@@ -89,6 +89,17 @@ func (s *Regular) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
 		if int(j) < 0 || int(j) >= len(s.tsr) {
 			return nil, false
 		}
+		// Read-repair: install a piggybacked dominant tuple exactly
+		// like a W message (timestamp-dominant guard, so stale hints
+		// are no-ops). The reader only attaches tuples vouched for by
+		// b+1 identical round-1 replies — at least one honest object
+		// stored that exact tuple — so a forged tuple cannot be
+		// laundered through this path.
+		if rep := m.Repair; rep != nil && rep.TSVal.TS >= s.ts {
+			s.ts = rep.TSVal.TS
+			w := rep.Clone()
+			s.history[w.TSVal.TS] = types.HistEntry{PW: w.TSVal.Clone(), W: &w}
+		}
 		if m.TSR > s.tsr[j] {
 			s.tsr[j] = m.TSR
 			if m.CacheTS > s.readerLow[j] {

@@ -78,6 +78,19 @@ func (s *Safe) Handle(_ transport.NodeID, req wire.Msg) (wire.Msg, bool) {
 		if int(j) < 0 || int(j) >= len(s.tsr) {
 			return nil, false
 		}
+		// Read-repair: a round-2 request may piggyback the dominant
+		// complete tuple the reader saw in round 1. Install it under
+		// the same timestamp-dominance guard as a W message (clients
+		// are correct in the model, and the reader only forwards
+		// tuples vouched for by b+1 identical replies, so the hint is
+		// genuine). Applied independently of the tsr guard below: the
+		// repair is valid even when this particular READ message is a
+		// duplicate.
+		if rep := m.Repair; rep != nil && rep.TSVal.TS >= s.ts {
+			s.ts = rep.TSVal.TS
+			s.pw = rep.TSVal.Clone()
+			s.w = rep.Clone()
+		}
 		if m.TSR > s.tsr[j] {
 			s.tsr[j] = m.TSR
 			return wire.ReadAck{

@@ -45,6 +45,18 @@ const (
 	EvDup        EventKind = "dup"
 )
 
+// The fast-path vocabulary: fast-read from a reader that decided after
+// its first round and skipped the write-back round; pipelined-ack from
+// a writer whose pre-write round for op N doubled as the write-back
+// confirmation for the still-pending op N−1; repair from a slow-path
+// round-2 READ that piggybacked the dominant round-1 candidate as a
+// repair hint for lagging base objects.
+const (
+	EvFastRead     EventKind = "fast-read"
+	EvPipelinedAck EventKind = "pipelined-ack"
+	EvRepair       EventKind = "repair"
+)
+
 // Event is one step of one operation's lifecycle. Op ties the steps of
 // a single register operation together (0 = unattributed — an event
 // observed outside any bound operation); Member is the base-object

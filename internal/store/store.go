@@ -76,6 +76,25 @@ type Options struct {
 	VirtualNodes int
 	// Semantics picks the register protocol (default RegularOpt).
 	Semantics Semantics
+	// FastRead enables the opportunistic single-round read fast path
+	// plus slow-path read repair. A read whose first round returns S−t
+	// byte-identical, timestamp-dominant, conflict-free replies decides
+	// immediately and skips the write-back round (see core.SetFastPath
+	// for the quorum-intersection safety argument); a read that does
+	// fall through to round 2 piggybacks the dominant round-1 candidate
+	// as a repair hint, pulling lagging objects forward so the NEXT
+	// read's fast path can fire. Contention-free workloads converge to
+	// ~1 round per read; the worst case stays the paper's 2 rounds.
+	FastRead bool
+	// PipelinedWrites overlaps consecutive writes to the same register:
+	// op N's write-back round is issued without waiting for its acks,
+	// and op N+1's pre-write round collects them alongside its own —
+	// sound because PW(N+1) carries tuple(N) and base objects install
+	// it before acking, so a PW(N+1) ack certifies the write-back of N
+	// (see core.SetPipelined). Halves the awaited round-trips per
+	// steady-state write. Reads to a register with a pending write-back
+	// first flush it, preserving regularity.
+	PipelinedWrites bool
 	// TCP runs each shard over real loopback TCP instead of the
 	// in-memory transport.
 	TCP bool
@@ -224,6 +243,17 @@ type Metrics struct {
 	WriteRounds int64
 	Reads       int64
 	ReadRounds  int64
+	// FastReads counts reads that decided after round 1 (FastRead on).
+	FastReads int64
+}
+
+// FastReadPct returns the percentage of reads that took the
+// single-round fast path.
+func (m Metrics) FastReadPct() float64 {
+	if m.Reads == 0 {
+		return 0
+	}
+	return 100 * float64(m.FastReads) / float64(m.Reads)
 }
 
 // RoundsPerRead returns the mean communication round-trips per READ.
@@ -268,6 +298,7 @@ type Store struct {
 
 	writes, writeRounds atomic.Int64
 	reads, readRounds   atomic.Int64
+	fastReads           atomic.Int64
 }
 
 // shard is one independent base-object cluster and its client pools.
@@ -282,12 +313,19 @@ type shard struct {
 	// shards, Store.ShardFlowStats exposes them individually.
 	flowCtrs *flow.Counters
 
+	// fastRead/pipelined mirror Options.FastRead/PipelinedWrites for
+	// the lazily created per-register clients.
+	fastRead  bool
+	pipelined bool
+
 	// tel plus the per-shard instruments below (nil without telemetry).
-	tel      *telemetry
-	writes   *obs.Counter
-	reads    *obs.Counter
-	writeLat *obs.Histogram
-	readLat  *obs.Histogram
+	tel       *telemetry
+	writes    *obs.Counter
+	reads     *obs.Counter
+	fastReads *obs.Counter
+	slowReads *obs.Counter
+	writeLat  *obs.Histogram
+	readLat   *obs.Histogram
 
 	writerMux *mux
 	wmu       sync.Mutex
@@ -427,6 +465,7 @@ func (s *Store) buildShard(index int) (*shard, error) {
 		nw = n
 	}
 	sh := &shard{index: index, cfg: s.cfg, net: nw, flowCtrs: flowCtrs, tel: s.tel,
+		fastRead: s.opts.FastRead, pipelined: s.opts.PipelinedWrites,
 		writers: make(map[string]*regWriter), managers: make(map[int]*recovery.Manager)}
 	if s.opts.Faults != nil {
 		plan := s.opts.Faults.WithSeed(s.opts.Faults.Seed + int64(index)*faultSeedStride)
@@ -580,6 +619,10 @@ func (s *Store) mountShard(sh *shard) {
 	sh.reads = scope.Counter("reads")
 	sh.writeLat = scope.Histogram("write_ms")
 	sh.readLat = scope.Histogram("read_ms")
+	if sh.fastRead {
+		sh.fastReads = scope.Counter("fast_reads")
+		sh.slowReads = scope.Counter("slow_reads")
+	}
 	// Per-member serve counters as live views: Replace swaps the slot's
 	// registry, so the view over the current sh.objs entry is the address
 	// that survives (like the recovery views below).
@@ -750,6 +793,7 @@ func (s *Store) Metrics() Metrics {
 		WriteRounds: s.writeRounds.Load(),
 		Reads:       s.reads.Load(),
 		ReadRounds:  s.readRounds.Load(),
+		FastReads:   s.fastReads.Load(),
 	}
 }
 
@@ -796,6 +840,16 @@ func (s *Store) WriteTS(ctx context.Context, key string, val types.Value) (types
 // duration; with all slots busy it waits for one or for ctx.
 func (s *Store) Read(ctx context.Context, key string) (types.TSVal, error) {
 	sh := s.shards[s.ring.Shard(key)]
+	if sh.pipelined {
+		// A pipelined writer may have returned from Write(N) with the
+		// write-back round still in flight; a read that started after
+		// that return must not miss tuple(N), so complete the
+		// certification first. In the common case W(N)'s acks already
+		// sit in the writer's mailbox and this costs no round-trip.
+		if err := sh.flushPending(ctx, key); err != nil {
+			return types.TSVal{}, fmt.Errorf("store: read %q: flush pending write: %w", key, err)
+		}
+	}
 	var slot *readerSlot
 	select {
 	case slot = <-sh.slots:
@@ -820,13 +874,37 @@ func (s *Store) Read(ctx context.Context, key string) (types.TSVal, error) {
 	if err != nil {
 		return types.TSVal{}, fmt.Errorf("store: read %q: %w", key, err)
 	}
+	st := r.LastStats()
 	s.reads.Add(1)
-	s.readRounds.Add(int64(r.LastStats().Rounds))
+	s.readRounds.Add(int64(st.Rounds))
+	if st.FastPath {
+		s.fastReads.Add(1)
+	}
 	if s.tel != nil {
 		sh.reads.Inc()
+		if st.FastPath && sh.fastReads != nil {
+			sh.fastReads.Inc()
+		} else if !st.FastPath && sh.slowReads != nil {
+			sh.slowReads.Inc()
+		}
 		sh.readLat.Observe(s.tel.clock().Sub(start))
 	}
 	return tv, nil
+}
+
+// flushPending completes any outstanding pipelined write-back on key
+// before a read observes the register. No-op when key has no writer
+// here or its write-back is already certified.
+func (sh *shard) flushPending(ctx context.Context, key string) error {
+	sh.wmu.Lock()
+	rw := sh.writers[key]
+	sh.wmu.Unlock()
+	if rw == nil {
+		return nil
+	}
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.w.Flush(ctx)
 }
 
 // writerFor returns key's register writer, creating it on first use
@@ -839,6 +917,9 @@ func (sh *shard) writerFor(key string) (*regWriter, error) {
 		w, err := core.NewWriter(sh.cfg, sh.writerMux.register(key))
 		if err != nil {
 			return nil, err
+		}
+		if sh.pipelined {
+			w.SetPipelined(true)
 		}
 		rw = &regWriter{w: w}
 		if sh.tel != nil && sh.tel.tracer != nil {
@@ -872,6 +953,14 @@ func (sh *shard) readerFor(slot *readerSlot, key string, sem Semantics) (readerC
 	}
 	if err != nil {
 		return nil, err
+	}
+	if sh.fastRead {
+		switch c := r.(type) {
+		case *core.SafeReader:
+			c.SetFastPath(true)
+		case *core.RegularReader:
+			c.SetFastPath(true)
+		}
 	}
 	if sh.tel != nil && sh.tel.tracer != nil {
 		trace := &coreTracer{tr: sh.tel.tracer, key: key, shard: sh.index}

@@ -330,3 +330,85 @@ func TestTCPStoreEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestFastPathStore: with FastRead and PipelinedWrites on, a quiescent
+// store decides repeated reads in one round (after the first read
+// repairs the write-quorum straggler), the fast-read metrics count
+// them, and read-your-write regularity holds — the pipelined write-back
+// is flushed before any same-key read is served.
+func TestFastPathStore(t *testing.T) {
+	s, err := Open(Options{Shards: 2, FastRead: true, PipelinedWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("fast-%d", i)
+		for v := 0; v < 4; v++ {
+			if err := s.Write(ctx, key, types.Value(fmt.Sprintf("%s=v%d", key, v))); err != nil {
+				t.Fatalf("write %s: %v", key, err)
+			}
+		}
+		// The read immediately after the pipelined write must already
+		// observe it (the store flushes the pending write-back first).
+		tv, err := s.Read(ctx, key)
+		if err != nil {
+			t.Fatalf("read %s: %v", key, err)
+		}
+		if tv.TS != 4 || !tv.Val.Equal(types.Value(fmt.Sprintf("%s=v3", key))) {
+			t.Fatalf("read-your-write broken: %s returned %v", key, tv)
+		}
+		// Subsequent quiescent reads ride the fast path.
+		for n := 0; n < 3; n++ {
+			if _, err := s.Read(ctx, key); err != nil {
+				t.Fatalf("read %s: %v", key, err)
+			}
+		}
+	}
+
+	m := s.Metrics()
+	if m.Reads != keys*4 {
+		t.Fatalf("reads miscounted: %+v", m)
+	}
+	if m.FastReads == 0 {
+		t.Fatal("no read took the fast path on a quiescent store")
+	}
+	// At least the 3 trailing reads per key follow a same-key read that
+	// already repaired any straggler, so they must all be fast.
+	if m.FastReads < keys*3 {
+		t.Fatalf("only %d/%d reads fast on a quiescent store", m.FastReads, m.Reads)
+	}
+	if pct := m.FastReadPct(); pct <= 0 || pct > 100 {
+		t.Fatalf("FastReadPct = %v", pct)
+	}
+	if got := m.RoundsPerRead(); got >= 2 {
+		t.Fatalf("rounds per read %v shows the fast path never engaged", got)
+	}
+}
+
+// TestFastPathOffByDefault: a store opened without FastRead must never
+// report fast reads — the classic two-round protocol is the default.
+func TestFastPathOffByDefault(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := testCtx(t)
+	if err := s.Write(ctx, "k", types.Value("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.FastReads != 0 || m.FastReadPct() != 0 {
+		t.Fatalf("fast path engaged without opt-in: %+v", m)
+	}
+	if got := m.RoundsPerRead(); got != 2 {
+		t.Fatalf("rounds per read = %v, want the classic 2", got)
+	}
+}

@@ -119,6 +119,26 @@ func (t *coreTracer) Decided(kind core.OpKind, ts types.TS) {
 	t.tr.Record(obs.Event{Op: t.op, Kind: obs.EvOpEnd, Key: t.key, Shard: t.shard, Member: -1, Detail: fmt.Sprintf("%s ts=%d", kind, ts)})
 }
 
+var _ core.ExtTracer = (*coreTracer)(nil)
+
+// Ext implements core.ExtTracer: fast-read decisions, pipelined
+// write-back certifications, and read-repair hints appear in the op
+// trace under their own kinds.
+func (t *coreTracer) Ext(kind core.OpKind, ev core.ExtEvent, detail string) {
+	var k obs.EventKind
+	switch ev {
+	case core.EvFastRead:
+		k = obs.EvFastRead
+	case core.EvPipelinedAck:
+		k = obs.EvPipelinedAck
+	case core.EvRepair:
+		k = obs.EvRepair
+	default:
+		return
+	}
+	t.tr.Record(obs.Event{Op: t.op, Kind: k, Key: t.key, Shard: t.shard, Member: -1, Detail: detail})
+}
+
 // roundLabel names a protocol round in the paper's vocabulary: a write
 // pre-writes then writes back; a read collects then writes back its
 // timestamp.

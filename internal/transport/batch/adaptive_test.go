@@ -80,7 +80,11 @@ func TestAdaptiveCoalesceAboveThreshold(t *testing.T) {
 
 	// Phase 1: pile up contended sends. The first send enters
 	// inner.Send and blocks on the gate; each subsequent overlapping
-	// send counts one contention hit, and the 4th..6th flip the mode.
+	// send both collides and (being parked on the gate) clears the
+	// send-cost floor, so once released the 4th..6th completions flip
+	// the mode. Hits are counted AFTER the slow send returns — the cost
+	// probe must measure the whole send — so the gate is released
+	// before polling for activation.
 	const overlapping = 6
 	var wg sync.WaitGroup
 	for i := 0; i < overlapping; i++ {
@@ -90,6 +94,29 @@ func TestAdaptiveCoalesceAboveThreshold(t *testing.T) {
 			c.Send(obj, wire.BaselineReadReq{Attempt: i})
 		}(i)
 	}
+	// Wait until all sends are provably in flight (parked on the gate)
+	// so the collisions are guaranteed, then release them.
+	parked := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		q := c.pend[obj]
+		inflight := q != nil && q.sending.Load() == overlapping
+		c.mu.Unlock()
+		if inflight {
+			break
+		}
+		if time.Now().After(parked) {
+			t.Fatal("overlapping sends never all parked on the gate")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	for i := 0; i < 1024; i++ {
+		select {
+		case inner.gate <- struct{}{}:
+		default:
+		}
+	}
+	wg.Wait()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		c.mu.Lock()
@@ -104,15 +131,6 @@ func TestAdaptiveCoalesceAboveThreshold(t *testing.T) {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
-	// Release the pass-through sends that are parked in inner.Send and
-	// let the coalesced stragglers flush.
-	for i := 0; i < 1024; i++ {
-		select {
-		case inner.gate <- struct{}{}:
-		default:
-		}
-	}
-	wg.Wait()
 	c.Flush()
 
 	// Phase 2: the destination is in coalescing mode, so a burst of

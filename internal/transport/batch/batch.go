@@ -53,12 +53,34 @@ const DefaultFlushWindow = 200 * time.Microsecond
 const DefaultMaxBatch = 64
 
 // DefaultActivationOps is the number of contended sends within
-// RateWindow that switch a destination into coalescing mode.
-const DefaultActivationOps = 3
+// RateWindow that switch a destination into coalescing mode. The
+// threshold is deliberately high: a contended send costs only what the
+// colliding frame costs, so a few incidental collisions on a cheap
+// transport (memnet sends complete in microseconds but dozens of
+// concurrent writers still overlap occasionally) must not push a link
+// into paying the flush window on every round-trip. Only sustained
+// collision density — the signature of per-frame cost worth amortizing
+// — should activate. At 3 the sharded memnet bench activated off burst
+// noise and ran slower batched than unbatched; at 12 memnet stays
+// pass-through while tcpnet, whose syscall-bound sends collide on
+// nearly every concurrent op, still activates within two rounds.
+const DefaultActivationOps = 12
 
 // DefaultRateWindow bounds how recent contended sends must be to count
 // toward activation.
 const DefaultRateWindow = time.Millisecond
+
+// DefaultSendCostFloor is the minimum duration a CONTENDED pass-through
+// send must take for the collision to count toward activation. An
+// in-memory transport completes even a contended send in a microsecond
+// or two — a queue append under a mutex — so its collisions never clear
+// the floor and the link stays pass-through no matter how many writers
+// overlap. A socket transport's contended send waits behind another
+// frame's encode and write syscall, which clears the floor easily.
+// This is what makes the adaptive layer transport-agnostic without
+// being told which transport it wraps: it measures amortizable cost
+// instead of assuming it.
+const DefaultSendCostFloor = 20 * time.Microsecond
 
 // AlwaysCoalesce, as Options.ActivationOps, disables the adaptive
 // pass-through mode: every op coalesces, as in the pre-adaptive layer.
@@ -89,6 +111,12 @@ type Options struct {
 	// RateWindow bounds how recent contended sends must be to count
 	// toward ActivationOps. Zero selects the default.
 	RateWindow time.Duration
+	// SendCostFloor is the minimum duration a contended pass-through
+	// send must take for its collision to count toward ActivationOps.
+	// Zero selects the default; negative counts every contended send
+	// regardless of cost (the pre-floor behaviour, used by tests that
+	// drive activation on an in-memory transport).
+	SendCostFloor time.Duration
 	// Counters, when non-nil, receives the pushback counts and pending
 	// high watermarks (see internal/transport/flow).
 	Counters *flow.Counters
@@ -115,6 +143,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RateWindow <= 0 {
 		o.RateWindow = DefaultRateWindow
+	}
+	if o.SendCostFloor == 0 {
+		o.SendCostFloor = DefaultSendCostFloor
 	}
 	return o
 }
@@ -194,18 +225,33 @@ func (c *Conn) Send(to transport.NodeID, payload wire.Msg) {
 		c.pend[to] = q
 	}
 	if c.opts.ActivationOps != AlwaysCoalesce && !q.coalescing {
-		// Pass-through: ship now, but record whether this send collided
-		// with another already in flight to the same destination — the
-		// signal that coalescing would amortize real per-frame cost.
-		// The in-flight count is atomic so the decrement after
-		// inner.Send needs no second lock acquisition.
-		if q.sending.Add(1) > 1 {
-			c.noteContentionLocked(q)
-		}
+		// Pass-through: ship now, and probe for amortizable cost. A
+		// collision alone (another send to this destination already in
+		// flight) is NOT the signal — on a cheap transport dozens of
+		// concurrent writers overlap constantly while each send is still
+		// a microsecond queue append, and coalescing there buys flush-
+		// window latency for nothing. The signal is a collision whose
+		// send was also SLOW: waiting behind another frame's encode and
+		// syscall is exactly the per-frame cost a shared frame removes,
+		// so the send is timed (only when contended — the uncontended
+		// path never reads the clock) and counts toward activation only
+		// past SendCostFloor.
+		collided := q.sending.Add(1) > 1
 		c.mu.Unlock()
 		c.opts.Counters.AddPassThrough()
+		var start time.Time
+		if collided {
+			start = time.Now()
+		}
 		c.inner.Send(to, payload)
 		q.sending.Add(-1)
+		if collided && time.Since(start) >= c.opts.SendCostFloor {
+			c.mu.Lock()
+			if !c.closed && !q.coalescing {
+				c.noteContentionLocked(q)
+			}
+			c.mu.Unlock()
+		}
 		return
 	}
 	if c.opts.PendingBudget > 0 && c.pending >= c.opts.PendingBudget {
@@ -270,7 +316,9 @@ func (c *Conn) takeLocked(q *destQueue) (single wire.Msg, multi []wire.Msg) {
 	default:
 		multi = make([]wire.Msg, n)
 		copy(multi, q.ops)
-		q.loneFlushes = 0 // a real batch shipped: coalescing is paying
+		if n > smallBatchOps {
+			q.loneFlushes = 0 // a real batch shipped: coalescing is paying
+		}
 	}
 	clear(q.ops) // drop op references so the backing array pins nothing
 	c.pending -= len(q.ops)
@@ -312,19 +360,29 @@ func (c *Conn) wakeLocked() {
 }
 
 // deactivationFlushes is the hysteresis on reverting to pass-through:
-// this many CONSECUTIVE flush windows each elapsing with a lone op.
-// A single lone window is common in a bursty round-trip workload (the
-// timer occasionally catches the stragglers of a burst); reverting on
-// one would thrash the mode and pay pass-through frames under real
-// load.
+// this many CONSECUTIVE flush windows each elapsing with at most
+// smallBatchOps ops. A single lone window is common in a bursty
+// round-trip workload (the timer occasionally catches the stragglers
+// of a burst); reverting on one would thrash the mode and pay
+// pass-through frames under real load.
 const deactivationFlushes = 3
+
+// smallBatchOps is the largest window-expired batch that still counts
+// toward deactivation. A window that gathers only two or three
+// companions amortizes a frame or two while charging every op the full
+// flush-window latency — on a cheap transport that trade loses, and a
+// link stuck gathering such batches round after round (the 64-writer
+// memnet bench) should revert to pass-through just like one gathering
+// none. Size-triggered flushes never count: a full batch shipped
+// before the window elapsed, which is coalescing at its best.
+const smallBatchOps = 3
 
 // flushDest ships the pending batch for one destination if the flush
 // generation still matches (i.e. no size-triggered flush beat the
-// timer). Windows that repeatedly elapse with no companions mean
-// coalescing is buying latency without amortizing anything, so after
-// deactivationFlushes consecutive lone windows the destination reverts
-// to pass-through until sends contend again.
+// timer). Windows that repeatedly elapse with few or no companions
+// mean coalescing is buying latency without amortizing much, so after
+// deactivationFlushes consecutive small windows the destination
+// reverts to pass-through until sends contend again.
 func (c *Conn) flushDest(to transport.NodeID, gen int) {
 	c.mu.Lock()
 	q := c.pend[to]
@@ -332,18 +390,16 @@ func (c *Conn) flushDest(to transport.NodeID, gen int) {
 		c.mu.Unlock()
 		return
 	}
-	lone := len(q.ops) == 1
+	small := len(q.ops) <= smallBatchOps
 	single, multi := c.takeLocked(q)
 	if c.opts.ActivationOps != AlwaysCoalesce {
-		if lone {
+		if small {
 			q.loneFlushes++
 			if q.loneFlushes >= deactivationFlushes {
 				q.coalescing = false
 				q.hits = 0
 				q.loneFlushes = 0
 			}
-		} else {
-			q.loneFlushes = 0
 		}
 	}
 	c.mu.Unlock()

@@ -227,6 +227,12 @@ func (e *enc) msg(m Msg) error {
 		e.i(int64(v.Reader))
 		e.i(int64(v.TSR))
 		e.i(int64(v.CacheTS))
+		if v.Repair == nil {
+			e.byte(0)
+		} else {
+			e.byte(1)
+			e.wtuple(*v.Repair)
+		}
 	case ReadAck:
 		e.byte(tagReadAck)
 		e.i(int64(v.ObjectID))
@@ -567,7 +573,12 @@ func decodeCompact(data []byte, depth int) (Msg, error) {
 	case tagWAck:
 		m = WAck{ObjectID: types.ObjectID(d.i()), TS: types.TS(d.i())}
 	case tagReadReq:
-		m = ReadReq{Round: Round(d.i()), Reader: types.ReaderID(d.i()), TSR: types.ReaderTS(d.i()), CacheTS: types.TS(d.i())}
+		rr := ReadReq{Round: Round(d.i()), Reader: types.ReaderID(d.i()), TSR: types.ReaderTS(d.i()), CacheTS: types.TS(d.i())}
+		if d.byte() == 1 {
+			rep := d.wtuple()
+			rr.Repair = &rep
+		}
+		m = rr
 	case tagReadAck:
 		m = ReadAck{ObjectID: types.ObjectID(d.i()), Round: Round(d.i()), TSR: types.ReaderTS(d.i()), PW: d.tsval(), W: d.wtuple()}
 	case tagReadAckHist:

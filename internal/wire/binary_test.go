@@ -27,7 +27,13 @@ func msgEqual(a, b Msg) bool {
 		return ok && x == y
 	case ReadReq:
 		y, ok := b.(ReadReq)
-		return ok && x == y
+		if !ok || x.Round != y.Round || x.Reader != y.Reader || x.TSR != y.TSR || x.CacheTS != y.CacheTS {
+			return false
+		}
+		if (x.Repair == nil) != (y.Repair == nil) {
+			return false
+		}
+		return x.Repair == nil || x.Repair.Equal(*y.Repair)
 	case ReadAck:
 		y, ok := b.(ReadAck)
 		return ok && x.ObjectID == y.ObjectID && x.Round == y.Round && x.TSR == y.TSR &&

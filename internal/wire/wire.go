@@ -74,11 +74,23 @@ type WAck struct {
 // implements the §5.1 optimization for the regular protocol: objects
 // ship only the history suffix at or above CacheTS. Safe-protocol
 // readers leave CacheTS at zero.
+//
+// Repair is the read-repair hint piggybacked on round 2 of a slow-path
+// read: when round 1 revealed divergent replicas, the reader attaches
+// the dominant complete tuple so lagging members converge without
+// waiting for the writer's next op. Objects apply it exactly like a
+// WReq install (timestamp-dominant, so a stale hint is a no-op), and
+// only tuples vouched for by b+1 byte-identical round-1 replies are
+// ever attached — at least one honest object stored that exact tuple,
+// so a Byzantine object cannot launder a forged tuple through an
+// honest reader. nil (the common case) costs one presence byte on the
+// wire.
 type ReadReq struct {
 	Round   Round
 	Reader  types.ReaderID
 	TSR     types.ReaderTS
 	CacheTS types.TS
+	Repair  *types.WTuple
 }
 
 // ReadAck is the safe object's READk_ACK⟨tsr[j], pw, w⟩ reply (Fig. 3).
@@ -436,6 +448,10 @@ func Clone(m Msg) Msg {
 	case WAck:
 		return v
 	case ReadReq:
+		if v.Repair != nil {
+			rep := v.Repair.Clone()
+			v.Repair = &rep
+		}
 		return v
 	case ReadAck:
 		return ReadAck{ObjectID: v.ObjectID, Round: v.Round, TSR: v.TSR, PW: v.PW.Clone(), W: v.W.Clone()}

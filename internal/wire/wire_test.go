@@ -22,7 +22,7 @@ func sampleMsgs() []Msg {
 		PWAck{ObjectID: 2, TS: 7, TSR: types.TSRVector{3, 4}},
 		WReq{TS: 7, PW: w.TSVal, W: w},
 		WAck{ObjectID: 1, TS: 7},
-		ReadReq{Round: Round2, Reader: 1, TSR: 9, CacheTS: 3},
+		ReadReq{Round: Round2, Reader: 1, TSR: 9, CacheTS: 3, Repair: &w},
 		ReadAck{ObjectID: 0, Round: Round1, TSR: 9, PW: w.TSVal, W: w},
 		ReadAckHist{ObjectID: 4, Round: Round2, TSR: 10, History: h},
 		BaselineWriteReq{TS: 3, Val: types.Value("x"), Sig: []byte{1, 2}},
@@ -131,6 +131,12 @@ func TestCloneIsDeepForAllTypes(t *testing.T) {
 	c.PW.Val[0] = 'z'
 	if orig.W.TSR[0][0] == 99 || orig.PW.Val[0] == 'z' {
 		t.Error("Clone(PWReq) must deep-copy")
+	}
+	rrOrig := sampleMsgs()[4].(ReadReq)
+	rc := Clone(rrOrig).(ReadReq)
+	rc.Repair.TSVal.Val[0] = 'z'
+	if rrOrig.Repair.TSVal.Val[0] == 'z' {
+		t.Error("Clone(ReadReq) must deep-copy the repair hint")
 	}
 	hOrig := sampleMsgs()[6].(ReadAckHist)
 	hc := Clone(hOrig).(ReadAckHist)
